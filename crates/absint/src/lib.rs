@@ -1,0 +1,97 @@
+//! # dpv-absint
+//!
+//! Abstract-interpretation domains for feed-forward neural networks,
+//! providing the sound over-approximations the paper's verification workflow
+//! needs in two places:
+//!
+//! 1. **Lemma 2** — a set `S ⊆ R^{d_l}` guaranteed to contain `f^(l)(in)`
+//!    for *every* network input, obtained by propagating the input domain
+//!    (e.g. the `[0, 1]` pixel box) layer by layer to the cut layer.
+//! 2. **Pre-activation bounds for the MILP encoding** — each ReLU in the
+//!    verified tail needs finite bounds on its pre-activation to build the
+//!    big-M constraints; those bounds come from propagating the starting
+//!    region (envelope or Lemma-2 set) through the tail.
+//!
+//! Three domains are provided, mirroring the paper's discussion of box,
+//! octagon and zonotope abstractions (Section IV):
+//!
+//! * [`BoxDomain`] — independent per-neuron intervals; cheapest, coarsest.
+//! * [`Zonotope`] — affine forms sharing noise symbols; exact for affine
+//!   layers, with the standard minimal-area relaxation for unstable ReLUs.
+//! * [`OctagonLite`] — a box plus bounds on the differences of *adjacent*
+//!   neurons, exactly the `n_{i+1} − n_i` constraints the paper records for
+//!   monitoring (Section V); it does not propagate through layers but
+//!   tightens boxes and translates directly into linear constraints for the
+//!   MILP.
+//!
+//! ## Example
+//!
+//! ```
+//! use dpv_absint::{AbstractDomain, BoxDomain, Interval};
+//! use dpv_nn::{Activation, NetworkBuilder};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let net = NetworkBuilder::new(2)
+//!     .dense(4, &mut rng)
+//!     .activation(Activation::ReLU)
+//!     .dense(1, &mut rng)
+//!     .build();
+//! let input = BoxDomain::from_intervals(vec![Interval::new(0.0, 1.0); 2]);
+//! let output = input.propagate(net.layers());
+//! // The output box must contain the image of every concrete input.
+//! let y = net.forward(&dpv_tensor::Vector::from_slice(&[0.5, 0.5]));
+//! assert!(output.to_box()[0].contains(y[0], 1e-9));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod box_domain;
+mod interval;
+mod octagon;
+mod zonotope;
+
+pub use box_domain::BoxDomain;
+pub use interval::Interval;
+pub use octagon::OctagonLite;
+pub use zonotope::Zonotope;
+
+use dpv_nn::Layer;
+
+/// A sound abstract domain over layer activations.
+///
+/// Implementations must guarantee *soundness*: if a concrete vector is
+/// contained in the abstract value, its image under `apply_layer` /
+/// `propagate` is contained in the resulting abstract value.
+pub trait AbstractDomain: Sized + Clone {
+    /// Builds the abstract value representing exactly the given box.
+    fn from_intervals(bounds: Vec<Interval>) -> Self;
+
+    /// The tightest box enclosing the abstract value.
+    fn to_box(&self) -> Vec<Interval>;
+
+    /// Dimension of the represented vectors.
+    fn dim(&self) -> usize;
+
+    /// Sound abstract transformer for one layer.
+    fn apply_layer(&self, layer: &Layer) -> Self;
+
+    /// Sound abstract transformer for a sequence of layers.
+    fn propagate(&self, layers: &[Layer]) -> Self {
+        layers
+            .iter()
+            .fold(self.clone(), |value, layer| value.apply_layer(layer))
+    }
+
+    /// Returns `true` when the concrete vector lies inside the box enclosure
+    /// of the abstract value (a necessary condition for membership, used by
+    /// the soundness tests).
+    fn box_contains(&self, point: &[f64], tol: f64) -> bool {
+        let bounds = self.to_box();
+        bounds.len() == point.len()
+            && bounds
+                .iter()
+                .zip(point.iter())
+                .all(|(interval, v)| interval.contains(*v, tol))
+    }
+}

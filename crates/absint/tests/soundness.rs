@@ -1,0 +1,138 @@
+//! Cross-domain soundness properties: every abstract domain must contain the
+//! image of every concrete point contained in the input region.
+
+use dpv_absint::{AbstractDomain, BoxDomain, Interval, OctagonLite, Zonotope};
+use dpv_nn::{Activation, NetworkBuilder, TensorShape};
+use dpv_tensor::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dense_network(seed: u64, input: usize, output: usize) -> dpv_nn::Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new(input)
+        .dense(input * 2, &mut rng)
+        .activation(Activation::ReLU)
+        .batch_norm()
+        .dense(input, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(output, &mut rng)
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn box_and_zonotope_are_sound_on_dense_networks(
+        seed in 0u64..400,
+        sample_seed in 0u64..400,
+    ) {
+        let net = random_dense_network(seed, 4, 2);
+        let start = vec![Interval::new(-1.0, 1.0); 4];
+        let box_out = BoxDomain::from_intervals(start.clone()).propagate(net.layers());
+        let zono_out = Zonotope::from_intervals(start).propagate(net.layers());
+        let mut rng = StdRng::seed_from_u64(sample_seed);
+        for _ in 0..100 {
+            let x = Vector::from_vec((0..4).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let y = net.forward(&x);
+            prop_assert!(box_out.box_contains(y.as_slice(), 1e-7));
+            prop_assert!(zono_out.box_contains(y.as_slice(), 1e-7));
+        }
+    }
+
+    /// On purely affine networks the zonotope transformer is exact, so its
+    /// box enclosure can never be looser than plain interval arithmetic.
+    /// (With unstable ReLUs the minimal-area relaxation may extend below
+    /// zero where the box clips, so dominance holds only for affine layers.)
+    #[test]
+    fn zonotope_is_exact_on_affine_networks(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new(3)
+            .dense(6, &mut rng)
+            .batch_norm()
+            .dense(2, &mut rng)
+            .build();
+        let start = vec![Interval::new(-0.5, 0.5); 3];
+        let box_out = BoxDomain::from_intervals(start.clone()).propagate(net.layers());
+        let zono_out = Zonotope::from_intervals(start).propagate(net.layers());
+        let bw: f64 = box_out.to_box().iter().map(Interval::width).sum();
+        let zw: f64 = zono_out.to_box().iter().map(Interval::width).sum();
+        prop_assert!(zw <= bw + 1e-7, "zonotope {zw} looser than box {bw} on an affine network");
+    }
+
+    #[test]
+    fn octagon_hull_contains_every_sample(
+        raw in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 5), 2..20)
+    ) {
+        let samples: Vec<Vector> = raw.iter().map(|v| Vector::from_slice(v)).collect();
+        let oct = OctagonLite::from_samples(&samples);
+        for s in &samples {
+            prop_assert!(oct.contains(s.as_slice(), 1e-9));
+        }
+        // The octagon is always at least as restrictive as its box part.
+        let box_part = oct.to_box_domain();
+        for s in &samples {
+            prop_assert!(box_part.box_contains(s.as_slice(), 1e-9));
+        }
+    }
+
+    #[test]
+    fn octagon_tighten_preserves_samples(
+        raw in prop::collection::vec(prop::collection::vec(-2.0f64..2.0, 4), 2..15)
+    ) {
+        let samples: Vec<Vector> = raw.iter().map(|v| Vector::from_slice(v)).collect();
+        let mut oct = OctagonLite::from_samples(&samples);
+        oct.tighten();
+        for s in &samples {
+            prop_assert!(oct.contains(s.as_slice(), 1e-9), "tighten broke containment");
+        }
+    }
+}
+
+#[test]
+fn convolutional_network_soundness_both_domains() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let net = NetworkBuilder::with_image_input(TensorShape::new(1, 8, 8))
+        .conv2d(3, 3, 1, &mut rng)
+        .activation(Activation::ReLU)
+        .max_pool(2)
+        .flatten()
+        .dense(6, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(2, &mut rng)
+        .build();
+    let start = vec![Interval::new(0.0, 1.0); 64];
+    let box_out = BoxDomain::from_intervals(start.clone()).propagate(net.layers());
+    let zono_out = Zonotope::from_intervals(start).propagate(net.layers());
+    for _ in 0..50 {
+        let x = Vector::from_vec((0..64).map(|_| rng.gen_range(0.0..1.0)).collect());
+        let y = net.forward(&x);
+        assert!(box_out.box_contains(y.as_slice(), 1e-6));
+        assert!(zono_out.box_contains(y.as_slice(), 1e-6));
+    }
+}
+
+#[test]
+fn lemma2_style_input_box_propagation_to_cut_layer() {
+    // Propagating the [0,1] pixel box of a perception front-end to the cut
+    // layer — the Lemma-2 set S — must contain the activation of every
+    // rendered in-ODD image.
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = NetworkBuilder::new(32)
+        .dense(16, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(8, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(2, &mut rng)
+        .build();
+    let cut = 3; // after the second ReLU's dense layer
+    let (head, _tail) = net.split_at(cut).unwrap();
+    let input_box = BoxDomain::uniform(32, 0.0, 1.0);
+    let cut_set = input_box.propagate(head.layers());
+    for _ in 0..100 {
+        let x = Vector::from_vec((0..32).map(|_| rng.gen_range(0.0..1.0)).collect());
+        let activation = net.activation_at(cut, &x);
+        assert!(cut_set.box_contains(activation.as_slice(), 1e-7));
+    }
+}

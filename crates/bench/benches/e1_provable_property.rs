@@ -1,0 +1,78 @@
+//! E1: "impossible to suggest steering to the far left when the road bends
+//! to the right" — conditionally provable with the assume-guarantee
+//! envelope, not provable with conservative bounds.
+//!
+//! Prints the verdict of every strategy for the adaptive far-left threshold,
+//! then benchmarks the provable (assume-guarantee, box + differences) solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpv_absint::AbstractDomain;
+use dpv_bench::trained_outcome;
+use dpv_core::{
+    AssumeGuarantee, DomainKind, RiskCondition, VerificationProblem, VerificationStrategy,
+};
+
+fn bench_e1(c: &mut Criterion) {
+    let outcome = trained_outcome();
+
+    // Adaptive threshold: just below anything the envelope admits.
+    let (_, tail) = outcome.perception.split_at(outcome.cut_layer).expect("split");
+    let lower = outcome
+        .envelope
+        .box_only()
+        .propagate(tail.layers())
+        .to_box()[0]
+        .lo;
+    let threshold = lower - 0.05;
+    let risk = RiskCondition::new("steer far left").output_le(0, threshold);
+    let problem = VerificationProblem::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.bend_characterizer.clone(),
+        risk,
+    )
+    .expect("problem assembly");
+
+    let strategies = vec![
+        VerificationStrategy::LayerAbstraction { bound: 1000.0 },
+        VerificationStrategy::AbstractInterpretation {
+            domain: DomainKind::Box,
+        },
+        VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope: outcome.envelope.clone(),
+            use_difference_constraints: false,
+        }),
+        VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope: outcome.envelope.clone(),
+            use_difference_constraints: true,
+        }),
+    ];
+
+    println!("=== E1: ψ = waypoint offset ≤ {threshold:.3}, φ = bends right ===");
+    for strategy in &strategies {
+        let result = problem.verify(strategy).expect("verification");
+        println!("  {}", result.summary());
+    }
+
+    let provable = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope: outcome.envelope.clone(),
+        use_difference_constraints: true,
+    });
+    let mut group = c.benchmark_group("e1");
+    group.sample_size(10);
+    group.bench_function("assume_guarantee_box_diff", |b| {
+        b.iter(|| problem.verify(&provable).expect("verification"))
+    });
+    group.bench_function("lemma1_huge_box", |b| {
+        b.iter(|| {
+            problem
+                .verify(&VerificationStrategy::LayerAbstraction { bound: 1000.0 })
+                .expect("verification")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

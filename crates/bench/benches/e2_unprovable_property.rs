@@ -1,0 +1,57 @@
+//! E2: "impossible to suggest steering straight when the road bends to the
+//! right" — NOT provable under the current setup; the verifier returns a
+//! counterexample inside the envelope (the paper attributes this to an
+//! inherent limitation of the analysed network).
+//!
+//! Prints the verdict and the counterexample, then benchmarks the
+//! counterexample-finding solve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpv_bench::trained_outcome;
+use dpv_core::{AssumeGuarantee, RiskCondition, VerificationProblem, VerificationStrategy, Verdict};
+
+fn bench_e2(c: &mut Criterion) {
+    let outcome = trained_outcome();
+    let risk = RiskCondition::new("steer straight")
+        .output_le(0, 0.1)
+        .output_ge(0, -0.1);
+    let problem = VerificationProblem::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.bend_characterizer.clone(),
+        risk,
+    )
+    .expect("problem assembly");
+    let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope: outcome.envelope.clone(),
+        use_difference_constraints: true,
+    });
+
+    let result = problem.verify(&strategy).expect("verification");
+    println!("=== E2: ψ = waypoint offset in [-0.1, 0.1], φ = bends right ===");
+    println!("  {}", result.summary());
+    if let Verdict::Unsafe(ce) = &result.verdict {
+        println!(
+            "  counterexample output = {:?}, characterizer logit = {:?}",
+            ce.output.as_slice(),
+            ce.logit
+        );
+        println!(
+            "  counterexample confirmed concretely: {}",
+            problem
+                .confirm_counterexample(&strategy, ce, 1e-4)
+                .expect("confirmation")
+        );
+    }
+
+    let mut group = c.benchmark_group("e2");
+    group.sample_size(10);
+    group.bench_function("find_counterexample", |b| {
+        b.iter(|| problem.verify(&strategy).expect("verification"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

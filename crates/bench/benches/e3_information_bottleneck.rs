@@ -1,0 +1,85 @@
+//! E3: characterizer learnability by property — the information-bottleneck
+//! effect.
+//!
+//! Prints held-out accuracy for every scene property when the characterizer
+//! is attached to the close-to-output cut layer (output-related properties
+//! stay accurate; unrelated ones degrade towards coin flipping), then
+//! benchmarks characterizer training and batch inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_bench::{bench_config, quick_outcome};
+use dpv_core::{Characterizer, CharacterizerConfig, InputProperty};
+use dpv_scenegen::{property_examples, PropertyKind};
+
+fn bench_e3(c: &mut Criterion) {
+    let outcome = quick_outcome();
+    let scene = bench_config().scene;
+    let cut = outcome.cut_layer;
+    let config = CharacterizerConfig::small();
+    let mut rng = StdRng::seed_from_u64(31);
+
+    println!("=== E3: held-out characterizer accuracy at the close-to-output layer ===");
+    for property in PropertyKind::ALL {
+        let train = property_examples(&scene, property, 200, &mut rng);
+        let test = property_examples(&scene, property, 150, &mut rng);
+        let characterizer = Characterizer::train(
+            InputProperty::new(property.name(), "scene-oracle property"),
+            &outcome.perception,
+            cut,
+            &train,
+            &config,
+            &mut rng,
+        )
+        .expect("characterizer training");
+        let accuracy = characterizer.accuracy(&outcome.perception, &test);
+        println!(
+            "  {:<20} accuracy {:.3}   ({})",
+            property.name(),
+            accuracy,
+            if property.is_output_related() {
+                "output-related"
+            } else {
+                "output-unrelated"
+            }
+        );
+    }
+
+    let train = property_examples(&scene, PropertyKind::BendsRight, 200, &mut rng);
+    let test = property_examples(&scene, PropertyKind::BendsRight, 150, &mut rng);
+    let trained = Characterizer::train(
+        InputProperty::new("bends_right", "bench"),
+        &outcome.perception,
+        cut,
+        &train,
+        &config,
+        &mut rng,
+    )
+    .expect("characterizer training");
+
+    let mut group = c.benchmark_group("e3");
+    group.sample_size(10);
+    group.bench_function("train_characterizer", |b| {
+        b.iter(|| {
+            let mut inner_rng = StdRng::seed_from_u64(99);
+            Characterizer::train(
+                InputProperty::new("bends_right", "bench"),
+                &outcome.perception,
+                cut,
+                &train,
+                &config,
+                &mut inner_rng,
+            )
+            .expect("characterizer training")
+        })
+    });
+    group.bench_function("evaluate_characterizer", |b| {
+        b.iter(|| trained.accuracy(&outcome.perception, &test))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

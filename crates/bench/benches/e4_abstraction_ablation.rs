@@ -1,0 +1,129 @@
+//! E4: ablation of the start-region abstraction — the paper's observation
+//! that box-only envelopes are often too coarse and that recording the
+//! min/max of adjacent-neuron differences is needed.
+//!
+//! Prints, for a sweep of risk thresholds, which abstraction proves the
+//! property (Lemma-2 interval/zonotope bounds, envelope box, envelope
+//! box+diff), then benchmarks the encode+solve cost of the box vs the
+//! refined envelope.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpv_absint::AbstractDomain;
+use dpv_bench::trained_outcome;
+use dpv_core::{
+    AssumeGuarantee, DomainKind, RiskCondition, VerificationProblem, VerificationStrategy,
+};
+
+fn verdict_label(outcome: &dpv_core::VerificationOutcome) -> &'static str {
+    if outcome.verdict.is_safe() {
+        "SAFE"
+    } else if outcome.verdict.is_unsafe() {
+        "unsafe"
+    } else {
+        "unknown"
+    }
+}
+
+fn bench_e4(c: &mut Criterion) {
+    let outcome = trained_outcome();
+    let (_, tail) = outcome.perception.split_at(outcome.cut_layer).expect("split");
+    let envelope_lower = outcome
+        .envelope
+        .box_only()
+        .propagate(tail.layers())
+        .to_box()[0]
+        .lo;
+
+    let strategies: Vec<(&str, VerificationStrategy)> = vec![
+        (
+            "lemma2-interval",
+            VerificationStrategy::AbstractInterpretation {
+                domain: DomainKind::Box,
+            },
+        ),
+        (
+            "lemma2-zonotope",
+            VerificationStrategy::AbstractInterpretation {
+                domain: DomainKind::Zonotope,
+            },
+        ),
+        (
+            "envelope-box",
+            VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: outcome.envelope.clone(),
+                use_difference_constraints: false,
+            }),
+        ),
+        (
+            "envelope-box+diff",
+            VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: outcome.envelope.clone(),
+                use_difference_constraints: true,
+            }),
+        ),
+    ];
+
+    println!("=== E4: strategy ablation over risk thresholds (ψ = offset ≤ t, φ = bends right) ===");
+    println!("(envelope-box output lower bound ≈ {envelope_lower:.3})");
+    let thresholds = [
+        envelope_lower - 0.5,
+        envelope_lower - 0.05,
+        envelope_lower + 0.05,
+        -0.3,
+        0.0,
+    ];
+    print!("{:<12}", "threshold");
+    for (name, _) in &strategies {
+        print!("{name:>20}");
+    }
+    println!();
+    for &t in &thresholds {
+        let risk = RiskCondition::new("steer far left").output_le(0, t);
+        let problem = VerificationProblem::new(
+            outcome.perception.clone(),
+            outcome.cut_layer,
+            outcome.bend_characterizer.clone(),
+            risk,
+        )
+        .expect("problem assembly");
+        print!("{t:<12.3}");
+        for (_, strategy) in &strategies {
+            let result = problem.verify(strategy).expect("verification");
+            print!("{:>20}", verdict_label(&result));
+        }
+        println!();
+    }
+
+    // Benchmark encode+solve for the box vs the refined envelope at the
+    // provable threshold.
+    let risk = RiskCondition::new("steer far left").output_le(0, envelope_lower - 0.05);
+    let problem = VerificationProblem::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.bend_characterizer.clone(),
+        risk,
+    )
+    .expect("problem assembly");
+    let box_strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope: outcome.envelope.clone(),
+        use_difference_constraints: false,
+    });
+    let diff_strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope: outcome.envelope.clone(),
+        use_difference_constraints: true,
+    });
+
+    let mut group = c.benchmark_group("e4");
+    group.sample_size(10);
+    group.bench_function("envelope_box_only", |b| {
+        b.iter(|| problem.verify(&box_strategy).expect("verification"))
+    });
+    group.bench_function("envelope_box_plus_diff", |b| {
+        b.iter(|| problem.verify(&diff_strategy).expect("verification"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

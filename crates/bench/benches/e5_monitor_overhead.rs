@@ -1,0 +1,57 @@
+//! E5: runtime-monitoring feasibility (footnote 2 / Section V footnote 8).
+//!
+//! Prints the monitor's in-ODD acceptance and out-of-ODD detection rates,
+//! then benchmarks the per-frame cost of (a) the pure envelope containment
+//! check on a precomputed activation, (b) the full monitored forward pass,
+//! and (c) the unmonitored forward pass for comparison — the monitor's
+//! overhead is the difference between (b) and (c).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_bench::{bench_config, trained_outcome};
+use dpv_monitor::RuntimeMonitor;
+use dpv_scenegen::{render_scene, OddSampler};
+
+fn bench_e5(c: &mut Criterion) {
+    let outcome = trained_outcome();
+    let scene = bench_config().scene;
+    let monitor = RuntimeMonitor::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.envelope.clone(),
+    )
+    .expect("monitor construction");
+
+    let sampler = OddSampler::new(scene);
+    let mut rng = StdRng::seed_from_u64(5);
+    let in_odd: Vec<_> = (0..200)
+        .map(|_| render_scene(&sampler.sample_in_odd(&mut rng), &scene))
+        .collect();
+    let out_odd: Vec<_> = (0..200)
+        .map(|_| render_scene(&sampler.sample_out_of_odd(&mut rng), &scene))
+        .collect();
+
+    let accepted = in_odd.iter().filter(|x| monitor.check(x).is_in_odd()).count();
+    let flagged = out_odd.iter().filter(|x| !monitor.check(x).is_in_odd()).count();
+    println!("=== E5: runtime monitor (envelope dim {}, {} samples) ===", outcome.envelope.dim(), outcome.envelope.sample_count());
+    println!("  in-ODD acceptance:      {:.1} %", 100.0 * accepted as f64 / in_odd.len() as f64);
+    println!("  out-of-ODD detection:   {:.1} %", 100.0 * flagged as f64 / out_odd.len() as f64);
+
+    let activation = monitor.activation(&in_odd[0]);
+    let frame = in_odd[0].clone();
+
+    let mut group = c.benchmark_group("e5");
+    group.bench_function("containment_check_only", |b| {
+        b.iter(|| monitor.classify(&activation))
+    });
+    group.bench_function("monitored_frame", |b| b.iter(|| monitor.check(&frame)));
+    group.bench_function("unmonitored_forward", |b| {
+        b.iter(|| outcome.perception.forward(&frame))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

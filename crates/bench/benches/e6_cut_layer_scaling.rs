@@ -1,0 +1,100 @@
+//! E6: the scalability premise — verifying only close-to-output layers.
+//!
+//! The paper's scalability argument (Section I) is that exact verification
+//! of the whole perception network is hopeless, but the sub-network from a
+//! close-to-output layer onwards is tractable. This bench moves the cut
+//! layer earlier and reports how the MILP size (binary/stable ReLU count)
+//! and solve time grow, then benchmarks verification at the latest and the
+//! earliest dense cut.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_bench::{bench_config, quick_outcome};
+use dpv_core::{
+    AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty, RiskCondition,
+    VerificationProblem, VerificationStrategy,
+};
+use dpv_monitor::ActivationEnvelope;
+use dpv_scenegen::{property_examples, DatasetBundle, GeneratorConfig, PropertyKind};
+
+fn bench_e6(c: &mut Criterion) {
+    let outcome = quick_outcome();
+    let scene = bench_config().scene;
+    // Candidate cut layers of the perception architecture:
+    //   4 = after the 32-wide dense + ReLU (earlier, larger tail),
+    //   6 = after the 16-wide dense + ReLU (the default close-to-output cut).
+    // The 420-wide post-convolution layer (index 2) is deliberately outside
+    // the sweep: exact MILP verification from there is already intractable,
+    // which is precisely the paper's scalability motivation for cutting
+    // close to the output.
+    let cuts = [6usize, 4];
+
+    let generator = GeneratorConfig {
+        scene,
+        samples: 150,
+        seed: 11,
+        threads: 1,
+    };
+    let bundle = DatasetBundle::generate(&generator);
+    let mut rng = StdRng::seed_from_u64(17);
+    let examples = property_examples(&scene, PropertyKind::BendsRight, 160, &mut rng);
+    // A reachable risk condition, so every cut measures the typical
+    // counterexample-search query rather than a worst-case exhaustive proof.
+    let risk = RiskCondition::new("suggest steering right").output_ge(0, 0.0);
+
+    println!("=== E6: MILP size and solve time versus the cut layer ===");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "cut layer", "cut dim", "binaries", "stable", "nodes", "seconds"
+    );
+
+    let mut problems = Vec::new();
+    for &cut in &cuts {
+        let characterizer = Characterizer::train(
+            InputProperty::new("bends_right", "scene oracle"),
+            &outcome.perception,
+            cut,
+            &examples,
+            &CharacterizerConfig::small(),
+            &mut rng,
+        )
+        .expect("characterizer training");
+        let envelope = ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0);
+        let problem = VerificationProblem::new(
+            outcome.perception.clone(),
+            cut,
+            characterizer,
+            risk.clone(),
+        )
+        .expect("problem assembly");
+        let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope,
+            use_difference_constraints: true,
+        });
+        let result = problem.verify(&strategy).expect("verification");
+        println!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12} {:>10.3}",
+            cut,
+            outcome.perception.layer_output_dim(cut),
+            result.num_binaries,
+            result.stable_relus,
+            result.nodes_explored,
+            result.solve_seconds
+        );
+        problems.push((cut, problem, strategy));
+    }
+
+    let mut group = c.benchmark_group("e6");
+    group.sample_size(10);
+    for (cut, problem, strategy) in &problems {
+        group.bench_with_input(BenchmarkId::new("verify_at_cut", cut), cut, |b, _| {
+            b.iter(|| problem.verify(strategy).expect("verification"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! T1 (Table I): the statistical confusion probabilities α, β, γ and the
+//! resulting `1 − γ` guarantee for an imperfect characterizer.
+//!
+//! Prints the estimated table for the bend characterizer on held-out data,
+//! then benchmarks the estimation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_bench::{bench_config, trained_outcome};
+use dpv_core::{RiskCondition, StatisticalAnalysis};
+use dpv_scenegen::{property_examples, PropertyKind};
+
+fn bench_table1(c: &mut Criterion) {
+    let outcome = trained_outcome();
+    let scene = bench_config().scene;
+    let mut rng = StdRng::seed_from_u64(777);
+    let validation = property_examples(&scene, PropertyKind::BendsRight, 300, &mut rng);
+    let risk = RiskCondition::new("steer far left").output_le(0, -0.8);
+
+    let analysis = StatisticalAnalysis::estimate(
+        &outcome.perception,
+        &outcome.bend_characterizer,
+        &risk,
+        &validation,
+    )
+    .expect("statistical analysis");
+    println!("=== Table I (bends_right characterizer, n = {}) ===", validation.len());
+    println!("{}", analysis.table().render());
+    println!(
+        "unsafe misses among γ-mass examples: {}",
+        analysis.unsafe_misses()
+    );
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("estimate_confusion_table", |b| {
+        b.iter(|| {
+            StatisticalAnalysis::estimate(
+                &outcome.perception,
+                &outcome.bend_characterizer,
+                &risk,
+                &validation,
+            )
+            .expect("statistical analysis")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

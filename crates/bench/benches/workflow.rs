@@ -1,0 +1,66 @@
+//! F1 (Figure 1): the end-to-end verification workflow.
+//!
+//! Prints the full workflow report (training → characterizer → envelope →
+//! verification → Table I → monitor), then benchmarks the two operations the
+//! figure highlights: building the `[min, max]` (+ adjacent differences)
+//! abstraction from visited neuron values, and verifying the grayed
+//! close-to-output sub-network against it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use dpv_bench::trained_outcome;
+use dpv_core::{AssumeGuarantee, RiskCondition, VerificationProblem, VerificationStrategy};
+use dpv_monitor::ActivationEnvelope;
+
+fn bench_workflow(c: &mut Criterion) {
+    let outcome = trained_outcome();
+    println!("{}", outcome.report());
+
+    // Re-create the activation set the envelope is built from.
+    let activations: Vec<_> = {
+        let generator = dpv_scenegen::GeneratorConfig {
+            scene: dpv_scenegen::SceneConfig::small(),
+            samples: 220,
+            seed: 42 ^ 0x11,
+            threads: 1,
+        };
+        let bundle = dpv_scenegen::DatasetBundle::generate(&generator);
+        bundle
+            .images
+            .iter()
+            .map(|img| outcome.perception.activation_at(outcome.cut_layer, img))
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("workflow");
+    group.sample_size(10);
+
+    group.bench_function("envelope_construction", |b| {
+        b.iter(|| ActivationEnvelope::from_activations(outcome.cut_layer, &activations, 0.0))
+    });
+
+    let e1 = &outcome.experiments[0];
+    let far_left_threshold = -1.5; // conservative stand-in; the printed report shows the adaptive one.
+    let risk = RiskCondition::new("steer far left").output_le(0, far_left_threshold);
+    let problem = VerificationProblem::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.bend_characterizer.clone(),
+        risk,
+    )
+    .expect("problem assembly");
+    let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope: outcome.envelope.clone(),
+        use_difference_constraints: true,
+    });
+    println!("E1 strategies compared in the report: {}", e1.outcomes.len());
+
+    group.bench_function("verify_tail_assume_guarantee", |b| {
+        b.iter(|| problem.verify(&strategy).expect("verification"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workflow);
+criterion_main!(benches);

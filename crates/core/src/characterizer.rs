@@ -1,0 +1,341 @@
+//! Input property characterizers: learned predicates over close-to-output
+//! activations.
+
+use rand::Rng;
+
+use dpv_nn::{
+    binary_accuracy, labels_to_dataset, train, Activation, Dataset, LossKind, Network,
+    NetworkBuilder, OptimizerKind, TrainConfig,
+};
+use dpv_tensor::Vector;
+
+use crate::{CoreError, InputProperty};
+
+/// Hyper-parameters for training a characterizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharacterizerConfig {
+    /// Hidden-layer widths of the characterizer MLP (attached to the cut
+    /// layer's activation vector; the output is a single logit).
+    pub hidden: Vec<usize>,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+}
+
+impl Default for CharacterizerConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![16],
+            epochs: 120,
+            learning_rate: 0.01,
+            batch_size: 16,
+        }
+    }
+}
+
+impl CharacterizerConfig {
+    /// A small configuration for tests and examples.
+    pub fn small() -> Self {
+        Self {
+            hidden: vec![8],
+            epochs: 80,
+            ..Self::default()
+        }
+    }
+}
+
+/// A trained input property characterizer `h_φ`.
+///
+/// The characterizer is a small MLP whose input is the perception network's
+/// activation at the cut layer `l` and whose single output is a logit: the
+/// paper's `h_φ(f^(l)(in)) = 1` corresponds to `logit ≥ 0`. Because the
+/// logit threshold is linear and the MLP is ReLU-only, the characterizer is
+/// exactly representable in the MILP encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterizer {
+    property: InputProperty,
+    cut_layer: usize,
+    network: Network,
+    training_accuracy: f64,
+}
+
+impl Characterizer {
+    /// Trains a characterizer for `property` on `examples` of raw inputs
+    /// (images) with oracle labels, attaching it to `perception`'s activation
+    /// after `cut_layer` (zero-based).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when `cut_layer` is out of range
+    /// and [`CoreError::Data`] when the example list is empty or has
+    /// inconsistent dimensions.
+    pub fn train<R: Rng + ?Sized>(
+        property: InputProperty,
+        perception: &Network,
+        cut_layer: usize,
+        examples: &[(Vector, bool)],
+        config: &CharacterizerConfig,
+        rng: &mut R,
+    ) -> Result<Self, CoreError> {
+        if cut_layer >= perception.len() {
+            return Err(CoreError::Inconsistent(format!(
+                "cut layer {cut_layer} out of range (network has {} layers)",
+                perception.len()
+            )));
+        }
+        if examples.is_empty() {
+            return Err(CoreError::Data("no characterizer training examples".into()));
+        }
+        // Featurise every raw input through the perception head.
+        let featurised: Vec<(Vector, bool)> = examples
+            .iter()
+            .map(|(image, label)| (perception.activation_at(cut_layer, image), *label))
+            .collect();
+        let dataset = labels_to_dataset(featurised)?;
+        let feature_dim = dataset.input_dim();
+
+        let mut builder = NetworkBuilder::new(feature_dim);
+        for width in &config.hidden {
+            builder = builder.dense(*width, rng).activation(Activation::ReLU);
+        }
+        let mut network = builder.dense(1, rng).build();
+
+        let train_config = TrainConfig {
+            epochs: config.epochs,
+            learning_rate: config.learning_rate,
+            batch_size: config.batch_size,
+            optimizer: OptimizerKind::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            shuffle: true,
+            verbose: false,
+        };
+        train(&mut network, &dataset, &train_config, LossKind::BceWithLogits, rng);
+        let training_accuracy = binary_accuracy(&network, &dataset);
+
+        Ok(Self {
+            property,
+            cut_layer,
+            network,
+            training_accuracy,
+        })
+    }
+
+    /// Builds a characterizer from an already-trained network (e.g. loaded
+    /// from disk).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when the network does not end in a
+    /// single logit.
+    pub fn from_network(
+        property: InputProperty,
+        cut_layer: usize,
+        network: Network,
+        training_accuracy: f64,
+    ) -> Result<Self, CoreError> {
+        if network.output_dim() != 1 {
+            return Err(CoreError::Inconsistent(format!(
+                "characterizer must output a single logit, got {}",
+                network.output_dim()
+            )));
+        }
+        Ok(Self {
+            property,
+            cut_layer,
+            network,
+            training_accuracy,
+        })
+    }
+
+    /// The property this characterizer decides.
+    pub fn property(&self) -> &InputProperty {
+        &self.property
+    }
+
+    /// The cut layer (zero-based) it is attached to.
+    pub fn cut_layer(&self) -> usize {
+        self.cut_layer
+    }
+
+    /// The underlying classifier network (activation at cut layer → logit).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Accuracy reached on the training examples (the paper's "perfect
+    /// training" assumption corresponds to this being 1.0).
+    pub fn training_accuracy(&self) -> f64 {
+        self.training_accuracy
+    }
+
+    /// Dimension of the activation vector the characterizer consumes.
+    pub fn feature_dim(&self) -> usize {
+        self.network.input_dim()
+    }
+
+    /// Raw logit for a cut-layer activation vector.
+    pub fn logit(&self, activation: &Vector) -> f64 {
+        self.network.forward(activation)[0]
+    }
+
+    /// Decision `h_φ(activation)`: `true` iff the logit is non-negative.
+    pub fn decide_activation(&self, activation: &Vector) -> bool {
+        self.logit(activation) >= 0.0
+    }
+
+    /// Decision for a raw input image, featurised through `perception`.
+    pub fn decide_input(&self, perception: &Network, image: &Vector) -> bool {
+        self.decide_activation(&perception.activation_at(self.cut_layer, image))
+    }
+
+    /// Accuracy over labelled raw inputs.
+    pub fn accuracy(&self, perception: &Network, examples: &[(Vector, bool)]) -> f64 {
+        if examples.is_empty() {
+            return 1.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|(image, label)| self.decide_input(perception, image) == *label)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+
+    /// The featurised dataset for additional evaluation (e.g. the
+    /// statistical analysis), mapping each raw example through the
+    /// perception head.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Data`] when `examples` is empty.
+    pub fn featurise(
+        &self,
+        perception: &Network,
+        examples: &[(Vector, bool)],
+    ) -> Result<Dataset, CoreError> {
+        let featurised: Vec<(Vector, bool)> = examples
+            .iter()
+            .map(|(image, label)| (perception.activation_at(self.cut_layer, image), *label))
+            .collect();
+        Ok(labels_to_dataset(featurised)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A perception stub: 2-pixel "images", one hidden layer; the first
+    /// feature is informative for the property "pixel0 > pixel1".
+    fn perception(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(2)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build()
+    }
+
+    fn examples(n: usize, seed: u64) -> Vec<(Vector, bool)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let a: f64 = rng.gen_range(0.0..1.0);
+                let b: f64 = rng.gen_range(0.0..1.0);
+                (Vector::from_slice(&[a, b]), a > b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_to_high_accuracy_on_learnable_property() {
+        let net = perception(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ch = Characterizer::train(
+            InputProperty::new("first_larger", "pixel0 exceeds pixel1"),
+            &net,
+            1,
+            &examples(200, 2),
+            &CharacterizerConfig::small(),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ch.training_accuracy() > 0.85, "accuracy {}", ch.training_accuracy());
+        let held_out = examples(100, 3);
+        assert!(ch.accuracy(&net, &held_out) > 0.8);
+        assert_eq!(ch.cut_layer(), 1);
+        assert_eq!(ch.feature_dim(), 6);
+    }
+
+    #[test]
+    fn rejects_bad_cut_layer_and_empty_data() {
+        let net = perception(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let property = InputProperty::new("p", "d");
+        assert!(matches!(
+            Characterizer::train(property.clone(), &net, 9, &examples(10, 6), &CharacterizerConfig::small(), &mut rng),
+            Err(CoreError::Inconsistent(_))
+        ));
+        assert!(matches!(
+            Characterizer::train(property, &net, 1, &[], &CharacterizerConfig::small(), &mut rng),
+            Err(CoreError::Data(_))
+        ));
+    }
+
+    #[test]
+    fn decision_matches_logit_sign() {
+        let net = perception(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let ch = Characterizer::train(
+            InputProperty::new("p", "d"),
+            &net,
+            1,
+            &examples(100, 9),
+            &CharacterizerConfig::small(),
+            &mut rng,
+        )
+        .unwrap();
+        let act = net.activation_at(1, &Vector::from_slice(&[0.9, 0.1]));
+        assert_eq!(ch.decide_activation(&act), ch.logit(&act) >= 0.0);
+    }
+
+    #[test]
+    fn from_network_validates_output_dim() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let two_outputs = NetworkBuilder::new(3).dense(2, &mut rng).build();
+        assert!(Characterizer::from_network(
+            InputProperty::new("p", "d"),
+            0,
+            two_outputs,
+            1.0
+        )
+        .is_err());
+        let one_output = NetworkBuilder::new(3).dense(1, &mut rng).build();
+        let ch = Characterizer::from_network(InputProperty::new("p", "d"), 0, one_output, 0.9)
+            .unwrap();
+        assert_eq!(ch.training_accuracy(), 0.9);
+    }
+
+    #[test]
+    fn featurise_produces_cut_layer_features() {
+        let net = perception(11);
+        let mut rng = StdRng::seed_from_u64(12);
+        let ch = Characterizer::train(
+            InputProperty::new("p", "d"),
+            &net,
+            1,
+            &examples(50, 13),
+            &CharacterizerConfig::small(),
+            &mut rng,
+        )
+        .unwrap();
+        let data = ch.featurise(&net, &examples(10, 14)).unwrap();
+        assert_eq!(data.len(), 10);
+        assert_eq!(data.input_dim(), 6);
+        assert_eq!(data.target_dim(), 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! Reduction of the tail-network verification problem to MILP.
+
+use dpv_absint::{AbstractDomain, BoxDomain, Interval, OctagonLite};
+use dpv_lp::{encode_relu_big_m, ConstraintOp, MilpProblem, VarId};
+use dpv_nn::{Activation, Layer, Network};
+
+use crate::{CoreError, OutputOp, RiskCondition};
+
+/// The set `S` of layer-`l` activations from which the verification starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StartRegion {
+    /// Independent per-neuron bounds (Lemma 1 with large bounds, Lemma 2
+    /// via abstract interpretation, or the box part of an envelope).
+    Box(BoxDomain),
+    /// Box plus adjacent-neuron difference constraints — the refined
+    /// envelope of the paper's Section V.
+    Octagon(OctagonLite),
+}
+
+impl StartRegion {
+    /// The box enclosure of the region (used for big-M bound computation).
+    pub fn box_domain(&self) -> BoxDomain {
+        match self {
+            StartRegion::Box(b) => b.clone(),
+            StartRegion::Octagon(o) => o.to_box_domain(),
+        }
+    }
+
+    /// Dimension of the region.
+    pub fn dim(&self) -> usize {
+        match self {
+            StartRegion::Box(b) => b.dim(),
+            StartRegion::Octagon(o) => o.dim(),
+        }
+    }
+
+    /// Returns `true` when the concrete activation lies inside the region.
+    pub fn contains(&self, activation: &[f64], tol: f64) -> bool {
+        match self {
+            StartRegion::Box(b) => b.box_contains(activation, tol),
+            StartRegion::Octagon(o) => o.contains(activation, tol),
+        }
+    }
+}
+
+/// A fully encoded verification instance.
+#[derive(Debug, Clone)]
+pub struct EncodedProblem {
+    /// The MILP: feasible iff an activation in the start region triggers the
+    /// risk condition while the characterizer fires.
+    pub milp: MilpProblem,
+    /// Variables of the cut-layer activation.
+    pub cut_vars: Vec<VarId>,
+    /// Variables of the network output.
+    pub output_vars: Vec<VarId>,
+    /// Variable of the characterizer logit (when a characterizer was encoded).
+    pub logit_var: Option<VarId>,
+    /// Number of binary (ReLU-phase) variables in the encoding.
+    pub num_binaries: usize,
+    /// Number of ReLU neurons whose phase was fixed by the bounds (no binary
+    /// variable needed) — the tighter the start region, the larger this is.
+    pub stable_relus: usize,
+}
+
+/// Encodes one ReLU-MLP (a slice of layers) into `milp`, starting from the
+/// variables `inputs` whose concrete values range over `input_box`.
+/// Returns the output variables and the output box.
+fn encode_layers(
+    milp: &mut MilpProblem,
+    inputs: &[VarId],
+    input_box: &BoxDomain,
+    layers: &[Layer],
+    binaries: &mut usize,
+    stable: &mut usize,
+) -> Result<(Vec<VarId>, BoxDomain), CoreError> {
+    let mut vars = inputs.to_vec();
+    let mut bounds = input_box.clone();
+    for layer in layers {
+        match layer {
+            Layer::Dense(d) => {
+                if d.input_dim() != vars.len() {
+                    return Err(CoreError::Inconsistent(format!(
+                        "dense layer expects {} inputs, encoding has {}",
+                        d.input_dim(),
+                        vars.len()
+                    )));
+                }
+                let out_box = bounds.apply_layer(layer);
+                let mut out_vars = Vec::with_capacity(d.output_dim());
+                for j in 0..d.output_dim() {
+                    let interval = out_box.bounds()[j];
+                    let v = milp.add_variable(interval.lo, interval.hi);
+                    // y_j - Σ w_ji x_i = b_j
+                    let mut coeffs = vec![(v, 1.0)];
+                    for (i, &x) in vars.iter().enumerate() {
+                        let w = d.weights()[(j, i)];
+                        if w != 0.0 {
+                            coeffs.push((x, -w));
+                        }
+                    }
+                    milp.lp_mut().add_constraint(&coeffs, ConstraintOp::Eq, d.bias()[j]);
+                    out_vars.push(v);
+                }
+                vars = out_vars;
+                bounds = out_box;
+            }
+            Layer::BatchNorm(bn) => {
+                if bn.dim() != vars.len() {
+                    return Err(CoreError::Inconsistent(
+                        "batch-norm dimension mismatch in encoding".into(),
+                    ));
+                }
+                let (a, b) = bn.affine_form();
+                let out_box = bounds.apply_layer(layer);
+                let mut out_vars = Vec::with_capacity(bn.dim());
+                for j in 0..bn.dim() {
+                    let interval = out_box.bounds()[j];
+                    let v = milp.add_variable(interval.lo, interval.hi);
+                    // y_j - a_j x_j = b_j
+                    milp.lp_mut().add_constraint(
+                        &[(v, 1.0), (vars[j], -a[j])],
+                        ConstraintOp::Eq,
+                        b[j],
+                    );
+                    out_vars.push(v);
+                }
+                vars = out_vars;
+                bounds = out_box;
+            }
+            Layer::Activation(Activation::Identity) | Layer::Flatten(_) => {
+                // Numerically the identity; keep the same variables.
+            }
+            Layer::Activation(Activation::ReLU) => {
+                let out_box = bounds.apply_layer(layer);
+                let mut out_vars = Vec::with_capacity(vars.len());
+                for (j, &x) in vars.iter().enumerate() {
+                    let pre = bounds.bounds()[j];
+                    let y = milp.add_variable(0.0, pre.hi.max(0.0));
+                    let encoding = encode_relu_big_m(milp, x, y, pre.lo, pre.hi);
+                    if encoding.indicator.is_some() {
+                        *binaries += 1;
+                    } else {
+                        *stable += 1;
+                    }
+                    out_vars.push(y);
+                }
+                vars = out_vars;
+                bounds = out_box;
+            }
+            Layer::Activation(other) => {
+                return Err(CoreError::NotPiecewiseLinear(format!(
+                    "activation {other:?} cannot be encoded exactly; only ReLU/identity tails are supported"
+                )));
+            }
+            Layer::Conv2d(_) | Layer::MaxPool2d(_) => {
+                return Err(CoreError::NotPiecewiseLinear(
+                    "convolution/pooling layers must stay in the (unverified) head; choose a cut layer after them"
+                        .into(),
+                ));
+            }
+        }
+    }
+    Ok((vars, bounds))
+}
+
+/// Builds the MILP whose feasibility answers the safety question:
+///
+/// > does there exist an activation `n̂_l` in `region` such that the tail
+/// > maps it to an output satisfying `risk`, while the characterizer's logit
+/// > is non-negative (`h_φ = 1`)?
+///
+/// `Infeasible` therefore proves safety relative to `region` (Lemma 1/2 or
+/// the assume-guarantee argument, depending on how `region` was obtained).
+///
+/// # Errors
+/// Returns [`CoreError::NotPiecewiseLinear`] when the tail or characterizer
+/// contains layers the encoder cannot represent, and
+/// [`CoreError::Inconsistent`] on dimension mismatches.
+pub fn encode_verification(
+    tail: &[Layer],
+    characterizer: Option<&Network>,
+    risk: &RiskCondition,
+    region: &StartRegion,
+) -> Result<EncodedProblem, CoreError> {
+    let mut milp = MilpProblem::new();
+    let box_domain = region.box_domain();
+    let dim = region.dim();
+
+    // Cut-layer activation variables.
+    let cut_vars: Vec<VarId> = box_domain
+        .bounds()
+        .iter()
+        .map(|Interval { lo, hi }| milp.add_variable(*lo, *hi))
+        .collect();
+
+    // Octagon refinement: lo_i <= x[i+1] - x[i] <= hi_i.
+    if let StartRegion::Octagon(oct) = region {
+        for (i, diff) in oct.diffs().iter().enumerate() {
+            milp.lp_mut().add_constraint(
+                &[(cut_vars[i + 1], 1.0), (cut_vars[i], -1.0)],
+                ConstraintOp::Ge,
+                diff.lo,
+            );
+            milp.lp_mut().add_constraint(
+                &[(cut_vars[i + 1], 1.0), (cut_vars[i], -1.0)],
+                ConstraintOp::Le,
+                diff.hi,
+            );
+        }
+    }
+
+    let mut num_binaries = 0usize;
+    let mut stable_relus = 0usize;
+
+    // Encode the verified tail of the perception network.
+    let (output_vars, _) = encode_layers(
+        &mut milp,
+        &cut_vars,
+        &box_domain,
+        tail,
+        &mut num_binaries,
+        &mut stable_relus,
+    )?;
+
+    // Encode the characterizer and require h_φ = 1 (logit >= 0).
+    let logit_var = match characterizer {
+        Some(ch) => {
+            if ch.input_dim() != dim {
+                return Err(CoreError::Inconsistent(format!(
+                    "characterizer expects {} features, cut layer has {dim}",
+                    ch.input_dim()
+                )));
+            }
+            if ch.output_dim() != 1 {
+                return Err(CoreError::Inconsistent(
+                    "characterizer must produce a single logit".into(),
+                ));
+            }
+            let (logit_vars, _) = encode_layers(
+                &mut milp,
+                &cut_vars,
+                &box_domain,
+                ch.layers(),
+                &mut num_binaries,
+                &mut stable_relus,
+            )?;
+            let logit = logit_vars[0];
+            milp.lp_mut()
+                .add_constraint(&[(logit, 1.0)], ConstraintOp::Ge, 0.0);
+            Some(logit)
+        }
+        None => None,
+    };
+
+    // Risk condition ψ over the output variables.
+    for inequality in risk.inequalities() {
+        if inequality.coeffs.len() > output_vars.len() {
+            return Err(CoreError::Inconsistent(format!(
+                "risk condition references output {} but the network has only {} outputs",
+                inequality.coeffs.len() - 1,
+                output_vars.len()
+            )));
+        }
+        let coeffs: Vec<(VarId, f64)> = inequality
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != 0.0)
+            .map(|(i, c)| (output_vars[i], *c))
+            .collect();
+        let op = match inequality.op {
+            OutputOp::Le => ConstraintOp::Le,
+            OutputOp::Ge => ConstraintOp::Ge,
+        };
+        milp.lp_mut().add_constraint(&coeffs, op, inequality.rhs);
+    }
+
+    Ok(EncodedProblem {
+        milp,
+        cut_vars,
+        output_vars,
+        logit_var,
+        num_binaries,
+        stable_relus,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpv_lp::MilpStatus;
+    use dpv_nn::{Activation, Dense, NetworkBuilder};
+    use dpv_tensor::{Matrix, Vector};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Tail: identity dense 2→2 with ReLU, so output = relu(x).
+    fn identity_relu_tail() -> Vec<Layer> {
+        vec![
+            Layer::Dense(Dense::from_parts(Matrix::identity(2), Vector::zeros(2))),
+            Layer::Activation(Activation::ReLU),
+        ]
+    }
+
+    #[test]
+    fn encoding_matches_concrete_execution() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let tail_net = NetworkBuilder::new(3)
+            .dense(4, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build();
+        let region = StartRegion::Box(BoxDomain::uniform(3, -1.0, 1.0));
+        // For several fixed cut activations, the MILP restricted to that point
+        // must reproduce the concrete output (checked through feasibility of
+        // the risk "output0 >= concrete - eps AND output0 <= concrete + eps").
+        for _ in 0..5 {
+            let x = Vector::from_vec((0..3).map(|_| rng.gen_range(-1.0..1.0)).collect());
+            let y = tail_net.forward(&x);
+            let risk = RiskCondition::new("pin output")
+                .output_ge(0, y[0] - 1e-6)
+                .output_le(0, y[0] + 1e-6);
+            let encoded = encode_verification(tail_net.layers(), None, &risk, &region).unwrap();
+            let mut milp = encoded.milp.clone();
+            for (i, &v) in encoded.cut_vars.iter().enumerate() {
+                milp.lp_mut().tighten_bounds(v, x[i], x[i]);
+            }
+            let solution = milp.solve();
+            assert_eq!(solution.status, MilpStatus::Optimal, "expected feasibility at {x}");
+        }
+    }
+
+    #[test]
+    fn infeasible_when_risk_is_outside_reachable_outputs() {
+        // Tail is relu(identity): outputs lie in [0, 1] for inputs in [-1, 1].
+        let region = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let risk = RiskCondition::new("impossible").output_ge(0, 5.0);
+        let encoded = encode_verification(&identity_relu_tail(), None, &risk, &region).unwrap();
+        assert_eq!(encoded.milp.solve().status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn feasible_when_risk_is_reachable() {
+        let region = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let risk = RiskCondition::new("reachable").output_ge(0, 0.5);
+        let encoded = encode_verification(&identity_relu_tail(), None, &risk, &region).unwrap();
+        let solution = encoded.milp.solve();
+        assert_eq!(solution.status, MilpStatus::Optimal);
+        // The witness respects the region and triggers the risk concretely.
+        let cut: Vec<f64> = encoded.cut_vars.iter().map(|&v| solution.values[v]).collect();
+        assert!(region.contains(&cut, 1e-6));
+        assert!(solution.values[encoded.output_vars[0]] >= 0.5 - 1e-6);
+    }
+
+    #[test]
+    fn octagon_constraints_can_prove_what_the_box_cannot() {
+        // Tail computes y = x1 - x0 (then ReLU). Box region allows y up to 2,
+        // but the octagon says x1 - x0 <= 0.1, so y >= 1 is impossible.
+        let w = Matrix::from_rows(&[vec![-1.0, 1.0]]).unwrap();
+        let tail = vec![
+            Layer::Dense(Dense::from_parts(w, Vector::zeros(1))),
+            Layer::Activation(Activation::ReLU),
+        ];
+        let risk = RiskCondition::new("large difference").output_ge(0, 1.0);
+
+        let box_region = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let feasible = encode_verification(&tail, None, &risk, &box_region).unwrap();
+        assert_eq!(feasible.milp.solve().status, MilpStatus::Optimal);
+
+        let oct = OctagonLite::from_parts(
+            vec![Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)],
+            vec![Interval::new(-0.1, 0.1)],
+        );
+        let oct_region = StartRegion::Octagon(oct);
+        let infeasible = encode_verification(&tail, None, &risk, &oct_region).unwrap();
+        assert_eq!(infeasible.milp.solve().status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn characterizer_constraint_restricts_the_search() {
+        // Characterizer: logit = -x0 (fires only when x0 <= 0).
+        // Tail: y = x0 (identity dense). Risk: y >= 0.5.
+        // Without the characterizer the risk is reachable; with it, it is not.
+        let tail = vec![Layer::Dense(Dense::from_parts(
+            Matrix::identity(1),
+            Vector::zeros(1),
+        ))];
+        let ch = dpv_nn::Network::new(
+            1,
+            vec![Layer::Dense(Dense::from_parts(
+                Matrix::from_rows(&[vec![-1.0]]).unwrap(),
+                Vector::zeros(1),
+            ))],
+        )
+        .unwrap();
+        let region = StartRegion::Box(BoxDomain::uniform(1, -1.0, 1.0));
+        let risk = RiskCondition::new("large").output_ge(0, 0.5);
+
+        let without = encode_verification(&tail, None, &risk, &region).unwrap();
+        assert_eq!(without.milp.solve().status, MilpStatus::Optimal);
+
+        let with = encode_verification(&tail, Some(&ch), &risk, &region).unwrap();
+        assert_eq!(with.milp.solve().status, MilpStatus::Infeasible);
+        assert!(with.logit_var.is_some());
+    }
+
+    #[test]
+    fn tighter_regions_fix_more_relu_phases() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tail_net = NetworkBuilder::new(4)
+            .dense(8, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build();
+        let risk = RiskCondition::new("anything").output_ge(0, 100.0);
+        let loose = StartRegion::Box(BoxDomain::uniform(4, -10.0, 10.0));
+        let tight = StartRegion::Box(BoxDomain::uniform(4, 0.4, 0.6));
+        let loose_enc = encode_verification(tail_net.layers(), None, &risk, &loose).unwrap();
+        let tight_enc = encode_verification(tail_net.layers(), None, &risk, &tight).unwrap();
+        assert!(tight_enc.num_binaries <= loose_enc.num_binaries);
+        assert!(tight_enc.stable_relus >= loose_enc.stable_relus);
+    }
+
+    #[test]
+    fn rejects_non_piecewise_linear_tails() {
+        let tail = vec![Layer::Activation(Activation::Sigmoid)];
+        let region = StartRegion::Box(BoxDomain::uniform(2, 0.0, 1.0));
+        let risk = RiskCondition::new("r").output_ge(0, 0.5);
+        assert!(matches!(
+            encode_verification(&tail, None, &risk, &region),
+            Err(CoreError::NotPiecewiseLinear(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_dimension_mismatches() {
+        let tail = identity_relu_tail();
+        let region = StartRegion::Box(BoxDomain::uniform(3, 0.0, 1.0));
+        let risk = RiskCondition::new("r").output_ge(0, 0.5);
+        assert!(matches!(
+            encode_verification(&tail, None, &risk, &region),
+            Err(CoreError::Inconsistent(_))
+        ));
+        // Risk referencing a non-existent output.
+        let region2 = StartRegion::Box(BoxDomain::uniform(2, 0.0, 1.0));
+        let bad_risk = RiskCondition::new("r").output_ge(5, 0.5);
+        assert!(matches!(
+            encode_verification(&identity_relu_tail(), None, &bad_risk, &region2),
+            Err(CoreError::Inconsistent(_))
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! # dpv-core
+//!
+//! The paper's contribution: safety verification of direct-perception
+//! neural networks by
+//!
+//! 1. **learning an input property characterizer** `h_φ` attached to a
+//!    close-to-output layer `l` of the perception network, so the otherwise
+//!    unformalisable input condition φ ("the road strongly bends to the
+//!    right") becomes a constraint the verifier can use
+//!    ([`Characterizer`]);
+//! 2. **verifying only the tail** of the network from layer `l` to the
+//!    output, over a set `S` of possible layer-`l` activations, via a
+//!    reduction to MILP ([`VerificationProblem`], [`encode_verification`]);
+//! 3. choosing `S` per one of three strategies ([`VerificationStrategy`]):
+//!    the whole space (Lemma 1), a sound abstract-interpretation bound from
+//!    the input domain (Lemma 2), or the **assume-guarantee envelope** built
+//!    from training-data activations, which must then be monitored at run
+//!    time (Section II-B);
+//! 4. **statistical reasoning** (Section III, Table I) that quantifies the
+//!    residual risk `γ` when the characterizer is imperfect
+//!    ([`StatisticalAnalysis`]).
+//!
+//! The [`Workflow`] type wires everything together end to end — scene
+//! generation, perception-network training, characterizer training, envelope
+//! construction, verification and the statistical table — and is what the
+//! examples and benchmarks drive.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dpv_core::{Workflow, WorkflowConfig};
+//!
+//! # fn main() -> Result<(), dpv_core::CoreError> {
+//! let outcome = Workflow::new(WorkflowConfig::small()).run()?;
+//! println!("{}", outcome.report());
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod characterizer;
+mod encode;
+mod error;
+mod refine;
+mod spec;
+mod statistical;
+mod verify;
+mod workflow;
+
+pub use characterizer::{Characterizer, CharacterizerConfig};
+pub use encode::{encode_verification, EncodedProblem, StartRegion};
+pub use error::CoreError;
+pub use refine::{RefinedVerdict, RefinementReport, RefinementVerifier};
+pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
+pub use statistical::{ConfusionTable, StatisticalAnalysis};
+pub use verify::{
+    AssumeGuarantee, CounterExample, DomainKind, VerificationOutcome, VerificationProblem,
+    VerificationStrategy, Verdict,
+};
+pub use workflow::{Workflow, WorkflowConfig, WorkflowOutcome};

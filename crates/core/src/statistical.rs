@@ -1,0 +1,322 @@
+//! Statistical reasoning (Section III, Table I): what remains of the safety
+//! claim when the characterizer is imperfect.
+
+use dpv_nn::Network;
+use dpv_tensor::Vector;
+
+use crate::{Characterizer, CoreError, RiskCondition};
+
+/// The four joint probabilities of Table I, estimated from labelled data:
+///
+/// |                         | `in ∈ In_φ` | `in ∉ In_φ`      |
+/// |-------------------------|-------------|------------------|
+/// | `h_φ(f^(l)(in)) = 1`    | α           | β                |
+/// | `h_φ(f^(l)(in)) = 0`    | γ           | 1 − α − β − γ    |
+///
+/// γ is the probability mass the safety proof silently ignores: inputs that
+/// satisfy φ but whose characterizer decision is 0, so they were never part
+/// of the verified region. The paper's conclusion is that the safety claim
+/// then only holds with probability `1 − γ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfusionTable {
+    /// P(φ holds ∧ characterizer fires).
+    pub alpha: f64,
+    /// P(φ does not hold ∧ characterizer fires).
+    pub beta: f64,
+    /// P(φ holds ∧ characterizer does not fire).
+    pub gamma: f64,
+    /// P(φ does not hold ∧ characterizer does not fire).
+    pub delta: f64,
+    /// Number of examples the estimate is based on.
+    pub samples: usize,
+}
+
+impl ConfusionTable {
+    /// The statistical guarantee `1 − γ` attached to a conditional proof.
+    pub fn guarantee(&self) -> f64 {
+        1.0 - self.gamma
+    }
+
+    /// Characterizer accuracy `α + δ`.
+    pub fn accuracy(&self) -> f64 {
+        self.alpha + self.delta
+    }
+
+    /// Renders the table in the layout of the paper's Table I.
+    pub fn render(&self) -> String {
+        format!(
+            "                     | in ∈ In_φ | in ∉ In_φ\n\
+             h(f^l(in)) = 1      | {:9.4} | {:9.4}\n\
+             h(f^l(in)) = 0      | {:9.4} | {:9.4}\n\
+             (n = {}, accuracy = {:.4}, statistical guarantee 1-γ = {:.4})",
+            self.alpha,
+            self.beta,
+            self.gamma,
+            self.delta,
+            self.samples,
+            self.accuracy(),
+            self.guarantee()
+        )
+    }
+}
+
+/// Estimates Table I and the derived guarantees for one characterizer on a
+/// labelled validation set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatisticalAnalysis {
+    table: ConfusionTable,
+    unsafe_misses: usize,
+}
+
+impl StatisticalAnalysis {
+    /// Estimates the confusion probabilities of `characterizer` over
+    /// `examples` (raw inputs with ground-truth φ labels), featurised through
+    /// `perception`.
+    ///
+    /// `risk` is used for the footnote-4 side condition: among the γ-mass
+    /// examples (φ holds, characterizer silent), it counts how many *actually
+    /// violate* ψ on the concrete network — those are real, statistically
+    /// unaccounted-for hazards rather than benign misses.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Data`] when `examples` is empty.
+    pub fn estimate(
+        perception: &Network,
+        characterizer: &Characterizer,
+        risk: &RiskCondition,
+        examples: &[(Vector, bool)],
+    ) -> Result<Self, CoreError> {
+        if examples.is_empty() {
+            return Err(CoreError::Data(
+                "statistical analysis needs at least one labelled example".into(),
+            ));
+        }
+        let mut counts = [0usize; 4]; // alpha, beta, gamma, delta
+        let mut unsafe_misses = 0usize;
+        for (image, in_phi) in examples {
+            let fires = characterizer.decide_input(perception, image);
+            let idx = match (*in_phi, fires) {
+                (true, true) => 0,
+                (false, true) => 1,
+                (true, false) => 2,
+                (false, false) => 3,
+            };
+            counts[idx] += 1;
+            if *in_phi && !fires {
+                let output = perception.forward(image);
+                if risk.is_satisfied(&output, 0.0) {
+                    unsafe_misses += 1;
+                }
+            }
+        }
+        let n = examples.len() as f64;
+        let table = ConfusionTable {
+            alpha: counts[0] as f64 / n,
+            beta: counts[1] as f64 / n,
+            gamma: counts[2] as f64 / n,
+            delta: counts[3] as f64 / n,
+            samples: examples.len(),
+        };
+        Ok(Self {
+            table,
+            unsafe_misses,
+        })
+    }
+
+    /// The estimated Table I.
+    pub fn table(&self) -> &ConfusionTable {
+        &self.table
+    }
+
+    /// The `1 − γ` guarantee.
+    pub fn guarantee(&self) -> f64 {
+        self.table.guarantee()
+    }
+
+    /// Number of γ-mass examples that concretely violate ψ (footnote 4: the
+    /// conditional claim is only meaningful when this is zero on the data
+    /// used to train the characterizer).
+    pub fn unsafe_misses(&self) -> usize {
+        self.unsafe_misses
+    }
+
+    /// Returns `true` when the footnote-4 side condition holds on this data:
+    /// every example missed by the characterizer is nevertheless safe.
+    pub fn missed_examples_are_safe(&self) -> bool {
+        self.unsafe_misses == 0
+    }
+
+    /// Hoeffding upper confidence bound on the true γ at confidence level
+    /// `1 − delta`: with probability at least `1 − delta` over the sampling
+    /// of the validation set, the true miss probability satisfies
+    /// `γ ≤ γ̂ + sqrt(ln(1/delta) / (2 n))`.
+    ///
+    /// The paper states the `1 − γ` guarantee in terms of the (unknown) true
+    /// γ; this bound turns the finite-sample estimate `γ̂` into a defensible
+    /// claim.
+    ///
+    /// # Panics
+    /// Panics when `delta` is not in `(0, 1)`.
+    pub fn gamma_upper_bound(&self, delta: f64) -> f64 {
+        assert!(delta > 0.0 && delta < 1.0, "confidence delta must be in (0, 1)");
+        let n = self.table.samples.max(1) as f64;
+        let slack = ((1.0 / delta).ln() / (2.0 * n)).sqrt();
+        (self.table.gamma + slack).min(1.0)
+    }
+
+    /// Lower confidence bound on the `1 − γ` guarantee at level `1 − delta`
+    /// (the conservative number to quote alongside a conditional proof).
+    ///
+    /// # Panics
+    /// Panics when `delta` is not in `(0, 1)`.
+    pub fn guarantee_lower_bound(&self, delta: f64) -> f64 {
+        1.0 - self.gamma_upper_bound(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CharacterizerConfig, InputProperty};
+    use dpv_nn::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn perception(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(3)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build()
+    }
+
+    fn examples(n: usize, seed: u64) -> Vec<(Vector, bool)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let label = x[0] > 0.5;
+                (Vector::from_vec(x), label)
+            })
+            .collect()
+    }
+
+    fn trained_characterizer(net: &Network, seed: u64) -> Characterizer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Characterizer::train(
+            InputProperty::new("x0_large", "x0 > 0.5"),
+            net,
+            1,
+            &examples(200, seed + 1),
+            &CharacterizerConfig::small(),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let net = perception(0);
+        let ch = trained_characterizer(&net, 1);
+        let risk = RiskCondition::new("r").output_ge(0, 1e6);
+        let analysis =
+            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(300, 9)).unwrap();
+        let t = analysis.table();
+        let total = t.alpha + t.beta + t.gamma + t.delta;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(t.samples, 300);
+        assert!(t.guarantee() >= 0.0 && t.guarantee() <= 1.0);
+    }
+
+    #[test]
+    fn good_characterizer_has_small_gamma() {
+        let net = perception(2);
+        let ch = trained_characterizer(&net, 3);
+        let risk = RiskCondition::new("r").output_ge(0, 1e6);
+        let analysis =
+            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(400, 10)).unwrap();
+        assert!(
+            analysis.table().gamma < 0.2,
+            "gamma unexpectedly large: {}",
+            analysis.table().gamma
+        );
+        assert!(analysis.guarantee() > 0.8);
+        assert!(analysis.table().accuracy() > 0.7);
+    }
+
+    #[test]
+    fn impossible_risk_means_no_unsafe_misses() {
+        let net = perception(4);
+        let ch = trained_characterizer(&net, 5);
+        // ψ that no output can satisfy → every miss is benign.
+        let risk = RiskCondition::new("impossible").output_ge(0, 1e9);
+        let analysis =
+            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(200, 11)).unwrap();
+        assert_eq!(analysis.unsafe_misses(), 0);
+        assert!(analysis.missed_examples_are_safe());
+    }
+
+    #[test]
+    fn trivial_risk_counts_all_misses_as_unsafe() {
+        let net = perception(6);
+        let ch = trained_characterizer(&net, 7);
+        // ψ that every output satisfies (empty conjunction is always true).
+        let risk = RiskCondition::new("always");
+        let analysis =
+            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(200, 12)).unwrap();
+        let expected = (analysis.table().gamma * analysis.table().samples as f64).round() as usize;
+        assert_eq!(analysis.unsafe_misses(), expected);
+    }
+
+    #[test]
+    fn empty_example_list_is_rejected() {
+        let net = perception(8);
+        let ch = trained_characterizer(&net, 9);
+        let risk = RiskCondition::new("r");
+        assert!(StatisticalAnalysis::estimate(&net, &ch, &risk, &[]).is_err());
+    }
+
+    #[test]
+    fn hoeffding_bound_shrinks_with_sample_size() {
+        let net = perception(0);
+        let ch = trained_characterizer(&net, 1);
+        let risk = RiskCondition::new("r").output_ge(0, 1e6);
+        let small = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(50, 21)).unwrap();
+        let large = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(800, 21)).unwrap();
+        let small_slack = small.gamma_upper_bound(0.05) - small.table().gamma;
+        let large_slack = large.gamma_upper_bound(0.05) - large.table().gamma;
+        assert!(large_slack < small_slack);
+        assert!(small.gamma_upper_bound(0.05) <= 1.0);
+        assert!(small.guarantee_lower_bound(0.05) <= small.guarantee());
+        // Tighter confidence requirement → larger slack.
+        assert!(small.gamma_upper_bound(0.001) >= small.gamma_upper_bound(0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence delta")]
+    fn hoeffding_bound_validates_delta() {
+        let net = perception(3);
+        let ch = trained_characterizer(&net, 4);
+        let risk = RiskCondition::new("r");
+        let analysis = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(20, 22)).unwrap();
+        let _ = analysis.gamma_upper_bound(1.5);
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let table = ConfusionTable {
+            alpha: 0.4,
+            beta: 0.05,
+            gamma: 0.1,
+            delta: 0.45,
+            samples: 100,
+        };
+        let rendered = table.render();
+        assert!(rendered.contains("0.4000"));
+        assert!(rendered.contains("0.0500"));
+        assert!(rendered.contains("0.1000"));
+        assert!(rendered.contains("0.4500"));
+        assert!((table.guarantee() - 0.9).abs() < 1e-12);
+    }
+}

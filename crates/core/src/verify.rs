@@ -1,0 +1,536 @@
+//! The verification strategies of the paper: layer abstraction (Lemma 1),
+//! abstract interpretation from the input domain (Lemma 2) and the
+//! assume-guarantee envelope with runtime monitoring.
+
+use std::time::Instant;
+
+use dpv_absint::{AbstractDomain, BoxDomain, Zonotope};
+use dpv_lp::MilpStatus;
+use dpv_monitor::ActivationEnvelope;
+use dpv_nn::Network;
+use dpv_tensor::Vector;
+
+use crate::{encode_verification, Characterizer, CoreError, RiskCondition, StartRegion};
+
+/// Which abstract domain computes the Lemma-2 set from the input domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainKind {
+    /// Interval (box) propagation.
+    Box,
+    /// Zonotope propagation (tighter on affine structure).
+    Zonotope,
+}
+
+/// Configuration of the assume-guarantee strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssumeGuarantee {
+    /// The envelope `S̃` built from training-data activations.
+    pub envelope: ActivationEnvelope,
+    /// Whether to use the adjacent-difference constraints of the envelope
+    /// (`true`) or only its box part (`false`) — the ablation of
+    /// experiment E4.
+    pub use_difference_constraints: bool,
+}
+
+/// How the start region `S` at the cut layer is chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerificationStrategy {
+    /// Lemma 1: all of `R^{d_l}`, approximated by the symmetric box
+    /// `[-bound, bound]^{d_l}` (the MILP encoding needs finite big-M
+    /// constants; `bound` should dominate any reachable activation).
+    LayerAbstraction {
+        /// Half-width of the surrogate box for `R^{d_l}`.
+        bound: f64,
+    },
+    /// Lemma 2: propagate the network's input domain (the `[0, 1]` pixel
+    /// box) through the head with a sound abstract domain.
+    AbstractInterpretation {
+        /// The abstract domain used for the propagation.
+        domain: DomainKind,
+    },
+    /// Assume-guarantee: the training-data envelope, to be monitored at
+    /// run time.
+    AssumeGuarantee(AssumeGuarantee),
+}
+
+impl VerificationStrategy {
+    /// Short label used in reports and benchmark ids.
+    pub fn label(&self) -> String {
+        match self {
+            VerificationStrategy::LayerAbstraction { bound } => {
+                format!("lemma1-box(±{bound})")
+            }
+            VerificationStrategy::AbstractInterpretation { domain } => match domain {
+                DomainKind::Box => "lemma2-interval".to_string(),
+                DomainKind::Zonotope => "lemma2-zonotope".to_string(),
+            },
+            VerificationStrategy::AssumeGuarantee(cfg) => {
+                if cfg.use_difference_constraints {
+                    "assume-guarantee(box+diff)".to_string()
+                } else {
+                    "assume-guarantee(box)".to_string()
+                }
+            }
+        }
+    }
+
+    /// Returns `true` when a `Safe` verdict under this strategy is
+    /// unconditional (Lemmas 1 and 2) rather than conditional on the runtime
+    /// monitor (assume-guarantee).
+    pub fn is_unconditional(&self) -> bool {
+        !matches!(self, VerificationStrategy::AssumeGuarantee(_))
+    }
+}
+
+/// A counterexample at the cut layer: an activation inside the start region
+/// whose tail image satisfies the risk condition while the characterizer
+/// fires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterExample {
+    /// The offending cut-layer activation `n̂_l`.
+    pub activation: Vector,
+    /// The network output it produces.
+    pub output: Vector,
+    /// The characterizer logit at the activation (non-negative by
+    /// construction), when a characterizer was part of the problem.
+    pub logit: Option<f64>,
+}
+
+/// Verdict of a verification run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// No activation in the start region triggers the risk condition. For
+    /// the assume-guarantee strategy this is *conditional* on the runtime
+    /// monitor.
+    Safe,
+    /// A counterexample exists within the start region.
+    Unsafe(CounterExample),
+    /// The solver gave up (node limit) — neither safety nor a counterexample
+    /// was established.
+    Unknown(String),
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, Verdict::Safe)
+    }
+
+    /// Returns `true` for [`Verdict::Unsafe`].
+    pub fn is_unsafe(&self) -> bool {
+        matches!(self, Verdict::Unsafe(_))
+    }
+}
+
+/// The result of one verification run, with enough metadata to reproduce the
+/// paper's qualitative comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationOutcome {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Label of the strategy that produced it.
+    pub strategy: String,
+    /// Whether a `Safe` verdict is conditional on runtime monitoring.
+    pub conditional: bool,
+    /// Number of binary variables in the MILP.
+    pub num_binaries: usize,
+    /// Number of ReLU phases fixed by the start-region bounds.
+    pub stable_relus: usize,
+    /// Branch-and-bound nodes explored.
+    pub nodes_explored: usize,
+    /// Wall-clock solve time in seconds (encoding + MILP).
+    pub solve_seconds: f64,
+}
+
+impl VerificationOutcome {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.verdict {
+            Verdict::Safe => {
+                if self.conditional {
+                    "SAFE (conditional on runtime monitor)".to_string()
+                } else {
+                    "SAFE".to_string()
+                }
+            }
+            Verdict::Unsafe(_) => "UNSAFE (counterexample found)".to_string(),
+            Verdict::Unknown(reason) => format!("UNKNOWN ({reason})"),
+        };
+        format!(
+            "{verdict} | strategy {} | {} binaries ({} stable) | {} nodes | {:.3}s",
+            self.strategy, self.num_binaries, self.stable_relus, self.nodes_explored, self.solve_seconds
+        )
+    }
+}
+
+/// A complete verification problem: the perception network, the cut layer,
+/// the characterizer for φ, and the risk condition ψ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerificationProblem {
+    perception: Network,
+    cut_layer: usize,
+    characterizer: Characterizer,
+    risk: RiskCondition,
+}
+
+impl VerificationProblem {
+    /// Assembles a verification problem.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when the cut layer is out of
+    /// range, the characterizer is attached to a different layer, or its
+    /// feature dimension does not match the cut-layer width.
+    pub fn new(
+        perception: Network,
+        cut_layer: usize,
+        characterizer: Characterizer,
+        risk: RiskCondition,
+    ) -> Result<Self, CoreError> {
+        if cut_layer >= perception.len() {
+            return Err(CoreError::Inconsistent(format!(
+                "cut layer {cut_layer} out of range for a {}-layer network",
+                perception.len()
+            )));
+        }
+        if characterizer.cut_layer() != cut_layer {
+            return Err(CoreError::Inconsistent(format!(
+                "characterizer is attached at layer {} but the problem cuts at {cut_layer}",
+                characterizer.cut_layer()
+            )));
+        }
+        let dim = perception.layer_output_dim(cut_layer);
+        if characterizer.feature_dim() != dim {
+            return Err(CoreError::Inconsistent(format!(
+                "characterizer expects {} features, cut layer has {dim}",
+                characterizer.feature_dim()
+            )));
+        }
+        Ok(Self {
+            perception,
+            cut_layer,
+            characterizer,
+            risk,
+        })
+    }
+
+    /// The perception network.
+    pub fn perception(&self) -> &Network {
+        &self.perception
+    }
+
+    /// The cut layer (zero-based).
+    pub fn cut_layer(&self) -> usize {
+        self.cut_layer
+    }
+
+    /// The characterizer for φ.
+    pub fn characterizer(&self) -> &Characterizer {
+        &self.characterizer
+    }
+
+    /// The risk condition ψ.
+    pub fn risk(&self) -> &RiskCondition {
+        &self.risk
+    }
+
+    /// Computes the start region for a strategy.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when an envelope's layer or
+    /// dimension does not match the problem.
+    pub fn start_region(&self, strategy: &VerificationStrategy) -> Result<StartRegion, CoreError> {
+        let dim = self.perception.layer_output_dim(self.cut_layer);
+        match strategy {
+            VerificationStrategy::LayerAbstraction { bound } => Ok(StartRegion::Box(
+                BoxDomain::uniform(dim, -bound.abs(), bound.abs()),
+            )),
+            VerificationStrategy::AbstractInterpretation { domain } => {
+                let (head, _) = self
+                    .perception
+                    .split_at(self.cut_layer)
+                    .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+                let input_dim = self.perception.input_dim();
+                let start = match domain {
+                    DomainKind::Box => BoxDomain::uniform(input_dim, 0.0, 1.0)
+                        .propagate(head.layers())
+                        .to_box(),
+                    DomainKind::Zonotope => {
+                        Zonotope::from_intervals(BoxDomain::uniform(input_dim, 0.0, 1.0).to_box())
+                            .propagate(head.layers())
+                            .to_box()
+                    }
+                };
+                Ok(StartRegion::Box(BoxDomain::from_intervals(start)))
+            }
+            VerificationStrategy::AssumeGuarantee(cfg) => {
+                if cfg.envelope.layer() != self.cut_layer {
+                    return Err(CoreError::Inconsistent(format!(
+                        "envelope was built at layer {} but the problem cuts at {}",
+                        cfg.envelope.layer(),
+                        self.cut_layer
+                    )));
+                }
+                if cfg.envelope.dim() != dim {
+                    return Err(CoreError::Inconsistent(format!(
+                        "envelope dimension {} does not match cut-layer width {dim}",
+                        cfg.envelope.dim()
+                    )));
+                }
+                if cfg.use_difference_constraints {
+                    Ok(StartRegion::Octagon(cfg.envelope.octagon().clone()))
+                } else {
+                    Ok(StartRegion::Box(cfg.envelope.box_only()))
+                }
+            }
+        }
+    }
+
+    /// Runs the verification under the given strategy.
+    ///
+    /// # Errors
+    /// Propagates encoding errors ([`CoreError::NotPiecewiseLinear`],
+    /// [`CoreError::Inconsistent`]).
+    pub fn verify(&self, strategy: &VerificationStrategy) -> Result<VerificationOutcome, CoreError> {
+        let start_time = Instant::now();
+        let region = self.start_region(strategy)?;
+        let (_, tail) = self
+            .perception
+            .split_at(self.cut_layer)
+            .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+        let encoded = encode_verification(
+            tail.layers(),
+            Some(self.characterizer.network()),
+            &self.risk,
+            &region,
+        )?;
+        let solution = encoded.milp.solve();
+        let solve_seconds = start_time.elapsed().as_secs_f64();
+
+        let verdict = match solution.status {
+            MilpStatus::Infeasible => Verdict::Safe,
+            MilpStatus::Optimal => {
+                let activation: Vector = encoded
+                    .cut_vars
+                    .iter()
+                    .map(|&v| solution.values[v])
+                    .collect();
+                // Re-run the tail concretely so the counterexample is
+                // self-contained and numerically honest.
+                let output = tail.forward(&activation);
+                let logit = Some(self.characterizer.logit(&activation));
+                Verdict::Unsafe(CounterExample {
+                    activation,
+                    output,
+                    logit,
+                })
+            }
+            MilpStatus::NodeLimit => Verdict::Unknown("branch-and-bound node limit".to_string()),
+            MilpStatus::Unbounded => {
+                Verdict::Unknown("relaxation unbounded (missing bounds)".to_string())
+            }
+        };
+
+        Ok(VerificationOutcome {
+            verdict,
+            strategy: strategy.label(),
+            conditional: !strategy.is_unconditional(),
+            num_binaries: encoded.num_binaries,
+            stable_relus: encoded.stable_relus,
+            nodes_explored: solution.stats.nodes_explored,
+            solve_seconds,
+        })
+    }
+
+    /// Validates a counterexample by executing the tail network concretely:
+    /// the activation must lie in the strategy's start region, its output
+    /// must satisfy ψ, and the characterizer must fire.
+    ///
+    /// # Errors
+    /// Propagates region-construction errors.
+    pub fn confirm_counterexample(
+        &self,
+        strategy: &VerificationStrategy,
+        counterexample: &CounterExample,
+        tol: f64,
+    ) -> Result<bool, CoreError> {
+        let region = self.start_region(strategy)?;
+        let (_, tail) = self
+            .perception
+            .split_at(self.cut_layer)
+            .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+        let output = tail.forward(&counterexample.activation);
+        Ok(region.contains(counterexample.activation.as_slice(), tol)
+            && self.risk.is_satisfied(&output, tol)
+            && self.characterizer.decide_activation(&counterexample.activation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CharacterizerConfig, InputProperty};
+    use dpv_nn::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A small synthetic "perception" problem whose structure mirrors the
+    /// paper's: 4-dimensional inputs, the first input plays the role of
+    /// "curvature" and fully determines both the output and the property.
+    fn setup(seed: u64) -> (Network, Characterizer, Vec<(Vector, bool)>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perception = NetworkBuilder::new(4)
+            .dense(8, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        // Train the perception net to output 2*x0 - 1 (a signed "steering" signal).
+        let inputs: Vec<Vector> = (0..300)
+            .map(|_| Vector::from_vec((0..4).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        let targets: Vec<Vector> = inputs
+            .iter()
+            .map(|x| Vector::from_slice(&[2.0 * x[0] - 1.0]))
+            .collect();
+        let data = dpv_nn::Dataset::new(inputs.clone(), targets).unwrap();
+        let config = dpv_nn::TrainConfig {
+            epochs: 60,
+            learning_rate: 0.01,
+            ..Default::default()
+        };
+        dpv_nn::train(&mut perception, &data, &config, dpv_nn::LossKind::Mse, &mut rng);
+
+        // Property φ: "x0 is large" (analogue of "road bends right").
+        let examples: Vec<(Vector, bool)> = inputs.iter().map(|x| (x.clone(), x[0] > 0.7)).collect();
+        let characterizer = Characterizer::train(
+            InputProperty::new("x0_large", "the first input exceeds 0.7"),
+            &perception,
+            3,
+            &examples,
+            &CharacterizerConfig::small(),
+            &mut rng,
+        )
+        .unwrap();
+        (perception, characterizer, examples)
+    }
+
+    /// Threshold chosen just below what the tail can produce on the
+    /// envelope: safety under the envelope is then provable, while the same
+    /// threshold stays easily reachable inside a huge Lemma-1 box.
+    fn envelope_and_threshold(
+        perception: &Network,
+        examples: &[(Vector, bool)],
+    ) -> (ActivationEnvelope, f64) {
+        let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
+        let envelope = ActivationEnvelope::from_inputs(perception, 3, &inputs, 0.0);
+        let (_, tail) = perception.split_at(3).unwrap();
+        let out_box = envelope.box_only().propagate(tail.layers());
+        let lower = out_box.to_box()[0].lo;
+        (envelope, lower - 0.1)
+    }
+
+    #[test]
+    fn assume_guarantee_proves_consistent_property() {
+        let (perception, characterizer, examples) = setup(1);
+        let (envelope, threshold) = envelope_and_threshold(&perception, &examples);
+        // ψ: "output is more negative than anything the envelope allows" —
+        // the analogue of "suggest steering to the far left".
+        let risk = RiskCondition::new("strongly negative").output_le(0, threshold);
+        let problem =
+            VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
+        let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope,
+            use_difference_constraints: true,
+        });
+        let outcome = problem.verify(&strategy).unwrap();
+        assert!(
+            outcome.verdict.is_safe(),
+            "expected SAFE, got {}",
+            outcome.summary()
+        );
+        assert!(outcome.conditional);
+    }
+
+    #[test]
+    fn lemma1_box_is_too_coarse_to_prove_the_same_property() {
+        let (perception, characterizer, examples) = setup(1);
+        let (_, threshold) = envelope_and_threshold(&perception, &examples);
+        let risk = RiskCondition::new("strongly negative").output_le(0, threshold);
+        let problem = VerificationProblem::new(perception, 3, characterizer, risk).unwrap();
+        let strategy = VerificationStrategy::LayerAbstraction { bound: 100.0 };
+        let outcome = problem.verify(&strategy).unwrap();
+        // With essentially unconstrained activations the risk is reachable, so
+        // the conservative strategy cannot prove safety (matches the paper's
+        // observation that whole-space bounds are useless for such properties).
+        assert!(
+            !outcome.verdict.is_safe(),
+            "Lemma 1 unexpectedly proved the property: {}",
+            outcome.summary()
+        );
+        assert!(!outcome.conditional);
+    }
+
+    #[test]
+    fn unsafe_verdicts_come_with_confirmed_counterexamples() {
+        let (perception, characterizer, examples) = setup(2);
+        // ψ: "output is positive" — this IS reachable when φ holds, so the
+        // verifier must return a counterexample.
+        let risk = RiskCondition::new("positive output").output_ge(0, 0.2);
+        let problem =
+            VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
+        let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
+        let envelope = ActivationEnvelope::from_inputs(&perception, 3, &inputs, 0.0);
+        let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope,
+            use_difference_constraints: true,
+        });
+        let outcome = problem.verify(&strategy).unwrap();
+        match &outcome.verdict {
+            Verdict::Unsafe(ce) => {
+                assert!(problem.confirm_counterexample(&strategy, ce, 1e-4).unwrap());
+                assert!(ce.logit.unwrap() >= -1e-6);
+            }
+            other => panic!("expected UNSAFE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn problem_construction_validates_consistency() {
+        let (perception, characterizer, _) = setup(3);
+        let risk = RiskCondition::new("r").output_le(0, 0.0);
+        assert!(VerificationProblem::new(perception.clone(), 99, characterizer.clone(), risk.clone()).is_err());
+        // Wrong cut layer relative to the characterizer.
+        assert!(VerificationProblem::new(perception, 1, characterizer, risk).is_err());
+    }
+
+    #[test]
+    fn strategy_labels_are_stable() {
+        assert!(VerificationStrategy::LayerAbstraction { bound: 10.0 }
+            .label()
+            .contains("lemma1"));
+        assert!(VerificationStrategy::AbstractInterpretation { domain: DomainKind::Box }
+            .label()
+            .contains("interval"));
+        assert!(VerificationStrategy::AbstractInterpretation {
+            domain: DomainKind::Zonotope
+        }
+        .label()
+        .contains("zonotope"));
+    }
+
+    #[test]
+    fn envelope_mismatch_is_rejected() {
+        let (perception, characterizer, examples) = setup(4);
+        let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
+        // Envelope built at the wrong layer.
+        let envelope = ActivationEnvelope::from_inputs(&perception, 1, &inputs, 0.0);
+        let risk = RiskCondition::new("r").output_le(0, -0.5);
+        let problem = VerificationProblem::new(perception, 3, characterizer, risk).unwrap();
+        let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope,
+            use_difference_constraints: false,
+        });
+        assert!(problem.verify(&strategy).is_err());
+    }
+}

@@ -1,0 +1,514 @@
+//! End-to-end workflow: data generation → training → characterizer →
+//! envelope → verification → statistical analysis.
+//!
+//! This is the executable version of the paper's Figure 1, driven by the
+//! synthetic ODD of `dpv-scenegen` instead of the proprietary Audi data.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_monitor::{ActivationEnvelope, RuntimeMonitor};
+use dpv_nn::{
+    train, Activation, Dataset, LossKind, Network, NetworkBuilder, OptimizerKind, TensorShape,
+    TrainConfig,
+};
+use dpv_scenegen::{
+    affordance, render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind,
+    SceneConfig,
+};
+use dpv_tensor::Vector;
+
+use dpv_absint::AbstractDomain;
+
+use crate::{
+    AssumeGuarantee, Characterizer, CharacterizerConfig, CoreError, DomainKind, InputProperty,
+    RiskCondition, StatisticalAnalysis, VerificationOutcome, VerificationProblem,
+    VerificationStrategy,
+};
+
+/// Configuration of the end-to-end workflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkflowConfig {
+    /// Scene / image configuration of the synthetic ODD.
+    pub scene: SceneConfig,
+    /// Number of scenes used to train the perception network (and to build
+    /// the activation envelope, as in the paper).
+    pub training_samples: usize,
+    /// Number of labelled scenes used to train each characterizer.
+    pub characterizer_samples: usize,
+    /// Number of held-out scenes for the statistical analysis and monitor
+    /// coverage measurements.
+    pub validation_samples: usize,
+    /// Epochs for the perception-network training.
+    pub perception_epochs: usize,
+    /// Characterizer training hyper-parameters.
+    pub characterizer: CharacterizerConfig,
+    /// Layer (zero-based) after which the verification cut is placed.
+    pub cut_layer: usize,
+    /// Widening margin applied to the activation envelope.
+    pub envelope_margin: f64,
+    /// Base RNG seed (the whole workflow is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl WorkflowConfig {
+    /// A configuration small enough for tests and doc examples (a couple of
+    /// seconds end to end) while still exercising every stage.
+    pub fn small() -> Self {
+        Self {
+            scene: SceneConfig::small(),
+            training_samples: 160,
+            characterizer_samples: 160,
+            validation_samples: 120,
+            perception_epochs: 12,
+            characterizer: CharacterizerConfig::small(),
+            cut_layer: 6,
+            envelope_margin: 0.0,
+            seed: 42,
+        }
+    }
+
+    /// A larger configuration for the benchmark harness.
+    pub fn bench() -> Self {
+        Self {
+            training_samples: 400,
+            characterizer_samples: 400,
+            validation_samples: 300,
+            perception_epochs: 25,
+            ..Self::small()
+        }
+    }
+}
+
+impl Default for WorkflowConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// One verification experiment inside a workflow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Experiment identifier (e.g. `"E1"`).
+    pub id: String,
+    /// Human-readable description of φ and ψ.
+    pub description: String,
+    /// The outcome, per strategy label.
+    pub outcomes: Vec<VerificationOutcome>,
+}
+
+/// Everything a workflow run produces.
+#[derive(Debug, Clone)]
+pub struct WorkflowOutcome {
+    /// The trained perception network.
+    pub perception: Network,
+    /// The cut layer used for verification.
+    pub cut_layer: usize,
+    /// Final training loss of the perception network.
+    pub perception_loss: f64,
+    /// The activation envelope built from the training data.
+    pub envelope: ActivationEnvelope,
+    /// Characterizer for the output-related property ("road bends right").
+    pub bend_characterizer: Characterizer,
+    /// Held-out accuracy per property name (experiment E3).
+    pub characterizer_accuracies: Vec<(String, f64)>,
+    /// Verification experiments (E1, E2 and the strategy comparison).
+    pub experiments: Vec<ExperimentResult>,
+    /// Table-I statistical analysis for the bend characterizer.
+    pub statistical: StatisticalAnalysis,
+    /// Fraction of held-out in-ODD frames accepted by the runtime monitor.
+    pub monitor_in_odd_rate: f64,
+    /// Fraction of out-of-ODD frames flagged by the runtime monitor.
+    pub monitor_out_of_odd_detection: f64,
+}
+
+impl WorkflowOutcome {
+    /// Renders a multi-line report covering every experiment.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== Direct-perception safety verification workflow ===\n");
+        out.push_str(&format!(
+            "perception network: {} layers, {} parameters, final training loss {:.4}\n",
+            self.perception.len(),
+            self.perception.parameter_count(),
+            self.perception_loss
+        ));
+        out.push_str(&format!(
+            "cut layer {} (dimension {}), envelope from {} samples\n\n",
+            self.cut_layer,
+            self.envelope.dim(),
+            self.envelope.sample_count()
+        ));
+
+        out.push_str("-- E3: characterizer accuracy by property (held out) --\n");
+        for (name, acc) in &self.characterizer_accuracies {
+            out.push_str(&format!("  {name:<20} {acc:.3}\n"));
+        }
+        out.push('\n');
+
+        for experiment in &self.experiments {
+            out.push_str(&format!("-- {}: {} --\n", experiment.id, experiment.description));
+            for outcome in &experiment.outcomes {
+                out.push_str(&format!("  {}\n", outcome.summary()));
+            }
+            out.push('\n');
+        }
+
+        out.push_str("-- Table I (statistical guarantee) --\n");
+        out.push_str(&self.statistical.table().render());
+        out.push_str(&format!(
+            "\n  unsafe misses among γ-mass examples: {}\n\n",
+            self.statistical.unsafe_misses()
+        ));
+
+        out.push_str("-- Runtime monitor --\n");
+        out.push_str(&format!(
+            "  in-ODD acceptance:        {:.3}\n  out-of-ODD detection:     {:.3}\n",
+            self.monitor_in_odd_rate, self.monitor_out_of_odd_detection
+        ));
+        out
+    }
+}
+
+/// The end-to-end workflow driver.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    config: WorkflowConfig,
+}
+
+impl Workflow {
+    /// Creates a workflow from a configuration.
+    pub fn new(config: WorkflowConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WorkflowConfig {
+        &self.config
+    }
+
+    /// Builds the perception architecture used throughout the experiments:
+    /// a small convolutional front-end followed by dense/ReLU layers and a
+    /// two-dimensional affordance head (waypoint offset, orientation).
+    pub fn build_perception<R: rand::Rng + ?Sized>(scene: &SceneConfig, rng: &mut R) -> Network {
+        NetworkBuilder::with_image_input(TensorShape::new(1, scene.height, scene.width))
+            .conv2d(4, 3, 2, rng)
+            .activation(Activation::ReLU)
+            .flatten()
+            .dense(32, rng)
+            .activation(Activation::ReLU)
+            .dense(16, rng)
+            .activation(Activation::ReLU)
+            .dense(dpv_scenegen::AFFORDANCE_DIM, rng)
+            .build()
+    }
+
+    /// Runs every stage and collects the results.
+    ///
+    /// # Errors
+    /// Propagates data-assembly and encoding errors.
+    pub fn run(&self) -> Result<WorkflowOutcome, CoreError> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // 1. ODD data for the perception task.
+        let generator = GeneratorConfig {
+            scene: cfg.scene,
+            samples: cfg.training_samples,
+            seed: cfg.seed ^ 0x11,
+            threads: 1,
+        };
+        let bundle = DatasetBundle::generate(&generator);
+        let perception_data = bundle.to_perception_dataset(&cfg.scene)?;
+
+        // 2. Train the perception network.
+        let mut perception = Self::build_perception(&cfg.scene, &mut rng);
+        let train_config = TrainConfig {
+            epochs: cfg.perception_epochs,
+            learning_rate: 0.003,
+            batch_size: 16,
+            optimizer: OptimizerKind::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            shuffle: true,
+            verbose: false,
+        };
+        let history = train(
+            &mut perception,
+            &perception_data,
+            &train_config,
+            LossKind::Mse,
+            &mut rng,
+        );
+        let cut_layer = cfg.cut_layer.min(perception.len() - 2);
+
+        // 3. Train characterizers: the output-related bend property and the
+        //    output-unrelated adjacent-traffic property (experiment E3).
+        let bend_examples = self.property_examples(PropertyKind::BendsRight, cfg.seed ^ 0x22);
+        let traffic_examples =
+            self.property_examples(PropertyKind::AdjacentTraffic, cfg.seed ^ 0x33);
+        let bend_characterizer = Characterizer::train(
+            InputProperty::new("bends_right", "the road strongly bends to the right"),
+            &perception,
+            cut_layer,
+            &bend_examples,
+            &cfg.characterizer,
+            &mut rng,
+        )?;
+        let traffic_characterizer = Characterizer::train(
+            InputProperty::new("adjacent_traffic", "a vehicle occupies the adjacent lane"),
+            &perception,
+            cut_layer,
+            &traffic_examples,
+            &cfg.characterizer,
+            &mut rng,
+        )?;
+
+        let bend_holdout = self.property_examples(PropertyKind::BendsRight, cfg.seed ^ 0x44);
+        let traffic_holdout =
+            self.property_examples(PropertyKind::AdjacentTraffic, cfg.seed ^ 0x55);
+        let characterizer_accuracies = vec![
+            (
+                "bends_right".to_string(),
+                bend_characterizer.accuracy(&perception, &bend_holdout),
+            ),
+            (
+                "adjacent_traffic".to_string(),
+                traffic_characterizer.accuracy(&perception, &traffic_holdout),
+            ),
+        ];
+
+        // 4. Activation envelope from the training images (assume-guarantee S̃).
+        let envelope = ActivationEnvelope::from_inputs(
+            &perception,
+            cut_layer,
+            &bundle.images,
+            cfg.envelope_margin,
+        );
+
+        // 5. Verification experiments.
+        let (_, tail) = perception
+            .split_at(cut_layer)
+            .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+        let envelope_output_box = envelope.box_only().propagate(tail.layers());
+        let output_lower = envelope_output_box.to_box()[0].lo;
+        // "Far left" threshold: just below anything the envelope admits, so
+        // the assume-guarantee proof can succeed while coarser regions fail.
+        let far_left = output_lower - 0.05;
+
+        let e1_risk = RiskCondition::new("suggest steering to the far left").output_le(0, far_left);
+        let e1_problem = VerificationProblem::new(
+            perception.clone(),
+            cut_layer,
+            bend_characterizer.clone(),
+            e1_risk.clone(),
+        )?;
+        let e1_strategies = vec![
+            VerificationStrategy::LayerAbstraction { bound: 1000.0 },
+            VerificationStrategy::AbstractInterpretation {
+                domain: DomainKind::Box,
+            },
+            VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: envelope.clone(),
+                use_difference_constraints: false,
+            }),
+            VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: envelope.clone(),
+                use_difference_constraints: true,
+            }),
+        ];
+        let mut e1_outcomes = Vec::new();
+        for strategy in &e1_strategies {
+            e1_outcomes.push(e1_problem.verify(strategy)?);
+        }
+
+        let e2_risk = RiskCondition::new("suggest steering straight")
+            .output_le(0, 0.1)
+            .output_ge(0, -0.1);
+        let e2_problem = VerificationProblem::new(
+            perception.clone(),
+            cut_layer,
+            bend_characterizer.clone(),
+            e2_risk.clone(),
+        )?;
+        let e2_outcome = e2_problem.verify(&VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+            envelope: envelope.clone(),
+            use_difference_constraints: true,
+        }))?;
+
+        let experiments = vec![
+            ExperimentResult {
+                id: "E1".to_string(),
+                description: format!(
+                    "φ = road bends right, ψ = waypoint offset ≤ {far_left:.3} (far left); strategy comparison"
+                ),
+                outcomes: e1_outcomes,
+            },
+            ExperimentResult {
+                id: "E2".to_string(),
+                description: "φ = road bends right, ψ = waypoint offset in [-0.1, 0.1] (steering straight)"
+                    .to_string(),
+                outcomes: vec![e2_outcome],
+            },
+        ];
+
+        // 6. Statistical analysis (Table I) on held-out labelled data.
+        let validation = self.property_examples(PropertyKind::BendsRight, cfg.seed ^ 0x66);
+        let statistical =
+            StatisticalAnalysis::estimate(&perception, &bend_characterizer, &e1_risk, &validation)?;
+
+        // 7. Runtime monitor coverage on in-ODD and out-of-ODD frames.
+        let monitor = RuntimeMonitor::new(perception.clone(), cut_layer, envelope.clone())
+            .map_err(CoreError::Inconsistent)?;
+        let sampler = OddSampler::new(cfg.scene);
+        let mut monitor_rng = StdRng::seed_from_u64(cfg.seed ^ 0x77);
+        let mut in_odd_accepted = 0usize;
+        for _ in 0..cfg.validation_samples {
+            let scene = sampler.sample_in_odd(&mut monitor_rng);
+            let image = render_scene(&scene, &cfg.scene);
+            if monitor.check(&image).is_in_odd() {
+                in_odd_accepted += 1;
+            }
+        }
+        let mut out_of_odd_flagged = 0usize;
+        for _ in 0..cfg.validation_samples {
+            let scene = sampler.sample_out_of_odd(&mut monitor_rng);
+            let image = render_scene(&scene, &cfg.scene);
+            if !monitor.check(&image).is_in_odd() {
+                out_of_odd_flagged += 1;
+            }
+        }
+        let n = cfg.validation_samples.max(1) as f64;
+
+        Ok(WorkflowOutcome {
+            perception,
+            cut_layer,
+            perception_loss: history.final_loss(),
+            envelope,
+            bend_characterizer,
+            characterizer_accuracies,
+            experiments,
+            statistical,
+            monitor_in_odd_rate: in_odd_accepted as f64 / n,
+            monitor_out_of_odd_detection: out_of_odd_flagged as f64 / n,
+        })
+    }
+
+    /// Balanced labelled `(image, φ holds)` examples for a property.
+    fn property_examples(&self, property: PropertyKind, seed: u64) -> Vec<(Vector, bool)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        dpv_scenegen::property_examples(
+            &self.config.scene,
+            property,
+            self.config.characterizer_samples,
+            &mut rng,
+        )
+    }
+
+    /// Ground-truth affordance for a scene — exposed so examples can compare
+    /// network predictions against the oracle.
+    pub fn oracle_affordance(&self, scene: &dpv_scenegen::SceneParams) -> Vector {
+        affordance(scene, &self.config.scene)
+    }
+
+    /// Renders a dataset for external evaluation (same pipeline the run uses).
+    ///
+    /// # Errors
+    /// Propagates dataset-construction errors.
+    pub fn perception_dataset(&self, samples: usize, seed: u64) -> Result<Dataset, CoreError> {
+        let generator = GeneratorConfig {
+            scene: self.config.scene,
+            samples,
+            seed,
+            threads: 1,
+        };
+        Ok(DatasetBundle::generate(&generator).to_perception_dataset(&self.config.scene)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Verdict;
+
+    fn tiny_config() -> WorkflowConfig {
+        WorkflowConfig {
+            training_samples: 60,
+            characterizer_samples: 60,
+            validation_samples: 40,
+            perception_epochs: 4,
+            characterizer: CharacterizerConfig {
+                hidden: vec![6],
+                epochs: 30,
+                ..CharacterizerConfig::small()
+            },
+            ..WorkflowConfig::small()
+        }
+    }
+
+    #[test]
+    fn workflow_runs_end_to_end() {
+        let outcome = Workflow::new(tiny_config()).run().unwrap();
+        assert_eq!(outcome.experiments.len(), 2);
+        assert_eq!(outcome.experiments[0].outcomes.len(), 4);
+        // Every training image must be inside the envelope by construction.
+        assert!(outcome.monitor_in_odd_rate >= 0.0);
+        let report = outcome.report();
+        assert!(report.contains("E1"));
+        assert!(report.contains("E2"));
+        assert!(report.contains("Table I"));
+        assert!(report.contains("Runtime monitor"));
+    }
+
+    #[test]
+    fn assume_guarantee_with_differences_proves_e1() {
+        let outcome = Workflow::new(tiny_config()).run().unwrap();
+        let e1 = &outcome.experiments[0];
+        // The last strategy is assume-guarantee with difference constraints.
+        let ag = e1.outcomes.last().unwrap();
+        assert!(
+            ag.verdict.is_safe(),
+            "assume-guarantee failed to prove E1: {}",
+            ag.summary()
+        );
+        // The conservative Lemma-1 box cannot prove the same property.
+        let lemma1 = &e1.outcomes[0];
+        assert!(!lemma1.verdict.is_safe(), "Lemma 1 unexpectedly proved E1");
+    }
+
+    #[test]
+    fn e2_is_not_provable_and_ships_a_counterexample() {
+        let outcome = Workflow::new(tiny_config()).run().unwrap();
+        let e2 = &outcome.experiments[1];
+        match &e2.outcomes[0].verdict {
+            Verdict::Unsafe(ce) => {
+                assert_eq!(ce.output.len(), 2);
+                assert!(ce.output[0] <= 0.1 + 1e-6 && ce.output[0] >= -0.1 - 1e-6);
+            }
+            other => panic!("expected E2 to be unprovable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn information_bottleneck_hurts_the_traffic_characterizer() {
+        let outcome = Workflow::new(tiny_config()).run().unwrap();
+        let bend = outcome
+            .characterizer_accuracies
+            .iter()
+            .find(|(n, _)| n == "bends_right")
+            .unwrap()
+            .1;
+        let traffic = outcome
+            .characterizer_accuracies
+            .iter()
+            .find(|(n, _)| n == "adjacent_traffic")
+            .unwrap()
+            .1;
+        assert!(
+            bend > traffic,
+            "expected the output-related property to be easier: bend {bend} vs traffic {traffic}"
+        );
+    }
+}

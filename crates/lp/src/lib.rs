@@ -1,0 +1,60 @@
+//! # dpv-lp
+//!
+//! A self-contained linear-programming and mixed-integer-linear-programming
+//! solver. It replaces the commercial MILP back-end used by the paper's
+//! original toolchain (nn-dependability-kit reduces the network verification
+//! problem to MILP and hands it to an off-the-shelf solver).
+//!
+//! The crate provides:
+//!
+//! * [`LinearProgram`] — a model builder for LPs with per-variable bounds
+//!   and `≤ / ≥ / =` row constraints, solved by a dense two-phase primal
+//!   simplex ([`LinearProgram::solve`]).
+//! * [`MilpProblem`] — an LP plus a set of binary variables, solved by
+//!   branch-and-bound over the binaries ([`MilpProblem::solve`]). A
+//!   feasibility-only mode is what safety verification uses: *is there an
+//!   assignment inside the envelope that triggers the risk condition?*
+//! * [`encode_relu_big_m`] — the standard big-M encoding of a ReLU
+//!   constraint `y = max(0, x)` with known pre-activation bounds, the
+//!   building block of the network encoding in `dpv-core`.
+//!
+//! Scale expectations: the paper's approach verifies only the close-to-output
+//! tail of the perception network, so instances stay in the hundreds of
+//! variables / constraints — well inside what a dense textbook simplex
+//! handles comfortably and predictably.
+//!
+//! ## Example
+//!
+//! ```
+//! use dpv_lp::{ConstraintOp, LinearProgram, LpStatus};
+//!
+//! // maximise x + y  s.t.  x + 2y <= 4,  3x + y <= 6,  x,y >= 0
+//! let mut lp = LinearProgram::new();
+//! let x = lp.add_variable(0.0, f64::INFINITY);
+//! let y = lp.add_variable(0.0, f64::INFINITY);
+//! lp.set_objective(&[(x, 1.0), (y, 1.0)], true);
+//! lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Le, 4.0);
+//! lp.add_constraint(&[(x, 3.0), (y, 1.0)], ConstraintOp::Le, 6.0);
+//! let solution = lp.solve();
+//! match solution.status {
+//!     LpStatus::Optimal => {
+//!         assert!((solution.objective - 2.8).abs() < 1e-6);
+//!     }
+//!     _ => panic!("expected an optimum"),
+//! }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod milp;
+mod model;
+mod relu;
+mod simplex;
+
+pub use milp::{MilpProblem, MilpSolution, MilpStatus, SolveStats};
+pub use model::{Constraint, ConstraintOp, LinearProgram, LpSolution, LpStatus, VarId};
+pub use relu::{encode_relu_big_m, ReluEncoding};
+
+/// Numerical tolerance used throughout the solver for feasibility and
+/// integrality decisions.
+pub const SOLVER_EPS: f64 = 1e-7;

@@ -1,0 +1,403 @@
+//! Branch-and-bound mixed-integer linear programming over binary variables.
+
+use crate::{LinearProgram, LpStatus, VarId, SOLVER_EPS};
+
+/// Status of a MILP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpStatus {
+    /// An optimal (or, for feasibility problems, some) integer-feasible
+    /// solution was found.
+    Optimal,
+    /// No integer-feasible solution exists.
+    Infeasible,
+    /// The relaxation is unbounded in the optimisation direction.
+    Unbounded,
+    /// The node limit was exhausted before the search completed. The
+    /// incumbent (if any) is returned, but optimality/infeasibility is not
+    /// proven. Verification callers must treat this as "unknown".
+    NodeLimit,
+}
+
+/// Search statistics of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Number of LP relaxations solved.
+    pub nodes_explored: usize,
+    /// Number of nodes pruned by bound.
+    pub nodes_pruned: usize,
+}
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Outcome status.
+    pub status: MilpStatus,
+    /// Best integer-feasible assignment found (empty if none).
+    pub values: Vec<f64>,
+    /// Objective of `values` (meaningful only when a solution exists).
+    pub objective: f64,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+impl MilpSolution {
+    /// Returns `true` when an integer-feasible assignment was found.
+    pub fn has_solution(&self) -> bool {
+        !self.values.is_empty()
+    }
+}
+
+/// A mixed-integer linear program: a [`LinearProgram`] in which a subset of
+/// variables is required to take values in `{0, 1}`.
+///
+/// ```
+/// use dpv_lp::{ConstraintOp, MilpProblem, MilpStatus};
+///
+/// // max x + y with x + y <= 1.5 and both binary → optimum 1.
+/// let mut milp = MilpProblem::new();
+/// let x = milp.add_binary();
+/// let y = milp.add_binary();
+/// milp.lp_mut().set_objective(&[(x, 1.0), (y, 1.0)], true);
+/// milp.lp_mut().add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.5);
+/// let solution = milp.solve();
+/// assert_eq!(solution.status, MilpStatus::Optimal);
+/// assert!((solution.objective - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpProblem {
+    lp: LinearProgram,
+    binaries: Vec<VarId>,
+    node_limit: usize,
+}
+
+impl Default for MilpProblem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MilpProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self {
+            lp: LinearProgram::new(),
+            binaries: Vec::new(),
+            node_limit: 200_000,
+        }
+    }
+
+    /// Wraps an existing LP; binary restrictions can then be added with
+    /// [`MilpProblem::mark_binary`].
+    pub fn from_lp(lp: LinearProgram) -> Self {
+        Self {
+            lp,
+            binaries: Vec::new(),
+            node_limit: 200_000,
+        }
+    }
+
+    /// Adds a continuous variable with the given bounds.
+    pub fn add_variable(&mut self, lower: f64, upper: f64) -> VarId {
+        self.lp.add_variable(lower, upper)
+    }
+
+    /// Adds a binary variable (bounds `[0, 1]`, integrality enforced by the
+    /// branch-and-bound).
+    pub fn add_binary(&mut self) -> VarId {
+        let var = self.lp.add_variable(0.0, 1.0);
+        self.binaries.push(var);
+        var
+    }
+
+    /// Marks an existing variable as binary and clamps its bounds to `[0, 1]`.
+    pub fn mark_binary(&mut self, var: VarId) {
+        self.lp.tighten_bounds(var, 0.0, 1.0);
+        if !self.binaries.contains(&var) {
+            self.binaries.push(var);
+        }
+    }
+
+    /// The binary variables.
+    pub fn binaries(&self) -> &[VarId] {
+        &self.binaries
+    }
+
+    /// Read access to the underlying LP.
+    pub fn lp(&self) -> &LinearProgram {
+        &self.lp
+    }
+
+    /// Mutable access to the underlying LP (objective, constraints, bounds).
+    pub fn lp_mut(&mut self) -> &mut LinearProgram {
+        &mut self.lp
+    }
+
+    /// Limits the number of LP relaxations the branch-and-bound may solve.
+    pub fn set_node_limit(&mut self, limit: usize) {
+        self.node_limit = limit.max(1);
+    }
+
+    /// Checks integer feasibility of an assignment.
+    pub fn is_feasible(&self, values: &[f64], eps: f64) -> bool {
+        self.lp.is_feasible(values, eps)
+            && self
+                .binaries
+                .iter()
+                .all(|&b| (values[b] - values[b].round()).abs() <= eps)
+    }
+
+    /// Solves the MILP by best-effort depth-first branch-and-bound.
+    ///
+    /// For pure feasibility problems (zero objective) the search stops at the
+    /// first integer-feasible node.
+    pub fn solve(&self) -> MilpSolution {
+        let feasibility_only = self.lp.objective().iter().all(|&c| c == 0.0);
+        let mut stats = SolveStats::default();
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        // Each stack entry is a list of (binary var, fixed value) decisions.
+        let mut stack: Vec<Vec<(VarId, f64)>> = vec![Vec::new()];
+        let mut hit_limit = false;
+
+        while let Some(fixings) = stack.pop() {
+            if stats.nodes_explored >= self.node_limit {
+                hit_limit = true;
+                break;
+            }
+            stats.nodes_explored += 1;
+
+            let mut relaxation = self.lp.clone();
+            for (var, value) in &fixings {
+                relaxation.tighten_bounds(*var, *value, *value);
+            }
+            let solution = relaxation.solve();
+            match solution.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    // The relaxation being unbounded at the root with no
+                    // incumbent means the MILP itself may be unbounded; deeper
+                    // in the tree we simply cannot prune, so branch further.
+                    if fixings.len() == self.binaries.len() {
+                        continue;
+                    }
+                    if fixings.is_empty() && incumbent.is_none() && self.binaries.is_empty() {
+                        return MilpSolution {
+                            status: MilpStatus::Unbounded,
+                            values: Vec::new(),
+                            objective: 0.0,
+                            stats,
+                        };
+                    }
+                }
+                LpStatus::Optimal => {
+                    // Bound pruning (only valid for optimisation problems).
+                    if let Some((_, best)) = &incumbent {
+                        let worse = if self.lp.is_maximization() {
+                            solution.objective <= *best + SOLVER_EPS
+                        } else {
+                            solution.objective >= *best - SOLVER_EPS
+                        };
+                        if worse {
+                            stats.nodes_pruned += 1;
+                            continue;
+                        }
+                    }
+                }
+            }
+
+            // Find a fractional binary variable to branch on.
+            let fractional = if solution.status == LpStatus::Optimal {
+                self.binaries
+                    .iter()
+                    .copied()
+                    .filter(|&b| fixings.iter().all(|(v, _)| *v != b))
+                    .find(|&b| {
+                        let v = solution.values[b];
+                        (v - v.round()).abs() > 1e-6
+                    })
+            } else {
+                // Unbounded relaxation: branch on any unfixed binary.
+                self.binaries
+                    .iter()
+                    .copied()
+                    .find(|&b| fixings.iter().all(|(v, _)| *v != b))
+            };
+
+            match fractional {
+                None if solution.status == LpStatus::Optimal => {
+                    // Integer feasible.
+                    let objective = solution.objective;
+                    let better = match &incumbent {
+                        None => true,
+                        Some((_, best)) => {
+                            if self.lp.is_maximization() {
+                                objective > *best
+                            } else {
+                                objective < *best
+                            }
+                        }
+                    };
+                    if better {
+                        incumbent = Some((solution.values.clone(), objective));
+                    }
+                    if feasibility_only {
+                        break;
+                    }
+                }
+                None => {
+                    // Unbounded with all binaries fixed: nothing to record.
+                }
+                Some(branch_var) => {
+                    // Depth-first: explore the branch suggested by the
+                    // relaxation last so it is popped first.
+                    let suggested = if solution.status == LpStatus::Optimal {
+                        solution.values[branch_var].round().clamp(0.0, 1.0)
+                    } else {
+                        1.0
+                    };
+                    let other = 1.0 - suggested;
+                    let mut first = fixings.clone();
+                    first.push((branch_var, other));
+                    let mut second = fixings;
+                    second.push((branch_var, suggested));
+                    stack.push(first);
+                    stack.push(second);
+                }
+            }
+        }
+
+        match incumbent {
+            Some((values, objective)) => MilpSolution {
+                status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Optimal },
+                values,
+                objective,
+                stats,
+            },
+            None => MilpSolution {
+                status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Infeasible },
+                values: Vec::new(),
+                objective: 0.0,
+                stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintOp;
+
+    #[test]
+    fn knapsack_is_solved_exactly() {
+        // max 10a + 6b + 4c  s.t.  a + b + c <= 2 (binaries) → 16.
+        let mut milp = MilpProblem::new();
+        let a = milp.add_binary();
+        let b = milp.add_binary();
+        let c = milp.add_binary();
+        milp.lp_mut().set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective - 16.0).abs() < 1e-6);
+        assert!(milp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn integrality_changes_the_optimum() {
+        // LP relaxation optimum is fractional; MILP must find the integer one.
+        // max x + y  s.t.  2x + 2y <= 3, binaries → integer optimum 1.
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut().set_objective(&[(x, 1.0), (y, 1.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Le, 3.0);
+        let relaxed = milp.lp().solve();
+        assert!((relaxed.objective - 1.5).abs() < 1e-6);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp_detected() {
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut()
+            .add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        assert_eq!(milp.solve().status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn feasibility_problem_stops_at_first_solution() {
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        let z = milp.add_variable(-1.0, 1.0);
+        milp.lp_mut()
+            .add_constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], ConstraintOp::Ge, 1.5);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!(sol.has_solution());
+        assert!(milp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn mixed_integer_with_continuous_variables() {
+        // max 3x + 2y + w: x,y binary, w in [0, 10], w <= 4x + 2y.
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        let w = milp.add_variable(0.0, 10.0);
+        milp.lp_mut()
+            .set_objective(&[(x, 3.0), (y, 2.0), (w, 1.0)], true);
+        milp.lp_mut().add_constraint(
+            &[(w, 1.0), (x, -4.0), (y, -2.0)],
+            ConstraintOp::Le,
+            0.0,
+        );
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::Optimal);
+        assert!((sol.objective - 11.0).abs() < 1e-6, "objective {}", sol.objective);
+    }
+
+    #[test]
+    fn node_limit_reports_unknown() {
+        let mut milp = MilpProblem::new();
+        for _ in 0..6 {
+            let _ = milp.add_binary();
+        }
+        // Encourage branching with a constraint that keeps the relaxation fractional.
+        let vars: Vec<_> = milp.binaries().to_vec();
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        milp.lp_mut().add_constraint(&coeffs, ConstraintOp::Eq, 2.5);
+        milp.set_node_limit(1);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::NodeLimit);
+    }
+
+    #[test]
+    fn mark_binary_restricts_existing_variable() {
+        let mut milp = MilpProblem::new();
+        let x = milp.add_variable(0.0, 5.0);
+        milp.mark_binary(x);
+        assert_eq!(milp.lp().bounds(x), (0.0, 1.0));
+        assert_eq!(milp.binaries(), &[x]);
+        milp.mark_binary(x);
+        assert_eq!(milp.binaries().len(), 1);
+    }
+
+    #[test]
+    fn solve_stats_are_recorded() {
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut().set_objective(&[(x, 1.0), (y, 1.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Le, 3.0);
+        let sol = milp.solve();
+        assert!(sol.stats.nodes_explored >= 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! LP model builder and solution types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::simplex;
+
+/// Index of a decision variable within a [`LinearProgram`].
+pub type VarId = usize;
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConstraintOp::Le => "<=",
+            ConstraintOp::Ge => ">=",
+            ConstraintOp::Eq => "=",
+        })
+    }
+}
+
+/// One linear constraint `Σ coeff_i · x_i  op  rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse coefficient list `(variable, coefficient)`.
+    pub coeffs: Vec<(VarId, f64)>,
+    /// Relational operator.
+    pub op: ConstraintOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Status of an LP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// The constraint system is infeasible.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Optimal variable assignment (empty unless `status == Optimal`).
+    pub values: Vec<f64>,
+    /// Optimal objective value (meaningful only when `status == Optimal`).
+    pub objective: f64,
+}
+
+impl LpSolution {
+    /// Convenience constructor for non-optimal outcomes.
+    pub(crate) fn non_optimal(status: LpStatus) -> Self {
+        Self {
+            status,
+            values: Vec::new(),
+            objective: 0.0,
+        }
+    }
+
+    /// Returns `true` when an optimum was found.
+    pub fn is_optimal(&self) -> bool {
+        self.status == LpStatus::Optimal
+    }
+}
+
+/// A linear program with per-variable bounds.
+///
+/// Variables are created with [`LinearProgram::add_variable`], which returns
+/// a [`VarId`] used in constraint and objective coefficient lists. The
+/// objective defaults to the constant zero (pure feasibility problem).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearProgram {
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) maximize: bool,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Default for LinearProgram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearProgram {
+    /// Creates an empty program (no variables, zero objective).
+    pub fn new() -> Self {
+        Self {
+            lower: Vec::new(),
+            upper: Vec::new(),
+            objective: Vec::new(),
+            maximize: false,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` (either may be infinite)
+    /// and returns its id.
+    ///
+    /// # Panics
+    /// Panics when `lower > upper` or either bound is NaN.
+    pub fn add_variable(&mut self, lower: f64, upper: f64) -> VarId {
+        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
+        assert!(lower <= upper, "lower bound {lower} exceeds upper bound {upper}");
+        self.lower.push(lower);
+        self.upper.push(upper);
+        self.objective.push(0.0);
+        self.lower.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Number of row constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Bounds of a variable.
+    ///
+    /// # Panics
+    /// Panics when `var` is out of range.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        (self.lower[var], self.upper[var])
+    }
+
+    /// Tightens the bounds of an existing variable (intersection with the
+    /// current bounds).
+    ///
+    /// # Panics
+    /// Panics when `var` is out of range.
+    pub fn tighten_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        self.lower[var] = self.lower[var].max(lower);
+        self.upper[var] = self.upper[var].min(upper);
+    }
+
+    /// Sets the objective `Σ coeff_i · x_i`, maximised when `maximize` is
+    /// `true` and minimised otherwise. Variables not mentioned keep
+    /// coefficient zero.
+    pub fn set_objective(&mut self, coeffs: &[(VarId, f64)], maximize: bool) {
+        for c in &mut self.objective {
+            *c = 0.0;
+        }
+        for (var, coeff) in coeffs {
+            self.objective[*var] += coeff;
+        }
+        self.maximize = maximize;
+    }
+
+    /// Adds a row constraint.
+    ///
+    /// # Panics
+    /// Panics when a referenced variable does not exist or the right-hand
+    /// side is NaN.
+    pub fn add_constraint(&mut self, coeffs: &[(VarId, f64)], op: ConstraintOp, rhs: f64) {
+        assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
+        for (var, _) in coeffs {
+            assert!(*var < self.num_variables(), "constraint references unknown variable {var}");
+        }
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            op,
+            rhs,
+        });
+    }
+
+    /// Objective coefficients (dense, aligned with variable ids).
+    pub fn objective(&self) -> &[f64] {
+        &self.objective
+    }
+
+    /// Whether the objective is maximised.
+    pub fn is_maximization(&self) -> bool {
+        self.maximize
+    }
+
+    /// The row constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Evaluates `Σ coeff_i · x_i` for an assignment.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective
+            .iter()
+            .zip(values.iter())
+            .map(|(c, v)| c * v)
+            .sum()
+    }
+
+    /// Checks whether `values` satisfies all bounds and constraints up to
+    /// tolerance `eps`.
+    pub fn is_feasible(&self, values: &[f64], eps: f64) -> bool {
+        if values.len() != self.num_variables() {
+            return false;
+        }
+        for (i, v) in values.iter().enumerate() {
+            if *v < self.lower[i] - eps || *v > self.upper[i] + eps {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| {
+            let lhs: f64 = c.coeffs.iter().map(|(var, coeff)| coeff * values[*var]).sum();
+            match c.op {
+                ConstraintOp::Le => lhs <= c.rhs + eps,
+                ConstraintOp::Ge => lhs >= c.rhs - eps,
+                ConstraintOp::Eq => (lhs - c.rhs).abs() <= eps,
+            }
+        })
+    }
+
+    /// Solves the LP with the two-phase primal simplex method.
+    pub fn solve(&self) -> LpSolution {
+        simplex::solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_and_bounds() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 5.0);
+        let y = lp.add_variable(-1.0, 1.0);
+        assert_eq!(lp.num_variables(), 2);
+        assert_eq!(lp.bounds(x), (0.0, 5.0));
+        lp.tighten_bounds(y, -0.5, 2.0);
+        assert_eq!(lp.bounds(y), (-0.5, 1.0));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 10.0);
+        let y = lp.add_variable(0.0, 10.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 5.0);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
+        assert!(lp.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[0.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[4.0, 4.0], 1e-9));
+        assert!(!lp.is_feasible(&[1.0], 1e-9));
+    }
+
+    #[test]
+    fn objective_bookkeeping() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 1.0);
+        let y = lp.add_variable(0.0, 1.0);
+        lp.set_objective(&[(x, 2.0), (y, -1.0)], true);
+        assert!(lp.is_maximization());
+        assert_eq!(lp.objective_value(&[1.0, 1.0]), 1.0);
+        lp.set_objective(&[(y, 3.0)], false);
+        assert_eq!(lp.objective(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn constraint_validates_variable_ids() {
+        let mut lp = LinearProgram::new();
+        let _ = lp.add_variable(0.0, 1.0);
+        lp.add_constraint(&[(3, 1.0)], ConstraintOp::Le, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn add_variable_validates_bounds() {
+        let mut lp = LinearProgram::new();
+        let _ = lp.add_variable(2.0, 1.0);
+    }
+
+    #[test]
+    fn constraint_op_display() {
+        assert_eq!(ConstraintOp::Le.to_string(), "<=");
+        assert_eq!(ConstraintOp::Ge.to_string(), ">=");
+        assert_eq!(ConstraintOp::Eq.to_string(), "=");
+    }
+}

@@ -1,0 +1,547 @@
+//! Dense two-phase primal simplex.
+//!
+//! The implementation favours clarity and robustness over speed: the
+//! verification instances produced by `dpv-core` stay small (hundreds of
+//! variables), and Bland's rule guarantees termination without cycling.
+
+use crate::{ConstraintOp, LinearProgram, LpSolution, LpStatus, SOLVER_EPS};
+
+/// How each user-facing variable maps onto the non-negative standard-form
+/// variables.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + z[idx]`
+    Shifted { idx: usize, lower: f64 },
+    /// `x = upper - z[idx]` (used when only the upper bound is finite)
+    Mirrored { idx: usize, upper: f64 },
+    /// `x = z[pos] - z[neg]` (free variable)
+    Split { pos: usize, neg: usize },
+}
+
+struct StandardForm {
+    /// Objective for the standard variables (minimisation).
+    cost: Vec<f64>,
+    /// Constraint rows `a·z (op) rhs` over the standard variables.
+    rows: Vec<(Vec<f64>, ConstraintOp, f64)>,
+    /// Mapping from user variables to standard variables.
+    mapping: Vec<VarMap>,
+    /// Number of standard variables.
+    num_vars: usize,
+    /// Constant offset added to the objective by the variable shifts.
+    offset: f64,
+}
+
+/// Builds the standard form: all variables non-negative, objective minimised.
+fn standardize(lp: &LinearProgram) -> StandardForm {
+    let n = lp.num_variables();
+    let sign = if lp.maximize { -1.0 } else { 1.0 };
+    let mut mapping = Vec::with_capacity(n);
+    let mut num_vars = 0usize;
+    let mut extra_rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::new();
+
+    for i in 0..n {
+        let (lo, hi) = (lp.lower[i], lp.upper[i]);
+        if lo.is_finite() {
+            let idx = num_vars;
+            num_vars += 1;
+            mapping.push(VarMap::Shifted { idx, lower: lo });
+            if hi.is_finite() {
+                extra_rows.push((vec![(idx, 1.0)], ConstraintOp::Le, hi - lo));
+            }
+        } else if hi.is_finite() {
+            let idx = num_vars;
+            num_vars += 1;
+            mapping.push(VarMap::Mirrored { idx, upper: hi });
+        } else {
+            let pos = num_vars;
+            let neg = num_vars + 1;
+            num_vars += 2;
+            mapping.push(VarMap::Split { pos, neg });
+        }
+    }
+
+    // Objective in terms of standard variables.
+    let mut cost = vec![0.0; num_vars];
+    let mut offset = 0.0;
+    for i in 0..n {
+        let c = sign * lp.objective[i];
+        if c == 0.0 {
+            continue;
+        }
+        match mapping[i] {
+            VarMap::Shifted { idx, lower } => {
+                cost[idx] += c;
+                offset += c * lower;
+            }
+            VarMap::Mirrored { idx, upper } => {
+                cost[idx] -= c;
+                offset += c * upper;
+            }
+            VarMap::Split { pos, neg } => {
+                cost[pos] += c;
+                cost[neg] -= c;
+            }
+        }
+    }
+
+    // Constraint rows.
+    let mut rows = Vec::with_capacity(lp.constraints.len() + extra_rows.len());
+    for constraint in &lp.constraints {
+        let mut row = vec![0.0; num_vars];
+        let mut rhs = constraint.rhs;
+        for (var, coeff) in &constraint.coeffs {
+            match mapping[*var] {
+                VarMap::Shifted { idx, lower } => {
+                    row[idx] += coeff;
+                    rhs -= coeff * lower;
+                }
+                VarMap::Mirrored { idx, upper } => {
+                    row[idx] -= coeff;
+                    rhs -= coeff * upper;
+                }
+                VarMap::Split { pos, neg } => {
+                    row[pos] += coeff;
+                    row[neg] -= coeff;
+                }
+            }
+        }
+        rows.push((row, constraint.op, rhs));
+    }
+    for (sparse, op, rhs) in extra_rows {
+        let mut row = vec![0.0; num_vars];
+        for (idx, coeff) in sparse {
+            row[idx] += coeff;
+        }
+        rows.push((row, op, rhs));
+    }
+
+    StandardForm {
+        cost,
+        rows,
+        mapping,
+        num_vars,
+        offset,
+    }
+}
+
+/// Dense simplex tableau with an explicit basis.
+struct Tableau {
+    /// `m x (n_total + 1)` rows; the last column is the right-hand side.
+    rows: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total number of columns excluding the rhs.
+    n_total: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.rows[row][self.n_total]
+    }
+
+    /// Performs one pivot on (`row`, `col`).
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot_value = self.rows[row][col];
+        debug_assert!(pivot_value.abs() > SOLVER_EPS, "pivot on a (near-)zero element");
+        let inv = 1.0 / pivot_value;
+        for value in &mut self.rows[row] {
+            *value *= inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, other) in self.rows.iter_mut().enumerate() {
+            if r == row {
+                continue;
+            }
+            let factor = other[col];
+            if factor == 0.0 {
+                continue;
+            }
+            for (o, p) in other.iter_mut().zip(pivot_row.iter()) {
+                *o -= factor * p;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex on the given cost vector (minimisation). Returns
+    /// `None` when the problem is unbounded, otherwise the reduced-cost row
+    /// value (the optimal objective, including any priced-out constant).
+    fn optimize(&mut self, cost: &[f64]) -> Option<f64> {
+        // Build the reduced cost row: c - c_B B^{-1} A, with the constant in
+        // the rhs slot.
+        let mut reduced = vec![0.0; self.n_total + 1];
+        reduced[..cost.len()].copy_from_slice(cost);
+        for (row_idx, &basic) in self.basis.iter().enumerate() {
+            let cb = if basic < cost.len() { cost[basic] } else { 0.0 };
+            if cb == 0.0 {
+                continue;
+            }
+            let row = self.rows[row_idx].clone();
+            for (r, value) in reduced.iter_mut().zip(row.iter()) {
+                *r -= cb * value;
+            }
+        }
+
+        let max_iterations = 50_000 + 200 * (self.n_total + self.rows.len());
+        for _ in 0..max_iterations {
+            // Bland's rule: entering column is the smallest index with a
+            // negative reduced cost.
+            let entering = (0..self.n_total).find(|&j| reduced[j] < -SOLVER_EPS);
+            let Some(col) = entering else {
+                // Optimal: the objective equals the negated constant slot.
+                return Some(-reduced[self.n_total]);
+            };
+            // Ratio test, ties broken by the smallest basic variable index.
+            let mut leaving: Option<(usize, f64)> = None;
+            for row in 0..self.rows.len() {
+                let a = self.rows[row][col];
+                if a > SOLVER_EPS {
+                    let ratio = self.rhs(row) / a;
+                    let better = match leaving {
+                        None => true,
+                        Some((best_row, best_ratio)) => {
+                            ratio < best_ratio - SOLVER_EPS
+                                || (ratio < best_ratio + SOLVER_EPS
+                                    && self.basis[row] < self.basis[best_row])
+                        }
+                    };
+                    if better {
+                        leaving = Some((row, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leaving else {
+                return None; // unbounded
+            };
+            self.pivot(row, col);
+            // Update the reduced cost row by the same elimination step.
+            let factor = reduced[col];
+            if factor != 0.0 {
+                let pivot_row = self.rows[row].clone();
+                for (r, p) in reduced.iter_mut().zip(pivot_row.iter()) {
+                    *r -= factor * p;
+                }
+            }
+        }
+        panic!("simplex exceeded the iteration limit — numerical trouble in the model");
+    }
+}
+
+/// Solves a [`LinearProgram`] with the two-phase primal simplex method.
+pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
+    if lp.num_variables() == 0 {
+        // Vacuous program: feasible iff every constraint holds for the empty
+        // assignment (only constant constraints are possible).
+        let feasible = lp.constraints.iter().all(|c| match c.op {
+            ConstraintOp::Le => 0.0 <= c.rhs + SOLVER_EPS,
+            ConstraintOp::Ge => 0.0 >= c.rhs - SOLVER_EPS,
+            ConstraintOp::Eq => c.rhs.abs() <= SOLVER_EPS,
+        });
+        return if feasible {
+            LpSolution {
+                status: LpStatus::Optimal,
+                values: Vec::new(),
+                objective: 0.0,
+            }
+        } else {
+            LpSolution::non_optimal(LpStatus::Infeasible)
+        };
+    }
+
+    let std_form = standardize(lp);
+    let m = std_form.rows.len();
+    let n = std_form.num_vars;
+
+    // Count slack/surplus and artificial columns.
+    let mut n_slack = 0usize;
+    for (_, op, _) in &std_form.rows {
+        if *op != ConstraintOp::Eq {
+            n_slack += 1;
+        }
+    }
+    let n_total = n + n_slack + m; // worst case: one artificial per row
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis = vec![usize::MAX; m];
+    let mut artificial_cols: Vec<usize> = Vec::new();
+
+    let mut slack_cursor = n;
+    let artificial_base = n + n_slack;
+    let mut artificial_cursor = artificial_base;
+
+    for (row_idx, (coeffs, op, rhs)) in std_form.rows.iter().enumerate() {
+        let mut row = vec![0.0; n_total + 1];
+        row[..n].copy_from_slice(coeffs);
+        let mut rhs = *rhs;
+        let mut slack_col = None;
+        match op {
+            ConstraintOp::Le => {
+                row[slack_cursor] = 1.0;
+                slack_col = Some(slack_cursor);
+                slack_cursor += 1;
+            }
+            ConstraintOp::Ge => {
+                row[slack_cursor] = -1.0;
+                slack_col = Some(slack_cursor);
+                slack_cursor += 1;
+            }
+            ConstraintOp::Eq => {}
+        }
+        // Make the rhs non-negative.
+        if rhs < 0.0 {
+            for value in row.iter_mut() {
+                *value = -*value;
+            }
+            rhs = -rhs;
+            // rhs slot was negated too; fix it below by assigning rhs fresh.
+        }
+        row[n_total] = rhs;
+
+        // Choose the initial basic variable: a slack with +1 coefficient, or
+        // a fresh artificial.
+        let basic = match slack_col {
+            Some(col) if row[col] > 0.5 => col,
+            _ => {
+                let col = artificial_cursor;
+                artificial_cursor += 1;
+                row[col] = 1.0;
+                artificial_cols.push(col);
+                col
+            }
+        };
+        basis[row_idx] = basic;
+        rows.push(row);
+    }
+
+    let mut tableau = Tableau {
+        rows,
+        basis,
+        n_total,
+    };
+
+    // Phase 1: minimise the sum of artificial variables.
+    if !artificial_cols.is_empty() {
+        let mut phase1_cost = vec![0.0; n_total];
+        for &col in &artificial_cols {
+            phase1_cost[col] = 1.0;
+        }
+        let Some(optimum) = tableau.optimize(&phase1_cost) else {
+            // Phase 1 is never unbounded (cost bounded below by zero).
+            return LpSolution::non_optimal(LpStatus::Infeasible);
+        };
+        if optimum > 1e-6 {
+            return LpSolution::non_optimal(LpStatus::Infeasible);
+        }
+        // Drive any artificial variable that is still basic (at level ~0) out
+        // of the basis, or drop it with its (redundant) row.
+        for row in 0..tableau.rows.len() {
+            let basic = tableau.basis[row];
+            if basic >= artificial_base {
+                let pivot_col = (0..artificial_base)
+                    .find(|&j| tableau.rows[row][j].abs() > 1e-7);
+                if let Some(col) = pivot_col {
+                    tableau.pivot(row, col);
+                }
+            }
+        }
+        // Freeze all artificial columns at zero so phase 2 cannot re-enter them.
+        for row in tableau.rows.iter_mut() {
+            for &col in &artificial_cols {
+                row[col] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: minimise the real objective.
+    let mut phase2_cost = vec![0.0; n_total];
+    phase2_cost[..n].copy_from_slice(&std_form.cost);
+    let Some(optimum) = tableau.optimize(&phase2_cost) else {
+        return LpSolution::non_optimal(LpStatus::Unbounded);
+    };
+
+    // Extract the standard-variable values.
+    let mut z = vec![0.0; n_total];
+    for (row, &basic) in tableau.basis.iter().enumerate() {
+        if basic < n_total {
+            z[basic] = tableau.rhs(row);
+        }
+    }
+
+    // Map back to the user variables.
+    let mut values = vec![0.0; lp.num_variables()];
+    for (i, map) in std_form.mapping.iter().enumerate() {
+        values[i] = match *map {
+            VarMap::Shifted { idx, lower } => lower + z[idx],
+            VarMap::Mirrored { idx, upper } => upper - z[idx],
+            VarMap::Split { pos, neg } => z[pos] - z[neg],
+        };
+    }
+
+    // The simplex minimised `sign * objective` plus the shift offset.
+    let std_objective = optimum + std_form.offset;
+    let objective = if lp.maximize { -std_objective } else { std_objective };
+
+    LpSolution {
+        status: LpStatus::Optimal,
+        values,
+        objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinearProgram;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximization_with_two_constraints() {
+        // max x + y, x + 2y <= 4, 3x + y <= 6, x,y >= 0 → optimum 2.8 at (1.6, 1.2).
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, f64::INFINITY);
+        let y = lp.add_variable(0.0, f64::INFINITY);
+        lp.set_objective(&[(x, 1.0), (y, 1.0)], true);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Le, 4.0);
+        lp.add_constraint(&[(x, 3.0), (y, 1.0)], ConstraintOp::Le, 6.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.8);
+        assert_close(sol.values[0], 1.6);
+        assert_close(sol.values[1], 1.2);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints() {
+        // min 2x + 3y, x + y >= 4, x >= 1, y >= 0 → optimum at (4, 0) = 8.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(1.0, f64::INFINITY);
+        let y = lp.add_variable(0.0, f64::INFINITY);
+        lp.set_objective(&[(x, 2.0), (y, 3.0)], false);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 4.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 8.0);
+        assert_close(sol.values[0], 4.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 1.0);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
+        assert_eq!(lp.solve().status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, f64::INFINITY);
+        lp.set_objective(&[(x, 1.0)], true);
+        assert_eq!(lp.solve().status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 3, x - y = 1 → x = 2, y = 1.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, f64::INFINITY);
+        let y = lp.add_variable(0.0, f64::INFINITY);
+        lp.set_objective(&[(x, 1.0), (y, 1.0)], false);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Eq, 3.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.values[0], 2.0);
+        assert_close(sol.values[1], 1.0);
+    }
+
+    #[test]
+    fn free_variables_are_supported() {
+        // min x, with x free and x >= -5 as a row constraint → optimum -5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(f64::NEG_INFINITY, f64::INFINITY);
+        lp.set_objective(&[(x, 1.0)], false);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, -5.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -5.0);
+        assert_close(sol.values[0], -5.0);
+    }
+
+    #[test]
+    fn negative_bounds_are_handled_by_shifting() {
+        // max x + y with x in [-3, -1], y in [-2, 2], x + y <= -2.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(-3.0, -1.0);
+        let y = lp.add_variable(-2.0, 2.0);
+        lp.set_objective(&[(x, 1.0), (y, 1.0)], true);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, -2.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, -2.0);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn mirrored_variables_only_upper_bound() {
+        // min x with x <= 4 (no lower bound) and x >= 1 via a row.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(f64::NEG_INFINITY, 4.0);
+        lp.set_objective(&[(x, 1.0)], true);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 4.0);
+    }
+
+    #[test]
+    fn upper_bounds_limit_the_optimum() {
+        // max x + 2y with x, y in [0, 1] and x + y <= 1.5.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 1.0);
+        let y = lp.add_variable(0.0, 1.0);
+        lp.set_objective(&[(x, 1.0), (y, 2.0)], true);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Le, 1.5);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert_close(sol.objective, 2.5);
+        assert_close(sol.values[1], 1.0);
+        assert_close(sol.values[0], 0.5);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; Bland's rule must terminate.
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, f64::INFINITY);
+        let y = lp.add_variable(0.0, f64::INFINITY);
+        let z = lp.add_variable(0.0, f64::INFINITY);
+        lp.set_objective(&[(x, 0.75), (y, -150.0), (z, 0.02)], true);
+        lp.add_constraint(&[(x, 0.25), (y, -60.0), (z, -0.04)], ConstraintOp::Le, 0.0);
+        lp.add_constraint(&[(x, 0.5), (y, -90.0), (z, -0.02)], ConstraintOp::Le, 0.0);
+        lp.add_constraint(&[(z, 1.0)], ConstraintOp::Le, 1.0);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn feasibility_only_problem_returns_a_point() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(-1.0, 1.0);
+        let y = lp.add_variable(-1.0, 1.0);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 0.5);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Le, 0.2);
+        let sol = lp.solve();
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(lp.is_feasible(&sol.values, 1e-6));
+    }
+
+    #[test]
+    fn empty_program_is_trivially_feasible() {
+        let lp = LinearProgram::new();
+        assert_eq!(lp.solve().status, LpStatus::Optimal);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for the LP/MILP solver: random small instances are
+//! compared against brute-force enumeration / sampled feasibility checks.
+
+use dpv_lp::{encode_relu_big_m, ConstraintOp, LinearProgram, LpStatus, MilpProblem, MilpStatus};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random bounded LP with `n` variables in [0, 10] and `m` ≤-constraints.
+fn random_lp(seed: u64, n: usize, m: usize) -> LinearProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LinearProgram::new();
+    let vars: Vec<_> = (0..n).map(|_| lp.add_variable(0.0, 10.0)).collect();
+    let obj: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-2.0..2.0))).collect();
+    lp.set_objective(&obj, true);
+    for _ in 0..m {
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-1.0..2.0))).collect();
+        lp.add_constraint(&coeffs, ConstraintOp::Le, rng.gen_range(1.0..15.0));
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any optimum the simplex reports must be primal feasible, and no
+    /// sampled feasible point may beat it.
+    #[test]
+    fn simplex_optimum_is_feasible_and_not_beaten_by_samples(seed in 0u64..2000) {
+        let lp = random_lp(seed, 4, 3);
+        let solution = lp.solve();
+        // Bounded boxes mean the LP can never be unbounded.
+        prop_assert_ne!(solution.status, LpStatus::Unbounded);
+        if solution.status == LpStatus::Optimal {
+            prop_assert!(lp.is_feasible(&solution.values, 1e-6));
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+            for _ in 0..200 {
+                let candidate: Vec<f64> = (0..4).map(|_| rng.gen_range(0.0..10.0)).collect();
+                if lp.is_feasible(&candidate, 1e-9) {
+                    prop_assert!(lp.objective_value(&candidate) <= solution.objective + 1e-6);
+                }
+            }
+        }
+    }
+
+    /// The box [0,10]^n with no constraints is always feasible, so a random
+    /// ≤-constraint LP with non-negative rhs must be feasible too (the origin
+    /// satisfies every constraint with rhs >= 0).
+    #[test]
+    fn lps_with_nonnegative_rhs_are_feasible(seed in 0u64..2000) {
+        let lp = random_lp(seed, 3, 4);
+        prop_assert_eq!(lp.solve().status, LpStatus::Optimal);
+    }
+
+    /// Binary knapsack MILPs are compared against exhaustive enumeration.
+    #[test]
+    fn milp_matches_brute_force_on_knapsacks(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 5usize;
+        let profits: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..10.0)).collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..5.0)).collect();
+        let capacity: f64 = rng.gen_range(3.0..10.0);
+
+        let mut milp = MilpProblem::new();
+        let vars: Vec<_> = (0..n).map(|_| milp.add_binary()).collect();
+        let obj: Vec<_> = vars.iter().zip(&profits).map(|(&v, &p)| (v, p)).collect();
+        milp.lp_mut().set_objective(&obj, true);
+        let cons: Vec<_> = vars.iter().zip(&weights).map(|(&v, &w)| (v, w)).collect();
+        milp.lp_mut().add_constraint(&cons, ConstraintOp::Le, capacity);
+        let solution = milp.solve();
+        prop_assert_eq!(solution.status, MilpStatus::Optimal);
+
+        // Brute force over the 2^5 assignments.
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << n) {
+            let weight: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            if weight <= capacity + 1e-9 {
+                let profit: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| profits[i]).sum();
+                best = best.max(profit);
+            }
+        }
+        prop_assert!((solution.objective - best).abs() < 1e-5,
+            "milp {} vs brute force {}", solution.objective, best);
+    }
+
+    /// The big-M ReLU encoding is exact: for random fixed inputs the encoded
+    /// output must equal max(0, x).
+    #[test]
+    fn relu_encoding_is_exact(x in -5.0f64..5.0) {
+        let (lower, upper) = (-5.0, 5.0);
+        let mut milp = MilpProblem::new();
+        let xin = milp.add_variable(lower, upper);
+        let y = milp.add_variable(0.0, f64::INFINITY);
+        encode_relu_big_m(&mut milp, xin, y, lower, upper);
+        milp.lp_mut().tighten_bounds(xin, x, x);
+        milp.lp_mut().set_objective(&[(y, 1.0)], true);
+        let hi = milp.solve();
+        milp.lp_mut().set_objective(&[(y, 1.0)], false);
+        let lo = milp.solve();
+        prop_assert_eq!(hi.status, MilpStatus::Optimal);
+        prop_assert_eq!(lo.status, MilpStatus::Optimal);
+        prop_assert!((hi.objective - x.max(0.0)).abs() < 1e-6);
+        prop_assert!((lo.objective - x.max(0.0)).abs() < 1e-6);
+    }
+
+    /// Equality-constrained LPs: solving Ax = b with a known feasible point
+    /// must report a feasible optimum.
+    #[test]
+    fn equality_systems_with_known_solutions_are_feasible(seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 3usize;
+        let point: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..5.0)).collect();
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> = (0..n).map(|_| lp.add_variable(0.0, 5.0)).collect();
+        for _ in 0..2 {
+            let coeffs: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-1.0..1.0))).collect();
+            let rhs: f64 = coeffs.iter().map(|(v, c)| c * point[*v]).sum();
+            lp.add_constraint(&coeffs, ConstraintOp::Eq, rhs);
+        }
+        let obj: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-1.0..1.0))).collect();
+        lp.set_objective(&obj, false);
+        let solution = lp.solve();
+        prop_assert_eq!(solution.status, LpStatus::Optimal);
+        prop_assert!(lp.is_feasible(&solution.values, 1e-5));
+        prop_assert!(solution.objective <= lp.objective_value(&point) + 1e-6);
+    }
+}

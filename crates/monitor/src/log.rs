@@ -1,0 +1,146 @@
+//! Compact binary logging of activation vectors.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use dpv_tensor::Vector;
+
+/// A compact append-only log of activation vectors.
+///
+/// Each record is framed as a `u32` length followed by that many
+/// little-endian `f64` values. The log is the persistence format for ODD
+/// evidence: the activations gathered during a data-collection campaign can
+/// be stored, shipped and replayed into [`crate::ActivationEnvelope`]
+/// construction without keeping the original images.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActivationLog {
+    buffer: BytesMut,
+    records: usize,
+}
+
+impl ActivationLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records appended so far.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// Returns `true` when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Number of bytes the encoded log occupies.
+    pub fn byte_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Appends one activation vector.
+    pub fn push(&mut self, activation: &Vector) {
+        self.buffer.put_u32_le(activation.len() as u32);
+        for v in activation.iter() {
+            self.buffer.put_f64_le(*v);
+        }
+        self.records += 1;
+    }
+
+    /// Freezes the log into an immutable byte buffer.
+    pub fn to_bytes(&self) -> Bytes {
+        self.buffer.clone().freeze()
+    }
+
+    /// Decodes a byte buffer produced by [`ActivationLog::to_bytes`].
+    ///
+    /// # Errors
+    /// Returns an error string when the buffer is truncated or malformed.
+    pub fn decode(mut bytes: Bytes) -> Result<Vec<Vector>, String> {
+        let mut out = Vec::new();
+        while bytes.has_remaining() {
+            if bytes.remaining() < 4 {
+                return Err("truncated record header".to_string());
+            }
+            let len = bytes.get_u32_le() as usize;
+            if bytes.remaining() < len * 8 {
+                return Err(format!(
+                    "truncated record body: need {} bytes, have {}",
+                    len * 8,
+                    bytes.remaining()
+                ));
+            }
+            let mut values = Vec::with_capacity(len);
+            for _ in 0..len {
+                values.push(bytes.get_f64_le());
+            }
+            out.push(Vector::from_vec(values));
+        }
+        Ok(out)
+    }
+}
+
+impl Extend<Vector> for ActivationLog {
+    fn extend<T: IntoIterator<Item = Vector>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(&v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let mut log = ActivationLog::new();
+        let records = vec![
+            Vector::from_slice(&[1.0, -2.5, 3.25]),
+            Vector::from_slice(&[0.0]),
+            Vector::zeros(5),
+        ];
+        for r in &records {
+            log.push(r);
+        }
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        let decoded = ActivationLog::decode(log.to_bytes()).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn byte_layout_is_compact() {
+        let mut log = ActivationLog::new();
+        log.push(&Vector::zeros(4));
+        assert_eq!(log.byte_len(), 4 + 4 * 8);
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let mut log = ActivationLog::new();
+        log.push(&Vector::from_slice(&[1.0, 2.0]));
+        let bytes = log.to_bytes();
+        let truncated = bytes.slice(0..bytes.len() - 3);
+        assert!(ActivationLog::decode(truncated).is_err());
+        let tiny = bytes.slice(0..2);
+        assert!(ActivationLog::decode(tiny).is_err());
+    }
+
+    #[test]
+    fn extend_appends_all_records() {
+        let mut log = ActivationLog::new();
+        log.extend((0..10).map(|i| Vector::filled(2, i as f64)));
+        assert_eq!(log.len(), 10);
+        let decoded = ActivationLog::decode(log.to_bytes()).unwrap();
+        assert_eq!(decoded.len(), 10);
+        assert_eq!(decoded[7][0], 7.0);
+    }
+
+    #[test]
+    fn empty_log_decodes_to_nothing() {
+        let log = ActivationLog::new();
+        assert!(log.is_empty());
+        assert_eq!(ActivationLog::decode(log.to_bytes()).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! The runtime monitor guarding the assume-guarantee proof.
+
+use parking_lot::Mutex;
+
+use dpv_nn::Network;
+use dpv_tensor::Vector;
+
+use crate::ActivationEnvelope;
+
+/// Which envelope constraint an activation violated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ViolationKind {
+    /// A per-neuron bound was violated.
+    NeuronBound,
+    /// An adjacent-difference bound was violated.
+    AdjacentDifference,
+}
+
+/// One violated constraint of the envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which kind of constraint was violated.
+    pub kind: ViolationKind,
+    /// Index of the neuron (for bounds) or of the pair `(index, index + 1)`
+    /// (for differences).
+    pub index: usize,
+    /// The offending value.
+    pub value: f64,
+    /// Lower bound of the violated interval.
+    pub lower: f64,
+    /// Upper bound of the violated interval.
+    pub upper: f64,
+}
+
+/// The verdict for one monitored frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorVerdict {
+    /// The activation lies inside the envelope: the assume-guarantee proof
+    /// applies to this frame.
+    InOdd,
+    /// The activation escapes the envelope: the proof's assumption is
+    /// violated and a warning must be raised (the paper additionally reads
+    /// this as a hint of incomplete data collection or ODD exit).
+    OutOfOdd {
+        /// Every violated constraint.
+        violations: Vec<Violation>,
+    },
+}
+
+impl MonitorVerdict {
+    /// Returns `true` for [`MonitorVerdict::InOdd`].
+    pub fn is_in_odd(&self) -> bool {
+        matches!(self, MonitorVerdict::InOdd)
+    }
+}
+
+/// Cumulative statistics of a monitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MonitorReport {
+    /// Number of frames checked.
+    pub frames: usize,
+    /// Number of frames found inside the envelope.
+    pub in_odd: usize,
+    /// Number of frames that violated the envelope.
+    pub out_of_odd: usize,
+}
+
+impl MonitorReport {
+    /// Fraction of frames inside the envelope (1.0 when nothing was checked).
+    pub fn in_odd_fraction(&self) -> f64 {
+        if self.frames == 0 {
+            1.0
+        } else {
+            self.in_odd as f64 / self.frames as f64
+        }
+    }
+}
+
+/// The runtime monitor: evaluates the perception network up to the cut
+/// layer and checks the resulting activation against the envelope.
+///
+/// The monitor is `Sync`: the per-frame counters are kept behind a
+/// [`parking_lot::Mutex`] so one monitor instance can serve several camera
+/// pipelines.
+#[derive(Debug)]
+pub struct RuntimeMonitor {
+    network: Network,
+    cut_layer: usize,
+    envelope: ActivationEnvelope,
+    tolerance: f64,
+    stats: Mutex<MonitorReport>,
+}
+
+impl RuntimeMonitor {
+    /// Creates a monitor for `network`, monitoring the activation after
+    /// `cut_layer` (zero-based) against `envelope`.
+    ///
+    /// # Errors
+    /// Returns an error string when the cut layer is out of range or the
+    /// envelope dimension does not match the network's activation dimension
+    /// at that layer.
+    pub fn new(
+        network: Network,
+        cut_layer: usize,
+        envelope: ActivationEnvelope,
+    ) -> Result<Self, String> {
+        if cut_layer >= network.len() {
+            return Err(format!(
+                "cut layer {cut_layer} out of range for a network with {} layers",
+                network.len()
+            ));
+        }
+        let dim = network.layer_output_dim(cut_layer);
+        if dim != envelope.dim() {
+            return Err(format!(
+                "envelope dimension {} does not match layer dimension {dim}",
+                envelope.dim()
+            ));
+        }
+        Ok(Self {
+            network,
+            cut_layer,
+            envelope,
+            tolerance: 1e-9,
+            stats: Mutex::new(MonitorReport::default()),
+        })
+    }
+
+    /// The monitored cut layer.
+    pub fn cut_layer(&self) -> usize {
+        self.cut_layer
+    }
+
+    /// The envelope being enforced.
+    pub fn envelope(&self) -> &ActivationEnvelope {
+        &self.envelope
+    }
+
+    /// Sets the numerical tolerance used for containment checks.
+    pub fn set_tolerance(&mut self, tolerance: f64) {
+        self.tolerance = tolerance.max(0.0);
+    }
+
+    /// Computes the monitored activation for an input image.
+    pub fn activation(&self, input: &Vector) -> Vector {
+        self.network.activation_at(self.cut_layer, input)
+    }
+
+    /// Checks one input frame end to end (forward pass to the cut layer plus
+    /// envelope containment) and updates the statistics.
+    pub fn check(&self, input: &Vector) -> MonitorVerdict {
+        let activation = self.activation(input);
+        self.check_activation(&activation)
+    }
+
+    /// Checks an already-computed activation vector against the envelope and
+    /// updates the statistics.
+    pub fn check_activation(&self, activation: &Vector) -> MonitorVerdict {
+        let verdict = self.classify(activation);
+        let mut stats = self.stats.lock();
+        stats.frames += 1;
+        match &verdict {
+            MonitorVerdict::InOdd => stats.in_odd += 1,
+            MonitorVerdict::OutOfOdd { .. } => stats.out_of_odd += 1,
+        }
+        verdict
+    }
+
+    /// Pure classification without statistics side effects.
+    pub fn classify(&self, activation: &Vector) -> MonitorVerdict {
+        let tol = self.tolerance;
+        let mut violations = Vec::new();
+        let bounds = self.envelope.neuron_bounds();
+        for (i, interval) in bounds.iter().enumerate() {
+            let v = activation[i];
+            if !interval.contains(v, tol) {
+                violations.push(Violation {
+                    kind: ViolationKind::NeuronBound,
+                    index: i,
+                    value: v,
+                    lower: interval.lo,
+                    upper: interval.hi,
+                });
+            }
+        }
+        for (i, interval) in self.envelope.diff_bounds().iter().enumerate() {
+            let d = activation[i + 1] - activation[i];
+            if !interval.contains(d, tol) {
+                violations.push(Violation {
+                    kind: ViolationKind::AdjacentDifference,
+                    index: i,
+                    value: d,
+                    lower: interval.lo,
+                    upper: interval.hi,
+                });
+            }
+        }
+        if violations.is_empty() {
+            MonitorVerdict::InOdd
+        } else {
+            MonitorVerdict::OutOfOdd { violations }
+        }
+    }
+
+    /// Snapshot of the cumulative statistics.
+    pub fn report(&self) -> MonitorReport {
+        *self.stats.lock()
+    }
+
+    /// Resets the cumulative statistics.
+    pub fn reset(&self) {
+        *self.stats.lock() = MonitorReport::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpv_nn::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(seed: u64) -> (Network, Vec<Vector>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new(4)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(3, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build();
+        let inputs: Vec<Vector> = (0..60)
+            .map(|_| Vector::from_vec((0..4).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect();
+        (net, inputs)
+    }
+
+    #[test]
+    fn training_inputs_stay_in_odd() {
+        let (net, inputs) = setup(1);
+        let env = ActivationEnvelope::from_inputs(&net, 3, &inputs, 0.0);
+        let monitor = RuntimeMonitor::new(net, 3, env).unwrap();
+        for x in &inputs {
+            assert!(monitor.check(x).is_in_odd());
+        }
+        let report = monitor.report();
+        assert_eq!(report.frames, 60);
+        assert_eq!(report.out_of_odd, 0);
+        assert_eq!(report.in_odd_fraction(), 1.0);
+    }
+
+    #[test]
+    fn far_out_inputs_are_flagged() {
+        let (net, inputs) = setup(2);
+        // Monitor the (pre-ReLU) dense output, which scales linearly with the
+        // input, so far-out inputs must escape the envelope.
+        let env = ActivationEnvelope::from_inputs(&net, 0, &inputs, 0.0);
+        let monitor = RuntimeMonitor::new(net, 0, env).unwrap();
+        // Inputs far outside the [0,1] pixel range the envelope was built from.
+        let mut flagged = 0;
+        for i in 0..20 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            let x = Vector::filled(4, sign * (50.0 + i as f64));
+            if !monitor.check(&x).is_in_odd() {
+                flagged += 1;
+            }
+        }
+        assert!(flagged > 15, "only {flagged} of 20 extreme inputs were flagged");
+        assert!(monitor.report().out_of_odd >= flagged);
+    }
+
+    #[test]
+    fn violations_carry_details() {
+        let acts = vec![Vector::from_slice(&[0.0, 0.0]), Vector::from_slice(&[1.0, 1.0])];
+        let env = ActivationEnvelope::from_activations(0, &acts, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = NetworkBuilder::new(2).dense(2, &mut rng).build();
+        let monitor = RuntimeMonitor::new(net, 0, env).unwrap();
+        let verdict = monitor.classify(&Vector::from_slice(&[2.0, -1.0]));
+        match verdict {
+            MonitorVerdict::OutOfOdd { violations } => {
+                assert!(violations.iter().any(|v| v.kind == ViolationKind::NeuronBound));
+                assert!(violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::AdjacentDifference));
+                assert!(violations.iter().all(|v| v.lower <= v.upper));
+            }
+            MonitorVerdict::InOdd => panic!("expected a violation"),
+        }
+    }
+
+    #[test]
+    fn constructor_validates_dimensions() {
+        let (net, inputs) = setup(4);
+        let env = ActivationEnvelope::from_inputs(&net, 1, &inputs, 0.0);
+        assert!(RuntimeMonitor::new(net.clone(), 99, env.clone()).is_err());
+        assert!(RuntimeMonitor::new(net, 3, env).is_err());
+    }
+
+    #[test]
+    fn reset_clears_statistics() {
+        let (net, inputs) = setup(5);
+        let env = ActivationEnvelope::from_inputs(&net, 2, &inputs, 0.1);
+        let monitor = RuntimeMonitor::new(net, 2, env).unwrap();
+        let _ = monitor.check(&inputs[0]);
+        assert_eq!(monitor.report().frames, 1);
+        monitor.reset();
+        assert_eq!(monitor.report().frames, 0);
+    }
+
+    #[test]
+    fn monitor_is_shareable_across_threads() {
+        let (net, inputs) = setup(6);
+        let env = ActivationEnvelope::from_inputs(&net, 3, &inputs, 0.0);
+        let monitor = std::sync::Arc::new(RuntimeMonitor::new(net, 3, env).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = monitor.clone();
+                let xs = inputs.clone();
+                std::thread::spawn(move || {
+                    for x in &xs {
+                        let _ = m.check(x);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(monitor.report().frames, 4 * inputs.len());
+    }
+}

@@ -1,0 +1,231 @@
+//! Fluent builder for feed-forward networks.
+
+use dpv_tensor::Initializer;
+use rand::Rng;
+
+use crate::{Activation, BatchNorm1d, Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, TensorShape};
+
+/// Fluent builder that tracks the running output dimension so layers can be
+/// appended without repeating shapes.
+///
+/// ```
+/// use dpv_nn::{Activation, NetworkBuilder};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = NetworkBuilder::new(16)
+///     .dense(32, &mut rng)
+///     .activation(Activation::ReLU)
+///     .batch_norm()
+///     .dense(4, &mut rng)
+///     .build();
+/// assert_eq!(net.output_dim(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_dim: usize,
+    current_dim: usize,
+    current_shape: Option<TensorShape>,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for networks whose input is a flat vector of
+    /// dimension `input_dim`.
+    pub fn new(input_dim: usize) -> Self {
+        Self {
+            input_dim,
+            current_dim: input_dim,
+            current_shape: None,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Starts a builder for networks whose input is a channel-major image of
+    /// the given shape (e.g. a camera frame for the perception front-end).
+    pub fn with_image_input(shape: TensorShape) -> Self {
+        Self {
+            input_dim: shape.len(),
+            current_dim: shape.len(),
+            current_shape: Some(shape),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Current output dimension of the network under construction.
+    pub fn current_dim(&self) -> usize {
+        self.current_dim
+    }
+
+    /// Appends a dense layer with He-normal initialisation (the default for
+    /// ReLU networks).
+    pub fn dense<R: Rng + ?Sized>(self, output_dim: usize, rng: &mut R) -> Self {
+        self.dense_with(output_dim, Initializer::HeNormal, rng)
+    }
+
+    /// Appends a dense layer with an explicit initialiser.
+    pub fn dense_with<R: Rng + ?Sized>(
+        mut self,
+        output_dim: usize,
+        init: Initializer,
+        rng: &mut R,
+    ) -> Self {
+        let layer = Dense::new(self.current_dim, output_dim, init, rng);
+        self.layers.push(Layer::Dense(layer));
+        self.current_dim = output_dim;
+        self.current_shape = None;
+        self
+    }
+
+    /// Appends an element-wise activation layer.
+    pub fn activation(mut self, activation: Activation) -> Self {
+        self.layers.push(Layer::Activation(activation));
+        self
+    }
+
+    /// Appends a batch-normalisation layer matching the current dimension.
+    pub fn batch_norm(mut self) -> Self {
+        self.layers
+            .push(Layer::BatchNorm(BatchNorm1d::new(self.current_dim)));
+        self
+    }
+
+    /// Appends a convolution layer. Requires the running value to still be an
+    /// image (i.e. no dense layer has been added yet).
+    ///
+    /// # Panics
+    /// Panics when the current value is not shaped (call
+    /// [`NetworkBuilder::with_image_input`] first).
+    pub fn conv2d<R: Rng + ?Sized>(
+        mut self,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        let shape = self
+            .current_shape
+            .expect("conv2d requires an image-shaped input; use with_image_input");
+        let layer = Conv2d::new(shape, out_channels, kernel, stride, Initializer::HeNormal, rng);
+        let out_shape = layer.output_shape();
+        self.layers.push(Layer::Conv2d(layer));
+        self.current_dim = out_shape.len();
+        self.current_shape = Some(out_shape);
+        self
+    }
+
+    /// Appends a non-overlapping max-pool layer.
+    ///
+    /// # Panics
+    /// Panics when the current value is not shaped.
+    pub fn max_pool(mut self, pool: usize) -> Self {
+        let shape = self
+            .current_shape
+            .expect("max_pool requires an image-shaped input");
+        let layer = MaxPool2d::new(shape, pool);
+        let out_shape = layer.output_shape();
+        self.layers.push(Layer::MaxPool2d(layer));
+        self.current_dim = out_shape.len();
+        self.current_shape = Some(out_shape);
+        self
+    }
+
+    /// Appends a flatten marker, after which dense layers may follow.
+    ///
+    /// # Panics
+    /// Panics when the current value is not shaped.
+    pub fn flatten(mut self) -> Self {
+        let shape = self.current_shape.expect("flatten requires an image-shaped input");
+        self.layers.push(Layer::Flatten(Flatten::new(shape)));
+        self.current_shape = None;
+        self
+    }
+
+    /// Appends an arbitrary pre-built layer.
+    ///
+    /// # Panics
+    /// Panics when the layer's expected input dimension conflicts with the
+    /// running dimension.
+    pub fn layer(mut self, layer: Layer) -> Self {
+        if let Some(expected) = layer.input_dim() {
+            assert_eq!(
+                expected, self.current_dim,
+                "layer expects input dimension {expected}, builder is at {}",
+                self.current_dim
+            );
+        }
+        self.current_dim = layer.output_dim(self.current_dim);
+        self.current_shape = None;
+        self.layers.push(layer);
+        self
+    }
+
+    /// Finalises the network.
+    ///
+    /// # Panics
+    /// Never panics in practice: dimensions are maintained incrementally, so
+    /// the internal consistency check always succeeds.
+    pub fn build(self) -> Network {
+        Network::new(self.input_dim, self.layers).expect("builder maintains consistent dimensions")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpv_tensor::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_dense_network() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = NetworkBuilder::new(3)
+            .dense(5, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build();
+        assert_eq!(net.input_dim(), 3);
+        assert_eq!(net.output_dim(), 2);
+    }
+
+    #[test]
+    fn builds_convolutional_front_end() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::with_image_input(TensorShape::new(1, 8, 8))
+            .conv2d(4, 3, 1, &mut rng)
+            .activation(Activation::ReLU)
+            .max_pool(2)
+            .flatten()
+            .dense(10, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build();
+        assert_eq!(net.input_dim(), 64);
+        assert_eq!(net.output_dim(), 2);
+        let y = net.forward(&Vector::zeros(64));
+        assert_eq!(y.len(), 2);
+    }
+
+    #[test]
+    fn layer_method_checks_dimensions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let extra = Layer::Dense(crate::Dense::new(4, 2, dpv_tensor::Initializer::HeNormal, &mut rng));
+        let net = NetworkBuilder::new(6).dense(4, &mut rng).layer(extra).build();
+        assert_eq!(net.output_dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects input dimension")]
+    fn layer_method_panics_on_mismatch() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let extra = Layer::Dense(crate::Dense::new(9, 2, dpv_tensor::Initializer::HeNormal, &mut rng));
+        let _ = NetworkBuilder::new(6).dense(4, &mut rng).layer(extra);
+    }
+
+    #[test]
+    #[should_panic(expected = "image-shaped input")]
+    fn conv_requires_image_input() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = NetworkBuilder::new(10).conv2d(2, 3, 1, &mut rng);
+    }
+}

@@ -1,0 +1,267 @@
+//! In-memory supervised datasets and mini-batching.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dpv_tensor::Vector;
+
+use crate::NnError;
+
+/// A borrowed mini-batch of `(input, target)` pairs.
+#[derive(Debug, Clone)]
+pub struct Batch<'a> {
+    /// Input vectors of the batch.
+    pub inputs: Vec<&'a Vector>,
+    /// Target vectors of the batch, aligned with `inputs`.
+    pub targets: Vec<&'a Vector>,
+}
+
+impl Batch<'_> {
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// An in-memory supervised dataset of `(input, target)` vector pairs.
+///
+/// ```
+/// use dpv_nn::Dataset;
+/// use dpv_tensor::Vector;
+/// let data = Dataset::new(
+///     vec![Vector::zeros(2), Vector::ones(2)],
+///     vec![Vector::zeros(1), Vector::ones(1)],
+/// ).unwrap();
+/// assert_eq!(data.len(), 2);
+/// assert_eq!(data.input_dim(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    inputs: Vec<Vector>,
+    targets: Vec<Vector>,
+}
+
+impl Dataset {
+    /// Creates a dataset.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidDataset`] when the two lists differ in
+    /// length, are empty, or contain vectors of inconsistent dimensions.
+    pub fn new(inputs: Vec<Vector>, targets: Vec<Vector>) -> Result<Self, NnError> {
+        if inputs.len() != targets.len() {
+            return Err(NnError::InvalidDataset(format!(
+                "{} inputs but {} targets",
+                inputs.len(),
+                targets.len()
+            )));
+        }
+        if inputs.is_empty() {
+            return Err(NnError::InvalidDataset("dataset is empty".to_string()));
+        }
+        let in_dim = inputs[0].len();
+        let out_dim = targets[0].len();
+        for (i, (x, y)) in inputs.iter().zip(targets.iter()).enumerate() {
+            if x.len() != in_dim || y.len() != out_dim {
+                return Err(NnError::InvalidDataset(format!(
+                    "example {i} has dimensions ({}, {}) but expected ({in_dim}, {out_dim})",
+                    x.len(),
+                    y.len()
+                )));
+            }
+        }
+        Ok(Self { inputs, targets })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Returns `true` when the dataset has no examples (never true for a
+    /// successfully constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.inputs[0].len()
+    }
+
+    /// Target dimension.
+    pub fn target_dim(&self) -> usize {
+        self.targets[0].len()
+    }
+
+    /// The input vectors.
+    pub fn inputs(&self) -> &[Vector] {
+        &self.inputs
+    }
+
+    /// The target vectors.
+    pub fn targets(&self) -> &[Vector] {
+        &self.targets
+    }
+
+    /// The `(input, target)` pair at `index`.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds.
+    pub fn example(&self, index: usize) -> (&Vector, &Vector) {
+        (&self.inputs[index], &self.targets[index])
+    }
+
+    /// Iterator over `(input, target)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vector, &Vector)> {
+        self.inputs.iter().zip(self.targets.iter())
+    }
+
+    /// Splits the dataset into a training part with `train_fraction` of the
+    /// examples and a held-out part with the rest (no shuffling; shuffle
+    /// first via [`Dataset::shuffled`] if needed).
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidDataset`] when either part would be empty.
+    pub fn split(&self, train_fraction: f64) -> Result<(Dataset, Dataset), NnError> {
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        if n_train == 0 || n_train >= self.len() {
+            return Err(NnError::InvalidDataset(format!(
+                "split fraction {train_fraction} leaves an empty part (n = {})",
+                self.len()
+            )));
+        }
+        let train = Dataset::new(
+            self.inputs[..n_train].to_vec(),
+            self.targets[..n_train].to_vec(),
+        )?;
+        let test = Dataset::new(
+            self.inputs[n_train..].to_vec(),
+            self.targets[n_train..].to_vec(),
+        )?;
+        Ok((train, test))
+    }
+
+    /// Returns a copy of the dataset with examples shuffled by `rng`.
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        Dataset {
+            inputs: order.iter().map(|&i| self.inputs[i].clone()).collect(),
+            targets: order.iter().map(|&i| self.targets[i].clone()).collect(),
+        }
+    }
+
+    /// Concatenates two datasets with matching dimensions.
+    ///
+    /// # Errors
+    /// Returns [`NnError::InvalidDataset`] when dimensions differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, NnError> {
+        if self.input_dim() != other.input_dim() || self.target_dim() != other.target_dim() {
+            return Err(NnError::InvalidDataset(
+                "cannot concatenate datasets with different dimensions".to_string(),
+            ));
+        }
+        let mut inputs = self.inputs.clone();
+        inputs.extend(other.inputs.iter().cloned());
+        let mut targets = self.targets.clone();
+        targets.extend(other.targets.iter().cloned());
+        Dataset::new(inputs, targets)
+    }
+
+    /// Mini-batches of (at most) `batch_size` examples, optionally over a
+    /// permuted index order.
+    pub fn batches(&self, batch_size: usize, order: Option<&[usize]>) -> Vec<Batch<'_>> {
+        let default_order: Vec<usize> = (0..self.len()).collect();
+        let order = order.unwrap_or(&default_order);
+        let bs = batch_size.max(1);
+        order
+            .chunks(bs)
+            .map(|chunk| Batch {
+                inputs: chunk.iter().map(|&i| &self.inputs[i]).collect(),
+                targets: chunk.iter().map(|&i| &self.targets[i]).collect(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize) -> Dataset {
+        let inputs: Vec<Vector> = (0..n).map(|i| Vector::filled(2, i as f64)).collect();
+        let targets: Vec<Vector> = (0..n).map(|i| Vector::filled(1, i as f64)).collect();
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_consistency() {
+        assert!(Dataset::new(vec![], vec![]).is_err());
+        assert!(Dataset::new(vec![Vector::zeros(2)], vec![]).is_err());
+        assert!(Dataset::new(
+            vec![Vector::zeros(2), Vector::zeros(3)],
+            vec![Vector::zeros(1), Vector::zeros(1)]
+        )
+        .is_err());
+        let ok = sample(4);
+        assert_eq!(ok.len(), 4);
+        assert_eq!(ok.input_dim(), 2);
+        assert_eq!(ok.target_dim(), 1);
+    }
+
+    #[test]
+    fn split_preserves_counts() {
+        let data = sample(10);
+        let (train, test) = data.split(0.8).unwrap();
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert!(data.split(0.0).is_err());
+        assert!(data.split(1.0).is_err());
+    }
+
+    #[test]
+    fn shuffled_keeps_pairing() {
+        let data = sample(20);
+        let mut rng = StdRng::seed_from_u64(0);
+        let shuffled = data.shuffled(&mut rng);
+        assert_eq!(shuffled.len(), 20);
+        for (x, y) in shuffled.iter() {
+            assert_eq!(x[0], y[0]);
+        }
+    }
+
+    #[test]
+    fn batches_cover_all_examples() {
+        let data = sample(10);
+        let batches = data.batches(3, None);
+        assert_eq!(batches.len(), 4);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+        assert!(!batches[0].is_empty());
+    }
+
+    #[test]
+    fn concat_checks_dimensions() {
+        let a = sample(3);
+        let b = sample(2);
+        assert_eq!(a.concat(&b).unwrap().len(), 5);
+        let c = Dataset::new(vec![Vector::zeros(5)], vec![Vector::zeros(1)]).unwrap();
+        assert!(a.concat(&c).is_err());
+    }
+
+    #[test]
+    fn example_and_iter() {
+        let data = sample(3);
+        let (x, y) = data.example(1);
+        assert_eq!(x[0], 1.0);
+        assert_eq!(y[0], 1.0);
+        assert_eq!(data.iter().count(), 3);
+    }
+}

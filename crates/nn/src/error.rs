@@ -1,0 +1,70 @@
+//! Error type for the neural-network crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, training, (de)serialising or
+/// evaluating a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// A layer received an input whose dimension does not match its expectation.
+    DimensionMismatch {
+        /// Name of the layer or operation reporting the mismatch.
+        context: String,
+        /// Dimension the layer expected.
+        expected: usize,
+        /// Dimension it actually received.
+        actual: usize,
+    },
+    /// Dataset construction failed (e.g. inputs/targets of different lengths).
+    InvalidDataset(String),
+    /// A network was built or used in an inconsistent way.
+    InvalidNetwork(String),
+    /// Parsing a serialised network failed.
+    Parse(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::DimensionMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            NnError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
+            NnError::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+            NnError::Parse(msg) => write!(f, "parse error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let err = NnError::DimensionMismatch {
+            context: "dense".into(),
+            expected: 4,
+            actual: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("dense"));
+        assert!(msg.contains('4'));
+        assert!(msg.contains('3'));
+    }
+
+    #[test]
+    fn other_variants_display() {
+        assert!(NnError::InvalidDataset("empty".into()).to_string().contains("empty"));
+        assert!(NnError::InvalidNetwork("no layers".into()).to_string().contains("no layers"));
+        assert!(NnError::Parse("bad header".into()).to_string().contains("bad header"));
+    }
+}

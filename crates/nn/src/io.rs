@@ -1,0 +1,290 @@
+//! Self-contained plain-text (de)serialisation of networks.
+//!
+//! The format is intentionally trivial — one whitespace-separated record per
+//! line — so that a trained model can be persisted, diffed and inspected
+//! without pulling in a serde data-format crate. It plays the role the
+//! TensorFlow model files play in the paper's original toolchain.
+
+use dpv_tensor::{Matrix, Vector};
+
+use crate::{Activation, BatchNorm1d, Dense, Flatten, Layer, MaxPool2d, Network, NnError, TensorShape};
+
+/// Serialises a network to the plain-text model format.
+///
+/// ```
+/// use dpv_nn::{network_to_text, network_from_text, Activation, NetworkBuilder};
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = NetworkBuilder::new(3).dense(2, &mut rng).activation(Activation::ReLU).build();
+/// let text = network_to_text(&net);
+/// let back = network_from_text(&text).unwrap();
+/// assert_eq!(net, back);
+/// ```
+pub fn network_to_text(network: &Network) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "dpv-network v1 input_dim {} layers {}\n",
+        network.input_dim(),
+        network.len()
+    ));
+    for layer in network.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                out.push_str(&format!("dense {} {}\n", d.output_dim(), d.input_dim()));
+                push_matrix(&mut out, d.weights());
+                push_vector(&mut out, d.bias());
+            }
+            Layer::Activation(a) => match a {
+                Activation::LeakyReLU(slope) => out.push_str(&format!("activation leaky_relu {slope}\n")),
+                other => out.push_str(&format!("activation {}\n", other.name())),
+            },
+            Layer::BatchNorm(bn) => {
+                out.push_str(&format!("batchnorm {} {}\n", bn.dim(), bn.eps()));
+                push_vector(&mut out, bn.gamma());
+                push_vector(&mut out, bn.beta());
+                push_vector(&mut out, bn.running_mean());
+                push_vector(&mut out, bn.running_var());
+            }
+            Layer::Conv2d(c) => {
+                let shape = c.input_shape();
+                out.push_str(&format!(
+                    "conv2d {} {} {} {} {} {}\n",
+                    shape.channels,
+                    shape.height,
+                    shape.width,
+                    c.output_shape().channels,
+                    c.kernel(),
+                    c.stride()
+                ));
+                push_matrix(&mut out, c.weights());
+                push_vector(&mut out, c.bias());
+            }
+            Layer::MaxPool2d(p) => {
+                let shape = p.input_shape();
+                out.push_str(&format!(
+                    "maxpool2d {} {} {} {}\n",
+                    shape.channels, shape.height, shape.width, p.pool()
+                ));
+            }
+            Layer::Flatten(f) => {
+                let shape = f.shape();
+                out.push_str(&format!(
+                    "flatten {} {} {}\n",
+                    shape.channels, shape.height, shape.width
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a network from the plain-text model format produced by
+/// [`network_to_text`].
+///
+/// # Errors
+/// Returns [`NnError::Parse`] when the text is malformed, and
+/// [`NnError::InvalidNetwork`] when the parsed layers are dimensionally
+/// inconsistent.
+pub fn network_from_text(text: &str) -> Result<Network, NnError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or_else(|| NnError::Parse("empty model text".into()))?;
+    let header_tokens: Vec<&str> = header.split_whitespace().collect();
+    if header_tokens.len() != 6 || header_tokens[0] != "dpv-network" || header_tokens[1] != "v1" {
+        return Err(NnError::Parse(format!("unrecognised header: {header}")));
+    }
+    let input_dim: usize = parse_token(header_tokens[3], "input_dim")?;
+    let layer_count: usize = parse_token(header_tokens[5], "layer count")?;
+
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let decl = lines
+            .next()
+            .ok_or_else(|| NnError::Parse("unexpected end of model text".into()))?;
+        let tokens: Vec<&str> = decl.split_whitespace().collect();
+        match tokens.first().copied() {
+            Some("dense") => {
+                let out_dim: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "dense rows")?;
+                let in_dim: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "dense cols")?;
+                let weights = read_matrix(&mut lines, out_dim, in_dim)?;
+                let bias = read_vector(&mut lines, out_dim)?;
+                layers.push(Layer::Dense(Dense::from_parts(weights, bias)));
+            }
+            Some("activation") => {
+                let kind = tokens.get(1).copied().unwrap_or("");
+                let act = match kind {
+                    "identity" => Activation::Identity,
+                    "relu" => Activation::ReLU,
+                    "sigmoid" => Activation::Sigmoid,
+                    "tanh" => Activation::Tanh,
+                    "leaky_relu" => {
+                        let slope: f64 = parse_token(tokens.get(2).copied().unwrap_or(""), "leaky slope")?;
+                        Activation::LeakyReLU(slope)
+                    }
+                    other => return Err(NnError::Parse(format!("unknown activation: {other}"))),
+                };
+                layers.push(Layer::Activation(act));
+            }
+            Some("batchnorm") => {
+                let dim: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "batchnorm dim")?;
+                let eps: f64 = parse_token(tokens.get(2).copied().unwrap_or(""), "batchnorm eps")?;
+                let gamma = read_vector(&mut lines, dim)?;
+                let beta = read_vector(&mut lines, dim)?;
+                let mean = read_vector(&mut lines, dim)?;
+                let var = read_vector(&mut lines, dim)?;
+                layers.push(Layer::BatchNorm(BatchNorm1d::from_parts(gamma, beta, mean, var, eps)));
+            }
+            Some("conv2d") => {
+                let c: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "conv channels")?;
+                let h: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "conv height")?;
+                let w: usize = parse_token(tokens.get(3).copied().unwrap_or(""), "conv width")?;
+                let out_c: usize = parse_token(tokens.get(4).copied().unwrap_or(""), "conv out channels")?;
+                let kernel: usize = parse_token(tokens.get(5).copied().unwrap_or(""), "conv kernel")?;
+                let stride: usize = parse_token(tokens.get(6).copied().unwrap_or(""), "conv stride")?;
+                let shape = TensorShape::new(c, h, w);
+                let fan_in = c * kernel * kernel;
+                let weights = read_matrix(&mut lines, out_c, fan_in)?;
+                let bias = read_vector(&mut lines, out_c)?;
+                let mut rng = rand::rngs::mock::StepRng::new(0, 0);
+                let mut conv = crate::Conv2d::new(
+                    shape,
+                    out_c,
+                    kernel,
+                    stride,
+                    dpv_tensor::Initializer::Zeros,
+                    &mut rng,
+                );
+                *conv.weights_mut() = weights;
+                *conv.bias_mut() = bias;
+                layers.push(Layer::Conv2d(conv));
+            }
+            Some("maxpool2d") => {
+                let c: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "pool channels")?;
+                let h: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "pool height")?;
+                let w: usize = parse_token(tokens.get(3).copied().unwrap_or(""), "pool width")?;
+                let pool: usize = parse_token(tokens.get(4).copied().unwrap_or(""), "pool size")?;
+                layers.push(Layer::MaxPool2d(MaxPool2d::new(TensorShape::new(c, h, w), pool)));
+            }
+            Some("flatten") => {
+                let c: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "flatten channels")?;
+                let h: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "flatten height")?;
+                let w: usize = parse_token(tokens.get(3).copied().unwrap_or(""), "flatten width")?;
+                layers.push(Layer::Flatten(Flatten::new(TensorShape::new(c, h, w))));
+            }
+            other => {
+                return Err(NnError::Parse(format!("unknown layer kind: {other:?}")));
+            }
+        }
+    }
+    Network::new(input_dim, layers)
+}
+
+fn parse_token<T: std::str::FromStr>(token: &str, what: &str) -> Result<T, NnError> {
+    token
+        .parse()
+        .map_err(|_| NnError::Parse(format!("cannot parse {what} from {token:?}")))
+}
+
+fn push_vector(out: &mut String, v: &Vector) {
+    let rendered: Vec<String> = v.iter().map(|x| format!("{x:e}")).collect();
+    out.push_str(&rendered.join(" "));
+    out.push('\n');
+}
+
+fn push_matrix(out: &mut String, m: &Matrix) {
+    for r in 0..m.rows() {
+        let rendered: Vec<String> = m.row(r).iter().map(|x| format!("{x:e}")).collect();
+        out.push_str(&rendered.join(" "));
+        out.push('\n');
+    }
+}
+
+fn read_vector<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    len: usize,
+) -> Result<Vector, NnError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| NnError::Parse("unexpected end of model text while reading vector".into()))?;
+    let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
+    let values = values.map_err(|_| NnError::Parse(format!("cannot parse vector line {line:?}")))?;
+    if values.len() != len {
+        return Err(NnError::Parse(format!(
+            "expected vector of length {len}, got {}",
+            values.len()
+        )));
+    }
+    Ok(Vector::from_vec(values))
+}
+
+fn read_matrix<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    rows: usize,
+    cols: usize,
+) -> Result<Matrix, NnError> {
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows {
+        let row = read_vector(lines, cols)?;
+        data.extend_from_slice(row.as_slice());
+    }
+    Matrix::from_flat(rows, cols, data).map_err(|e| NnError::Parse(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+    use dpv_tensor::approx_eq_slice;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_dense_relu_batchnorm() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let net = NetworkBuilder::new(4)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .batch_norm()
+            .dense(2, &mut rng)
+            .activation(Activation::LeakyReLU(0.05))
+            .build();
+        let text = network_to_text(&net);
+        let parsed = network_from_text(&text).unwrap();
+        assert_eq!(net, parsed);
+    }
+
+    #[test]
+    fn roundtrip_convolutional_network_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let net = NetworkBuilder::with_image_input(TensorShape::new(1, 6, 6))
+            .conv2d(2, 3, 1, &mut rng)
+            .activation(Activation::ReLU)
+            .max_pool(2)
+            .flatten()
+            .dense(3, &mut rng)
+            .build();
+        let text = network_to_text(&net);
+        let parsed = network_from_text(&text).unwrap();
+        let x = Vector::from_vec((0..36).map(|i| (i as f64 * 0.1).sin()).collect());
+        assert!(approx_eq_slice(
+            net.forward(&x).as_slice(),
+            parsed.forward(&x).as_slice(),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        assert!(network_from_text("").is_err());
+        assert!(network_from_text("bogus header here x y z\n").is_err());
+        assert!(network_from_text("dpv-network v1 input_dim 2 layers 1\nunknown_layer\n").is_err());
+        assert!(network_from_text("dpv-network v1 input_dim 2 layers 1\ndense 2 2\n1 2\n").is_err());
+    }
+
+    #[test]
+    fn header_reports_layer_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = NetworkBuilder::new(2).dense(2, &mut rng).build();
+        let text = network_to_text(&net);
+        assert!(text.starts_with("dpv-network v1 input_dim 2 layers 1"));
+    }
+}

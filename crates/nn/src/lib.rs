@@ -1,0 +1,84 @@
+//! # dpv-nn
+//!
+//! A from-scratch feed-forward neural-network library used both to *train*
+//! the direct-perception network / input-property characterizers of the
+//! paper and to *expose their structure* to the verification crates
+//! (`dpv-absint`, `dpv-lp`, `dpv-core`).
+//!
+//! The design follows the paper's needs rather than a general deep-learning
+//! framework:
+//!
+//! * layers are a closed [`Layer`] enum so verifiers can pattern-match on
+//!   the exact piecewise-linear structure (dense, ReLU, batch-norm, ...);
+//! * every network can report the activation vector at any layer
+//!   ([`Network::activation_at`]), which is how the characterizer is
+//!   attached at a close-to-output layer `l` and how the activation
+//!   envelope `S̃` is collected from the training data;
+//! * a network can be split at layer `l` ([`Network::split_at`]) yielding
+//!   the head `f^(l)` and the tail `g^(L) ∘ … ∘ g^(l+1)` — the tail is the
+//!   only part that reaches the MILP solver.
+//!
+//! Training uses plain backpropagation with SGD/momentum or Adam. Batch
+//! normalisation trains against running statistics (documented in
+//! [`BatchNorm1d`]) so that the trained layer is exactly the affine
+//! transform the verifier analyses.
+//!
+//! ## Example
+//!
+//! ```
+//! use dpv_nn::{Activation, Dataset, LossKind, NetworkBuilder, TrainConfig};
+//! use dpv_tensor::Vector;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = NetworkBuilder::new(2)
+//!     .dense(8, &mut rng)
+//!     .activation(Activation::ReLU)
+//!     .dense(1, &mut rng)
+//!     .build();
+//!
+//! // Learn y = x0 + x1 on a tiny dataset.
+//! let inputs: Vec<Vector> = (0..20)
+//!     .map(|i| Vector::from_slice(&[i as f64 / 20.0, (20 - i) as f64 / 20.0]))
+//!     .collect();
+//! let targets: Vec<Vector> = inputs.iter().map(|x| Vector::from_slice(&[x[0] + x[1]])).collect();
+//! let data = Dataset::new(inputs, targets).unwrap();
+//! let config = TrainConfig { epochs: 50, ..TrainConfig::default() };
+//! let history = dpv_nn::train(&mut net, &data, &config, LossKind::Mse, &mut rng);
+//! assert!(history.final_loss() < 0.5);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod batchnorm;
+mod builder;
+mod conv;
+mod dataset;
+mod dense;
+mod error;
+mod io;
+mod layer;
+mod loss;
+mod network;
+mod optimizer;
+mod pool;
+mod train;
+
+pub use activation::Activation;
+pub use batchnorm::BatchNorm1d;
+pub use builder::NetworkBuilder;
+pub use conv::Conv2d;
+pub use dataset::{Batch, Dataset};
+pub use dense::Dense;
+pub use error::NnError;
+pub use io::{network_from_text, network_to_text};
+pub use layer::{Layer, LayerCache, LayerGrad, TensorShape};
+pub use loss::{Loss, LossKind};
+pub use network::{ActivationTrace, Network};
+pub use optimizer::{Adam, Optimizer, OptimizerKind, Sgd};
+pub use pool::{Flatten, MaxPool2d};
+pub use train::{
+    binary_accuracy, evaluate_loss, labels_to_dataset, train, EpochStats, TrainConfig,
+    TrainHistory,
+};

@@ -1,0 +1,372 @@
+//! Gradient-descent optimisers.
+
+use dpv_tensor::{Matrix, Vector};
+
+use crate::{Layer, LayerGrad, Network};
+
+/// Per-parameter optimiser state for one layer.
+#[derive(Debug, Clone)]
+enum Slot {
+    None,
+    WeightBias { m_w: Matrix, v_w: Matrix, m_b: Vector, v_b: Vector },
+    GammaBeta { m_g: Vector, v_g: Vector, m_b: Vector, v_b: Vector },
+}
+
+/// The optimiser algorithms offered by [`Optimizer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// Stochastic gradient descent with optional momentum.
+    Sgd {
+        /// Momentum coefficient in `[0, 1)`; `0.0` disables momentum.
+        momentum: f64,
+    },
+    /// Adam with the usual exponential moving averages.
+    Adam {
+        /// First-moment decay (typically `0.9`).
+        beta1: f64,
+        /// Second-moment decay (typically `0.999`).
+        beta2: f64,
+        /// Numerical-stability constant.
+        eps: f64,
+    },
+}
+
+/// Convenience constructor type for plain SGD.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd;
+
+/// Convenience constructor type for Adam with default hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Adam;
+
+impl Sgd {
+    /// Creates an SGD optimiser with the given learning rate and momentum.
+    pub fn new(learning_rate: f64, momentum: f64) -> Optimizer {
+        Optimizer::new(learning_rate, OptimizerKind::Sgd { momentum })
+    }
+}
+
+impl Adam {
+    /// Creates an Adam optimiser with the given learning rate and the usual
+    /// default moment coefficients.
+    pub fn new(learning_rate: f64) -> Optimizer {
+        Optimizer::new(
+            learning_rate,
+            OptimizerKind::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+        )
+    }
+}
+
+/// A stateful optimiser that applies [`LayerGrad`]s to a [`Network`].
+///
+/// The state (momentum / moment estimates) is keyed by layer index, so one
+/// optimiser instance must be used with a single network for its lifetime.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    learning_rate: f64,
+    kind: OptimizerKind,
+    slots: Vec<Slot>,
+    step: u64,
+}
+
+impl Optimizer {
+    /// Creates an optimiser.
+    pub fn new(learning_rate: f64, kind: OptimizerKind) -> Self {
+        Self {
+            learning_rate,
+            kind,
+            slots: Vec::new(),
+            step: 0,
+        }
+    }
+
+    /// Learning rate currently in use.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Replaces the learning rate (e.g. for simple decay schedules).
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        self.learning_rate = lr;
+    }
+
+    /// Number of update steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    fn ensure_slots(&mut self, network: &Network) {
+        if self.slots.len() == network.len() {
+            return;
+        }
+        self.slots = network
+            .layers()
+            .iter()
+            .map(|layer| match layer {
+                Layer::Dense(d) => Slot::WeightBias {
+                    m_w: Matrix::zeros(d.weights().rows(), d.weights().cols()),
+                    v_w: Matrix::zeros(d.weights().rows(), d.weights().cols()),
+                    m_b: Vector::zeros(d.bias().len()),
+                    v_b: Vector::zeros(d.bias().len()),
+                },
+                Layer::Conv2d(c) => Slot::WeightBias {
+                    m_w: Matrix::zeros(c.weights().rows(), c.weights().cols()),
+                    v_w: Matrix::zeros(c.weights().rows(), c.weights().cols()),
+                    m_b: Vector::zeros(c.bias().len()),
+                    v_b: Vector::zeros(c.bias().len()),
+                },
+                Layer::BatchNorm(bn) => Slot::GammaBeta {
+                    m_g: Vector::zeros(bn.dim()),
+                    v_g: Vector::zeros(bn.dim()),
+                    m_b: Vector::zeros(bn.dim()),
+                    v_b: Vector::zeros(bn.dim()),
+                },
+                _ => Slot::None,
+            })
+            .collect();
+    }
+
+    /// Applies one gradient update to `network`.
+    ///
+    /// `grads` must be aligned with `network.layers()` (as produced by the
+    /// training loop in [`crate::train`]).
+    ///
+    /// # Panics
+    /// Panics when `grads.len() != network.len()`.
+    pub fn apply(&mut self, network: &mut Network, grads: &[LayerGrad]) {
+        assert_eq!(grads.len(), network.len(), "gradient/layer count mismatch");
+        self.ensure_slots(network);
+        self.step += 1;
+        let lr = self.learning_rate;
+        match self.kind {
+            OptimizerKind::Sgd { momentum } => {
+                for (i, layer) in network.layers_mut().iter_mut().enumerate() {
+                    match (&grads[i], &mut self.slots[i]) {
+                        (LayerGrad::WeightBias { weights, bias }, Slot::WeightBias { m_w, m_b, .. }) => {
+                            if momentum > 0.0 {
+                                *m_w = &m_w.scale(momentum) + weights;
+                                *m_b = &m_b.scale(momentum) + bias;
+                                layer.apply_grad(
+                                    lr,
+                                    &LayerGrad::WeightBias {
+                                        weights: m_w.clone(),
+                                        bias: m_b.clone(),
+                                    },
+                                );
+                            } else {
+                                layer.apply_grad(lr, &grads[i]);
+                            }
+                        }
+                        (LayerGrad::GammaBeta { gamma, beta }, Slot::GammaBeta { m_g, m_b, .. }) => {
+                            if momentum > 0.0 {
+                                *m_g = &m_g.scale(momentum) + gamma;
+                                *m_b = &m_b.scale(momentum) + beta;
+                                layer.apply_grad(
+                                    lr,
+                                    &LayerGrad::GammaBeta {
+                                        gamma: m_g.clone(),
+                                        beta: m_b.clone(),
+                                    },
+                                );
+                            } else {
+                                layer.apply_grad(lr, &grads[i]);
+                            }
+                        }
+                        (LayerGrad::None, _) => {}
+                        _ => panic!("gradient kind does not match optimiser slot"),
+                    }
+                }
+            }
+            OptimizerKind::Adam { beta1, beta2, eps } => {
+                let t = self.step as f64;
+                let bias_corr1 = 1.0 - beta1.powf(t);
+                let bias_corr2 = 1.0 - beta2.powf(t);
+                for (i, layer) in network.layers_mut().iter_mut().enumerate() {
+                    match (&grads[i], &mut self.slots[i]) {
+                        (
+                            LayerGrad::WeightBias { weights, bias },
+                            Slot::WeightBias { m_w, v_w, m_b, v_b },
+                        ) => {
+                            adam_update_matrix(m_w, v_w, weights, beta1, beta2);
+                            adam_update_vector(m_b, v_b, bias, beta1, beta2);
+                            let step_w = adam_step_matrix(m_w, v_w, bias_corr1, bias_corr2, eps);
+                            let step_b = adam_step_vector(m_b, v_b, bias_corr1, bias_corr2, eps);
+                            layer.apply_grad(
+                                lr,
+                                &LayerGrad::WeightBias {
+                                    weights: step_w,
+                                    bias: step_b,
+                                },
+                            );
+                        }
+                        (
+                            LayerGrad::GammaBeta { gamma, beta },
+                            Slot::GammaBeta { m_g, v_g, m_b, v_b },
+                        ) => {
+                            adam_update_vector(m_g, v_g, gamma, beta1, beta2);
+                            adam_update_vector(m_b, v_b, beta, beta1, beta2);
+                            let step_g = adam_step_vector(m_g, v_g, bias_corr1, bias_corr2, eps);
+                            let step_b = adam_step_vector(m_b, v_b, bias_corr1, bias_corr2, eps);
+                            layer.apply_grad(
+                                lr,
+                                &LayerGrad::GammaBeta {
+                                    gamma: step_g,
+                                    beta: step_b,
+                                },
+                            );
+                        }
+                        (LayerGrad::None, _) => {}
+                        _ => panic!("gradient kind does not match optimiser slot"),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn adam_update_matrix(m: &mut Matrix, v: &mut Matrix, grad: &Matrix, beta1: f64, beta2: f64) {
+    for i in 0..m.as_slice().len() {
+        let g = grad.as_slice()[i];
+        m.as_mut_slice()[i] = beta1 * m.as_slice()[i] + (1.0 - beta1) * g;
+        v.as_mut_slice()[i] = beta2 * v.as_slice()[i] + (1.0 - beta2) * g * g;
+    }
+}
+
+fn adam_update_vector(m: &mut Vector, v: &mut Vector, grad: &Vector, beta1: f64, beta2: f64) {
+    for i in 0..m.len() {
+        let g = grad[i];
+        m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+        v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+    }
+}
+
+fn adam_step_matrix(m: &Matrix, v: &Matrix, corr1: f64, corr2: f64, eps: f64) -> Matrix {
+    let mut out = m.clone();
+    for i in 0..out.as_slice().len() {
+        let m_hat = m.as_slice()[i] / corr1;
+        let v_hat = v.as_slice()[i] / corr2;
+        out.as_mut_slice()[i] = m_hat / (v_hat.sqrt() + eps);
+    }
+    out
+}
+
+fn adam_step_vector(m: &Vector, v: &Vector, corr1: f64, corr2: f64, eps: f64) -> Vector {
+    let mut out = m.clone();
+    for i in 0..out.len() {
+        let m_hat = m[i] / corr1;
+        let v_hat = v[i] / corr2;
+        out[i] = m_hat / (v_hat.sqrt() + eps);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, Dataset, LossKind, NetworkBuilder, TrainConfig};
+    use dpv_tensor::Vector;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_dataset() -> Dataset {
+        // y = 2*x0 - x1
+        let inputs: Vec<Vector> = (0..40)
+            .map(|i| {
+                let a = (i % 8) as f64 / 8.0;
+                let b = (i / 8) as f64 / 5.0;
+                Vector::from_slice(&[a, b])
+            })
+            .collect();
+        let targets: Vec<Vector> = inputs
+            .iter()
+            .map(|x| Vector::from_slice(&[2.0 * x[0] - x[1]]))
+            .collect();
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_linear_problem() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = NetworkBuilder::new(2).dense(1, &mut rng).build();
+        let data = toy_dataset();
+        let config = TrainConfig {
+            epochs: 100,
+            learning_rate: 0.1,
+            batch_size: 4,
+            optimizer: OptimizerKind::Sgd { momentum: 0.0 },
+            shuffle: true,
+            verbose: false,
+        };
+        let history = crate::train(&mut net, &data, &config, LossKind::Mse, &mut rng);
+        assert!(history.final_loss() < 1e-3, "loss: {}", history.final_loss());
+    }
+
+    #[test]
+    fn momentum_sgd_converges() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut net = NetworkBuilder::new(2)
+            .dense(8, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let data = toy_dataset();
+        let config = TrainConfig {
+            epochs: 120,
+            learning_rate: 0.05,
+            batch_size: 8,
+            optimizer: OptimizerKind::Sgd { momentum: 0.9 },
+            shuffle: true,
+            verbose: false,
+        };
+        let history = crate::train(&mut net, &data, &config, LossKind::Mse, &mut rng);
+        assert!(history.final_loss() < 1e-2, "loss: {}", history.final_loss());
+    }
+
+    #[test]
+    fn adam_converges_faster_than_plain_sgd_on_relu_net() {
+        let data = toy_dataset();
+        let run = |kind: OptimizerKind, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut net = NetworkBuilder::new(2)
+                .dense(8, &mut rng)
+                .activation(Activation::ReLU)
+                .dense(1, &mut rng)
+                .build();
+            let config = TrainConfig {
+                epochs: 40,
+                learning_rate: 0.01,
+                batch_size: 4,
+                optimizer: kind,
+                shuffle: false,
+                verbose: false,
+            };
+            let mut rng2 = StdRng::seed_from_u64(seed + 1);
+            crate::train(&mut net, &data, &config, LossKind::Mse, &mut rng2).final_loss()
+        };
+        let adam_loss = run(
+            OptimizerKind::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            21,
+        );
+        let sgd_loss = run(OptimizerKind::Sgd { momentum: 0.0 }, 21);
+        assert!(adam_loss < sgd_loss * 1.5, "adam {adam_loss} vs sgd {sgd_loss}");
+    }
+
+    #[test]
+    fn optimizer_accessors() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        assert_eq!(opt.steps(), 0);
+        let adam = Adam::new(0.001);
+        assert_eq!(adam.learning_rate(), 0.001);
+    }
+}

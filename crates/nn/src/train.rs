@@ -1,0 +1,291 @@
+//! Mini-batch training loop.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dpv_tensor::Vector;
+
+use crate::{Dataset, LayerGrad, LossKind, Network, Optimizer, OptimizerKind};
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the dataset.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Mini-batch size (gradients are averaged over the batch).
+    pub batch_size: usize,
+    /// Optimiser algorithm.
+    pub optimizer: OptimizerKind,
+    /// Whether to reshuffle the example order every epoch.
+    pub shuffle: bool,
+    /// Whether to print a line per epoch to stdout.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 50,
+            learning_rate: 0.01,
+            batch_size: 16,
+            optimizer: OptimizerKind::Adam {
+                beta1: 0.9,
+                beta2: 0.999,
+                eps: 1e-8,
+            },
+            shuffle: true,
+            verbose: false,
+        }
+    }
+}
+
+/// Loss statistics for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (zero-based).
+    pub epoch: usize,
+    /// Mean loss over all examples seen in the epoch.
+    pub mean_loss: f64,
+}
+
+/// The per-epoch loss curve of a training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainHistory {
+    epochs: Vec<EpochStats>,
+}
+
+impl TrainHistory {
+    /// Per-epoch statistics in order.
+    pub fn epochs(&self) -> &[EpochStats] {
+        &self.epochs
+    }
+
+    /// Mean loss of the final epoch (`f64::INFINITY` when no epoch ran).
+    pub fn final_loss(&self) -> f64 {
+        self.epochs.last().map_or(f64::INFINITY, |e| e.mean_loss)
+    }
+
+    /// Mean loss of the first epoch (`f64::INFINITY` when no epoch ran).
+    pub fn initial_loss(&self) -> f64 {
+        self.epochs.first().map_or(f64::INFINITY, |e| e.mean_loss)
+    }
+
+    /// Returns `true` when the final loss improved on the initial loss.
+    pub fn improved(&self) -> bool {
+        self.final_loss() < self.initial_loss()
+    }
+}
+
+/// Trains `network` on `data` with the given configuration and loss.
+///
+/// Gradients are averaged over each mini-batch; batch-norm running statistics
+/// are updated sample by sample during the forward passes.
+pub fn train<R: Rng + ?Sized>(
+    network: &mut Network,
+    data: &Dataset,
+    config: &TrainConfig,
+    loss: LossKind,
+    rng: &mut R,
+) -> TrainHistory {
+    let mut optimizer = Optimizer::new(config.learning_rate, config.optimizer);
+    let mut history = TrainHistory::default();
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for epoch in 0..config.epochs {
+        if config.shuffle {
+            order.shuffle(rng);
+        }
+        let mut epoch_loss = 0.0;
+        let mut examples = 0usize;
+        for batch in data.batches(config.batch_size, Some(&order)) {
+            let mut accumulated: Option<Vec<LayerGrad>> = None;
+            for (x, y) in batch.inputs.iter().zip(batch.targets.iter()) {
+                let (prediction, caches) = network.forward_train(x);
+                let loss_value = loss.evaluate(&prediction, y);
+                epoch_loss += loss_value.value;
+                examples += 1;
+                let (grads, _) = network.backward(&caches, &loss_value.grad);
+                accumulated = Some(match accumulated {
+                    None => grads,
+                    Some(acc) => add_grads(acc, grads),
+                });
+            }
+            if let Some(mut grads) = accumulated {
+                let scale = 1.0 / batch.len().max(1) as f64;
+                scale_grads(&mut grads, scale);
+                optimizer.apply(network, &grads);
+            }
+        }
+        let mean_loss = epoch_loss / examples.max(1) as f64;
+        if config.verbose {
+            println!("epoch {epoch:4}  loss {mean_loss:.6}");
+        }
+        history.epochs.push(EpochStats { epoch, mean_loss });
+    }
+    history
+}
+
+/// Mean loss of `network` over a dataset without updating any parameters.
+pub fn evaluate_loss(network: &Network, data: &Dataset, loss: LossKind) -> f64 {
+    let total: f64 = data
+        .iter()
+        .map(|(x, y)| loss.evaluate(&network.forward(x), y).value)
+        .sum();
+    total / data.len().max(1) as f64
+}
+
+/// Classification accuracy of a single-logit binary classifier over a dataset
+/// whose targets are `0.0` / `1.0` scalars. The decision threshold is a logit
+/// of `0` (probability one half).
+pub fn binary_accuracy(network: &Network, data: &Dataset) -> f64 {
+    let correct = data
+        .iter()
+        .filter(|(x, y)| {
+            let logit = network.forward(x)[0];
+            let predicted = if logit >= 0.0 { 1.0 } else { 0.0 };
+            (predicted - y[0]).abs() < 0.5
+        })
+        .count();
+    correct as f64 / data.len().max(1) as f64
+}
+
+fn add_grads(mut acc: Vec<LayerGrad>, other: Vec<LayerGrad>) -> Vec<LayerGrad> {
+    for (a, b) in acc.iter_mut().zip(other.into_iter()) {
+        match (a, b) {
+            (
+                LayerGrad::WeightBias { weights: wa, bias: ba },
+                LayerGrad::WeightBias { weights: wb, bias: bb },
+            ) => {
+                wa.add_scaled(1.0, &wb);
+                *ba += &bb;
+            }
+            (
+                LayerGrad::GammaBeta { gamma: ga, beta: ba },
+                LayerGrad::GammaBeta { gamma: gb, beta: bb },
+            ) => {
+                *ga += &gb;
+                *ba += &bb;
+            }
+            (LayerGrad::None, LayerGrad::None) => {}
+            _ => panic!("gradient kinds diverge between examples of one batch"),
+        }
+    }
+    acc
+}
+
+fn scale_grads(grads: &mut [LayerGrad], scale: f64) {
+    for g in grads {
+        match g {
+            LayerGrad::WeightBias { weights, bias } => {
+                *weights = weights.scale(scale);
+                *bias = bias.scale(scale);
+            }
+            LayerGrad::GammaBeta { gamma, beta } => {
+                *gamma = gamma.scale(scale);
+                *beta = beta.scale(scale);
+            }
+            LayerGrad::None => {}
+        }
+    }
+}
+
+/// Builds a dataset of scalar binary labels from raw `(input, bool)` pairs —
+/// the shape used when training input-property characterizers from oracle
+/// labels.
+pub fn labels_to_dataset(examples: Vec<(Vector, bool)>) -> Result<Dataset, crate::NnError> {
+    let (inputs, targets): (Vec<Vector>, Vec<Vector>) = examples
+        .into_iter()
+        .map(|(x, label)| (x, Vector::from_slice(&[if label { 1.0 } else { 0.0 }])))
+        .unzip();
+    Dataset::new(inputs, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_like_dataset() -> Dataset {
+        // A linearly separable binary problem: label = x0 > x1.
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let x0 = i as f64 / 10.0;
+                let x1 = j as f64 / 10.0;
+                inputs.push(Vector::from_slice(&[x0, x1]));
+                targets.push(Vector::from_slice(&[if x0 > x1 { 1.0 } else { 0.0 }]));
+            }
+        }
+        Dataset::new(inputs, targets).unwrap()
+    }
+
+    #[test]
+    fn training_reduces_regression_loss() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = NetworkBuilder::new(2)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let data = xor_like_dataset();
+        let config = TrainConfig {
+            epochs: 30,
+            ..TrainConfig::default()
+        };
+        let history = train(&mut net, &data, &config, LossKind::Mse, &mut rng);
+        assert!(history.improved());
+        assert!(history.final_loss() < history.initial_loss());
+        assert_eq!(history.epochs().len(), 30);
+    }
+
+    #[test]
+    fn binary_classifier_reaches_high_accuracy() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = NetworkBuilder::new(2)
+            .dense(8, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let data = xor_like_dataset();
+        let config = TrainConfig {
+            epochs: 60,
+            learning_rate: 0.02,
+            ..TrainConfig::default()
+        };
+        train(&mut net, &data, &config, LossKind::BceWithLogits, &mut rng);
+        let acc = binary_accuracy(&net, &data);
+        assert!(acc > 0.93, "accuracy only {acc}");
+    }
+
+    #[test]
+    fn evaluate_loss_is_consistent_with_training_objective() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = NetworkBuilder::new(2).dense(1, &mut rng).build();
+        let data = xor_like_dataset();
+        let loss = evaluate_loss(&net, &data, LossKind::Mse);
+        assert!(loss.is_finite());
+        assert!(loss >= 0.0);
+    }
+
+    #[test]
+    fn labels_to_dataset_builds_binary_targets() {
+        let data = labels_to_dataset(vec![
+            (Vector::zeros(2), true),
+            (Vector::ones(2), false),
+        ])
+        .unwrap();
+        assert_eq!(data.targets()[0].as_slice(), &[1.0]);
+        assert_eq!(data.targets()[1].as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn empty_history_reports_infinite_loss() {
+        let h = TrainHistory::default();
+        assert_eq!(h.final_loss(), f64::INFINITY);
+        assert!(!h.improved());
+    }
+}

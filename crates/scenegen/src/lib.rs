@@ -1,0 +1,63 @@
+//! # dpv-scenegen
+//!
+//! Synthetic road-scene generator standing in for the proprietary camera
+//! data used in the paper's evaluation (camera recordings of a German A9
+//! highway segment, labelled by experts).
+//!
+//! The paper needs three things from its data source:
+//!
+//! 1. **images** whose ground-truth affordances (next-waypoint lateral
+//!    offset and orientation) are known, to train the direct-perception
+//!    network;
+//! 2. **property labels** (road bends right / left / straight, traffic
+//!    participants in adjacent lanes, ...) produced by an oracle, to train
+//!    the input property characterizers;
+//! 3. an **operational design domain (ODD)**: a distribution of realistic
+//!    scenes whose layer-`l` activations define the assume-guarantee
+//!    envelope `S̃`, plus *out-of-ODD* scenes to exercise the runtime
+//!    monitor.
+//!
+//! This crate provides all three with a parametric scene model
+//! ([`SceneParams`]) rendered into small grey-scale images by a
+//! perspective-ish painter ([`render_scene`]). The renderer is intentionally
+//! simple — the verification pipeline never looks at the pixels, only the
+//! trained network does — but it preserves the causal structure the paper
+//! relies on: road curvature determines both the image content and the
+//! correct affordance, while nuisance parameters (lighting, noise, traffic)
+//! perturb the image without changing the affordance.
+//!
+//! ## Example
+//!
+//! ```
+//! use dpv_scenegen::{OddSampler, SceneConfig, PropertyKind};
+//! use rand::SeedableRng;
+//!
+//! let config = SceneConfig::small();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let sampler = OddSampler::new(config);
+//! let scene = sampler.sample_in_odd(&mut rng);
+//! let image = dpv_scenegen::render_scene(&scene, &config);
+//! assert_eq!(image.len(), config.pixel_count());
+//! let bends_right = PropertyKind::BendsRight.holds(&scene, &config);
+//! let affordance = dpv_scenegen::affordance(&scene, &config);
+//! assert_eq!(affordance.len(), 2);
+//! let _ = bends_right;
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod affordance;
+mod dataset;
+mod property;
+mod render;
+mod sampler;
+mod scene;
+
+pub use affordance::{affordance, Affordance, AFFORDANCE_DIM};
+pub use dataset::{
+    characterizer_dataset, perception_dataset, property_examples, DatasetBundle, GeneratorConfig,
+};
+pub use property::PropertyKind;
+pub use render::render_scene;
+pub use sampler::OddSampler;
+pub use scene::{SceneConfig, SceneParams};

@@ -1,0 +1,143 @@
+//! Input-property oracles over scene parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{SceneConfig, SceneParams};
+
+/// The input properties φ considered in the experiments.
+///
+/// Each property is decidable from the hidden scene parameters; the scene
+/// oracle therefore plays the role of the human expert in the paper, who
+/// labels images with "the road strongly bends to the right" etc. The
+/// trained characterizer only ever sees the *image* (through the perception
+/// network's close-to-output activations), never these parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropertyKind {
+    /// The road bends to the right with at least the strong-bend curvature.
+    BendsRight,
+    /// The road bends to the left with at least the strong-bend curvature.
+    BendsLeft,
+    /// The road is (nearly) straight.
+    Straight,
+    /// A traffic participant occupies the adjacent lane. Unrelated to the
+    /// affordance output — the information-bottleneck case of experiment E3.
+    AdjacentTraffic,
+    /// The scene is darker than the lighting threshold (dusk / tunnel).
+    LowLight,
+}
+
+impl PropertyKind {
+    /// All property kinds, in a stable order.
+    pub const ALL: [PropertyKind; 5] = [
+        PropertyKind::BendsRight,
+        PropertyKind::BendsLeft,
+        PropertyKind::Straight,
+        PropertyKind::AdjacentTraffic,
+        PropertyKind::LowLight,
+    ];
+
+    /// Ground-truth decision: does the property hold for this scene?
+    pub fn holds(self, scene: &SceneParams, config: &SceneConfig) -> bool {
+        match self {
+            PropertyKind::BendsRight => scene.curvature >= config.strong_bend_threshold,
+            PropertyKind::BendsLeft => scene.curvature <= -config.strong_bend_threshold,
+            PropertyKind::Straight => scene.curvature.abs() <= config.straight_threshold,
+            PropertyKind::AdjacentTraffic => scene.adjacent_traffic,
+            PropertyKind::LowLight => scene.lighting < (config.min_lighting + 0.15),
+        }
+    }
+
+    /// Returns `true` when the property is, by construction of the scene
+    /// model, causally related to the affordance output (curvature-derived
+    /// properties are; traffic and lighting are not). Used by experiment E3
+    /// to split properties into "learnable at close-to-output layers" and
+    /// "information-bottlenecked".
+    pub fn is_output_related(self) -> bool {
+        matches!(
+            self,
+            PropertyKind::BendsRight | PropertyKind::BendsLeft | PropertyKind::Straight
+        )
+    }
+
+    /// Short snake_case name used in reports and benchmark labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PropertyKind::BendsRight => "bends_right",
+            PropertyKind::BendsLeft => "bends_left",
+            PropertyKind::Straight => "straight",
+            PropertyKind::AdjacentTraffic => "adjacent_traffic",
+            PropertyKind::LowLight => "low_light",
+        }
+    }
+}
+
+impl fmt::Display for PropertyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SceneConfig {
+        SceneConfig::small()
+    }
+
+    #[test]
+    fn bend_properties_follow_curvature_sign() {
+        let cfg = cfg();
+        let right = SceneParams::nominal().with_curvature(0.8);
+        let left = SceneParams::nominal().with_curvature(-0.8);
+        let straight = SceneParams::nominal().with_curvature(0.05);
+        assert!(PropertyKind::BendsRight.holds(&right, &cfg));
+        assert!(!PropertyKind::BendsRight.holds(&left, &cfg));
+        assert!(!PropertyKind::BendsRight.holds(&straight, &cfg));
+        assert!(PropertyKind::BendsLeft.holds(&left, &cfg));
+        assert!(PropertyKind::Straight.holds(&straight, &cfg));
+        assert!(!PropertyKind::Straight.holds(&right, &cfg));
+    }
+
+    #[test]
+    fn moderate_bend_is_neither_strong_nor_straight() {
+        let cfg = cfg();
+        let moderate = SceneParams::nominal().with_curvature(0.3);
+        assert!(!PropertyKind::BendsRight.holds(&moderate, &cfg));
+        assert!(!PropertyKind::BendsLeft.holds(&moderate, &cfg));
+        assert!(!PropertyKind::Straight.holds(&moderate, &cfg));
+    }
+
+    #[test]
+    fn traffic_and_lighting_properties() {
+        let cfg = cfg();
+        assert!(PropertyKind::AdjacentTraffic
+            .holds(&SceneParams::nominal().with_adjacent_traffic(0.5), &cfg));
+        assert!(!PropertyKind::AdjacentTraffic.holds(&SceneParams::nominal(), &cfg));
+        let mut dark = SceneParams::nominal();
+        dark.lighting = 0.6;
+        assert!(PropertyKind::LowLight.holds(&dark, &cfg));
+        assert!(!PropertyKind::LowLight.holds(&SceneParams::nominal(), &cfg));
+    }
+
+    #[test]
+    fn output_relatedness_partition() {
+        let related: Vec<_> = PropertyKind::ALL
+            .iter()
+            .filter(|p| p.is_output_related())
+            .collect();
+        assert_eq!(related.len(), 3);
+        assert!(!PropertyKind::AdjacentTraffic.is_output_related());
+        assert!(!PropertyKind::LowLight.is_output_related());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = PropertyKind::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PropertyKind::ALL.len());
+        assert_eq!(format!("{}", PropertyKind::BendsRight), "bends_right");
+    }
+}

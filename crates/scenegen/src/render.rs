@@ -1,0 +1,223 @@
+//! Grey-scale renderer mapping [`SceneParams`] to flattened images.
+
+use dpv_tensor::Vector;
+
+use crate::{SceneConfig, SceneParams};
+
+/// Pixel intensity of the road surface.
+const ROAD_INTENSITY: f64 = 0.55;
+/// Pixel intensity of lane markings.
+const MARKING_INTENSITY: f64 = 0.95;
+/// Pixel intensity of off-road terrain.
+const TERRAIN_INTENSITY: f64 = 0.2;
+/// Pixel intensity of a traffic participant.
+const VEHICLE_INTENSITY: f64 = 0.05;
+
+/// Renders a scene into a flattened single-channel image of
+/// `config.height * config.width` pixels in row-major order, row 0 at the
+/// *top* (far away) and the last row at the *bottom* (next to the ego
+/// vehicle). All pixel values are clamped to `[0, 1]`, matching the paper's
+/// note that training inputs are rescaled to the unit interval.
+///
+/// The projection is a cheap pin-hole approximation: each image row `r`
+/// corresponds to a longitudinal distance, the road centre shifts laterally
+/// with `curvature * distance²`, `heading_error * distance` and the ego
+/// offset, and the apparent road width shrinks towards the horizon.
+///
+/// Deterministic for a given scene except for the additive noise, which is
+/// generated from a small deterministic hash of the scene parameters so the
+/// whole pipeline stays reproducible without threading RNGs through the
+/// renderer.
+pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
+    let h = config.height;
+    let w = config.width;
+    let mut pixels = vec![0.0f64; h * w];
+    let widthf = w as f64;
+
+    for row in 0..h {
+        // distance 0 at the bottom row, 1 at the top row (horizon).
+        let distance = 1.0 - (row as f64 + 0.5) / h as f64;
+        // Lateral position of the road centre in pixels.
+        let centre = widthf / 2.0
+            - scene.ego_offset * widthf * 0.35
+            + scene.curvature * distance * distance * widthf * 0.45
+            + scene.heading_error * distance * widthf * 0.9;
+        // Perspective: the road narrows towards the horizon.
+        let half_width = widthf * (0.42 - 0.30 * distance);
+        let marking_half_width = (half_width * 0.06).max(0.5);
+
+        for col in 0..w {
+            let x = col as f64 + 0.5;
+            let offset = x - centre;
+            let idx = row * w + col;
+            let value = if offset.abs() <= half_width {
+                // Lane markings at the centre and at both road edges.
+                let near_centre = offset.abs() <= marking_half_width;
+                let near_edge = (offset.abs() - half_width).abs() <= marking_half_width;
+                if near_centre || near_edge {
+                    MARKING_INTENSITY
+                } else {
+                    ROAD_INTENSITY
+                }
+            } else {
+                TERRAIN_INTENSITY
+            };
+            pixels[idx] = value;
+        }
+
+        // Adjacent-lane traffic participant: a dark box one lane to the left.
+        if scene.adjacent_traffic {
+            let traffic_distance = scene.traffic_distance.clamp(0.0, 1.0);
+            // The participant spans a band of rows around its distance.
+            if (distance - traffic_distance).abs() <= 0.12 {
+                let lane_shift = half_width * 1.1;
+                let vehicle_centre = centre - lane_shift;
+                let vehicle_half = (half_width * 0.35).max(1.0);
+                for col in 0..w {
+                    let x = col as f64 + 0.5;
+                    if (x - vehicle_centre).abs() <= vehicle_half {
+                        pixels[row * w + col] = VEHICLE_INTENSITY;
+                    }
+                }
+            }
+        }
+    }
+
+    // Lighting and deterministic noise.
+    let lighting = scene.lighting.clamp(0.05, 1.0);
+    let mut state = scene_hash(scene);
+    for p in &mut pixels {
+        let mut value = *p * lighting;
+        if scene.noise > 0.0 {
+            value += scene.noise * next_noise(&mut state);
+        }
+        *p = value.clamp(0.0, 1.0);
+    }
+    Vector::from_vec(pixels)
+}
+
+/// Cheap deterministic hash of the scene parameters used to seed the noise
+/// sequence, so identical scenes always render to identical images.
+fn scene_hash(scene: &SceneParams) -> u64 {
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    for v in [
+        scene.curvature,
+        scene.ego_offset,
+        scene.heading_error,
+        scene.lighting,
+        scene.noise,
+        scene.traffic_distance,
+        if scene.adjacent_traffic { 1.0 } else { 0.0 },
+    ] {
+        state ^= v.to_bits();
+        state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state ^= state >> 27;
+    }
+    state
+}
+
+/// xorshift-based pseudo-normal noise in roughly `[-2, 2]` (sum of uniforms).
+fn next_noise(state: &mut u64) -> f64 {
+    let mut sum = 0.0;
+    for _ in 0..4 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let uniform = (*state >> 11) as f64 / (1u64 << 53) as f64;
+        sum += uniform;
+    }
+    (sum - 2.0) * 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SceneConfig {
+        SceneConfig::small()
+    }
+
+    /// Mean column index of the brightest pixel per row, a proxy for where
+    /// the road is in the image.
+    fn road_centre_of_mass(image: &Vector, config: &SceneConfig) -> f64 {
+        let mut total = 0.0;
+        let mut weight = 0.0;
+        for row in 0..config.height {
+            for col in 0..config.width {
+                let v = image[row * config.width + col];
+                if v > 0.4 {
+                    total += col as f64 * v;
+                    weight += v;
+                }
+            }
+        }
+        total / weight.max(1e-9)
+    }
+
+    #[test]
+    fn image_has_expected_size_and_range() {
+        let image = render_scene(&SceneParams::nominal(), &config());
+        assert_eq!(image.len(), config().pixel_count());
+        assert!(image.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let scene = SceneParams::nominal().with_curvature(0.3);
+        let a = render_scene(&scene, &config());
+        let b = render_scene(&scene, &config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn right_bend_shifts_road_to_the_right() {
+        let cfg = config();
+        let straight = render_scene(&SceneParams::nominal(), &cfg);
+        let right = render_scene(&SceneParams::nominal().with_curvature(0.9), &cfg);
+        let left = render_scene(&SceneParams::nominal().with_curvature(-0.9), &cfg);
+        let c_straight = road_centre_of_mass(&straight, &cfg);
+        let c_right = road_centre_of_mass(&right, &cfg);
+        let c_left = road_centre_of_mass(&left, &cfg);
+        assert!(c_right > c_straight + 0.5, "right: {c_right}, straight: {c_straight}");
+        assert!(c_left < c_straight - 0.5, "left: {c_left}, straight: {c_straight}");
+    }
+
+    #[test]
+    fn lighting_darkens_the_image() {
+        let cfg = config();
+        let day = render_scene(&SceneParams::nominal(), &cfg);
+        let mut dusk_scene = SceneParams::nominal();
+        dusk_scene.lighting = 0.5;
+        let dusk = render_scene(&dusk_scene, &cfg);
+        assert!(dusk.mean() < day.mean() * 0.7);
+    }
+
+    #[test]
+    fn traffic_participant_darkens_adjacent_lane() {
+        let cfg = config();
+        let without = render_scene(&SceneParams::nominal(), &cfg);
+        let with = render_scene(&SceneParams::nominal().with_adjacent_traffic(0.3), &cfg);
+        // The vehicle is dark, so the image mean must drop.
+        assert!(with.mean() < without.mean());
+        assert_ne!(with, without);
+    }
+
+    #[test]
+    fn noise_perturbs_but_respects_bounds() {
+        let cfg = config();
+        let mut scene = SceneParams::nominal();
+        scene.noise = 0.05;
+        let noisy = render_scene(&scene, &cfg);
+        let clean = render_scene(&SceneParams::nominal(), &cfg);
+        assert_ne!(noisy, clean);
+        assert!(noisy.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn different_scenes_produce_different_images() {
+        let cfg = config();
+        let a = render_scene(&SceneParams::nominal().with_curvature(0.2), &cfg);
+        let b = render_scene(&SceneParams::nominal().with_curvature(0.4), &cfg);
+        assert_ne!(a, b);
+    }
+}

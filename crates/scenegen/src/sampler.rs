@@ -1,0 +1,152 @@
+//! Sampling scenes inside and outside the operational design domain.
+
+use rand::Rng;
+
+use crate::{SceneConfig, SceneParams};
+
+/// Samples scene parameters from the operational design domain (ODD) — the
+/// distribution the paper's training data is drawn from ("a particular
+/// segment of the German A9 highway, with variations such as weather and the
+/// current lane") — or from outside it, to exercise the runtime monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OddSampler {
+    config: SceneConfig,
+}
+
+impl OddSampler {
+    /// Creates a sampler for the given configuration.
+    pub fn new(config: SceneConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration the sampler draws from.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Samples a scene inside the ODD: curvature, offset, heading, lighting
+    /// and noise all within the configured ranges; adjacent traffic present
+    /// in roughly a third of the scenes.
+    pub fn sample_in_odd<R: Rng + ?Sized>(&self, rng: &mut R) -> SceneParams {
+        let c = &self.config;
+        SceneParams {
+            curvature: rng.gen_range(-c.max_curvature..=c.max_curvature),
+            ego_offset: rng.gen_range(-c.max_ego_offset..=c.max_ego_offset),
+            heading_error: rng.gen_range(-c.max_heading_error..=c.max_heading_error),
+            lighting: rng.gen_range(c.min_lighting..=1.0),
+            noise: rng.gen_range(0.0..=c.max_noise),
+            adjacent_traffic: rng.gen_bool(0.35),
+            traffic_distance: rng.gen_range(0.0..=1.0),
+        }
+    }
+
+    /// Samples a scene satisfying `predicate`, by rejection from the ODD.
+    ///
+    /// # Panics
+    /// Panics when no satisfying scene is found within 100 000 attempts,
+    /// which indicates a predicate that is (nearly) unsatisfiable in the ODD.
+    pub fn sample_where<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        predicate: impl Fn(&SceneParams) -> bool,
+    ) -> SceneParams {
+        for _ in 0..100_000 {
+            let scene = self.sample_in_odd(rng);
+            if predicate(&scene) {
+                return scene;
+            }
+        }
+        panic!("sample_where: predicate unsatisfied after 100000 rejection-sampling attempts");
+    }
+
+    /// Samples a scene *outside* the ODD: at least one parameter exceeds its
+    /// configured range (sharper curvature, stronger noise, darker lighting
+    /// or a larger lateral offset). These are the inputs the runtime monitor
+    /// is expected to flag.
+    pub fn sample_out_of_odd<R: Rng + ?Sized>(&self, rng: &mut R) -> SceneParams {
+        let c = &self.config;
+        let mut scene = self.sample_in_odd(rng);
+        // Pick which aspect leaves the ODD (possibly several).
+        match rng.gen_range(0..4) {
+            0 => {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                scene.curvature = sign * rng.gen_range(c.max_curvature * 1.5..=c.max_curvature * 3.0);
+            }
+            1 => {
+                scene.noise = rng.gen_range(c.max_noise * 4.0..=c.max_noise * 10.0 + 0.2);
+            }
+            2 => {
+                scene.lighting = rng.gen_range(0.05..=c.min_lighting * 0.5);
+            }
+            _ => {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                scene.ego_offset = sign * rng.gen_range(c.max_ego_offset * 2.0..=c.max_ego_offset * 4.0);
+            }
+        }
+        scene
+    }
+
+    /// Returns `true` when every scene parameter is within the ODD ranges.
+    pub fn is_in_odd(&self, scene: &SceneParams) -> bool {
+        let c = &self.config;
+        scene.curvature.abs() <= c.max_curvature
+            && scene.ego_offset.abs() <= c.max_ego_offset
+            && scene.heading_error.abs() <= c.max_heading_error
+            && scene.lighting >= c.min_lighting
+            && scene.lighting <= 1.0
+            && scene.noise <= c.max_noise
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn in_odd_samples_are_in_odd() {
+        let sampler = OddSampler::new(SceneConfig::small());
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..200 {
+            let scene = sampler.sample_in_odd(&mut rng);
+            assert!(sampler.is_in_odd(&scene), "scene out of ODD: {scene:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_odd_samples_leave_the_odd() {
+        let sampler = OddSampler::new(SceneConfig::small());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let scene = sampler.sample_out_of_odd(&mut rng);
+            assert!(!sampler.is_in_odd(&scene), "scene unexpectedly in ODD: {scene:?}");
+        }
+    }
+
+    #[test]
+    fn sample_where_respects_predicate() {
+        let sampler = OddSampler::new(SceneConfig::small());
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let scene = sampler.sample_where(&mut rng, |s| s.curvature > 0.5);
+            assert!(scene.curvature > 0.5);
+        }
+    }
+
+    #[test]
+    fn sampling_covers_both_traffic_cases() {
+        let sampler = OddSampler::new(SceneConfig::small());
+        let mut rng = StdRng::seed_from_u64(3);
+        let scenes: Vec<_> = (0..200).map(|_| sampler.sample_in_odd(&mut rng)).collect();
+        assert!(scenes.iter().any(|s| s.adjacent_traffic));
+        assert!(scenes.iter().any(|s| !s.adjacent_traffic));
+    }
+
+    #[test]
+    fn config_accessor_returns_configuration() {
+        let cfg = SceneConfig::medium();
+        let sampler = OddSampler::new(cfg);
+        assert_eq!(sampler.config(), &cfg);
+    }
+}

@@ -1,0 +1,187 @@
+//! Scene parameters and global scene-generation configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// The hidden state of one road scene. The renderer maps this to pixels;
+/// the affordance and property oracles map it to training labels.
+///
+/// Conventions:
+/// * `curvature` > 0 means the road bends to the **right**; the unit is the
+///   normalised curvature over the rendered look-ahead (roughly "fraction of
+///   the image width the road centre shifts at the horizon").
+/// * `ego_offset` > 0 means the ego vehicle sits to the right of the lane
+///   centre (in lane-width units, so ±0.5 touches the lane boundary).
+/// * `heading_error` > 0 means the ego vehicle points to the right of the
+///   road direction (radians, small angles).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneParams {
+    /// Signed road curvature (positive bends right).
+    pub curvature: f64,
+    /// Lateral ego offset from the lane centre, in lane widths.
+    pub ego_offset: f64,
+    /// Ego heading error relative to the road tangent, in radians.
+    pub heading_error: f64,
+    /// Global illumination factor in `(0, 1]` (1 = full daylight).
+    pub lighting: f64,
+    /// Standard deviation of additive pixel noise.
+    pub noise: f64,
+    /// Whether a traffic participant occupies the adjacent (left) lane.
+    pub adjacent_traffic: bool,
+    /// Longitudinal position of the adjacent traffic participant in `[0, 1]`
+    /// (0 = right next to the ego vehicle, 1 = near the horizon). Ignored
+    /// when `adjacent_traffic` is `false`.
+    pub traffic_distance: f64,
+}
+
+impl Default for SceneParams {
+    fn default() -> Self {
+        Self {
+            curvature: 0.0,
+            ego_offset: 0.0,
+            heading_error: 0.0,
+            lighting: 1.0,
+            noise: 0.0,
+            adjacent_traffic: false,
+            traffic_distance: 0.5,
+        }
+    }
+}
+
+impl SceneParams {
+    /// A straight, centred, clean daylight scene.
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy with the curvature replaced.
+    pub fn with_curvature(mut self, curvature: f64) -> Self {
+        self.curvature = curvature;
+        self
+    }
+
+    /// Returns a copy with the ego lateral offset replaced.
+    pub fn with_ego_offset(mut self, ego_offset: f64) -> Self {
+        self.ego_offset = ego_offset;
+        self
+    }
+
+    /// Returns a copy with the heading error replaced.
+    pub fn with_heading_error(mut self, heading_error: f64) -> Self {
+        self.heading_error = heading_error;
+        self
+    }
+
+    /// Returns a copy with adjacent traffic toggled on at the given distance.
+    pub fn with_adjacent_traffic(mut self, distance: f64) -> Self {
+        self.adjacent_traffic = true;
+        self.traffic_distance = distance.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// Static configuration of the scene generator: image geometry, the ODD
+/// parameter ranges, and the thresholds used by the property oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Image height in pixels (rows; the bottom row is nearest to the ego vehicle).
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Maximum |curvature| inside the ODD.
+    pub max_curvature: f64,
+    /// Maximum |ego_offset| inside the ODD (lane widths).
+    pub max_ego_offset: f64,
+    /// Maximum |heading_error| inside the ODD (radians).
+    pub max_heading_error: f64,
+    /// Minimum lighting factor inside the ODD.
+    pub min_lighting: f64,
+    /// Maximum pixel-noise standard deviation inside the ODD.
+    pub max_noise: f64,
+    /// Curvature magnitude above which a scene counts as "strongly bending".
+    pub strong_bend_threshold: f64,
+    /// Curvature magnitude below which a scene counts as "straight".
+    pub straight_threshold: f64,
+    /// Look-ahead distance (in image heights) at which the next waypoint is placed.
+    pub lookahead: f64,
+}
+
+impl SceneConfig {
+    /// The configuration used throughout the examples, tests and benches:
+    /// 16×32 single-channel images, moderate curvature range.
+    pub fn small() -> Self {
+        Self {
+            height: 16,
+            width: 32,
+            max_curvature: 1.0,
+            max_ego_offset: 0.4,
+            max_heading_error: 0.2,
+            min_lighting: 0.55,
+            max_noise: 0.03,
+            strong_bend_threshold: 0.5,
+            straight_threshold: 0.15,
+            lookahead: 1.0,
+        }
+    }
+
+    /// A larger 32×64 configuration, closer to a down-scaled camera frame;
+    /// used by the scalability experiment (E6).
+    pub fn medium() -> Self {
+        Self {
+            height: 32,
+            width: 64,
+            ..Self::small()
+        }
+    }
+
+    /// Number of pixels of a rendered image (single channel).
+    pub fn pixel_count(&self) -> usize {
+        self.height * self.width
+    }
+}
+
+impl Default for SceneConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_scene_is_straight_and_clean() {
+        let s = SceneParams::nominal();
+        assert_eq!(s.curvature, 0.0);
+        assert_eq!(s.lighting, 1.0);
+        assert!(!s.adjacent_traffic);
+    }
+
+    #[test]
+    fn with_builders_replace_fields() {
+        let s = SceneParams::nominal()
+            .with_curvature(0.7)
+            .with_ego_offset(-0.2)
+            .with_heading_error(0.1)
+            .with_adjacent_traffic(1.5);
+        assert_eq!(s.curvature, 0.7);
+        assert_eq!(s.ego_offset, -0.2);
+        assert_eq!(s.heading_error, 0.1);
+        assert!(s.adjacent_traffic);
+        assert_eq!(s.traffic_distance, 1.0, "distance is clamped to [0, 1]");
+    }
+
+    #[test]
+    fn config_pixel_count() {
+        assert_eq!(SceneConfig::small().pixel_count(), 512);
+        assert_eq!(SceneConfig::medium().pixel_count(), 2048);
+        assert_eq!(SceneConfig::default(), SceneConfig::small());
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let c = SceneConfig::small();
+        assert!(c.straight_threshold < c.strong_bend_threshold);
+        assert!(c.strong_bend_threshold < c.max_curvature);
+    }
+}

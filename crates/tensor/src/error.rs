@@ -1,0 +1,95 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// A dimension mismatch between two tensors participating in an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable description of the operation that failed.
+    pub operation: String,
+    /// Shape of the left-hand operand, `(rows, cols)`; vectors use `(len, 1)`.
+    pub lhs: (usize, usize),
+    /// Shape of the right-hand operand.
+    pub rhs: (usize, usize),
+}
+
+impl ShapeError {
+    /// Creates a new shape error for `operation` with the offending shapes.
+    pub fn new(operation: impl Into<String>, lhs: (usize, usize), rhs: (usize, usize)) -> Self {
+        Self {
+            operation: operation.into(),
+            lhs,
+            rhs,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: {}x{} vs {}x{}",
+            self.operation, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// Errors produced by the tensor crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two tensors had incompatible shapes.
+    Shape(ShapeError),
+    /// A matrix that was required to be square (or otherwise structured) was not.
+    InvalidArgument(String),
+    /// A numerical operation failed (singular matrix, NaN, ...).
+    Numerical(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::Shape(e) => write!(f, "{e}"),
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            TensorError::Numerical(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TensorError::Shape(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ShapeError> for TensorError {
+    fn from(value: ShapeError) -> Self {
+        TensorError::Shape(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ShapeError::new("matmul", (2, 3), (4, 5));
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn tensor_error_wraps_shape_error() {
+        let err: TensorError = ShapeError::new("add", (1, 1), (2, 2)).into();
+        assert!(matches!(err, TensorError::Shape(_)));
+        assert!(err.to_string().contains("add"));
+    }
+}

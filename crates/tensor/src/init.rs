@@ -1,0 +1,157 @@
+//! Weight-initialisation helpers used by the neural-network crate.
+
+use rand::Rng;
+
+use crate::{Matrix, Vector};
+
+/// Initialisation schemes for layer weights.
+///
+/// ```
+/// use dpv_tensor::Initializer;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = Initializer::HeNormal.matrix(8, 4, &mut rng);
+/// assert_eq!(w.shape(), (8, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// All entries zero.
+    Zeros,
+    /// All entries set to the given constant.
+    Constant(f64),
+    /// Uniform in `[-limit, limit]`.
+    Uniform(f64),
+    /// Xavier/Glorot uniform: `limit = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// He/Kaiming normal: `std = sqrt(2 / fan_in)`, suited to ReLU layers.
+    HeNormal,
+}
+
+impl Initializer {
+    /// Samples a `rows` × `cols` weight matrix. `cols` is treated as the
+    /// fan-in and `rows` as the fan-out (row-major `W * x` convention).
+    pub fn matrix<R: Rng + ?Sized>(self, rows: usize, cols: usize, rng: &mut R) -> Matrix {
+        let fan_in = cols.max(1) as f64;
+        let fan_out = rows.max(1) as f64;
+        match self {
+            Initializer::Zeros => Matrix::zeros(rows, cols),
+            Initializer::Constant(c) => Matrix::filled(rows, cols, c),
+            Initializer::Uniform(limit) => {
+                sample_matrix(rows, cols, rng, |rng| rng.gen_range(-limit..=limit))
+            }
+            Initializer::XavierUniform => {
+                let limit = (6.0 / (fan_in + fan_out)).sqrt();
+                sample_matrix(rows, cols, rng, |rng| rng.gen_range(-limit..=limit))
+            }
+            Initializer::HeNormal => {
+                let std = (2.0 / fan_in).sqrt();
+                sample_matrix(rows, cols, rng, |rng| standard_normal(rng) * std)
+            }
+        }
+    }
+
+    /// Samples a bias vector of length `len`. Bias vectors are initialised to
+    /// zero for every scheme except [`Initializer::Constant`] and
+    /// [`Initializer::Uniform`].
+    pub fn bias<R: Rng + ?Sized>(self, len: usize, rng: &mut R) -> Vector {
+        match self {
+            Initializer::Constant(c) => Vector::filled(len, c),
+            Initializer::Uniform(limit) => {
+                Vector::from_vec((0..len).map(|_| rng.gen_range(-limit..=limit)).collect())
+            }
+            _ => Vector::zeros(len),
+        }
+    }
+}
+
+fn sample_matrix<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    rng: &mut R,
+    mut sample: impl FnMut(&mut R) -> f64,
+) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| sample(rng)).collect();
+    Matrix::from_flat(rows, cols, data).expect("sample_matrix constructs a consistent shape")
+}
+
+/// Samples from the standard normal distribution via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+/// Convenience wrapper for [`Initializer::HeNormal`].
+pub fn he_normal<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    Initializer::HeNormal.matrix(rows, cols, rng)
+}
+
+/// Convenience wrapper for [`Initializer::XavierUniform`].
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    Initializer::XavierUniform.matrix(rows, cols, rng)
+}
+
+/// Convenience wrapper for [`Initializer::Uniform`].
+pub fn uniform_init<R: Rng + ?Sized>(rows: usize, cols: usize, limit: f64, rng: &mut R) -> Matrix {
+    Initializer::Uniform(limit).matrix(rows, cols, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Initializer::Zeros.matrix(2, 2, &mut rng).sum(), 0.0);
+        assert_eq!(Initializer::Constant(3.0).matrix(2, 2, &mut rng).sum(), 12.0);
+        assert_eq!(Initializer::Constant(0.5).bias(4, &mut rng).sum(), 2.0);
+    }
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = uniform_init(10, 10, 0.25, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.25));
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = xavier_uniform(6, 6, &mut rng);
+        let limit = (6.0 / 12.0_f64).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= limit + 1e-12));
+    }
+
+    #[test]
+    fn he_normal_has_reasonable_spread() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = he_normal(50, 50, &mut rng);
+        let mean = m.sum() / 2500.0;
+        assert!(mean.abs() < 0.05, "mean too far from zero: {mean}");
+        let expected_std = (2.0 / 50.0_f64).sqrt();
+        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 2500.0;
+        assert!((var.sqrt() - expected_std).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let a = he_normal(4, 4, &mut StdRng::seed_from_u64(9));
+        let b = he_normal(4, 4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bias_defaults_to_zero() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(Initializer::HeNormal.bias(3, &mut rng).sum(), 0.0);
+        assert_eq!(Initializer::XavierUniform.bias(3, &mut rng).sum(), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the tensor substrate.
+
+use dpv_tensor::{Matrix, RunningMinMax, Vector};
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(a in finite_vec(8), b in finite_vec(8)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        prop_assert!((va.dot(&vb) - vb.dot(&va)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_is_non_negative_and_triangle(a in finite_vec(6), b in finite_vec(6)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        prop_assert!(va.norm() >= 0.0);
+        let sum = &va + &vb;
+        prop_assert!(sum.norm() <= va.norm() + vb.norm() + 1e-9);
+    }
+
+    #[test]
+    fn addition_is_commutative(a in finite_vec(5), b in finite_vec(5)) {
+        let va = Vector::from_vec(a);
+        let vb = Vector::from_vec(b);
+        let lhs = &va + &vb;
+        let rhs = &vb + &va;
+        prop_assert!(dpv_tensor::approx_eq_slice(lhs.as_slice(), rhs.as_slice(), 1e-12));
+    }
+
+    #[test]
+    fn adjacent_differences_sum_telescopes(a in finite_vec(10)) {
+        let v = Vector::from_vec(a.clone());
+        let d = v.adjacent_differences();
+        let telescoped: f64 = d.as_slice().iter().sum();
+        prop_assert!((telescoped - (a[a.len() - 1] - a[0])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_is_linear(rows in 1usize..5, cols in 1usize..5, seed in 0u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = dpv_tensor::uniform_init(rows, cols, 1.0, &mut rng);
+        let x = Vector::from_vec((0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let y = Vector::from_vec((0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect());
+        let lhs = m.matvec(&(&x + &y));
+        let rhs = &m.matvec(&x) + &m.matvec(&y);
+        prop_assert!(dpv_tensor::approx_eq_slice(lhs.as_slice(), rhs.as_slice(), 1e-9));
+    }
+
+    #[test]
+    fn transpose_is_involutive(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = dpv_tensor::uniform_init(rows, cols, 2.0, &mut rng);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associative_with_identity(rows in 1usize..5, cols in 1usize..5, seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let m = dpv_tensor::uniform_init(rows, cols, 1.0, &mut rng);
+        let id = Matrix::identity(cols);
+        let prod = m.matmul(&id).unwrap();
+        prop_assert!(dpv_tensor::approx_eq_slice(prod.as_slice(), m.as_slice(), 1e-12));
+    }
+
+    #[test]
+    fn solve_roundtrips(seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 4usize;
+        // Diagonally dominant matrices are always solvable.
+        let mut m = dpv_tensor::uniform_init(n, n, 1.0, &mut rng);
+        for i in 0..n {
+            m[(i, i)] += 10.0;
+        }
+        let x_true = Vector::from_vec((0..n).map(|_| rng.gen_range(-5.0..5.0)).collect());
+        let b = m.matvec(&x_true);
+        let x = m.solve(&b).unwrap();
+        prop_assert!(x.distance(&x_true) < 1e-6);
+    }
+
+    #[test]
+    fn running_minmax_contains_every_observation(samples in prop::collection::vec(finite_vec(3), 1..30)) {
+        let mut mm = RunningMinMax::new(3);
+        for s in &samples {
+            mm.observe(s);
+        }
+        for s in &samples {
+            prop_assert!(mm.contains(s));
+        }
+    }
+
+    #[test]
+    fn running_minmax_merge_equals_sequential(xs in prop::collection::vec(finite_vec(2), 1..20), ys in prop::collection::vec(finite_vec(2), 1..20)) {
+        let mut all = RunningMinMax::new(2);
+        for s in xs.iter().chain(ys.iter()) {
+            all.observe(s);
+        }
+        let mut a = RunningMinMax::new(2);
+        for s in &xs { a.observe(s); }
+        let mut b = RunningMinMax::new(2);
+        for s in &ys { b.observe(s); }
+        a.merge(&b);
+        prop_assert_eq!(a.mins(), all.mins());
+        prop_assert_eq!(a.maxs(), all.maxs());
+    }
+}

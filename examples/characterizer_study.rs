@@ -1,0 +1,78 @@
+//! Experiment E3: which input properties *can* be characterised from
+//! close-to-output activations?
+//!
+//! The paper observes (via the information-bottleneck argument) that
+//! properties unrelated to the network output — e.g. "traffic participants
+//! in adjacent lanes" — cannot be decided from close-to-output layers: the
+//! trained characterizer behaves like a fair coin. This example trains one
+//! characterizer per property and per candidate cut layer and prints the
+//! held-out accuracy matrix.
+//!
+//! ```bash
+//! cargo run --release --example characterizer_study
+//! ```
+
+use direct_perception_verify::core::{Characterizer, CharacterizerConfig, InputProperty, Workflow, WorkflowConfig};
+use direct_perception_verify::scenegen::{property_examples, PropertyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = WorkflowConfig {
+        training_samples: 300,
+        perception_epochs: 20,
+        ..WorkflowConfig::small()
+    };
+    let scene = config.scene;
+    println!("training the perception network ...");
+    let outcome = Workflow::new(config).run()?;
+    let perception = outcome.perception.clone();
+
+    // Candidate cut layers: after the conv block, after the first dense
+    // block, and the close-to-output layer used for verification.
+    let cut_layers = [2usize, 4, 6];
+    let char_config = CharacterizerConfig {
+        hidden: vec![12],
+        epochs: 100,
+        ..CharacterizerConfig::default()
+    };
+
+    println!("\nheld-out characterizer accuracy (rows: property, cols: cut layer)\n");
+    print!("{:<20}", "property");
+    for cut in cut_layers {
+        print!("  layer {cut:>2} (dim {:>3})", perception.layer_output_dim(cut));
+    }
+    println!();
+
+    let mut rng = StdRng::seed_from_u64(7);
+    for property in PropertyKind::ALL {
+        let train_examples = property_examples(&scene, property, 240, &mut rng);
+        let test_examples = property_examples(&scene, property, 160, &mut rng);
+        print!("{:<20}", property.name());
+        for cut in cut_layers {
+            let characterizer = Characterizer::train(
+                InputProperty::new(property.name(), "scene-oracle property"),
+                &perception,
+                cut,
+                &train_examples,
+                &char_config,
+                &mut rng,
+            )?;
+            let accuracy = characterizer.accuracy(&perception, &test_examples);
+            print!("  {accuracy:>18.3}");
+        }
+        let related = if property.is_output_related() {
+            "output-related"
+        } else {
+            "output-unrelated (expect ~0.5 at late layers)"
+        };
+        println!("   [{related}]");
+    }
+
+    println!(
+        "\nExpected shape (paper, Section V): curvature-derived properties stay near 1.0 even at\n\
+         the close-to-output layer, while properties the affordance does not depend on degrade\n\
+         towards coin flipping as the cut moves towards the output (information bottleneck)."
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Experiment E5: the runtime monitor guarding the assume-guarantee proof.
+//!
+//! Builds the activation envelope from training data, then measures
+//! (a) acceptance of fresh in-ODD frames, (b) detection of out-of-ODD frames
+//! (sharper curvature, heavy noise, darkness, large lateral offsets), and
+//! (c) the per-frame overhead of the containment check, which the paper
+//! argues is a single vectorised `diff` + compare.
+//!
+//! ```bash
+//! cargo run --release --example runtime_monitoring
+//! ```
+
+use std::time::Instant;
+
+use direct_perception_verify::core::{Workflow, WorkflowConfig};
+use direct_perception_verify::monitor::RuntimeMonitor;
+use direct_perception_verify::scenegen::{render_scene, OddSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = WorkflowConfig {
+        training_samples: 300,
+        perception_epochs: 18,
+        ..WorkflowConfig::small()
+    };
+    let scene_config = config.scene;
+    println!("training the perception network and building the envelope ...");
+    let outcome = Workflow::new(config).run()?;
+
+    let monitor = RuntimeMonitor::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.envelope.clone(),
+    )
+    .map_err(std::io::Error::other)?;
+
+    let sampler = OddSampler::new(scene_config);
+    let mut rng = StdRng::seed_from_u64(99);
+    let frames = 400usize;
+
+    // (a) in-ODD acceptance.
+    let in_odd_images: Vec<_> = (0..frames)
+        .map(|_| render_scene(&sampler.sample_in_odd(&mut rng), &scene_config))
+        .collect();
+    let accepted = in_odd_images
+        .iter()
+        .filter(|img| monitor.check(img).is_in_odd())
+        .count();
+
+    // (b) out-of-ODD detection.
+    let out_odd_images: Vec<_> = (0..frames)
+        .map(|_| render_scene(&sampler.sample_out_of_odd(&mut rng), &scene_config))
+        .collect();
+    let flagged = out_odd_images
+        .iter()
+        .filter(|img| !monitor.check(img).is_in_odd())
+        .count();
+
+    // (c) per-frame overhead: containment check alone (activation given) vs
+    // the full perception forward pass.
+    let activations: Vec<_> = in_odd_images.iter().map(|img| monitor.activation(img)).collect();
+    let start = Instant::now();
+    let mut inside = 0usize;
+    for activation in &activations {
+        if monitor.classify(activation).is_in_odd() {
+            inside += 1;
+        }
+    }
+    let check_only = start.elapsed().as_secs_f64() / activations.len() as f64;
+    let start = Instant::now();
+    for img in &in_odd_images {
+        let _ = outcome.perception.forward(img);
+    }
+    let forward = start.elapsed().as_secs_f64() / in_odd_images.len() as f64;
+
+    println!("\n=== runtime monitor (envelope: {} samples, dim {}) ===", outcome.envelope.sample_count(), outcome.envelope.dim());
+    println!("in-ODD frames accepted:      {:>6.1} %", 100.0 * accepted as f64 / frames as f64);
+    println!("out-of-ODD frames flagged:   {:>6.1} %", 100.0 * flagged as f64 / frames as f64);
+    println!("containment check per frame: {:>9.3} µs   ({} frames re-checked, {} inside)", check_only * 1e6, activations.len(), inside);
+    println!("full forward pass per frame: {:>9.3} µs", forward * 1e6);
+    println!(
+        "monitor overhead relative to inference: {:.2} %",
+        100.0 * check_only / forward.max(1e-12)
+    );
+    println!("\ncumulative statistics: {:?}", monitor.report());
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Table I: the statistical guarantee `1 − γ` when the characterizer is
+//! imperfect (Section III of the paper).
+//!
+//! For each input property, estimate the joint probabilities
+//! (α, β, γ, 1−α−β−γ) of the characterizer decision versus the ground
+//! truth on held-out data, and report the resulting statistical guarantee
+//! together with the footnote-4 side condition (are the missed examples at
+//! least concretely safe?).
+//!
+//! ```bash
+//! cargo run --release --example statistical_guarantee
+//! ```
+
+use direct_perception_verify::core::{
+    Characterizer, CharacterizerConfig, InputProperty, RiskCondition, StatisticalAnalysis,
+    Workflow, WorkflowConfig,
+};
+use direct_perception_verify::scenegen::{property_examples, PropertyKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = WorkflowConfig {
+        training_samples: 300,
+        perception_epochs: 20,
+        ..WorkflowConfig::small()
+    };
+    let scene = config.scene;
+    let cut = config.cut_layer;
+    println!("training the perception network ...");
+    let outcome = Workflow::new(config).run()?;
+    let perception = outcome.perception.clone();
+
+    // ψ used for the footnote-4 check: "suggest steering to the far left".
+    let risk = RiskCondition::new("steer far left").output_le(0, -0.8);
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    println!("\n=== Table I per property (validation n = 300) ===\n");
+    for property in [
+        PropertyKind::BendsRight,
+        PropertyKind::BendsLeft,
+        PropertyKind::Straight,
+        PropertyKind::AdjacentTraffic,
+    ] {
+        let train = property_examples(&scene, property, 260, &mut rng);
+        let validation = property_examples(&scene, property, 300, &mut rng);
+        let characterizer = Characterizer::train(
+            InputProperty::new(property.name(), "scene-oracle property"),
+            &perception,
+            cut,
+            &train,
+            &CharacterizerConfig::default(),
+            &mut rng,
+        )?;
+        let analysis =
+            StatisticalAnalysis::estimate(&perception, &characterizer, &risk, &validation)?;
+        println!("property: {}", property.name());
+        println!("{}", analysis.table().render());
+        println!(
+            "footnote-4 side condition (missed-but-unsafe examples): {}\n",
+            if analysis.missed_examples_are_safe() {
+                "satisfied (0 unsafe misses)".to_string()
+            } else {
+                format!("violated ({} unsafe misses)", analysis.unsafe_misses())
+            }
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,98 @@
+//! Experiments E1/E2/E4: verify waypoint-safety properties of the trained
+//! direct-perception network under different abstraction strategies, and
+//! sweep the risk threshold to locate the provability crossover.
+//!
+//! ```bash
+//! cargo run --release --example waypoint_safety
+//! ```
+
+use direct_perception_verify::core::{
+    AssumeGuarantee, DomainKind, RiskCondition, VerificationProblem, VerificationStrategy,
+    Workflow, WorkflowConfig,
+};
+use direct_perception_verify::monitor::ActivationEnvelope;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = WorkflowConfig {
+        training_samples: 250,
+        characterizer_samples: 250,
+        validation_samples: 150,
+        perception_epochs: 18,
+        ..WorkflowConfig::small()
+    };
+    println!("training perception network + bend characterizer ...");
+    let outcome = Workflow::new(config).run()?;
+    let perception = outcome.perception.clone();
+    let cut = outcome.cut_layer;
+    let characterizer = outcome.bend_characterizer.clone();
+    let envelope: ActivationEnvelope = outcome.envelope.clone();
+
+    let strategies: Vec<(&str, VerificationStrategy)> = vec![
+        (
+            "Lemma 1 (huge box)",
+            VerificationStrategy::LayerAbstraction { bound: 1000.0 },
+        ),
+        (
+            "Lemma 2 (interval AI)",
+            VerificationStrategy::AbstractInterpretation {
+                domain: DomainKind::Box,
+            },
+        ),
+        (
+            "assume-guarantee (box)",
+            VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: envelope.clone(),
+                use_difference_constraints: false,
+            }),
+        ),
+        (
+            "assume-guarantee (box+diff)",
+            VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: envelope.clone(),
+                use_difference_constraints: true,
+            }),
+        ),
+    ];
+
+    println!("\n=== risk-threshold sweep: ψ = (waypoint offset ≤ t), φ = bends right ===");
+    println!("{:<10} {:<26} {:<10} {:>9} {:>9}", "t", "strategy", "verdict", "binaries", "seconds");
+    for t in [-2.0, -1.5, -1.0, -0.6, -0.3, 0.0] {
+        let risk = RiskCondition::new("steer far left").output_le(0, t);
+        let problem =
+            VerificationProblem::new(perception.clone(), cut, characterizer.clone(), risk)?;
+        for (name, strategy) in &strategies {
+            let result = problem.verify(strategy)?;
+            let verdict = if result.verdict.is_safe() {
+                "SAFE"
+            } else if result.verdict.is_unsafe() {
+                "unsafe"
+            } else {
+                "unknown"
+            };
+            println!(
+                "{:<10.2} {:<26} {:<10} {:>9} {:>9.3}",
+                t, name, verdict, result.num_binaries, result.solve_seconds
+            );
+        }
+    }
+
+    println!("\n=== E2: ψ = steering straight while the road bends right ===");
+    let straight = RiskCondition::new("steer straight")
+        .output_le(0, 0.1)
+        .output_ge(0, -0.1);
+    let problem = VerificationProblem::new(perception, cut, characterizer, straight)?;
+    let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope,
+        use_difference_constraints: true,
+    });
+    let result = problem.verify(&strategy)?;
+    println!("{}", result.summary());
+    if let direct_perception_verify::core::Verdict::Unsafe(ce) = &result.verdict {
+        println!(
+            "counterexample: cut-layer activation maps to output {:?} with characterizer logit {:?}",
+            ce.output.as_slice(),
+            ce.logit
+        );
+    }
+    Ok(())
+}

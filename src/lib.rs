@@ -1,0 +1,64 @@
+//! # direct-perception-verify
+//!
+//! Facade crate for the reproduction of *"Towards Safety Verification of
+//! Direct Perception Neural Networks"* (Cheng et al., DATE 2020).
+//!
+//! A *direct perception* network maps camera images to low-dimensional
+//! affordances (next waypoint offset and orientation). This workspace
+//! provides everything needed to reproduce the paper's verification
+//! workflow end to end:
+//!
+//! * [`tensor`] — dense linear algebra substrate.
+//! * [`nn`] — from-scratch neural network library (layers, training,
+//!   activation recording).
+//! * [`scenegen`] — synthetic road-scene generator standing in for the
+//!   paper's proprietary camera data (the operational design domain, ODD).
+//! * [`lp`] — simplex LP solver and branch-and-bound MILP solver with
+//!   big-M ReLU encodings.
+//! * [`absint`] — abstract interpretation domains (box, zonotope,
+//!   octagon-lite with adjacent-neuron differences).
+//! * [`monitor`] — runtime activation-envelope monitor used by the
+//!   assume-guarantee argument.
+//! * [`core`] — the paper's contribution: input property characterizers,
+//!   risk conditions, the layer-abstraction / assume-guarantee verification
+//!   strategies, and the statistical (Table I) reasoning.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use direct_perception_verify::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Generate a small ODD dataset, train a perception network and a
+//! // characterizer, build an activation envelope and verify a property.
+//! let config = WorkflowConfig::small();
+//! let outcome = Workflow::new(config).run()?;
+//! println!("{}", outcome.report());
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpv_absint as absint;
+pub use dpv_core as core;
+pub use dpv_lp as lp;
+pub use dpv_monitor as monitor;
+pub use dpv_nn as nn;
+pub use dpv_scenegen as scenegen;
+pub use dpv_tensor as tensor;
+
+/// Convenience re-exports of the most commonly used types.
+pub mod prelude {
+    pub use dpv_absint::{AbstractDomain, BoxDomain, OctagonLite, Zonotope};
+    pub use dpv_core::{
+        AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty, RiskCondition,
+        StatisticalAnalysis, VerificationOutcome, VerificationProblem, VerificationStrategy,
+        Verdict, Workflow, WorkflowConfig,
+    };
+    pub use dpv_lp::{LinearProgram, MilpProblem, MilpStatus};
+    pub use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};
+    pub use dpv_nn::{Activation, Dataset, Layer, Network, NetworkBuilder, TrainConfig};
+    pub use dpv_scenegen::{OddSampler, PropertyKind, SceneConfig, SceneParams};
+    pub use dpv_tensor::{Matrix, Vector};
+}

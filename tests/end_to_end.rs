@@ -1,0 +1,221 @@
+//! Cross-crate integration tests: the full pipeline from synthetic scenes to
+//! verification verdicts, exercised through the public facade.
+
+use direct_perception_verify::core::{
+    AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty, RiskCondition,
+    VerificationProblem, VerificationStrategy, Verdict, Workflow, WorkflowConfig,
+};
+use direct_perception_verify::monitor::{ActivationEnvelope, RuntimeMonitor};
+use direct_perception_verify::nn::{evaluate_loss, LossKind};
+use direct_perception_verify::scenegen::{
+    property_examples, render_scene, OddSampler, PropertyKind, SceneParams,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_config() -> WorkflowConfig {
+    WorkflowConfig {
+        training_samples: 80,
+        characterizer_samples: 80,
+        validation_samples: 60,
+        perception_epochs: 6,
+        characterizer: CharacterizerConfig {
+            hidden: vec![8],
+            epochs: 40,
+            ..CharacterizerConfig::small()
+        },
+        ..WorkflowConfig::small()
+    }
+}
+
+#[test]
+fn perception_training_learns_the_affordance_better_than_a_constant() {
+    let workflow = Workflow::new(tiny_config());
+    let outcome = workflow.run().unwrap();
+    // A fresh test set from a different seed.
+    let test = workflow.perception_dataset(80, 2024).unwrap();
+    let loss = evaluate_loss(&outcome.perception, &test, LossKind::Mse);
+    // The constant-zero predictor has MSE equal to the mean squared target.
+    let zero_loss: f64 = test
+        .targets()
+        .iter()
+        .map(|t| t.dot(t) / t.len() as f64)
+        .sum::<f64>()
+        / test.len() as f64;
+    assert!(
+        loss < zero_loss,
+        "trained network ({loss:.4}) should beat the zero predictor ({zero_loss:.4})"
+    );
+}
+
+#[test]
+fn trained_network_steers_in_the_direction_of_the_bend() {
+    let outcome = Workflow::new(tiny_config()).run().unwrap();
+    let scene_config = tiny_config().scene;
+    let right = render_scene(&SceneParams::nominal().with_curvature(0.9), &scene_config);
+    let left = render_scene(&SceneParams::nominal().with_curvature(-0.9), &scene_config);
+    let right_out = outcome.perception.forward(&right);
+    let left_out = outcome.perception.forward(&left);
+    assert!(
+        right_out[0] > left_out[0],
+        "right bend ({}) should suggest steering further right than a left bend ({})",
+        right_out[0],
+        left_out[0]
+    );
+}
+
+#[test]
+fn safe_verdicts_have_no_sampled_counterexample() {
+    // Soundness spot check: when the verifier says SAFE under the envelope,
+    // no tested in-ODD image that satisfies φ may trigger ψ.
+    let config = tiny_config();
+    let scene_config = config.scene;
+    let outcome = Workflow::new(config).run().unwrap();
+    let e1 = &outcome.experiments[0];
+    let ag_outcome = e1.outcomes.last().unwrap();
+    if !ag_outcome.verdict.is_safe() {
+        // The tiny training budget occasionally fails to prove E1; the unit
+        // tests in dpv-core cover the provable case deterministically.
+        return;
+    }
+    // Extract the threshold from the experiment description: ψ is
+    // "offset <= far_left" with far_left below the envelope minimum, so any
+    // in-ODD φ-satisfying image must produce an output above it.
+    let mut rng = StdRng::seed_from_u64(5);
+    let sampler = OddSampler::new(scene_config);
+    for _ in 0..100 {
+        let scene = sampler.sample_where(&mut rng, |s| s.curvature >= scene_config.strong_bend_threshold);
+        let image = render_scene(&scene, &scene_config);
+        let activation = outcome
+            .perception
+            .activation_at(outcome.cut_layer, &image);
+        if outcome.envelope.contains(&activation, 1e-9)
+            && outcome
+                .bend_characterizer
+                .decide_activation(&activation)
+        {
+            let output = outcome.perception.forward(&image);
+            // far_left was chosen strictly below the envelope's reachable
+            // outputs, so -1.5 is a conservative stand-in for the check.
+            assert!(
+                output[0] > -1.5,
+                "sampled counterexample contradicts the SAFE verdict"
+            );
+        }
+    }
+}
+
+#[test]
+fn unsafe_verdicts_are_confirmed_by_concrete_execution() {
+    let outcome = Workflow::new(tiny_config()).run().unwrap();
+    let perception = outcome.perception.clone();
+    let cut = outcome.cut_layer;
+    let characterizer = outcome.bend_characterizer.clone();
+    // A risk condition that is trivially reachable: output0 >= -10.
+    let risk = RiskCondition::new("very weak").output_ge(0, -10.0);
+    let problem = VerificationProblem::new(perception, cut, characterizer, risk).unwrap();
+    let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+        envelope: outcome.envelope.clone(),
+        use_difference_constraints: true,
+    });
+    let result = problem.verify(&strategy).unwrap();
+    match &result.verdict {
+        Verdict::Unsafe(ce) => {
+            assert!(problem.confirm_counterexample(&strategy, ce, 1e-4).unwrap());
+        }
+        other => panic!("expected a counterexample for a trivially reachable risk, got {other:?}"),
+    }
+}
+
+#[test]
+fn monitor_accepts_training_data_and_flags_extreme_scenes() {
+    let config = tiny_config();
+    let scene_config = config.scene;
+    let outcome = Workflow::new(config).run().unwrap();
+    let monitor = RuntimeMonitor::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.envelope.clone(),
+    )
+    .unwrap();
+
+    // Training-style scenes (same generator seed family) are mostly accepted.
+    assert!(outcome.monitor_in_odd_rate > 0.5, "in-ODD acceptance {}", outcome.monitor_in_odd_rate);
+
+    // A scene far outside the ODD (triple curvature, heavy noise, darkness).
+    let mut extreme = SceneParams::nominal().with_curvature(3.0);
+    extreme.noise = 0.5;
+    extreme.lighting = 0.1;
+    let image = render_scene(&extreme, &scene_config);
+    let _ = monitor.check(&image);
+    // Whether this particular frame is flagged depends on the trained
+    // network, but the aggregate detection measured by the workflow should
+    // exceed chance.
+    assert!(
+        outcome.monitor_out_of_odd_detection > 0.2,
+        "out-of-ODD detection {}",
+        outcome.monitor_out_of_odd_detection
+    );
+}
+
+#[test]
+fn characterizer_for_unrelated_property_stays_near_chance_at_late_layers() {
+    let config = tiny_config();
+    let scene_config = config.scene;
+    let cut = config.cut_layer;
+    let outcome = Workflow::new(config).run().unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let train = property_examples(&scene_config, PropertyKind::AdjacentTraffic, 120, &mut rng);
+    let test = property_examples(&scene_config, PropertyKind::AdjacentTraffic, 120, &mut rng);
+    let characterizer = Characterizer::train(
+        InputProperty::new("adjacent_traffic", "vehicle in the adjacent lane"),
+        &outcome.perception,
+        cut,
+        &train,
+        &CharacterizerConfig::small(),
+        &mut rng,
+    )
+    .unwrap();
+    let accuracy = characterizer.accuracy(&outcome.perception, &test);
+    assert!(
+        accuracy < 0.85,
+        "the information bottleneck should keep the unrelated property hard: accuracy {accuracy}"
+    );
+}
+
+#[test]
+fn statistical_guarantee_is_consistent_with_the_confusion_table() {
+    let outcome = Workflow::new(tiny_config()).run().unwrap();
+    let table = outcome.statistical.table();
+    let sum = table.alpha + table.beta + table.gamma + table.delta;
+    assert!((sum - 1.0).abs() < 1e-9);
+    assert!((outcome.statistical.guarantee() - (1.0 - table.gamma)).abs() < 1e-12);
+}
+
+#[test]
+fn envelope_contains_every_training_activation_via_facade() {
+    let config = tiny_config();
+    let outcome = Workflow::new(config.clone()).run().unwrap();
+    // Regenerate the same training bundle the workflow used (same seed
+    // derivation) and check containment — the envelope is built from exactly
+    // these images.
+    let generator = direct_perception_verify::scenegen::GeneratorConfig {
+        scene: config.scene,
+        samples: config.training_samples,
+        seed: config.seed ^ 0x11,
+        threads: 1,
+    };
+    let bundle = direct_perception_verify::scenegen::DatasetBundle::generate(&generator);
+    for image in &bundle.images {
+        let activation = outcome.perception.activation_at(outcome.cut_layer, image);
+        assert!(outcome.envelope.contains(&activation, 1e-9));
+    }
+    // And an envelope rebuilt from those activations matches dimensions.
+    let rebuilt = ActivationEnvelope::from_inputs(
+        &outcome.perception,
+        outcome.cut_layer,
+        &bundle.images,
+        0.0,
+    );
+    assert_eq!(rebuilt.dim(), outcome.envelope.dim());
+}
