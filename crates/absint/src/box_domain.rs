@@ -249,7 +249,8 @@ mod tests {
 
     #[test]
     fn relu_transformer_clamps_lower_bounds() {
-        let b = BoxDomain::from_intervals(vec![Interval::new(-1.0, 2.0), Interval::new(-3.0, -1.0)]);
+        let b =
+            BoxDomain::from_intervals(vec![Interval::new(-1.0, 2.0), Interval::new(-3.0, -1.0)]);
         let out = b.apply_layer(&Layer::Activation(Activation::ReLU));
         assert_eq!(out.bounds()[0], Interval::new(0.0, 2.0));
         assert_eq!(out.bounds()[1], Interval::new(0.0, 0.0));
@@ -270,7 +271,11 @@ mod tests {
         for _ in 0..200 {
             let x = Vector::from_vec((0..3).map(|_| rng.gen_range(-1.0..1.0)).collect());
             let y = net.forward(&x);
-            assert!(out.box_contains(y.as_slice(), 1e-9), "output {y} escapes {:?}", out.to_box());
+            assert!(
+                out.box_contains(y.as_slice(), 1e-9),
+                "output {y} escapes {:?}",
+                out.to_box()
+            );
         }
     }
 

@@ -26,7 +26,10 @@ impl Interval {
     /// # Panics
     /// Panics when `lo > hi` or either bound is NaN.
     pub fn new(lo: f64, hi: f64) -> Self {
-        assert!(!lo.is_nan() && !hi.is_nan(), "interval bounds must not be NaN");
+        assert!(
+            !lo.is_nan() && !hi.is_nan(),
+            "interval bounds must not be NaN"
+        );
         assert!(lo <= hi, "interval is empty: [{lo}, {hi}]");
         Self { lo, hi }
     }

@@ -53,7 +53,7 @@ mod zonotope;
 
 pub use box_domain::BoxDomain;
 pub use interval::Interval;
-pub use octagon::OctagonLite;
+pub use octagon::{BoundRows, OctagonLite};
 pub use zonotope::Zonotope;
 
 use dpv_nn::Layer;

@@ -7,6 +7,11 @@ use dpv_tensor::Vector;
 
 use crate::{AbstractDomain, BoxDomain, Interval};
 
+/// Linear-constraint rows `(index, lo, hi)` as consumed by the MILP encoder:
+/// per-neuron bounds are `lo ≤ x[i] ≤ hi`, difference rows bound
+/// `x[i+1] − x[i]`.
+pub type BoundRows = Vec<(usize, f64, f64)>;
+
 /// A box refined with interval bounds on the differences of *adjacent*
 /// neurons: for every `i`, `diff[i]` bounds `x[i+1] − x[i]`.
 ///
@@ -30,7 +35,10 @@ impl OctagonLite {
     /// # Panics
     /// Panics when `samples` is empty or dimensions are inconsistent.
     pub fn from_samples(samples: &[Vector]) -> Self {
-        assert!(!samples.is_empty(), "cannot build an octagon from zero samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot build an octagon from zero samples"
+        );
         let box_part = BoxDomain::from_samples(samples);
         let dim = samples[0].len();
         let diffs = if dim < 2 {
@@ -54,7 +62,11 @@ impl OctagonLite {
     /// 0/1-dimensional space).
     pub fn from_parts(bounds: Vec<Interval>, diffs: Vec<Interval>) -> Self {
         if bounds.len() >= 2 {
-            assert_eq!(diffs.len(), bounds.len() - 1, "need one difference per adjacent pair");
+            assert_eq!(
+                diffs.len(),
+                bounds.len() - 1,
+                "need one difference per adjacent pair"
+            );
         }
         Self { bounds, diffs }
     }
@@ -165,7 +177,7 @@ impl OctagonLite {
     /// (per-neuron bounds are returned as `(i, lo, hi)` and difference
     /// constraints as `(i, lo, hi)` over `x[i+1] − x[i]`) — the shape
     /// consumed by the MILP encoder in `dpv-core`.
-    pub fn constraint_data(&self) -> (Vec<(usize, f64, f64)>, Vec<(usize, f64, f64)>) {
+    pub fn constraint_data(&self) -> (BoundRows, BoundRows) {
         let neuron = self
             .bounds
             .iter()
@@ -216,7 +228,10 @@ mod tests {
         let candidate = [0.0, 0.6];
         assert!(oct.to_box_domain().bounds()[0].contains(candidate[0], 0.0));
         assert!(oct.to_box_domain().bounds()[1].contains(candidate[1], 0.0));
-        assert!(!oct.contains(&candidate, 1e-9), "octagon must exclude the corner");
+        assert!(
+            !oct.contains(&candidate, 1e-9),
+            "octagon must exclude the corner"
+        );
     }
 
     #[test]
@@ -265,7 +280,8 @@ mod tests {
 
     #[test]
     fn one_dimensional_case_has_no_diffs() {
-        let oct = OctagonLite::from_samples(&[Vector::from_slice(&[1.0]), Vector::from_slice(&[2.0])]);
+        let oct =
+            OctagonLite::from_samples(&[Vector::from_slice(&[1.0]), Vector::from_slice(&[2.0])]);
         assert!(oct.diffs().is_empty());
         assert!(oct.contains(&[1.5], 0.0));
         assert!(!oct.contains(&[2.5], 0.0));

@@ -17,7 +17,10 @@ fn bench_e1(c: &mut Criterion) {
     let outcome = trained_outcome();
 
     // Adaptive threshold: just below anything the envelope admits.
-    let (_, tail) = outcome.perception.split_at(outcome.cut_layer).expect("split");
+    let (_, tail) = outcome
+        .perception
+        .split_at(outcome.cut_layer)
+        .expect("split");
     let lower = outcome
         .envelope
         .box_only()

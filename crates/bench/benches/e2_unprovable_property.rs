@@ -9,7 +9,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use dpv_bench::trained_outcome;
-use dpv_core::{AssumeGuarantee, RiskCondition, VerificationProblem, VerificationStrategy, Verdict};
+use dpv_core::{
+    AssumeGuarantee, RiskCondition, Verdict, VerificationProblem, VerificationStrategy,
+};
 
 fn bench_e2(c: &mut Criterion) {
     let outcome = trained_outcome();

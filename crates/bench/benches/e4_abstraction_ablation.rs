@@ -27,7 +27,10 @@ fn verdict_label(outcome: &dpv_core::VerificationOutcome) -> &'static str {
 
 fn bench_e4(c: &mut Criterion) {
     let outcome = trained_outcome();
-    let (_, tail) = outcome.perception.split_at(outcome.cut_layer).expect("split");
+    let (_, tail) = outcome
+        .perception
+        .split_at(outcome.cut_layer)
+        .expect("split");
     let envelope_lower = outcome
         .envelope
         .box_only()
@@ -64,7 +67,9 @@ fn bench_e4(c: &mut Criterion) {
         ),
     ];
 
-    println!("=== E4: strategy ablation over risk thresholds (ψ = offset ≤ t, φ = bends right) ===");
+    println!(
+        "=== E4: strategy ablation over risk thresholds (ψ = offset ≤ t, φ = bends right) ==="
+    );
     println!("(envelope-box output lower bound ≈ {envelope_lower:.3})");
     let thresholds = [
         envelope_lower - 0.5,

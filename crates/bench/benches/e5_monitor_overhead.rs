@@ -33,11 +33,27 @@ fn bench_e5(c: &mut Criterion) {
         .map(|_| render_scene(&sampler.sample_out_of_odd(&mut rng), &scene))
         .collect();
 
-    let accepted = in_odd.iter().filter(|x| monitor.check(x).is_in_odd()).count();
-    let flagged = out_odd.iter().filter(|x| !monitor.check(x).is_in_odd()).count();
-    println!("=== E5: runtime monitor (envelope dim {}, {} samples) ===", outcome.envelope.dim(), outcome.envelope.sample_count());
-    println!("  in-ODD acceptance:      {:.1} %", 100.0 * accepted as f64 / in_odd.len() as f64);
-    println!("  out-of-ODD detection:   {:.1} %", 100.0 * flagged as f64 / out_odd.len() as f64);
+    let accepted = in_odd
+        .iter()
+        .filter(|x| monitor.check(x).is_in_odd())
+        .count();
+    let flagged = out_odd
+        .iter()
+        .filter(|x| !monitor.check(x).is_in_odd())
+        .count();
+    println!(
+        "=== E5: runtime monitor (envelope dim {}, {} samples) ===",
+        outcome.envelope.dim(),
+        outcome.envelope.sample_count()
+    );
+    println!(
+        "  in-ODD acceptance:      {:.1} %",
+        100.0 * accepted as f64 / in_odd.len() as f64
+    );
+    println!(
+        "  out-of-ODD detection:   {:.1} %",
+        100.0 * flagged as f64 / out_odd.len() as f64
+    );
 
     let activation = monitor.activation(&in_odd[0]);
     let frame = in_odd[0].clone();

@@ -61,14 +61,11 @@ fn bench_e6(c: &mut Criterion) {
             &mut rng,
         )
         .expect("characterizer training");
-        let envelope = ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0);
-        let problem = VerificationProblem::new(
-            outcome.perception.clone(),
-            cut,
-            characterizer,
-            risk.clone(),
-        )
-        .expect("problem assembly");
+        let envelope =
+            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0);
+        let problem =
+            VerificationProblem::new(outcome.perception.clone(), cut, characterizer, risk.clone())
+                .expect("problem assembly");
         let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
             envelope,
             use_difference_constraints: true,

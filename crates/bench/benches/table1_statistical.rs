@@ -26,7 +26,10 @@ fn bench_table1(c: &mut Criterion) {
         &validation,
     )
     .expect("statistical analysis");
-    println!("=== Table I (bends_right characterizer, n = {}) ===", validation.len());
+    println!(
+        "=== Table I (bends_right characterizer, n = {}) ===",
+        validation.len()
+    );
     println!("{}", analysis.table().render());
     println!(
         "unsafe misses among γ-mass examples: {}",

@@ -53,7 +53,10 @@ fn bench_workflow(c: &mut Criterion) {
         envelope: outcome.envelope.clone(),
         use_difference_constraints: true,
     });
-    println!("E1 strategies compared in the report: {}", e1.outcomes.len());
+    println!(
+        "E1 strategies compared in the report: {}",
+        e1.outcomes.len()
+    );
 
     group.bench_function("verify_tail_assume_guarantee", |b| {
         b.iter(|| problem.verify(&strategy).expect("verification"))

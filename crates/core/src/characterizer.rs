@@ -114,7 +114,13 @@ impl Characterizer {
             shuffle: true,
             verbose: false,
         };
-        train(&mut network, &dataset, &train_config, LossKind::BceWithLogits, rng);
+        train(
+            &mut network,
+            &dataset,
+            &train_config,
+            LossKind::BceWithLogits,
+            rng,
+        );
         let training_accuracy = binary_accuracy(&network, &dataset);
 
         Ok(Self {
@@ -264,7 +270,11 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(ch.training_accuracy() > 0.85, "accuracy {}", ch.training_accuracy());
+        assert!(
+            ch.training_accuracy() > 0.85,
+            "accuracy {}",
+            ch.training_accuracy()
+        );
         let held_out = examples(100, 3);
         assert!(ch.accuracy(&net, &held_out) > 0.8);
         assert_eq!(ch.cut_layer(), 1);
@@ -277,11 +287,25 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let property = InputProperty::new("p", "d");
         assert!(matches!(
-            Characterizer::train(property.clone(), &net, 9, &examples(10, 6), &CharacterizerConfig::small(), &mut rng),
+            Characterizer::train(
+                property.clone(),
+                &net,
+                9,
+                &examples(10, 6),
+                &CharacterizerConfig::small(),
+                &mut rng
+            ),
             Err(CoreError::Inconsistent(_))
         ));
         assert!(matches!(
-            Characterizer::train(property, &net, 1, &[], &CharacterizerConfig::small(), &mut rng),
+            Characterizer::train(
+                property,
+                &net,
+                1,
+                &[],
+                &CharacterizerConfig::small(),
+                &mut rng
+            ),
             Err(CoreError::Data(_))
         ));
     }
@@ -307,16 +331,12 @@ mod tests {
     fn from_network_validates_output_dim() {
         let mut rng = StdRng::seed_from_u64(10);
         let two_outputs = NetworkBuilder::new(3).dense(2, &mut rng).build();
-        assert!(Characterizer::from_network(
-            InputProperty::new("p", "d"),
-            0,
-            two_outputs,
-            1.0
-        )
-        .is_err());
+        assert!(
+            Characterizer::from_network(InputProperty::new("p", "d"), 0, two_outputs, 1.0).is_err()
+        );
         let one_output = NetworkBuilder::new(3).dense(1, &mut rng).build();
-        let ch = Characterizer::from_network(InputProperty::new("p", "d"), 0, one_output, 0.9)
-            .unwrap();
+        let ch =
+            Characterizer::from_network(InputProperty::new("p", "d"), 0, one_output, 0.9).unwrap();
         assert_eq!(ch.training_accuracy(), 0.9);
     }
 

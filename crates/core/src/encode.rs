@@ -98,7 +98,8 @@ fn encode_layers(
                             coeffs.push((x, -w));
                         }
                     }
-                    milp.lp_mut().add_constraint(&coeffs, ConstraintOp::Eq, d.bias()[j]);
+                    milp.lp_mut()
+                        .add_constraint(&coeffs, ConstraintOp::Eq, d.bias()[j]);
                     out_vars.push(v);
                 }
                 vars = out_vars;
@@ -326,7 +327,11 @@ mod tests {
                 milp.lp_mut().tighten_bounds(v, x[i], x[i]);
             }
             let solution = milp.solve();
-            assert_eq!(solution.status, MilpStatus::Optimal, "expected feasibility at {x}");
+            assert_eq!(
+                solution.status,
+                MilpStatus::Optimal,
+                "expected feasibility at {x}"
+            );
         }
     }
 
@@ -347,7 +352,11 @@ mod tests {
         let solution = encoded.milp.solve();
         assert_eq!(solution.status, MilpStatus::Optimal);
         // The witness respects the region and triggers the risk concretely.
-        let cut: Vec<f64> = encoded.cut_vars.iter().map(|&v| solution.values[v]).collect();
+        let cut: Vec<f64> = encoded
+            .cut_vars
+            .iter()
+            .map(|&v| solution.values[v])
+            .collect();
         assert!(region.contains(&cut, 1e-6));
         assert!(solution.values[encoded.output_vars[0]] >= 0.5 - 1e-6);
     }

@@ -39,6 +39,27 @@ impl From<dpv_nn::NnError> for CoreError {
     }
 }
 
+impl From<dpv_tensor::TensorError> for CoreError {
+    fn from(value: dpv_tensor::TensorError) -> Self {
+        CoreError::Inconsistent(value.to_string())
+    }
+}
+
+impl From<dpv_tensor::ShapeError> for CoreError {
+    fn from(value: dpv_tensor::ShapeError) -> Self {
+        CoreError::Inconsistent(value.to_string())
+    }
+}
+
+impl From<dpv_monitor::MonitorError> for CoreError {
+    fn from(value: dpv_monitor::MonitorError) -> Self {
+        match value {
+            dpv_monitor::MonitorError::Mismatch(msg) => CoreError::Inconsistent(msg),
+            dpv_monitor::MonitorError::MalformedLog(msg) => CoreError::Data(msg),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -48,14 +69,36 @@ mod tests {
         assert!(CoreError::NotPiecewiseLinear("sigmoid".into())
             .to_string()
             .contains("sigmoid"));
-        assert!(CoreError::Inconsistent("dim".into()).to_string().contains("dim"));
-        assert!(CoreError::Data("empty".into()).to_string().contains("empty"));
-        assert!(CoreError::SolverLimit("nodes".into()).to_string().contains("nodes"));
+        assert!(CoreError::Inconsistent("dim".into())
+            .to_string()
+            .contains("dim"));
+        assert!(CoreError::Data("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(CoreError::SolverLimit("nodes".into())
+            .to_string()
+            .contains("nodes"));
     }
 
     #[test]
     fn converts_nn_errors() {
         let err: CoreError = dpv_nn::NnError::InvalidDataset("x".into()).into();
+        assert!(matches!(err, CoreError::Data(_)));
+    }
+
+    #[test]
+    fn converts_tensor_errors() {
+        let err: CoreError = dpv_tensor::TensorError::Numerical("nan".into()).into();
+        assert!(matches!(err, CoreError::Inconsistent(_)));
+        let err: CoreError = dpv_tensor::ShapeError::new("matmul", (2, 3), (4, 5)).into();
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn converts_monitor_errors() {
+        let err: CoreError = dpv_monitor::MonitorError::Mismatch("dim".into()).into();
+        assert!(matches!(err, CoreError::Inconsistent(_)));
+        let err: CoreError = dpv_monitor::MonitorError::MalformedLog("short".into()).into();
         assert!(matches!(err, CoreError::Data(_)));
     }
 }

@@ -55,7 +55,7 @@ pub use refine::{RefinedVerdict, RefinementReport, RefinementVerifier};
 pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
 pub use statistical::{ConfusionTable, StatisticalAnalysis};
 pub use verify::{
-    AssumeGuarantee, CounterExample, DomainKind, VerificationOutcome, VerificationProblem,
-    VerificationStrategy, Verdict,
+    AssumeGuarantee, CounterExample, DomainKind, Verdict, VerificationOutcome, VerificationProblem,
+    VerificationStrategy,
 };
 pub use workflow::{Workflow, WorkflowConfig, WorkflowOutcome};

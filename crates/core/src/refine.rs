@@ -28,12 +28,10 @@
 //! envelope at run time) is unchanged, just with a tighter envelope.
 
 use dpv_absint::{AbstractDomain, BoxDomain, Interval};
+use dpv_lp::{default_backend, SolverBackend};
 use dpv_tensor::Vector;
 
-use crate::{
-    encode_verification, CoreError, CounterExample, StartRegion, VerificationProblem, Verdict,
-};
-use dpv_lp::MilpStatus;
+use crate::{CoreError, CounterExample, StartRegion, Verdict, VerificationProblem};
 
 /// Outcome of a refinement run.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,9 +132,8 @@ impl RefinementVerifier {
         self.realizability_tolerance
     }
 
-    /// Runs the refinement loop starting from `region` (typically the
-    /// envelope's box), with `references` the recorded cut-layer activations
-    /// of the training data.
+    /// Runs the refinement loop with the default solver backend. See
+    /// [`RefinementVerifier::verify_with`].
     ///
     /// # Errors
     /// Propagates encoding errors and solver-limit conditions from the
@@ -146,6 +143,23 @@ impl RefinementVerifier {
         problem: &VerificationProblem,
         region: &BoxDomain,
         references: &[Vector],
+    ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
+        self.verify_with(problem, region, references, &default_backend())
+    }
+
+    /// Runs the refinement loop starting from `region` (typically the
+    /// envelope's box), with `references` the recorded cut-layer activations
+    /// of the training data, solving every sub-region through `backend`.
+    ///
+    /// # Errors
+    /// Propagates encoding errors and solver-limit conditions from the
+    /// underlying verification.
+    pub fn verify_with(
+        &self,
+        problem: &VerificationProblem,
+        region: &BoxDomain,
+        references: &[Vector],
+        backend: &dyn SolverBackend,
     ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
         let mut report = RefinementReport::default();
         let mut queue: Vec<BoxDomain> = vec![region.clone()];
@@ -161,7 +175,9 @@ impl RefinementVerifier {
                 continue;
             }
             report.verification_calls += 1;
-            match self.verify_region(problem, &current)? {
+            let (verdict, _, _) =
+                problem.run_solver(&StartRegion::Box(current.clone()), backend)?;
+            match verdict {
                 Verdict::Safe => {
                     report.safe_subregions += 1;
                     report.refined_envelope.push(current);
@@ -171,8 +187,7 @@ impl RefinementVerifier {
                 }
                 Verdict::Unsafe(counterexample) => {
                     let realizable = references.iter().any(|r| {
-                        (r - &counterexample.activation).norm_linf()
-                            <= self.realizability_tolerance
+                        (r - &counterexample.activation).norm_linf() <= self.realizability_tolerance
                     });
                     if realizable {
                         return Ok((RefinedVerdict::Unsafe(counterexample), report));
@@ -199,43 +214,6 @@ impl RefinementVerifier {
         // proved safe, so the refined envelope — which still covers every
         // reference activation — satisfies the property.
         Ok((RefinedVerdict::Safe, report))
-    }
-
-    fn verify_region(
-        &self,
-        problem: &VerificationProblem,
-        region: &BoxDomain,
-    ) -> Result<Verdict, CoreError> {
-        let (_, tail) = problem
-            .perception()
-            .split_at(problem.cut_layer())
-            .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
-        let encoded = encode_verification(
-            tail.layers(),
-            Some(problem.characterizer().network()),
-            problem.risk(),
-            &StartRegion::Box(region.clone()),
-        )?;
-        let solution = encoded.milp.solve();
-        Ok(match solution.status {
-            MilpStatus::Infeasible => Verdict::Safe,
-            MilpStatus::Optimal => {
-                let activation: Vector = encoded
-                    .cut_vars
-                    .iter()
-                    .map(|&v| solution.values[v])
-                    .collect();
-                let output = tail.forward(&activation);
-                let logit = Some(problem.characterizer().logit(&activation));
-                Verdict::Unsafe(CounterExample {
-                    activation,
-                    output,
-                    logit,
-                })
-            }
-            MilpStatus::NodeLimit => Verdict::Unknown("node limit".into()),
-            MilpStatus::Unbounded => Verdict::Unknown("unbounded relaxation".into()),
-        })
     }
 }
 
@@ -309,10 +287,8 @@ mod tests {
         .unwrap();
         let risk = RiskCondition::new("large sum").output_ge(0, 1.5);
         let problem = VerificationProblem::new(perception, 1, characterizer, risk).unwrap();
-        let region = BoxDomain::from_intervals(vec![
-            Interval::new(0.0, 1.0),
-            Interval::new(0.0, 0.7),
-        ]);
+        let region =
+            BoxDomain::from_intervals(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 0.7)]);
         let references: Vec<Vector> = (0..30)
             .map(|i| {
                 let v = 0.7 * i as f64 / 29.0;
@@ -418,8 +394,10 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let activations: Vec<Vector> =
-            inputs.iter().map(|x| perception.activation_at(1, x)).collect();
+        let activations: Vec<Vector> = inputs
+            .iter()
+            .map(|x| perception.activation_at(1, x))
+            .collect();
         let region = BoxDomain::from_samples(&activations);
         let risk = RiskCondition::new("very negative").output_le(0, -5.0);
         let problem = VerificationProblem::new(perception, 1, characterizer, risk).unwrap();
@@ -432,10 +410,8 @@ mod tests {
 
     #[test]
     fn split_box_partitions_the_region() {
-        let region = BoxDomain::from_intervals(vec![
-            Interval::new(0.0, 4.0),
-            Interval::new(0.0, 1.0),
-        ]);
+        let region =
+            BoxDomain::from_intervals(vec![Interval::new(0.0, 4.0), Interval::new(0.0, 1.0)]);
         let (left, right) = split_box(&region);
         assert_eq!(left.bounds()[0], Interval::new(0.0, 2.0));
         assert_eq!(right.bounds()[0], Interval::new(2.0, 4.0));

@@ -158,7 +158,10 @@ impl StatisticalAnalysis {
     /// # Panics
     /// Panics when `delta` is not in `(0, 1)`.
     pub fn gamma_upper_bound(&self, delta: f64) -> f64 {
-        assert!(delta > 0.0 && delta < 1.0, "confidence delta must be in (0, 1)");
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "confidence delta must be in (0, 1)"
+        );
         let n = self.table.samples.max(1) as f64;
         let slack = ((1.0 / delta).ln() / (2.0 * n)).sqrt();
         (self.table.gamma + slack).min(1.0)
@@ -220,8 +223,7 @@ mod tests {
         let net = perception(0);
         let ch = trained_characterizer(&net, 1);
         let risk = RiskCondition::new("r").output_ge(0, 1e6);
-        let analysis =
-            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(300, 9)).unwrap();
+        let analysis = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(300, 9)).unwrap();
         let t = analysis.table();
         let total = t.alpha + t.beta + t.gamma + t.delta;
         assert!((total - 1.0).abs() < 1e-9);
@@ -234,8 +236,7 @@ mod tests {
         let net = perception(2);
         let ch = trained_characterizer(&net, 3);
         let risk = RiskCondition::new("r").output_ge(0, 1e6);
-        let analysis =
-            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(400, 10)).unwrap();
+        let analysis = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(400, 10)).unwrap();
         assert!(
             analysis.table().gamma < 0.2,
             "gamma unexpectedly large: {}",
@@ -251,8 +252,7 @@ mod tests {
         let ch = trained_characterizer(&net, 5);
         // ψ that no output can satisfy → every miss is benign.
         let risk = RiskCondition::new("impossible").output_ge(0, 1e9);
-        let analysis =
-            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(200, 11)).unwrap();
+        let analysis = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(200, 11)).unwrap();
         assert_eq!(analysis.unsafe_misses(), 0);
         assert!(analysis.missed_examples_are_safe());
     }
@@ -263,8 +263,7 @@ mod tests {
         let ch = trained_characterizer(&net, 7);
         // ψ that every output satisfies (empty conjunction is always true).
         let risk = RiskCondition::new("always");
-        let analysis =
-            StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(200, 12)).unwrap();
+        let analysis = StatisticalAnalysis::estimate(&net, &ch, &risk, &examples(200, 12)).unwrap();
         let expected = (analysis.table().gamma * analysis.table().samples as f64).round() as usize;
         assert_eq!(analysis.unsafe_misses(), expected);
     }

@@ -5,12 +5,14 @@
 use std::time::Instant;
 
 use dpv_absint::{AbstractDomain, BoxDomain, Zonotope};
-use dpv_lp::MilpStatus;
+use dpv_lp::{default_backend, MilpSolution, MilpStatus, SolverBackend};
 use dpv_monitor::ActivationEnvelope;
 use dpv_nn::Network;
 use dpv_tensor::Vector;
 
-use crate::{encode_verification, Characterizer, CoreError, RiskCondition, StartRegion};
+use crate::{
+    encode_verification, Characterizer, CoreError, EncodedProblem, RiskCondition, StartRegion,
+};
 
 /// Which abstract domain computes the Lemma-2 set from the input domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +132,8 @@ pub struct VerificationOutcome {
     pub verdict: Verdict,
     /// Label of the strategy that produced it.
     pub strategy: String,
+    /// Name of the solver backend that produced it.
+    pub backend: String,
     /// Whether a `Safe` verdict is conditional on runtime monitoring.
     pub conditional: bool,
     /// Number of binary variables in the MILP.
@@ -157,8 +161,13 @@ impl VerificationOutcome {
             Verdict::Unknown(reason) => format!("UNKNOWN ({reason})"),
         };
         format!(
-            "{verdict} | strategy {} | {} binaries ({} stable) | {} nodes | {:.3}s",
-            self.strategy, self.num_binaries, self.stable_relus, self.nodes_explored, self.solve_seconds
+            "{verdict} | strategy {} | backend {} | {} binaries ({} stable) | {} nodes | {:.3}s",
+            self.strategy,
+            self.backend,
+            self.num_binaries,
+            self.stable_relus,
+            self.nodes_explored,
+            self.solve_seconds
         )
     }
 }
@@ -285,14 +294,15 @@ impl VerificationProblem {
         }
     }
 
-    /// Runs the verification under the given strategy.
-    ///
-    /// # Errors
-    /// Propagates encoding errors ([`CoreError::NotPiecewiseLinear`],
-    /// [`CoreError::Inconsistent`]).
-    pub fn verify(&self, strategy: &VerificationStrategy) -> Result<VerificationOutcome, CoreError> {
-        let start_time = Instant::now();
-        let region = self.start_region(strategy)?;
+    /// Encodes the problem over `region` and hands the MILP to `backend`,
+    /// translating the solver status into a [`Verdict`]. This is the single
+    /// solve entry point every strategy (Lemma 1, Lemma 2, assume-guarantee)
+    /// and the refinement loop go through.
+    pub(crate) fn run_solver(
+        &self,
+        region: &StartRegion,
+        backend: &dyn SolverBackend,
+    ) -> Result<(Verdict, EncodedProblem, MilpSolution), CoreError> {
         let (_, tail) = self
             .perception
             .split_at(self.cut_layer)
@@ -301,11 +311,9 @@ impl VerificationProblem {
             tail.layers(),
             Some(self.characterizer.network()),
             &self.risk,
-            &region,
+            region,
         )?;
-        let solution = encoded.milp.solve();
-        let solve_seconds = start_time.elapsed().as_secs_f64();
-
+        let solution = backend.solve(&encoded.milp);
         let verdict = match solution.status {
             MilpStatus::Infeasible => Verdict::Safe,
             MilpStatus::Optimal => {
@@ -324,15 +332,47 @@ impl VerificationProblem {
                     logit,
                 })
             }
-            MilpStatus::NodeLimit => Verdict::Unknown("branch-and-bound node limit".to_string()),
+            MilpStatus::NodeLimit => Verdict::Unknown(format!("{} node limit", backend.name())),
             MilpStatus::Unbounded => {
                 Verdict::Unknown("relaxation unbounded (missing bounds)".to_string())
             }
         };
+        Ok((verdict, encoded, solution))
+    }
+
+    /// Runs the verification under the given strategy with the default
+    /// solver backend.
+    ///
+    /// # Errors
+    /// Propagates encoding errors ([`CoreError::NotPiecewiseLinear`],
+    /// [`CoreError::Inconsistent`]).
+    pub fn verify(
+        &self,
+        strategy: &VerificationStrategy,
+    ) -> Result<VerificationOutcome, CoreError> {
+        self.verify_with(strategy, &default_backend())
+    }
+
+    /// Runs the verification under the given strategy, solving through
+    /// `backend`.
+    ///
+    /// # Errors
+    /// Propagates encoding errors ([`CoreError::NotPiecewiseLinear`],
+    /// [`CoreError::Inconsistent`]).
+    pub fn verify_with(
+        &self,
+        strategy: &VerificationStrategy,
+        backend: &dyn SolverBackend,
+    ) -> Result<VerificationOutcome, CoreError> {
+        let start_time = Instant::now();
+        let region = self.start_region(strategy)?;
+        let (verdict, encoded, solution) = self.run_solver(&region, backend)?;
+        let solve_seconds = start_time.elapsed().as_secs_f64();
 
         Ok(VerificationOutcome {
             verdict,
             strategy: strategy.label(),
+            backend: backend.name().to_string(),
             conditional: !strategy.is_unconditional(),
             num_binaries: encoded.num_binaries,
             stable_relus: encoded.stable_relus,
@@ -359,9 +399,12 @@ impl VerificationProblem {
             .split_at(self.cut_layer)
             .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
         let output = tail.forward(&counterexample.activation);
+        // The MILP pins the characterizer logit at the `>= 0` boundary, so
+        // the concrete re-execution may land a rounding error below it; the
+        // characterizer check must share the caller's tolerance.
         Ok(region.contains(counterexample.activation.as_slice(), tol)
             && self.risk.is_satisfied(&output, tol)
-            && self.characterizer.decide_activation(&counterexample.activation))
+            && self.characterizer.logit(&counterexample.activation) >= -tol)
     }
 }
 
@@ -399,10 +442,17 @@ mod tests {
             learning_rate: 0.01,
             ..Default::default()
         };
-        dpv_nn::train(&mut perception, &data, &config, dpv_nn::LossKind::Mse, &mut rng);
+        dpv_nn::train(
+            &mut perception,
+            &data,
+            &config,
+            dpv_nn::LossKind::Mse,
+            &mut rng,
+        );
 
         // Property φ: "x0 is large" (analogue of "road bends right").
-        let examples: Vec<(Vector, bool)> = inputs.iter().map(|x| (x.clone(), x[0] > 0.7)).collect();
+        let examples: Vec<(Vector, bool)> =
+            inputs.iter().map(|x| (x.clone(), x[0] > 0.7)).collect();
         let characterizer = Characterizer::train(
             InputProperty::new("x0_large", "the first input exceeds 0.7"),
             &perception,
@@ -437,8 +487,7 @@ mod tests {
         // ψ: "output is more negative than anything the envelope allows" —
         // the analogue of "suggest steering to the far left".
         let risk = RiskCondition::new("strongly negative").output_le(0, threshold);
-        let problem =
-            VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
+        let problem = VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
         let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
             envelope,
             use_difference_constraints: true,
@@ -477,8 +526,7 @@ mod tests {
         // ψ: "output is positive" — this IS reachable when φ holds, so the
         // verifier must return a counterexample.
         let risk = RiskCondition::new("positive output").output_ge(0, 0.2);
-        let problem =
-            VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
+        let problem = VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
         let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
         let envelope = ActivationEnvelope::from_inputs(&perception, 3, &inputs, 0.0);
         let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
@@ -499,7 +547,13 @@ mod tests {
     fn problem_construction_validates_consistency() {
         let (perception, characterizer, _) = setup(3);
         let risk = RiskCondition::new("r").output_le(0, 0.0);
-        assert!(VerificationProblem::new(perception.clone(), 99, characterizer.clone(), risk.clone()).is_err());
+        assert!(VerificationProblem::new(
+            perception.clone(),
+            99,
+            characterizer.clone(),
+            risk.clone()
+        )
+        .is_err());
         // Wrong cut layer relative to the characterizer.
         assert!(VerificationProblem::new(perception, 1, characterizer, risk).is_err());
     }
@@ -509,9 +563,11 @@ mod tests {
         assert!(VerificationStrategy::LayerAbstraction { bound: 10.0 }
             .label()
             .contains("lemma1"));
-        assert!(VerificationStrategy::AbstractInterpretation { domain: DomainKind::Box }
-            .label()
-            .contains("interval"));
+        assert!(VerificationStrategy::AbstractInterpretation {
+            domain: DomainKind::Box
+        }
+        .label()
+        .contains("interval"));
         assert!(VerificationStrategy::AbstractInterpretation {
             domain: DomainKind::Zonotope
         }

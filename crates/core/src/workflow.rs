@@ -4,17 +4,19 @@
 //! This is the executable version of the paper's Figure 1, driven by the
 //! synthetic ODD of `dpv-scenegen` instead of the proprietary Audi data.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use dpv_lp::{default_backend, SolverBackend};
 use dpv_monitor::{ActivationEnvelope, RuntimeMonitor};
 use dpv_nn::{
     train, Activation, Dataset, LossKind, Network, NetworkBuilder, OptimizerKind, TensorShape,
     TrainConfig,
 };
 use dpv_scenegen::{
-    affordance, render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind,
-    SceneConfig,
+    affordance, render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind, SceneConfig,
 };
 use dpv_tensor::Vector;
 
@@ -147,7 +149,10 @@ impl WorkflowOutcome {
         out.push('\n');
 
         for experiment in &self.experiments {
-            out.push_str(&format!("-- {}: {} --\n", experiment.id, experiment.description));
+            out.push_str(&format!(
+                "-- {}: {} --\n",
+                experiment.id, experiment.description
+            ));
             for outcome in &experiment.outcomes {
                 out.push_str(&format!("  {}\n", outcome.summary()));
             }
@@ -174,17 +179,29 @@ impl WorkflowOutcome {
 #[derive(Debug, Clone)]
 pub struct Workflow {
     config: WorkflowConfig,
+    backend: Arc<dyn SolverBackend>,
 }
 
 impl Workflow {
-    /// Creates a workflow from a configuration.
+    /// Creates a workflow from a configuration, solving with the default
+    /// MILP backend.
     pub fn new(config: WorkflowConfig) -> Self {
-        Self { config }
+        Self::with_backend(config, Arc::new(default_backend()))
+    }
+
+    /// Creates a workflow whose verification stages solve through `backend`.
+    pub fn with_backend(config: WorkflowConfig, backend: Arc<dyn SolverBackend>) -> Self {
+        Self { config, backend }
     }
 
     /// The configuration.
     pub fn config(&self) -> &WorkflowConfig {
         &self.config
+    }
+
+    /// The solver backend used by the verification stages.
+    pub fn backend(&self) -> &dyn SolverBackend {
+        self.backend.as_ref()
     }
 
     /// Builds the perception architecture used throughout the experiments:
@@ -321,7 +338,7 @@ impl Workflow {
         ];
         let mut e1_outcomes = Vec::new();
         for strategy in &e1_strategies {
-            e1_outcomes.push(e1_problem.verify(strategy)?);
+            e1_outcomes.push(e1_problem.verify_with(strategy, self.backend.as_ref())?);
         }
 
         let e2_risk = RiskCondition::new("suggest steering straight")
@@ -333,10 +350,13 @@ impl Workflow {
             bend_characterizer.clone(),
             e2_risk.clone(),
         )?;
-        let e2_outcome = e2_problem.verify(&VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
-            envelope: envelope.clone(),
-            use_difference_constraints: true,
-        }))?;
+        let e2_outcome = e2_problem.verify_with(
+            &VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                envelope: envelope.clone(),
+                use_difference_constraints: true,
+            }),
+            self.backend.as_ref(),
+        )?;
 
         let experiments = vec![
             ExperimentResult {
@@ -360,8 +380,7 @@ impl Workflow {
             StatisticalAnalysis::estimate(&perception, &bend_characterizer, &e1_risk, &validation)?;
 
         // 7. Runtime monitor coverage on in-ODD and out-of-ODD frames.
-        let monitor = RuntimeMonitor::new(perception.clone(), cut_layer, envelope.clone())
-            .map_err(CoreError::Inconsistent)?;
+        let monitor = RuntimeMonitor::new(perception.clone(), cut_layer, envelope.clone())?;
         let sampler = OddSampler::new(cfg.scene);
         let mut monitor_rng = StdRng::seed_from_u64(cfg.seed ^ 0x77);
         let mut in_odd_accepted = 0usize;

@@ -1,0 +1,218 @@
+//! Tests of the `SolverBackend` seam: every verification path in `dpv-core`
+//! must route its MILP solves through the backend it was given, and
+//! independent backends must agree on verdicts.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dpv_absint::{AbstractDomain, BoxDomain, Interval};
+use dpv_core::{
+    Characterizer, CharacterizerConfig, InputProperty, RefinementVerifier, RiskCondition,
+    VerificationProblem, VerificationStrategy, Workflow, WorkflowConfig,
+};
+use dpv_lp::{BranchAndBoundBackend, ExhaustiveBackend, MilpProblem, MilpSolution, SolverBackend};
+use dpv_nn::{Activation, Dense, Layer, Network, NetworkBuilder};
+use dpv_tensor::{Matrix, Vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trivial mock backend: delegates to branch-and-bound but counts how many
+/// solves were routed through it, proving the seam is actually used.
+#[derive(Debug, Default)]
+struct CountingMockBackend {
+    calls: AtomicUsize,
+}
+
+impl CountingMockBackend {
+    fn calls(&self) -> usize {
+        self.calls.load(Ordering::SeqCst)
+    }
+}
+
+impl SolverBackend for CountingMockBackend {
+    fn name(&self) -> &str {
+        "counting-mock"
+    }
+
+    fn solve(&self, problem: &MilpProblem) -> MilpSolution {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        BranchAndBoundBackend.solve(problem)
+    }
+}
+
+/// A fixture whose verified tail is exactly two layers (dense 2→2, then
+/// ReLU) behind an identity head, with an always-firing characterizer:
+/// output0 = relu(x0 + x1), output1 = relu(x0 - x1).
+fn two_layer_problem(risk: RiskCondition) -> VerificationProblem {
+    let perception = Network::new(
+        2,
+        vec![
+            // Head (unverified): identity, so the cut-layer activation is the input.
+            Layer::Dense(Dense::from_parts(Matrix::identity(2), Vector::zeros(2))),
+            // Verified two-layer tail.
+            Layer::Dense(Dense::from_parts(
+                Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]).unwrap(),
+                Vector::zeros(2),
+            )),
+            Layer::Activation(Activation::ReLU),
+        ],
+    )
+    .unwrap();
+    // Characterizer with constant logit 1: fires everywhere.
+    let ch_net = Network::new(
+        2,
+        vec![Layer::Dense(Dense::from_parts(
+            Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap(),
+            Vector::from_slice(&[1.0]),
+        ))],
+    )
+    .unwrap();
+    let characterizer =
+        Characterizer::from_network(InputProperty::new("always", "always true"), 0, ch_net, 1.0)
+            .unwrap();
+    VerificationProblem::new(perception, 0, characterizer, risk).unwrap()
+}
+
+fn strategy() -> VerificationStrategy {
+    VerificationStrategy::LayerAbstraction { bound: 1.0 }
+}
+
+#[test]
+fn default_and_mock_backend_agree_on_the_two_layer_fixture() {
+    // Inside the cut-layer box [-1, 1]^2 the tail's first output
+    // relu(x0 + x1) ranges over [0, 2]: 1.5 is reachable, 5.0 is not.
+    for (risk, expect_safe) in [
+        (RiskCondition::new("reachable").output_ge(0, 1.5), false),
+        (RiskCondition::new("unreachable").output_ge(0, 5.0), true),
+    ] {
+        let problem = two_layer_problem(risk);
+        let mock = CountingMockBackend::default();
+
+        let via_default = problem.verify(&strategy()).unwrap();
+        let via_mock = problem.verify_with(&strategy(), &mock).unwrap();
+
+        assert_eq!(mock.calls(), 1, "the mock backend must be the one solving");
+        assert_eq!(via_default.verdict.is_safe(), expect_safe);
+        assert_eq!(via_default.verdict, via_mock.verdict);
+        assert_eq!(via_default.num_binaries, via_mock.num_binaries);
+        assert_eq!(via_default.backend, "branch-and-bound");
+        assert_eq!(via_mock.backend, "counting-mock");
+    }
+}
+
+#[test]
+fn branch_and_bound_and_exhaustive_enumeration_agree() {
+    for risk in [
+        RiskCondition::new("reachable").output_ge(0, 1.5),
+        RiskCondition::new("unreachable").output_ge(0, 5.0),
+        RiskCondition::new("banded")
+            .output_ge(0, 0.25)
+            .output_le(0, 0.75),
+    ] {
+        let problem = two_layer_problem(risk);
+        let bnb = problem
+            .verify_with(&strategy(), &BranchAndBoundBackend)
+            .unwrap();
+        let exhaustive = problem
+            .verify_with(&strategy(), &ExhaustiveBackend::default())
+            .unwrap();
+        assert_eq!(
+            bnb.verdict.is_safe(),
+            exhaustive.verdict.is_safe(),
+            "backends disagree: bnb={} exhaustive={}",
+            bnb.summary(),
+            exhaustive.summary()
+        );
+        // Both backends' counterexamples must be confirmed concretely.
+        for outcome in [&bnb, &exhaustive] {
+            if let dpv_core::Verdict::Unsafe(ce) = &outcome.verdict {
+                assert!(problem
+                    .confirm_counterexample(&strategy(), ce, 1e-4)
+                    .unwrap());
+            }
+        }
+    }
+}
+
+#[test]
+fn refinement_routes_every_solve_through_the_backend() {
+    let problem = two_layer_problem(RiskCondition::new("unreachable").output_ge(0, 5.0));
+    let region =
+        BoxDomain::from_intervals(vec![Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)]);
+    let references: Vec<Vector> = (0..5)
+        .map(|i| Vector::from_slice(&[i as f64 / 5.0, 0.0]))
+        .collect();
+    let mock = CountingMockBackend::default();
+    let verifier = RefinementVerifier::new(16, 0.05);
+    let (verdict, report) = verifier
+        .verify_with(&problem, &region, &references, &mock)
+        .unwrap();
+    assert!(verdict.is_safe());
+    assert!(report.verification_calls >= 1);
+    assert_eq!(mock.calls(), report.verification_calls);
+}
+
+#[test]
+fn workflow_threads_a_custom_backend_through_every_experiment() {
+    let config = WorkflowConfig {
+        training_samples: 60,
+        characterizer_samples: 60,
+        validation_samples: 40,
+        perception_epochs: 4,
+        characterizer: CharacterizerConfig {
+            hidden: vec![6],
+            epochs: 30,
+            ..CharacterizerConfig::small()
+        },
+        ..WorkflowConfig::small()
+    };
+    let backend = Arc::new(CountingMockBackend::default());
+    let workflow = Workflow::with_backend(config, backend.clone());
+    assert_eq!(workflow.backend().name(), "counting-mock");
+    let outcome = workflow.run().unwrap();
+    // E1 compares four strategies, E2 runs one more: five solves minimum.
+    assert!(
+        backend.calls() >= 5,
+        "only {} solves were routed",
+        backend.calls()
+    );
+    for experiment in &outcome.experiments {
+        for outcome in &experiment.outcomes {
+            assert_eq!(outcome.backend, "counting-mock");
+            assert!(outcome.summary().contains("counting-mock"));
+        }
+    }
+}
+
+#[test]
+fn trained_fixture_backends_agree_end_to_end() {
+    // A randomly initialised 2-layer tail (ReLU, dense): backends must
+    // still agree.
+    let mut rng = StdRng::seed_from_u64(11);
+    let perception = NetworkBuilder::new(3)
+        .dense(4, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(1, &mut rng)
+        .build();
+    let ch_net = Network::new(
+        4,
+        vec![Layer::Dense(Dense::from_parts(
+            Matrix::from_rows(&[vec![0.0, 0.0, 0.0, 0.0]]).unwrap(),
+            Vector::from_slice(&[1.0]),
+        ))],
+    )
+    .unwrap();
+    let characterizer =
+        Characterizer::from_network(InputProperty::new("always", "always true"), 0, ch_net, 1.0)
+            .unwrap();
+    let risk = RiskCondition::new("large output").output_ge(0, 100.0);
+    let problem = VerificationProblem::new(perception, 0, characterizer, risk).unwrap();
+    let strategy = VerificationStrategy::LayerAbstraction { bound: 2.0 };
+    let bnb = problem
+        .verify_with(&strategy, &BranchAndBoundBackend)
+        .unwrap();
+    let exhaustive = problem
+        .verify_with(&strategy, &ExhaustiveBackend::default())
+        .unwrap();
+    assert_eq!(bnb.verdict.is_safe(), exhaustive.verdict.is_safe());
+}

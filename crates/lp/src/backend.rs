@@ -1,0 +1,231 @@
+//! The `SolverBackend` seam: a single solve entry point the verification
+//! layers program against, so alternative MILP engines (parallel
+//! branch-and-bound, external solvers) can be plugged in without touching
+//! `dpv-core`.
+
+use std::fmt;
+
+use crate::{LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats};
+
+/// A MILP solving engine.
+///
+/// `dpv-core` encodes every verification question as a [`MilpProblem`] and
+/// hands it to a backend; the backend returns a [`MilpSolution`] whose
+/// status drives the safety verdict (`Infeasible` → safe, `Optimal` →
+/// counterexample, `NodeLimit`/`Unbounded` → unknown). Implementations must
+/// be `Send + Sync` so one backend instance can serve concurrent
+/// verification jobs.
+pub trait SolverBackend: fmt::Debug + Send + Sync {
+    /// Short human-readable engine name, used in reports and benchmark ids.
+    fn name(&self) -> &str;
+
+    /// Solves `problem`. For feasibility problems (all-zero objective) the
+    /// backend may stop at the first integer-feasible point.
+    fn solve(&self, problem: &MilpProblem) -> MilpSolution;
+}
+
+/// The crate's default engine: the depth-first branch-and-bound solver of
+/// [`MilpProblem::solve`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchAndBoundBackend;
+
+impl SolverBackend for BranchAndBoundBackend {
+    fn name(&self) -> &str {
+        "branch-and-bound"
+    }
+
+    fn solve(&self, problem: &MilpProblem) -> MilpSolution {
+        problem.solve()
+    }
+}
+
+/// Returns the engine used when callers do not pick one explicitly.
+pub fn default_backend() -> BranchAndBoundBackend {
+    BranchAndBoundBackend
+}
+
+/// A reference engine that enumerates all `2^k` assignments of the binary
+/// variables and solves one LP per assignment.
+///
+/// Exponential and only usable for small `k`, but its verdicts are trivially
+/// trustworthy, which makes it the cross-check oracle for testing smarter
+/// backends (the `SolverBackend`-seam tests assert it agrees with
+/// [`BranchAndBoundBackend`] on verification fixtures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExhaustiveBackend {
+    /// Refuses problems with more binaries than this (returns
+    /// [`MilpStatus::NodeLimit`]) so a mis-routed large instance degrades
+    /// into "unknown" instead of hanging.
+    pub max_binaries: usize,
+}
+
+impl Default for ExhaustiveBackend {
+    fn default() -> Self {
+        Self { max_binaries: 16 }
+    }
+}
+
+impl SolverBackend for ExhaustiveBackend {
+    fn name(&self) -> &str {
+        "exhaustive-enumeration"
+    }
+
+    fn solve(&self, problem: &MilpProblem) -> MilpSolution {
+        let binaries = problem.binaries();
+        let k = binaries.len();
+        let mut stats = SolveStats::default();
+        // The budget must stay below the mask width: `1u64 << 64` would wrap
+        // and silently enumerate nothing, turning the oracle unsound.
+        if k > self.max_binaries.min(63) {
+            return MilpSolution {
+                status: MilpStatus::NodeLimit,
+                values: Vec::new(),
+                objective: 0.0,
+                stats,
+            };
+        }
+        let feasibility_only = problem.lp().objective().iter().all(|&c| c == 0.0);
+        let maximize = problem.lp().is_maximization();
+        let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        for mask in 0u64..(1u64 << k) {
+            let mut lp = problem.lp().clone();
+            for (bit, &var) in binaries.iter().enumerate() {
+                let value = if mask & (1 << bit) != 0 { 1.0 } else { 0.0 };
+                lp.tighten_bounds(var, value, value);
+            }
+            stats.nodes_explored += 1;
+            let solution = lp.solve();
+            match solution.status {
+                LpStatus::Infeasible => continue,
+                LpStatus::Unbounded => {
+                    return MilpSolution {
+                        status: MilpStatus::Unbounded,
+                        values: Vec::new(),
+                        objective: 0.0,
+                        stats,
+                    };
+                }
+                LpStatus::Optimal => {
+                    let better = match &incumbent {
+                        None => true,
+                        Some((_, best)) => {
+                            if maximize {
+                                solution.objective > *best
+                            } else {
+                                solution.objective < *best
+                            }
+                        }
+                    };
+                    if better {
+                        incumbent = Some((solution.values, solution.objective));
+                        if feasibility_only {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match incumbent {
+            Some((values, objective)) => MilpSolution {
+                status: MilpStatus::Optimal,
+                values,
+                objective,
+                stats,
+            },
+            None => MilpSolution {
+                status: MilpStatus::Infeasible,
+                values: Vec::new(),
+                objective: 0.0,
+                stats,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintOp;
+
+    fn knapsack() -> MilpProblem {
+        // max 10a + 6b + 4c  s.t.  a + b + c <= 2 (binaries) → 16.
+        let mut milp = MilpProblem::new();
+        let a = milp.add_binary();
+        let b = milp.add_binary();
+        let c = milp.add_binary();
+        milp.lp_mut()
+            .set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
+        milp
+    }
+
+    #[test]
+    fn backends_agree_on_optimisation() {
+        let milp = knapsack();
+        let bnb = BranchAndBoundBackend.solve(&milp);
+        let exhaustive = ExhaustiveBackend::default().solve(&milp);
+        assert_eq!(bnb.status, MilpStatus::Optimal);
+        assert_eq!(exhaustive.status, MilpStatus::Optimal);
+        assert!((bnb.objective - exhaustive.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backends_agree_on_infeasibility() {
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut()
+            .add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        assert_eq!(
+            BranchAndBoundBackend.solve(&milp).status,
+            MilpStatus::Infeasible
+        );
+        assert_eq!(
+            ExhaustiveBackend::default().solve(&milp).status,
+            MilpStatus::Infeasible
+        );
+    }
+
+    #[test]
+    fn exhaustive_respects_its_binary_budget() {
+        let mut milp = MilpProblem::new();
+        for _ in 0..5 {
+            milp.add_binary();
+        }
+        let tiny = ExhaustiveBackend { max_binaries: 3 };
+        assert_eq!(tiny.solve(&milp).status, MilpStatus::NodeLimit);
+    }
+
+    #[test]
+    fn exhaustive_feasibility_stops_early() {
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut()
+            .add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+        let solution = ExhaustiveBackend::default().solve(&milp);
+        assert_eq!(solution.status, MilpStatus::Optimal);
+        assert!(solution.stats.nodes_explored < 4);
+    }
+
+    #[test]
+    fn backend_names_are_distinct() {
+        assert_ne!(
+            BranchAndBoundBackend.name(),
+            ExhaustiveBackend::default().name()
+        );
+        assert_eq!(default_backend().name(), "branch-and-bound");
+    }
+
+    #[test]
+    fn backends_are_object_safe() {
+        let engines: Vec<Box<dyn SolverBackend>> = vec![
+            Box::new(BranchAndBoundBackend),
+            Box::new(ExhaustiveBackend::default()),
+        ];
+        for engine in &engines {
+            assert_eq!(engine.solve(&knapsack()).status, MilpStatus::Optimal);
+        }
+    }
+}

@@ -17,6 +17,12 @@
 //! * [`encode_relu_big_m`] — the standard big-M encoding of a ReLU
 //!   constraint `y = max(0, x)` with known pre-activation bounds, the
 //!   building block of the network encoding in `dpv-core`.
+//! * [`SolverBackend`] — the seam between problem encoding and solving:
+//!   `dpv-core` routes every verification solve through this trait, so
+//!   alternative engines (parallel branch-and-bound, external solvers) can
+//!   be swapped in without touching the verification logic.
+//!   [`BranchAndBoundBackend`] is the default engine; [`ExhaustiveBackend`]
+//!   is a brute-force cross-check oracle for tests.
 //!
 //! Scale expectations: the paper's approach verifies only the close-to-output
 //! tail of the perception network, so instances stay in the hundreds of
@@ -46,11 +52,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod milp;
 mod model;
 mod relu;
 mod simplex;
 
+pub use backend::{default_backend, BranchAndBoundBackend, ExhaustiveBackend, SolverBackend};
 pub use milp::{MilpProblem, MilpSolution, MilpStatus, SolveStats};
 pub use model::{Constraint, ConstraintOp, LinearProgram, LpSolution, LpStatus, VarId};
 pub use relu::{encode_relu_big_m, ReluEncoding};

@@ -267,13 +267,21 @@ impl MilpProblem {
 
         match incumbent {
             Some((values, objective)) => MilpSolution {
-                status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Optimal },
+                status: if hit_limit {
+                    MilpStatus::NodeLimit
+                } else {
+                    MilpStatus::Optimal
+                },
                 values,
                 objective,
                 stats,
             },
             None => MilpSolution {
-                status: if hit_limit { MilpStatus::NodeLimit } else { MilpStatus::Infeasible },
+                status: if hit_limit {
+                    MilpStatus::NodeLimit
+                } else {
+                    MilpStatus::Infeasible
+                },
                 values: Vec::new(),
                 objective: 0.0,
                 stats,
@@ -294,7 +302,8 @@ mod tests {
         let a = milp.add_binary();
         let b = milp.add_binary();
         let c = milp.add_binary();
-        milp.lp_mut().set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)], true);
+        milp.lp_mut()
+            .set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)], true);
         milp.lp_mut()
             .add_constraint(&[(a, 1.0), (b, 1.0), (c, 1.0)], ConstraintOp::Le, 2.0);
         let sol = milp.solve();
@@ -353,14 +362,15 @@ mod tests {
         let w = milp.add_variable(0.0, 10.0);
         milp.lp_mut()
             .set_objective(&[(x, 3.0), (y, 2.0), (w, 1.0)], true);
-        milp.lp_mut().add_constraint(
-            &[(w, 1.0), (x, -4.0), (y, -2.0)],
-            ConstraintOp::Le,
-            0.0,
-        );
+        milp.lp_mut()
+            .add_constraint(&[(w, 1.0), (x, -4.0), (y, -2.0)], ConstraintOp::Le, 0.0);
         let sol = milp.solve();
         assert_eq!(sol.status, MilpStatus::Optimal);
-        assert!((sol.objective - 11.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective - 11.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
     }
 
     #[test]

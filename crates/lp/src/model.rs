@@ -116,8 +116,14 @@ impl LinearProgram {
     /// # Panics
     /// Panics when `lower > upper` or either bound is NaN.
     pub fn add_variable(&mut self, lower: f64, upper: f64) -> VarId {
-        assert!(!lower.is_nan() && !upper.is_nan(), "variable bounds must not be NaN");
-        assert!(lower <= upper, "lower bound {lower} exceeds upper bound {upper}");
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
+        assert!(
+            lower <= upper,
+            "lower bound {lower} exceeds upper bound {upper}"
+        );
         self.lower.push(lower);
         self.upper.push(upper);
         self.objective.push(0.0);
@@ -173,7 +179,10 @@ impl LinearProgram {
     pub fn add_constraint(&mut self, coeffs: &[(VarId, f64)], op: ConstraintOp, rhs: f64) {
         assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
         for (var, _) in coeffs {
-            assert!(*var < self.num_variables(), "constraint references unknown variable {var}");
+            assert!(
+                *var < self.num_variables(),
+                "constraint references unknown variable {var}"
+            );
         }
         self.constraints.push(Constraint {
             coeffs: coeffs.to_vec(),
@@ -218,7 +227,11 @@ impl LinearProgram {
             }
         }
         self.constraints.iter().all(|c| {
-            let lhs: f64 = c.coeffs.iter().map(|(var, coeff)| coeff * values[*var]).sum();
+            let lhs: f64 = c
+                .coeffs
+                .iter()
+                .map(|(var, coeff)| coeff * values[*var])
+                .sum();
             match c.op {
                 ConstraintOp::Le => lhs <= c.rhs + eps,
                 ConstraintOp::Ge => lhs >= c.rhs - eps,

@@ -47,7 +47,10 @@ pub fn encode_relu_big_m(
         lower.is_finite() && upper.is_finite(),
         "ReLU encoding requires finite pre-activation bounds"
     );
-    assert!(lower <= upper, "ReLU bounds are inverted: [{lower}, {upper}]");
+    assert!(
+        lower <= upper,
+        "ReLU bounds are inverted: [{lower}, {upper}]"
+    );
 
     problem
         .lp_mut()

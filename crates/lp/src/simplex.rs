@@ -6,6 +6,9 @@
 
 use crate::{ConstraintOp, LinearProgram, LpSolution, LpStatus, SOLVER_EPS};
 
+/// A sparse constraint row `coeffs (op) rhs` over standard-form variables.
+type SparseRow = (Vec<(usize, f64)>, ConstraintOp, f64);
+
 /// How each user-facing variable maps onto the non-negative standard-form
 /// variables.
 #[derive(Debug, Clone, Copy)]
@@ -37,7 +40,7 @@ fn standardize(lp: &LinearProgram) -> StandardForm {
     let sign = if lp.maximize { -1.0 } else { 1.0 };
     let mut mapping = Vec::with_capacity(n);
     let mut num_vars = 0usize;
-    let mut extra_rows: Vec<(Vec<(usize, f64)>, ConstraintOp, f64)> = Vec::new();
+    let mut extra_rows: Vec<SparseRow> = Vec::new();
 
     for i in 0..n {
         let (lo, hi) = (lp.lower[i], lp.upper[i]);
@@ -63,12 +66,12 @@ fn standardize(lp: &LinearProgram) -> StandardForm {
     // Objective in terms of standard variables.
     let mut cost = vec![0.0; num_vars];
     let mut offset = 0.0;
-    for i in 0..n {
+    for (i, map) in mapping.iter().enumerate() {
         let c = sign * lp.objective[i];
         if c == 0.0 {
             continue;
         }
-        match mapping[i] {
+        match *map {
             VarMap::Shifted { idx, lower } => {
                 cost[idx] += c;
                 offset += c * lower;
@@ -142,7 +145,10 @@ impl Tableau {
     /// Performs one pivot on (`row`, `col`).
     fn pivot(&mut self, row: usize, col: usize) {
         let pivot_value = self.rows[row][col];
-        debug_assert!(pivot_value.abs() > SOLVER_EPS, "pivot on a (near-)zero element");
+        debug_assert!(
+            pivot_value.abs() > SOLVER_EPS,
+            "pivot on a (near-)zero element"
+        );
         let inv = 1.0 / pivot_value;
         for value in &mut self.rows[row] {
             *value *= inv;
@@ -336,8 +342,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
         for row in 0..tableau.rows.len() {
             let basic = tableau.basis[row];
             if basic >= artificial_base {
-                let pivot_col = (0..artificial_base)
-                    .find(|&j| tableau.rows[row][j].abs() > 1e-7);
+                let pivot_col = (0..artificial_base).find(|&j| tableau.rows[row][j].abs() > 1e-7);
                 if let Some(col) = pivot_col {
                     tableau.pivot(row, col);
                 }
@@ -378,7 +383,11 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
 
     // The simplex minimised `sign * objective` plus the shift offset.
     let std_objective = optimum + std_form.offset;
-    let objective = if lp.maximize { -std_objective } else { std_objective };
+    let objective = if lp.maximize {
+        -std_objective
+    } else {
+        std_objective
+    };
 
     LpSolution {
         status: LpStatus::Optimal,

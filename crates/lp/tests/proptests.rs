@@ -11,10 +11,16 @@ fn random_lp(seed: u64, n: usize, m: usize) -> LinearProgram {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lp = LinearProgram::new();
     let vars: Vec<_> = (0..n).map(|_| lp.add_variable(0.0, 10.0)).collect();
-    let obj: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-2.0..2.0))).collect();
+    let obj: Vec<_> = vars
+        .iter()
+        .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+        .collect();
     lp.set_objective(&obj, true);
     for _ in 0..m {
-        let coeffs: Vec<_> = vars.iter().map(|&v| (v, rng.gen_range(-1.0..2.0))).collect();
+        let coeffs: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rng.gen_range(-1.0..2.0)))
+            .collect();
         lp.add_constraint(&coeffs, ConstraintOp::Le, rng.gen_range(1.0..15.0));
     }
     lp

@@ -29,7 +29,10 @@ impl ActivationEnvelope {
     /// # Panics
     /// Panics when `activations` is empty.
     pub fn from_activations(layer: usize, activations: &[Vector], margin: f64) -> Self {
-        assert!(!activations.is_empty(), "cannot build an envelope from zero activations");
+        assert!(
+            !activations.is_empty(),
+            "cannot build an envelope from zero activations"
+        );
         let mut octagon = OctagonLite::from_samples(activations);
         if margin > 0.0 {
             octagon.widen(margin);
@@ -48,7 +51,10 @@ impl ActivationEnvelope {
     /// # Panics
     /// Panics when `inputs` is empty or `layer` is out of range.
     pub fn from_inputs(network: &Network, layer: usize, inputs: &[Vector], margin: f64) -> Self {
-        assert!(!inputs.is_empty(), "cannot build an envelope from zero inputs");
+        assert!(
+            !inputs.is_empty(),
+            "cannot build an envelope from zero inputs"
+        );
         let activations: Vec<Vector> = inputs
             .iter()
             .map(|x| network.activation_at(layer, x))
@@ -116,8 +122,15 @@ impl ActivationEnvelope {
     /// # Panics
     /// Panics when layers or dimensions differ.
     pub fn merge(&self, other: &ActivationEnvelope) -> ActivationEnvelope {
-        assert_eq!(self.layer, other.layer, "cannot merge envelopes of different layers");
-        assert_eq!(self.dim(), other.dim(), "cannot merge envelopes of different dimensions");
+        assert_eq!(
+            self.layer, other.layer,
+            "cannot merge envelopes of different layers"
+        );
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "cannot merge envelopes of different dimensions"
+        );
         let bounds: Vec<Interval> = self
             .neuron_bounds()
             .iter()
@@ -193,7 +206,10 @@ mod tests {
 
     #[test]
     fn margin_widens_the_envelope() {
-        let acts = vec![Vector::from_slice(&[0.0, 1.0]), Vector::from_slice(&[0.5, 0.5])];
+        let acts = vec![
+            Vector::from_slice(&[0.0, 1.0]),
+            Vector::from_slice(&[0.5, 0.5]),
+        ];
         let tight = ActivationEnvelope::from_activations(0, &acts, 0.0);
         let wide = ActivationEnvelope::from_activations(0, &acts, 0.2);
         assert!(!tight.contains(&Vector::from_slice(&[0.6, 0.6]), 0.0));

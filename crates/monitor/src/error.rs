@@ -1,0 +1,39 @@
+//! Error type of the runtime-monitoring crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling a monitor or replaying logged evidence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// The monitor's cut layer or envelope does not fit the network.
+    Mismatch(String),
+    /// A persisted activation log could not be decoded.
+    MalformedLog(String),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Mismatch(msg) => write!(f, "monitor mismatch: {msg}"),
+            MonitorError::MalformedLog(msg) => write!(f, "malformed activation log: {msg}"),
+        }
+    }
+}
+
+impl Error for MonitorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MonitorError::Mismatch("dim".into())
+            .to_string()
+            .contains("dim"));
+        assert!(MonitorError::MalformedLog("short".into())
+            .to_string()
+            .contains("short"));
+    }
+}

@@ -49,9 +49,11 @@
 #![warn(missing_docs)]
 
 mod envelope;
+mod error;
 mod log;
 mod monitor;
 
 pub use envelope::ActivationEnvelope;
+pub use error::MonitorError;
 pub use log::ActivationLog;
 pub use monitor::{MonitorReport, MonitorVerdict, RuntimeMonitor, Violation, ViolationKind};

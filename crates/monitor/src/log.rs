@@ -4,6 +4,8 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use dpv_tensor::Vector;
 
+use crate::MonitorError;
+
 /// A compact append-only log of activation vectors.
 ///
 /// Each record is framed as a `u32` length followed by that many
@@ -55,20 +57,23 @@ impl ActivationLog {
     /// Decodes a byte buffer produced by [`ActivationLog::to_bytes`].
     ///
     /// # Errors
-    /// Returns an error string when the buffer is truncated or malformed.
-    pub fn decode(mut bytes: Bytes) -> Result<Vec<Vector>, String> {
+    /// Returns [`MonitorError::MalformedLog`] when the buffer is truncated
+    /// or malformed.
+    pub fn decode(mut bytes: Bytes) -> Result<Vec<Vector>, MonitorError> {
         let mut out = Vec::new();
         while bytes.has_remaining() {
             if bytes.remaining() < 4 {
-                return Err("truncated record header".to_string());
+                return Err(MonitorError::MalformedLog(
+                    "truncated record header".to_string(),
+                ));
             }
             let len = bytes.get_u32_le() as usize;
             if bytes.remaining() < len * 8 {
-                return Err(format!(
+                return Err(MonitorError::MalformedLog(format!(
                     "truncated record body: need {} bytes, have {}",
                     len * 8,
                     bytes.remaining()
-                ));
+                )));
             }
             let mut values = Vec::with_capacity(len);
             for _ in 0..len {

@@ -5,7 +5,7 @@ use parking_lot::Mutex;
 use dpv_nn::Network;
 use dpv_tensor::Vector;
 
-use crate::ActivationEnvelope;
+use crate::{ActivationEnvelope, MonitorError};
 
 /// Which envelope constraint an activation violated.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -96,26 +96,26 @@ impl RuntimeMonitor {
     /// `cut_layer` (zero-based) against `envelope`.
     ///
     /// # Errors
-    /// Returns an error string when the cut layer is out of range or the
-    /// envelope dimension does not match the network's activation dimension
-    /// at that layer.
+    /// Returns [`MonitorError::Mismatch`] when the cut layer is out of range
+    /// or the envelope dimension does not match the network's activation
+    /// dimension at that layer.
     pub fn new(
         network: Network,
         cut_layer: usize,
         envelope: ActivationEnvelope,
-    ) -> Result<Self, String> {
+    ) -> Result<Self, MonitorError> {
         if cut_layer >= network.len() {
-            return Err(format!(
+            return Err(MonitorError::Mismatch(format!(
                 "cut layer {cut_layer} out of range for a network with {} layers",
                 network.len()
-            ));
+            )));
         }
         let dim = network.layer_output_dim(cut_layer);
         if dim != envelope.dim() {
-            return Err(format!(
+            return Err(MonitorError::Mismatch(format!(
                 "envelope dimension {} does not match layer dimension {dim}",
                 envelope.dim()
-            ));
+            )));
         }
         Ok(Self {
             network,
@@ -265,13 +265,19 @@ mod tests {
                 flagged += 1;
             }
         }
-        assert!(flagged > 15, "only {flagged} of 20 extreme inputs were flagged");
+        assert!(
+            flagged > 15,
+            "only {flagged} of 20 extreme inputs were flagged"
+        );
         assert!(monitor.report().out_of_odd >= flagged);
     }
 
     #[test]
     fn violations_carry_details() {
-        let acts = vec![Vector::from_slice(&[0.0, 0.0]), Vector::from_slice(&[1.0, 1.0])];
+        let acts = vec![
+            Vector::from_slice(&[0.0, 0.0]),
+            Vector::from_slice(&[1.0, 1.0]),
+        ];
         let env = ActivationEnvelope::from_activations(0, &acts, 0.0);
         let mut rng = StdRng::seed_from_u64(3);
         let net = NetworkBuilder::new(2).dense(2, &mut rng).build();
@@ -279,7 +285,9 @@ mod tests {
         let verdict = monitor.classify(&Vector::from_slice(&[2.0, -1.0]));
         match verdict {
             MonitorVerdict::OutOfOdd { violations } => {
-                assert!(violations.iter().any(|v| v.kind == ViolationKind::NeuronBound));
+                assert!(violations
+                    .iter()
+                    .any(|v| v.kind == ViolationKind::NeuronBound));
                 assert!(violations
                     .iter()
                     .any(|v| v.kind == ViolationKind::AdjacentDifference));

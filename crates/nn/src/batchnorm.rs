@@ -185,7 +185,11 @@ mod tests {
         let bn = BatchNorm1d::new(2);
         let x = Vector::from_slice(&[3.0, -1.5]);
         let y = bn.forward(&x);
-        assert!(approx_eq_slice(y.as_slice(), &[2.99998500011, -1.49999250006], 1e-6));
+        assert!(approx_eq_slice(
+            y.as_slice(),
+            &[2.99998500011, -1.49999250006],
+            1e-6
+        ));
     }
 
     #[test]
@@ -200,9 +204,17 @@ mod tests {
         let x = Vector::from_slice(&[1.5, 2.0]);
         let (a, b) = bn.affine_form();
         let via_affine = &x.hadamard(&a) + &b;
-        assert!(approx_eq_slice(via_affine.as_slice(), bn.forward(&x).as_slice(), 1e-12));
+        assert!(approx_eq_slice(
+            via_affine.as_slice(),
+            bn.forward(&x).as_slice(),
+            1e-12
+        ));
         // Manual check: (1.5 - 0.5)/2 * 2 + 1 = 2; (2 - 0)/1 * 0.5 - 1 = 0.
-        assert!(approx_eq_slice(bn.forward(&x).as_slice(), &[2.0, 0.0], 1e-12));
+        assert!(approx_eq_slice(
+            bn.forward(&x).as_slice(),
+            &[2.0, 0.0],
+            1e-12
+        ));
     }
 
     #[test]

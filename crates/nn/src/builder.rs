@@ -3,7 +3,9 @@
 use dpv_tensor::Initializer;
 use rand::Rng;
 
-use crate::{Activation, BatchNorm1d, Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, TensorShape};
+use crate::{
+    Activation, BatchNorm1d, Conv2d, Dense, Flatten, Layer, MaxPool2d, Network, TensorShape,
+};
 
 /// Fluent builder that tracks the running output dimension so layers can be
 /// appended without repeating shapes.
@@ -105,7 +107,14 @@ impl NetworkBuilder {
         let shape = self
             .current_shape
             .expect("conv2d requires an image-shaped input; use with_image_input");
-        let layer = Conv2d::new(shape, out_channels, kernel, stride, Initializer::HeNormal, rng);
+        let layer = Conv2d::new(
+            shape,
+            out_channels,
+            kernel,
+            stride,
+            Initializer::HeNormal,
+            rng,
+        );
         let out_shape = layer.output_shape();
         self.layers.push(Layer::Conv2d(layer));
         self.current_dim = out_shape.len();
@@ -134,7 +143,9 @@ impl NetworkBuilder {
     /// # Panics
     /// Panics when the current value is not shaped.
     pub fn flatten(mut self) -> Self {
-        let shape = self.current_shape.expect("flatten requires an image-shaped input");
+        let shape = self
+            .current_shape
+            .expect("flatten requires an image-shaped input");
         self.layers.push(Layer::Flatten(Flatten::new(shape)));
         self.current_shape = None;
         self
@@ -209,8 +220,16 @@ mod tests {
     #[test]
     fn layer_method_checks_dimensions() {
         let mut rng = StdRng::seed_from_u64(2);
-        let extra = Layer::Dense(crate::Dense::new(4, 2, dpv_tensor::Initializer::HeNormal, &mut rng));
-        let net = NetworkBuilder::new(6).dense(4, &mut rng).layer(extra).build();
+        let extra = Layer::Dense(crate::Dense::new(
+            4,
+            2,
+            dpv_tensor::Initializer::HeNormal,
+            &mut rng,
+        ));
+        let net = NetworkBuilder::new(6)
+            .dense(4, &mut rng)
+            .layer(extra)
+            .build();
         assert_eq!(net.output_dim(), 2);
     }
 
@@ -218,7 +237,12 @@ mod tests {
     #[should_panic(expected = "expects input dimension")]
     fn layer_method_panics_on_mismatch() {
         let mut rng = StdRng::seed_from_u64(3);
-        let extra = Layer::Dense(crate::Dense::new(9, 2, dpv_tensor::Initializer::HeNormal, &mut rng));
+        let extra = Layer::Dense(crate::Dense::new(
+            9,
+            2,
+            dpv_tensor::Initializer::HeNormal,
+            &mut rng,
+        ));
         let _ = NetworkBuilder::new(6).dense(4, &mut rng).layer(extra);
     }
 

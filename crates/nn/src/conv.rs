@@ -41,7 +41,10 @@ impl Conv2d {
         init: Initializer,
         rng: &mut R,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         assert!(
             kernel <= in_shape.height && kernel <= in_shape.width,
             "kernel {}x{} does not fit input {}x{}",
@@ -176,8 +179,8 @@ impl Conv2d {
         for oc in 0..self.out_channels {
             for oy in 0..out_shape.height {
                 for ox in 0..out_shape.width {
-                    let go =
-                        grad_output[oc * out_shape.height * out_shape.width + oy * out_shape.width + ox];
+                    let go = grad_output
+                        [oc * out_shape.height * out_shape.width + oy * out_shape.width + ox];
                     if go == 0.0 {
                         continue;
                     }
@@ -263,7 +266,10 @@ mod tests {
             let mut xm = x.clone();
             xm[i] -= eps;
             let numeric = (conv.forward(&xp).sum() - conv.forward(&xm).sum()) / (2.0 * eps);
-            assert!((grad_in[i] - numeric).abs() < 1e-5, "input grad mismatch at {i}");
+            assert!(
+                (grad_in[i] - numeric).abs() < 1e-5,
+                "input grad mismatch at {i}"
+            );
         }
         for (r, c) in [(0usize, 0usize), (1, 3), (1, 7)] {
             let mut cp = conv.clone();
@@ -271,7 +277,10 @@ mod tests {
             let mut cm = conv.clone();
             cm.weights_mut()[(r, c)] -= eps;
             let numeric = (cp.forward(&x).sum() - cm.forward(&x).sum()) / (2.0 * eps);
-            assert!((grad_w[(r, c)] - numeric).abs() < 1e-5, "weight grad mismatch at {r},{c}");
+            assert!(
+                (grad_w[(r, c)] - numeric).abs() < 1e-5,
+                "weight grad mismatch at {r},{c}"
+            );
         }
         for i in 0..2 {
             let mut cp = conv.clone();

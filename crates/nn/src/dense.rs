@@ -162,7 +162,11 @@ mod tests {
             assert!((grad_w[(r, c)] - numeric).abs() < 1e-6);
         }
         // Bias gradient equals grad_output.
-        assert!(approx_eq_slice(grad_b.as_slice(), grad_out.as_slice(), 1e-12));
+        assert!(approx_eq_slice(
+            grad_b.as_slice(),
+            grad_out.as_slice(),
+            1e-12
+        ));
     }
 
     #[test]

@@ -63,8 +63,14 @@ mod tests {
 
     #[test]
     fn other_variants_display() {
-        assert!(NnError::InvalidDataset("empty".into()).to_string().contains("empty"));
-        assert!(NnError::InvalidNetwork("no layers".into()).to_string().contains("no layers"));
-        assert!(NnError::Parse("bad header".into()).to_string().contains("bad header"));
+        assert!(NnError::InvalidDataset("empty".into())
+            .to_string()
+            .contains("empty"));
+        assert!(NnError::InvalidNetwork("no layers".into())
+            .to_string()
+            .contains("no layers"));
+        assert!(NnError::Parse("bad header".into())
+            .to_string()
+            .contains("bad header"));
     }
 }

@@ -7,7 +7,9 @@
 
 use dpv_tensor::{Matrix, Vector};
 
-use crate::{Activation, BatchNorm1d, Dense, Flatten, Layer, MaxPool2d, Network, NnError, TensorShape};
+use crate::{
+    Activation, BatchNorm1d, Dense, Flatten, Layer, MaxPool2d, Network, NnError, TensorShape,
+};
 
 /// Serialises a network to the plain-text model format.
 ///
@@ -35,7 +37,9 @@ pub fn network_to_text(network: &Network) -> String {
                 push_vector(&mut out, d.bias());
             }
             Layer::Activation(a) => match a {
-                Activation::LeakyReLU(slope) => out.push_str(&format!("activation leaky_relu {slope}\n")),
+                Activation::LeakyReLU(slope) => {
+                    out.push_str(&format!("activation leaky_relu {slope}\n"))
+                }
                 other => out.push_str(&format!("activation {}\n", other.name())),
             },
             Layer::BatchNorm(bn) => {
@@ -63,7 +67,10 @@ pub fn network_to_text(network: &Network) -> String {
                 let shape = p.input_shape();
                 out.push_str(&format!(
                     "maxpool2d {} {} {} {}\n",
-                    shape.channels, shape.height, shape.width, p.pool()
+                    shape.channels,
+                    shape.height,
+                    shape.width,
+                    p.pool()
                 ));
             }
             Layer::Flatten(f) => {
@@ -87,7 +94,9 @@ pub fn network_to_text(network: &Network) -> String {
 /// inconsistent.
 pub fn network_from_text(text: &str) -> Result<Network, NnError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| NnError::Parse("empty model text".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| NnError::Parse("empty model text".into()))?;
     let header_tokens: Vec<&str> = header.split_whitespace().collect();
     if header_tokens.len() != 6 || header_tokens[0] != "dpv-network" || header_tokens[1] != "v1" {
         return Err(NnError::Parse(format!("unrecognised header: {header}")));
@@ -103,8 +112,10 @@ pub fn network_from_text(text: &str) -> Result<Network, NnError> {
         let tokens: Vec<&str> = decl.split_whitespace().collect();
         match tokens.first().copied() {
             Some("dense") => {
-                let out_dim: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "dense rows")?;
-                let in_dim: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "dense cols")?;
+                let out_dim: usize =
+                    parse_token(tokens.get(1).copied().unwrap_or(""), "dense rows")?;
+                let in_dim: usize =
+                    parse_token(tokens.get(2).copied().unwrap_or(""), "dense cols")?;
                 let weights = read_matrix(&mut lines, out_dim, in_dim)?;
                 let bias = read_vector(&mut lines, out_dim)?;
                 layers.push(Layer::Dense(Dense::from_parts(weights, bias)));
@@ -117,7 +128,8 @@ pub fn network_from_text(text: &str) -> Result<Network, NnError> {
                     "sigmoid" => Activation::Sigmoid,
                     "tanh" => Activation::Tanh,
                     "leaky_relu" => {
-                        let slope: f64 = parse_token(tokens.get(2).copied().unwrap_or(""), "leaky slope")?;
+                        let slope: f64 =
+                            parse_token(tokens.get(2).copied().unwrap_or(""), "leaky slope")?;
                         Activation::LeakyReLU(slope)
                     }
                     other => return Err(NnError::Parse(format!("unknown activation: {other}"))),
@@ -125,21 +137,27 @@ pub fn network_from_text(text: &str) -> Result<Network, NnError> {
                 layers.push(Layer::Activation(act));
             }
             Some("batchnorm") => {
-                let dim: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "batchnorm dim")?;
+                let dim: usize =
+                    parse_token(tokens.get(1).copied().unwrap_or(""), "batchnorm dim")?;
                 let eps: f64 = parse_token(tokens.get(2).copied().unwrap_or(""), "batchnorm eps")?;
                 let gamma = read_vector(&mut lines, dim)?;
                 let beta = read_vector(&mut lines, dim)?;
                 let mean = read_vector(&mut lines, dim)?;
                 let var = read_vector(&mut lines, dim)?;
-                layers.push(Layer::BatchNorm(BatchNorm1d::from_parts(gamma, beta, mean, var, eps)));
+                layers.push(Layer::BatchNorm(BatchNorm1d::from_parts(
+                    gamma, beta, mean, var, eps,
+                )));
             }
             Some("conv2d") => {
                 let c: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "conv channels")?;
                 let h: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "conv height")?;
                 let w: usize = parse_token(tokens.get(3).copied().unwrap_or(""), "conv width")?;
-                let out_c: usize = parse_token(tokens.get(4).copied().unwrap_or(""), "conv out channels")?;
-                let kernel: usize = parse_token(tokens.get(5).copied().unwrap_or(""), "conv kernel")?;
-                let stride: usize = parse_token(tokens.get(6).copied().unwrap_or(""), "conv stride")?;
+                let out_c: usize =
+                    parse_token(tokens.get(4).copied().unwrap_or(""), "conv out channels")?;
+                let kernel: usize =
+                    parse_token(tokens.get(5).copied().unwrap_or(""), "conv kernel")?;
+                let stride: usize =
+                    parse_token(tokens.get(6).copied().unwrap_or(""), "conv stride")?;
                 let shape = TensorShape::new(c, h, w);
                 let fan_in = c * kernel * kernel;
                 let weights = read_matrix(&mut lines, out_c, fan_in)?;
@@ -162,10 +180,14 @@ pub fn network_from_text(text: &str) -> Result<Network, NnError> {
                 let h: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "pool height")?;
                 let w: usize = parse_token(tokens.get(3).copied().unwrap_or(""), "pool width")?;
                 let pool: usize = parse_token(tokens.get(4).copied().unwrap_or(""), "pool size")?;
-                layers.push(Layer::MaxPool2d(MaxPool2d::new(TensorShape::new(c, h, w), pool)));
+                layers.push(Layer::MaxPool2d(MaxPool2d::new(
+                    TensorShape::new(c, h, w),
+                    pool,
+                )));
             }
             Some("flatten") => {
-                let c: usize = parse_token(tokens.get(1).copied().unwrap_or(""), "flatten channels")?;
+                let c: usize =
+                    parse_token(tokens.get(1).copied().unwrap_or(""), "flatten channels")?;
                 let h: usize = parse_token(tokens.get(2).copied().unwrap_or(""), "flatten height")?;
                 let w: usize = parse_token(tokens.get(3).copied().unwrap_or(""), "flatten width")?;
                 layers.push(Layer::Flatten(Flatten::new(TensorShape::new(c, h, w))));
@@ -202,11 +224,12 @@ fn read_vector<'a>(
     lines: &mut impl Iterator<Item = &'a str>,
     len: usize,
 ) -> Result<Vector, NnError> {
-    let line = lines
-        .next()
-        .ok_or_else(|| NnError::Parse("unexpected end of model text while reading vector".into()))?;
+    let line = lines.next().ok_or_else(|| {
+        NnError::Parse("unexpected end of model text while reading vector".into())
+    })?;
     let values: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse).collect();
-    let values = values.map_err(|_| NnError::Parse(format!("cannot parse vector line {line:?}")))?;
+    let values =
+        values.map_err(|_| NnError::Parse(format!("cannot parse vector line {line:?}")))?;
     if values.len() != len {
         return Err(NnError::Parse(format!(
             "expected vector of length {len}, got {}",
@@ -277,7 +300,9 @@ mod tests {
         assert!(network_from_text("").is_err());
         assert!(network_from_text("bogus header here x y z\n").is_err());
         assert!(network_from_text("dpv-network v1 input_dim 2 layers 1\nunknown_layer\n").is_err());
-        assert!(network_from_text("dpv-network v1 input_dim 2 layers 1\ndense 2 2\n1 2\n").is_err());
+        assert!(
+            network_from_text("dpv-network v1 input_dim 2 layers 1\ndense 2 2\n1 2\n").is_err()
+        );
     }
 
     #[test]

@@ -140,7 +140,10 @@ impl Layer {
 
     /// Returns `true` when the layer has trainable parameters.
     pub fn has_parameters(&self) -> bool {
-        matches!(self, Layer::Dense(_) | Layer::BatchNorm(_) | Layer::Conv2d(_))
+        matches!(
+            self,
+            Layer::Dense(_) | Layer::BatchNorm(_) | Layer::Conv2d(_)
+        )
     }
 
     /// Number of trainable scalar parameters.
@@ -167,7 +170,12 @@ impl Layer {
                 c.input_dim(),
                 c.output_dim()
             ),
-            Layer::MaxPool2d(p) => format!("maxpool2d {} ({} -> {})", p.pool(), p.input_dim(), p.output_dim()),
+            Layer::MaxPool2d(p) => format!(
+                "maxpool2d {} ({} -> {})",
+                p.pool(),
+                p.input_dim(),
+                p.output_dim()
+            ),
             Layer::Flatten(f) => format!("flatten {}", f.dim()),
         }
     }
@@ -356,7 +364,9 @@ mod tests {
     fn describe_is_informative() {
         let dense = Layer::Dense(Dense::from_parts(Matrix::zeros(3, 2), Vector::zeros(3)));
         assert!(dense.describe().contains("dense"));
-        assert!(Layer::Activation(Activation::ReLU).describe().contains("relu"));
+        assert!(Layer::Activation(Activation::ReLU)
+            .describe()
+            .contains("relu"));
     }
 
     #[test]

@@ -79,6 +79,5 @@ pub use network::{ActivationTrace, Network};
 pub use optimizer::{Adam, Optimizer, OptimizerKind, Sgd};
 pub use pool::{Flatten, MaxPool2d};
 pub use train::{
-    binary_accuracy, evaluate_loss, labels_to_dataset, train, EpochStats, TrainConfig,
-    TrainHistory,
+    binary_accuracy, evaluate_loss, labels_to_dataset, train, EpochStats, TrainConfig, TrainHistory,
 };

@@ -8,8 +8,18 @@ use crate::{Layer, LayerGrad, Network};
 #[derive(Debug, Clone)]
 enum Slot {
     None,
-    WeightBias { m_w: Matrix, v_w: Matrix, m_b: Vector, v_b: Vector },
-    GammaBeta { m_g: Vector, v_g: Vector, m_b: Vector, v_b: Vector },
+    WeightBias {
+        m_w: Matrix,
+        v_w: Matrix,
+        m_b: Vector,
+        v_b: Vector,
+    },
+    GammaBeta {
+        m_g: Vector,
+        v_g: Vector,
+        m_b: Vector,
+        v_b: Vector,
+    },
 }
 
 /// The optimiser algorithms offered by [`Optimizer`].
@@ -41,6 +51,7 @@ pub struct Adam;
 
 impl Sgd {
     /// Creates an SGD optimiser with the given learning rate and momentum.
+    #[allow(clippy::new_ret_no_self)] // deliberate shorthand constructor for `Optimizer`
     pub fn new(learning_rate: f64, momentum: f64) -> Optimizer {
         Optimizer::new(learning_rate, OptimizerKind::Sgd { momentum })
     }
@@ -49,6 +60,7 @@ impl Sgd {
 impl Adam {
     /// Creates an Adam optimiser with the given learning rate and the usual
     /// default moment coefficients.
+    #[allow(clippy::new_ret_no_self)] // deliberate shorthand constructor for `Optimizer`
     pub fn new(learning_rate: f64) -> Optimizer {
         Optimizer::new(
             learning_rate,
@@ -146,7 +158,10 @@ impl Optimizer {
             OptimizerKind::Sgd { momentum } => {
                 for (i, layer) in network.layers_mut().iter_mut().enumerate() {
                     match (&grads[i], &mut self.slots[i]) {
-                        (LayerGrad::WeightBias { weights, bias }, Slot::WeightBias { m_w, m_b, .. }) => {
+                        (
+                            LayerGrad::WeightBias { weights, bias },
+                            Slot::WeightBias { m_w, m_b, .. },
+                        ) => {
                             if momentum > 0.0 {
                                 *m_w = &m_w.scale(momentum) + weights;
                                 *m_b = &m_b.scale(momentum) + bias;
@@ -161,7 +176,10 @@ impl Optimizer {
                                 layer.apply_grad(lr, &grads[i]);
                             }
                         }
-                        (LayerGrad::GammaBeta { gamma, beta }, Slot::GammaBeta { m_g, m_b, .. }) => {
+                        (
+                            LayerGrad::GammaBeta { gamma, beta },
+                            Slot::GammaBeta { m_g, m_b, .. },
+                        ) => {
                             if momentum > 0.0 {
                                 *m_g = &m_g.scale(momentum) + gamma;
                                 *m_b = &m_b.scale(momentum) + beta;
@@ -302,7 +320,11 @@ mod tests {
             verbose: false,
         };
         let history = crate::train(&mut net, &data, &config, LossKind::Mse, &mut rng);
-        assert!(history.final_loss() < 1e-3, "loss: {}", history.final_loss());
+        assert!(
+            history.final_loss() < 1e-3,
+            "loss: {}",
+            history.final_loss()
+        );
     }
 
     #[test]
@@ -323,7 +345,11 @@ mod tests {
             verbose: false,
         };
         let history = crate::train(&mut net, &data, &config, LossKind::Mse, &mut rng);
-        assert!(history.final_loss() < 1e-2, "loss: {}", history.final_loss());
+        assert!(
+            history.final_loss() < 1e-2,
+            "loss: {}",
+            history.final_loss()
+        );
     }
 
     #[test]
@@ -356,7 +382,10 @@ mod tests {
             21,
         );
         let sgd_loss = run(OptimizerKind::Sgd { momentum: 0.0 }, 21);
-        assert!(adam_loss < sgd_loss * 1.5, "adam {adam_loss} vs sgd {sgd_loss}");
+        assert!(
+            adam_loss < sgd_loss * 1.5,
+            "adam {adam_loss} vs sgd {sgd_loss}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl MaxPool2d {
     /// Forward pass. Also returns the argmax indices so the backward pass can
     /// route gradients; use [`MaxPool2d::forward`] when only the value is needed.
     pub fn forward_with_indices(&self, x: &Vector) -> (Vector, Vec<usize>) {
-        assert_eq!(x.len(), self.input_dim(), "max-pool input dimension mismatch");
+        assert_eq!(
+            x.len(),
+            self.input_dim(),
+            "max-pool input dimension mismatch"
+        );
         let out_shape = self.output_shape();
         let mut out = Vector::zeros(out_shape.len());
         let mut indices = vec![0usize; out_shape.len()];

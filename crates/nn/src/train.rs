@@ -151,18 +151,30 @@ pub fn binary_accuracy(network: &Network, data: &Dataset) -> f64 {
 }
 
 fn add_grads(mut acc: Vec<LayerGrad>, other: Vec<LayerGrad>) -> Vec<LayerGrad> {
-    for (a, b) in acc.iter_mut().zip(other.into_iter()) {
+    for (a, b) in acc.iter_mut().zip(other) {
         match (a, b) {
             (
-                LayerGrad::WeightBias { weights: wa, bias: ba },
-                LayerGrad::WeightBias { weights: wb, bias: bb },
+                LayerGrad::WeightBias {
+                    weights: wa,
+                    bias: ba,
+                },
+                LayerGrad::WeightBias {
+                    weights: wb,
+                    bias: bb,
+                },
             ) => {
                 wa.add_scaled(1.0, &wb);
                 *ba += &bb;
             }
             (
-                LayerGrad::GammaBeta { gamma: ga, beta: ba },
-                LayerGrad::GammaBeta { gamma: gb, beta: bb },
+                LayerGrad::GammaBeta {
+                    gamma: ga,
+                    beta: ba,
+                },
+                LayerGrad::GammaBeta {
+                    gamma: gb,
+                    beta: bb,
+                },
             ) => {
                 *ga += &gb;
                 *ba += &bb;
@@ -273,11 +285,8 @@ mod tests {
 
     #[test]
     fn labels_to_dataset_builds_binary_targets() {
-        let data = labels_to_dataset(vec![
-            (Vector::zeros(2), true),
-            (Vector::ones(2), false),
-        ])
-        .unwrap();
+        let data =
+            labels_to_dataset(vec![(Vector::zeros(2), true), (Vector::ones(2), false)]).unwrap();
         assert_eq!(data.targets()[0].as_slice(), &[1.0]);
         assert_eq!(data.targets()[1].as_slice(), &[0.0]);
     }

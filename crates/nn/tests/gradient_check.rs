@@ -7,7 +7,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Builds a small random dense/ReLU/batch-norm network from a seed.
-fn random_network(seed: u64, input_dim: usize, hidden: usize, output_dim: usize) -> dpv_nn::Network {
+fn random_network(
+    seed: u64,
+    input_dim: usize,
+    hidden: usize,
+    output_dim: usize,
+) -> dpv_nn::Network {
     let mut rng = StdRng::seed_from_u64(seed);
     NetworkBuilder::new(input_dim)
         .dense(hidden, &mut rng)
@@ -88,7 +93,8 @@ fn full_network_input_gradient_matches_finite_differences() {
 
     // Analytic gradient via a clone in training mode.
     let mut train_net = net.clone();
-    let loss_of = |net: &dpv_nn::Network, x: &Vector| LossKind::Mse.evaluate(&net.forward(x), &target).value;
+    let loss_of =
+        |net: &dpv_nn::Network, x: &Vector| LossKind::Mse.evaluate(&net.forward(x), &target).value;
     // Use the public training entry point indirectly: finite differences on
     // the input against the chain rule applied through layer backward calls.
     let trace = net.forward_trace(&x);

@@ -54,11 +54,10 @@ impl Affordance {
 pub fn affordance(scene: &SceneParams, config: &SceneConfig) -> Vector {
     let lookahead = config.lookahead;
     let curvature_term = 0.5 * scene.curvature * lookahead * lookahead;
-    let waypoint_offset = (curvature_term - 0.8 * scene.ego_offset
-        - 0.3 * scene.heading_error * lookahead)
-        .clamp(-1.0, 1.0);
-    let orientation =
-        (scene.curvature * lookahead - 0.6 * scene.heading_error).clamp(-1.0, 1.0);
+    let waypoint_offset =
+        (curvature_term - 0.8 * scene.ego_offset - 0.3 * scene.heading_error * lookahead)
+            .clamp(-1.0, 1.0);
+    let orientation = (scene.curvature * lookahead - 0.6 * scene.heading_error).clamp(-1.0, 1.0);
     Affordance {
         waypoint_offset,
         orientation,
@@ -83,7 +82,11 @@ mod tests {
     #[test]
     fn right_bend_requires_steering_right() {
         let a = affordance(&SceneParams::nominal().with_curvature(0.8), &cfg());
-        assert!(a[0] > 0.2, "waypoint offset should be positive, got {}", a[0]);
+        assert!(
+            a[0] > 0.2,
+            "waypoint offset should be positive, got {}",
+            a[0]
+        );
         assert!(a[1] > 0.2, "orientation should be positive, got {}", a[1]);
     }
 
@@ -137,7 +140,9 @@ mod tests {
     #[test]
     fn outputs_are_clamped_to_unit_range() {
         let a = affordance(
-            &SceneParams::nominal().with_curvature(5.0).with_ego_offset(-3.0),
+            &SceneParams::nominal()
+                .with_curvature(5.0)
+                .with_ego_offset(-3.0),
             &cfg(),
         );
         assert!(a[0] <= 1.0 && a[1] <= 1.0);

@@ -142,7 +142,13 @@ fn render_all(scenes: &[SceneParams], config: &SceneConfig, threads: usize) -> V
     thread::scope(|scope| {
         let handles: Vec<_> = scenes
             .chunks(chunk)
-            .map(|part| scope.spawn(move |_| part.iter().map(|s| render_scene(s, config)).collect::<Vec<_>>()))
+            .map(|part| {
+                scope.spawn(move |_| {
+                    part.iter()
+                        .map(|s| render_scene(s, config))
+                        .collect::<Vec<_>>()
+                })
+            })
             .collect();
         for handle in handles {
             rendered.push(handle.join().expect("render worker panicked"));
@@ -239,17 +245,16 @@ mod tests {
 
     #[test]
     fn characterizer_dataset_targets_are_binary() {
-        let data = characterizer_dataset(&GeneratorConfig::small(20), PropertyKind::BendsLeft).unwrap();
-        assert!(data
-            .targets()
-            .iter()
-            .all(|t| t[0] == 0.0 || t[0] == 1.0));
+        let data =
+            characterizer_dataset(&GeneratorConfig::small(20), PropertyKind::BendsLeft).unwrap();
+        assert!(data.targets().iter().all(|t| t[0] == 0.0 || t[0] == 1.0));
     }
 
     #[test]
     fn property_examples_alternate_labels() {
         let mut rng = StdRng::seed_from_u64(5);
-        let examples = property_examples(&SceneConfig::small(), PropertyKind::Straight, 10, &mut rng);
+        let examples =
+            property_examples(&SceneConfig::small(), PropertyKind::Straight, 10, &mut rng);
         assert_eq!(examples.len(), 10);
         assert!(examples.iter().step_by(2).all(|(_, l)| *l));
         assert!(examples.iter().skip(1).step_by(2).all(|(_, l)| !*l));

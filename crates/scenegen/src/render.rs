@@ -38,8 +38,7 @@ pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
         // distance 0 at the bottom row, 1 at the top row (horizon).
         let distance = 1.0 - (row as f64 + 0.5) / h as f64;
         // Lateral position of the road centre in pixels.
-        let centre = widthf / 2.0
-            - scene.ego_offset * widthf * 0.35
+        let centre = widthf / 2.0 - scene.ego_offset * widthf * 0.35
             + scene.curvature * distance * distance * widthf * 0.45
             + scene.heading_error * distance * widthf * 0.9;
         // Perspective: the road narrows towards the horizon.
@@ -178,8 +177,14 @@ mod tests {
         let c_straight = road_centre_of_mass(&straight, &cfg);
         let c_right = road_centre_of_mass(&right, &cfg);
         let c_left = road_centre_of_mass(&left, &cfg);
-        assert!(c_right > c_straight + 0.5, "right: {c_right}, straight: {c_straight}");
-        assert!(c_left < c_straight - 0.5, "left: {c_left}, straight: {c_straight}");
+        assert!(
+            c_right > c_straight + 0.5,
+            "right: {c_right}, straight: {c_straight}"
+        );
+        assert!(
+            c_left < c_straight - 0.5,
+            "left: {c_left}, straight: {c_straight}"
+        );
     }
 
     #[test]

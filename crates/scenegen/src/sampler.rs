@@ -70,7 +70,8 @@ impl OddSampler {
         match rng.gen_range(0..4) {
             0 => {
                 let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                scene.curvature = sign * rng.gen_range(c.max_curvature * 1.5..=c.max_curvature * 3.0);
+                scene.curvature =
+                    sign * rng.gen_range(c.max_curvature * 1.5..=c.max_curvature * 3.0);
             }
             1 => {
                 scene.noise = rng.gen_range(c.max_noise * 4.0..=c.max_noise * 10.0 + 0.2);
@@ -80,7 +81,8 @@ impl OddSampler {
             }
             _ => {
                 let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-                scene.ego_offset = sign * rng.gen_range(c.max_ego_offset * 2.0..=c.max_ego_offset * 4.0);
+                scene.ego_offset =
+                    sign * rng.gen_range(c.max_ego_offset * 2.0..=c.max_ego_offset * 4.0);
             }
         }
         scene
@@ -120,7 +122,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..200 {
             let scene = sampler.sample_out_of_odd(&mut rng);
-            assert!(!sampler.is_in_odd(&scene), "scene unexpectedly in ODD: {scene:?}");
+            assert!(
+                !sampler.is_in_odd(&scene),
+                "scene unexpectedly in ODD: {scene:?}"
+            );
         }
     }
 

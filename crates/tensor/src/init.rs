@@ -111,7 +111,10 @@ mod tests {
     fn zeros_and_constant() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(Initializer::Zeros.matrix(2, 2, &mut rng).sum(), 0.0);
-        assert_eq!(Initializer::Constant(3.0).matrix(2, 2, &mut rng).sum(), 12.0);
+        assert_eq!(
+            Initializer::Constant(3.0).matrix(2, 2, &mut rng).sum(),
+            12.0
+        );
         assert_eq!(Initializer::Constant(0.5).bias(4, &mut rng).sum(), 2.0);
     }
 
@@ -137,7 +140,12 @@ mod tests {
         let mean = m.sum() / 2500.0;
         assert!(mean.abs() < 0.05, "mean too far from zero: {mean}");
         let expected_std = (2.0 / 50.0_f64).sqrt();
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 2500.0;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 2500.0;
         assert!((var.sqrt() - expected_std).abs() < 0.05);
     }
 

@@ -308,7 +308,10 @@ impl Matrix {
     /// mismatch, or the matrix is (numerically) singular.
     pub fn solve(&self, b: &Vector) -> Result<Vector, String> {
         if self.rows != self.cols {
-            return Err(format!("solve requires a square matrix, got {}x{}", self.rows, self.cols));
+            return Err(format!(
+                "solve requires a square matrix, got {}x{}",
+                self.rows, self.cols
+            ));
         }
         if b.len() != self.rows {
             return Err(format!(
@@ -385,14 +388,20 @@ impl fmt::Display for Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (r, c): (usize, usize)) -> &Self::Output {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Self::Output {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -417,7 +426,11 @@ impl Add<&Matrix> for &Matrix {
 impl Sub<&Matrix> for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -470,7 +483,11 @@ mod tests {
     fn matvec_and_transposed() {
         let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
         let x = Vector::from_slice(&[1.0, 0.0, -1.0]);
-        assert!(approx_eq_slice(m.matvec(&x).as_slice(), &[-2.0, -2.0], 1e-12));
+        assert!(approx_eq_slice(
+            m.matvec(&x).as_slice(),
+            &[-2.0, -2.0],
+            1e-12
+        ));
         let y = Vector::from_slice(&[1.0, 1.0]);
         assert!(approx_eq_slice(
             m.matvec_transposed(&y).as_slice(),
@@ -484,7 +501,10 @@ mod tests {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
         assert_eq!(a.transpose()[(0, 1)], 3.0);
         assert!(a.matmul(&Matrix::zeros(3, 3)).is_err());
     }

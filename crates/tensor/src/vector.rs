@@ -162,7 +162,11 @@ impl Vector {
             return 0.0;
         }
         let mean = self.mean();
-        self.data.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / self.len() as f64
+        self.data
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.len() as f64
     }
 
     /// Smallest element.

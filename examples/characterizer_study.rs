@@ -12,7 +12,9 @@
 //! cargo run --release --example characterizer_study
 //! ```
 
-use direct_perception_verify::core::{Characterizer, CharacterizerConfig, InputProperty, Workflow, WorkflowConfig};
+use direct_perception_verify::core::{
+    Characterizer, CharacterizerConfig, InputProperty, Workflow, WorkflowConfig,
+};
 use direct_perception_verify::scenegen::{property_examples, PropertyKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -40,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nheld-out characterizer accuracy (rows: property, cols: cut layer)\n");
     print!("{:<20}", "property");
     for cut in cut_layers {
-        print!("  layer {cut:>2} (dim {:>3})", perception.layer_output_dim(cut));
+        print!(
+            "  layer {cut:>2} (dim {:>3})",
+            perception.layer_output_dim(cut)
+        );
     }
     println!();
 

@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // (c) per-frame overhead: containment check alone (activation given) vs
     // the full perception forward pass.
-    let activations: Vec<_> = in_odd_images.iter().map(|img| monitor.activation(img)).collect();
+    let activations: Vec<_> = in_odd_images
+        .iter()
+        .map(|img| monitor.activation(img))
+        .collect();
     let start = Instant::now();
     let mut inside = 0usize;
     for activation in &activations {
@@ -74,10 +77,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let forward = start.elapsed().as_secs_f64() / in_odd_images.len() as f64;
 
-    println!("\n=== runtime monitor (envelope: {} samples, dim {}) ===", outcome.envelope.sample_count(), outcome.envelope.dim());
-    println!("in-ODD frames accepted:      {:>6.1} %", 100.0 * accepted as f64 / frames as f64);
-    println!("out-of-ODD frames flagged:   {:>6.1} %", 100.0 * flagged as f64 / frames as f64);
-    println!("containment check per frame: {:>9.3} µs   ({} frames re-checked, {} inside)", check_only * 1e6, activations.len(), inside);
+    println!(
+        "\n=== runtime monitor (envelope: {} samples, dim {}) ===",
+        outcome.envelope.sample_count(),
+        outcome.envelope.dim()
+    );
+    println!(
+        "in-ODD frames accepted:      {:>6.1} %",
+        100.0 * accepted as f64 / frames as f64
+    );
+    println!(
+        "out-of-ODD frames flagged:   {:>6.1} %",
+        100.0 * flagged as f64 / frames as f64
+    );
+    println!(
+        "containment check per frame: {:>9.3} µs   ({} frames re-checked, {} inside)",
+        check_only * 1e6,
+        activations.len(),
+        inside
+    );
     println!("full forward pass per frame: {:>9.3} µs", forward * 1e6);
     println!(
         "monitor overhead relative to inference: {:.2} %",

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("\n=== risk-threshold sweep: ψ = (waypoint offset ≤ t), φ = bends right ===");
-    println!("{:<10} {:<26} {:<10} {:>9} {:>9}", "t", "strategy", "verdict", "binaries", "seconds");
+    println!(
+        "{:<10} {:<26} {:<10} {:>9} {:>9}",
+        "t", "strategy", "verdict", "binaries", "seconds"
+    );
     for t in [-2.0, -1.5, -1.0, -0.6, -0.3, 0.0] {
         let risk = RiskCondition::new("steer far left").output_le(0, t);
         let problem =

@@ -1,0 +1,71 @@
+//! Offline stand-in for the `crossbeam` scoped-thread API, implemented on
+//! top of `std::thread::scope` (stable since 1.63). Only the subset the
+//! workspace uses is provided: `thread::scope`, `Scope::spawn` and
+//! `ScopedJoinHandle::join`.
+#![forbid(unsafe_code)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result, or the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Crossbeam passes the scope back into the
+        /// closure; every call site in this workspace ignores that argument,
+        /// so the shim passes `()` instead, which `|_| ...` closures accept.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned.
+    /// Unlike crossbeam this can only fail by propagating a panic, so the
+    /// `Ok` arm is the only one ever returned.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|part| scope.spawn(move |_| part.iter().sum::<i32>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<i32>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Re-exports the workspace's no-op derive macros under the usual names so
+//! `#[derive(Serialize, Deserialize)]` compiles unchanged. The traits exist
+//! as empty markers in case downstream code wants to name them in bounds;
+//! no data format is provided (and none is used by the workspace).
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline no-op replacements for serde's derive macros.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to keep
+//! the door open for a real serialization backend, but nothing in the build
+//! environment can fetch serde from crates.io. These derives accept the same
+//! syntax and expand to nothing; `dpv-nn`'s hand-rolled text format
+//! (`crates/nn/src/io.rs`) is the only persistence actually exercised.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

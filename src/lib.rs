@@ -53,8 +53,8 @@ pub mod prelude {
     pub use dpv_absint::{AbstractDomain, BoxDomain, OctagonLite, Zonotope};
     pub use dpv_core::{
         AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty, RiskCondition,
-        StatisticalAnalysis, VerificationOutcome, VerificationProblem, VerificationStrategy,
-        Verdict, Workflow, WorkflowConfig,
+        StatisticalAnalysis, Verdict, VerificationOutcome, VerificationProblem,
+        VerificationStrategy, Workflow, WorkflowConfig,
     };
     pub use dpv_lp::{LinearProgram, MilpProblem, MilpStatus};
     pub use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};

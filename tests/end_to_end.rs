@@ -2,8 +2,8 @@
 //! verification verdicts, exercised through the public facade.
 
 use direct_perception_verify::core::{
-    AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty, RiskCondition,
-    VerificationProblem, VerificationStrategy, Verdict, Workflow, WorkflowConfig,
+    AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty, RiskCondition, Verdict,
+    VerificationProblem, VerificationStrategy, Workflow, WorkflowConfig,
 };
 use direct_perception_verify::monitor::{ActivationEnvelope, RuntimeMonitor};
 use direct_perception_verify::nn::{evaluate_loss, LossKind};
@@ -15,10 +15,10 @@ use rand::SeedableRng;
 
 fn tiny_config() -> WorkflowConfig {
     WorkflowConfig {
-        training_samples: 80,
+        training_samples: 120,
         characterizer_samples: 80,
         validation_samples: 60,
-        perception_epochs: 6,
+        perception_epochs: 10,
         characterizer: CharacterizerConfig {
             hidden: vec![8],
             epochs: 40,
@@ -84,15 +84,13 @@ fn safe_verdicts_have_no_sampled_counterexample() {
     let mut rng = StdRng::seed_from_u64(5);
     let sampler = OddSampler::new(scene_config);
     for _ in 0..100 {
-        let scene = sampler.sample_where(&mut rng, |s| s.curvature >= scene_config.strong_bend_threshold);
+        let scene = sampler.sample_where(&mut rng, |s| {
+            s.curvature >= scene_config.strong_bend_threshold
+        });
         let image = render_scene(&scene, &scene_config);
-        let activation = outcome
-            .perception
-            .activation_at(outcome.cut_layer, &image);
+        let activation = outcome.perception.activation_at(outcome.cut_layer, &image);
         if outcome.envelope.contains(&activation, 1e-9)
-            && outcome
-                .bend_characterizer
-                .decide_activation(&activation)
+            && outcome.bend_characterizer.decide_activation(&activation)
         {
             let output = outcome.perception.forward(&image);
             // far_left was chosen strictly below the envelope's reachable
@@ -140,7 +138,11 @@ fn monitor_accepts_training_data_and_flags_extreme_scenes() {
     .unwrap();
 
     // Training-style scenes (same generator seed family) are mostly accepted.
-    assert!(outcome.monitor_in_odd_rate > 0.5, "in-ODD acceptance {}", outcome.monitor_in_odd_rate);
+    assert!(
+        outcome.monitor_in_odd_rate > 0.5,
+        "in-ODD acceptance {}",
+        outcome.monitor_in_odd_rate
+    );
 
     // A scene far outside the ODD (triple curvature, heavy noise, darkness).
     let mut extreme = SceneParams::nominal().with_curvature(3.0);
