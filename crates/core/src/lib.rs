@@ -51,7 +51,7 @@ mod workflow;
 pub use characterizer::{Characterizer, CharacterizerConfig};
 pub use encode::{encode_verification, EncodedProblem, StartRegion};
 pub use error::CoreError;
-pub use refine::{RefinedVerdict, RefinementReport, RefinementVerifier};
+pub use refine::{ParallelRefinementConfig, RefinedVerdict, RefinementReport, RefinementVerifier};
 pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
 pub use statistical::{ConfusionTable, StatisticalAnalysis};
 pub use verify::{

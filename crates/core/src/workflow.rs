@@ -9,7 +9,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dpv_lp::{default_backend, SolverBackend};
+use dpv_lp::{default_backend, ParallelBranchAndBoundBackend, SolverBackend};
 use dpv_monitor::{ActivationEnvelope, RuntimeMonitor};
 use dpv_nn::{
     train, Activation, Dataset, LossKind, Network, NetworkBuilder, OptimizerKind, TensorShape,
@@ -49,6 +49,12 @@ pub struct WorkflowConfig {
     pub cut_layer: usize,
     /// Widening margin applied to the activation envelope.
     pub envelope_margin: f64,
+    /// Worker threads for the MILP solves of the verification stages. With a
+    /// value above one, [`Workflow::new`] picks the parallel branch-and-bound
+    /// backend ([`dpv_lp::ParallelBranchAndBoundBackend`]); with one it keeps
+    /// the serial default. Ignored by [`Workflow::with_backend`], which
+    /// receives an explicit engine.
+    pub solver_workers: usize,
     /// Base RNG seed (the whole workflow is deterministic given the seed).
     pub seed: u64,
 }
@@ -66,6 +72,7 @@ impl WorkflowConfig {
             characterizer: CharacterizerConfig::small(),
             cut_layer: 6,
             envelope_margin: 0.0,
+            solver_workers: 1,
             seed: 42,
         }
     }
@@ -183,10 +190,16 @@ pub struct Workflow {
 }
 
 impl Workflow {
-    /// Creates a workflow from a configuration, solving with the default
-    /// MILP backend.
+    /// Creates a workflow from a configuration. With
+    /// `config.solver_workers > 1` verification solves go through the
+    /// parallel branch-and-bound backend; otherwise the serial default.
     pub fn new(config: WorkflowConfig) -> Self {
-        Self::with_backend(config, Arc::new(default_backend()))
+        let backend: Arc<dyn SolverBackend> = if config.solver_workers > 1 {
+            Arc::new(ParallelBranchAndBoundBackend::new(config.solver_workers))
+        } else {
+            Arc::new(default_backend())
+        };
+        Self::with_backend(config, backend)
     }
 
     /// Creates a workflow whose verification stages solve through `backend`.
@@ -465,6 +478,17 @@ mod tests {
             },
             ..WorkflowConfig::small()
         }
+    }
+
+    #[test]
+    fn solver_workers_selects_the_parallel_backend() {
+        let serial = Workflow::new(tiny_config());
+        assert_eq!(serial.backend().name(), "branch-and-bound");
+        let parallel = Workflow::new(WorkflowConfig {
+            solver_workers: 4,
+            ..tiny_config()
+        });
+        assert_eq!(parallel.backend().name(), "parallel-bnb(4)");
     }
 
     #[test]

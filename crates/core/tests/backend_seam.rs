@@ -7,10 +7,14 @@ use std::sync::Arc;
 
 use dpv_absint::{AbstractDomain, BoxDomain, Interval};
 use dpv_core::{
-    Characterizer, CharacterizerConfig, InputProperty, RefinementVerifier, RiskCondition,
-    VerificationProblem, VerificationStrategy, Workflow, WorkflowConfig,
+    Characterizer, CharacterizerConfig, InputProperty, ParallelRefinementConfig, RefinedVerdict,
+    RefinementVerifier, RiskCondition, VerificationProblem, VerificationStrategy, Workflow,
+    WorkflowConfig,
 };
-use dpv_lp::{BranchAndBoundBackend, ExhaustiveBackend, MilpProblem, MilpSolution, SolverBackend};
+use dpv_lp::{
+    BranchAndBoundBackend, ExhaustiveBackend, MilpProblem, MilpSolution,
+    ParallelBranchAndBoundBackend, SolverBackend,
+};
 use dpv_nn::{Activation, Dense, Layer, Network, NetworkBuilder};
 use dpv_tensor::{Matrix, Vector};
 use rand::rngs::StdRng;
@@ -150,6 +154,110 @@ fn refinement_routes_every_solve_through_the_backend() {
     assert!(verdict.is_safe());
     assert!(report.verification_calls >= 1);
     assert_eq!(mock.calls(), report.verification_calls);
+}
+
+/// The hand-crafted pruning fixture from the refinement module: the
+/// single-box envelope admits spurious counterexamples in a data-free corner
+/// (tail output x0 + x1 can reach 1.7 inside `[0,1] × [0,0.7]`, while the
+/// recorded activations live on the diagonal x0 = x1 ≤ 0.7), so refinement
+/// must split, prune the empty corner, and prove "sum ≥ 1.5" safe.
+fn pruning_fixture() -> (VerificationProblem, BoxDomain, Vec<Vector>) {
+    let perception = Network::new(
+        2,
+        vec![
+            Layer::Dense(Dense::from_parts(Matrix::identity(2), Vector::zeros(2))),
+            Layer::Activation(Activation::ReLU),
+            Layer::Dense(Dense::from_parts(
+                Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+                Vector::zeros(1),
+            )),
+        ],
+    )
+    .unwrap();
+    let ch_net = Network::new(
+        2,
+        vec![Layer::Dense(Dense::from_parts(
+            Matrix::from_rows(&[vec![0.0, 0.0]]).unwrap(),
+            Vector::from_slice(&[1.0]),
+        ))],
+    )
+    .unwrap();
+    let characterizer =
+        Characterizer::from_network(InputProperty::new("always", "always true"), 1, ch_net, 1.0)
+            .unwrap();
+    let risk = RiskCondition::new("large sum").output_ge(0, 1.5);
+    let problem = VerificationProblem::new(perception, 1, characterizer, risk).unwrap();
+    let region = BoxDomain::from_intervals(vec![Interval::new(0.0, 1.0), Interval::new(0.0, 0.7)]);
+    let references: Vec<Vector> = (0..30)
+        .map(|i| {
+            let v = 0.7 * i as f64 / 29.0;
+            Vector::from_slice(&[v, v])
+        })
+        .collect();
+    (problem, region, references)
+}
+
+#[test]
+fn refinement_verdicts_match_for_serial_and_parallel_dispatch() {
+    let (problem, region, references) = pruning_fixture();
+    let serial = RefinementVerifier::new(2000, 0.05);
+    let parallel =
+        RefinementVerifier::new(2000, 0.05).with_parallelism(ParallelRefinementConfig::new(4));
+    let backend = BranchAndBoundBackend;
+    let (serial_verdict, serial_report) = serial
+        .verify_with(&problem, &region, &references, &backend)
+        .unwrap();
+    let (parallel_verdict, parallel_report) = parallel
+        .verify_with(&problem, &region, &references, &backend)
+        .unwrap();
+    assert_eq!(serial_verdict, RefinedVerdict::Safe);
+    assert_eq!(parallel_verdict, RefinedVerdict::Safe);
+    assert!(serial_report.pruned_subregions > 0);
+    assert!(parallel_report.pruned_subregions > 0);
+    assert!(serial_report.covers(&references, 1e-9));
+    assert!(parallel_report.covers(&references, 1e-9));
+    // Both dispatch modes surface aggregated solver statistics.
+    assert!(serial_report.solver_stats.nodes_explored >= serial_report.verification_calls);
+    assert!(parallel_report.solver_stats.nodes_explored >= parallel_report.verification_calls);
+}
+
+#[test]
+fn parallel_backend_agrees_through_the_seam() {
+    for (risk, expect_safe) in [
+        (RiskCondition::new("reachable").output_ge(0, 1.5), false),
+        (RiskCondition::new("unreachable").output_ge(0, 5.0), true),
+    ] {
+        let problem = two_layer_problem(risk);
+        let serial = problem
+            .verify_with(&strategy(), &BranchAndBoundBackend)
+            .unwrap();
+        let parallel = problem
+            .verify_with(&strategy(), &ParallelBranchAndBoundBackend::new(4))
+            .unwrap();
+        assert_eq!(serial.verdict.is_safe(), expect_safe);
+        assert_eq!(parallel.verdict.is_safe(), expect_safe);
+        assert_eq!(parallel.backend, "parallel-bnb(4)");
+        if let dpv_core::Verdict::Unsafe(ce) = &parallel.verdict {
+            assert!(problem
+                .confirm_counterexample(&strategy(), ce, 1e-4)
+                .unwrap());
+        }
+    }
+}
+
+#[test]
+fn refinement_with_parallel_dispatch_and_parallel_backend_composes() {
+    // Both levels of parallelism at once: the work-list fans sub-boxes
+    // across threads and each solve fans subtrees across workers.
+    let (problem, region, references) = pruning_fixture();
+    let verifier =
+        RefinementVerifier::new(2000, 0.05).with_parallelism(ParallelRefinementConfig::new(2));
+    let backend = ParallelBranchAndBoundBackend::new(2);
+    let (verdict, report) = verifier
+        .verify_with(&problem, &region, &references, &backend)
+        .unwrap();
+    assert_eq!(verdict, RefinedVerdict::Safe);
+    assert!(report.covers(&references, 1e-9));
 }
 
 #[test]

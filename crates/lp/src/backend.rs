@@ -5,7 +5,7 @@
 
 use std::fmt;
 
-use crate::{LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats};
+use crate::{LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats, SOLVER_EPS};
 
 /// A MILP solving engine.
 ///
@@ -87,16 +87,34 @@ impl SolverBackend for ExhaustiveBackend {
         let feasibility_only = problem.lp().objective().iter().all(|&c| c == 0.0);
         let maximize = problem.lp().is_maximization();
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
+        // One scratch LP for all 2^k assignments: bounds are overwritten per
+        // mask instead of cloning the whole model per assignment. Original
+        // binary bounds are kept so assignments that conflict with an
+        // already-fixed binary (e.g. a stable ReLU phase) stay infeasible.
+        let mut scratch = problem.lp().clone();
+        let saved_bounds: Vec<(f64, f64)> =
+            binaries.iter().map(|&b| problem.lp().bounds(b)).collect();
         for mask in 0u64..(1u64 << k) {
-            let mut lp = problem.lp().clone();
-            for (bit, &var) in binaries.iter().enumerate() {
+            let mut conflict = false;
+            for (bit, (&var, &(lo, hi))) in binaries.iter().zip(&saved_bounds).enumerate() {
                 let value = if mask & (1 << bit) != 0 { 1.0 } else { 0.0 };
-                lp.tighten_bounds(var, value, value);
+                if value < lo - SOLVER_EPS || value > hi + SOLVER_EPS {
+                    conflict = true;
+                    break;
+                }
+                scratch.set_bounds(var, value, value);
             }
             stats.nodes_explored += 1;
-            let solution = lp.solve();
+            if conflict {
+                stats.nodes_pruned += 1;
+                continue;
+            }
+            let solution = scratch.solve();
             match solution.status {
-                LpStatus::Infeasible => continue,
+                LpStatus::Infeasible => {
+                    stats.nodes_pruned += 1;
+                    continue;
+                }
                 LpStatus::Unbounded => {
                     return MilpSolution {
                         status: MilpStatus::Unbounded,
@@ -207,6 +225,37 @@ mod tests {
         let solution = ExhaustiveBackend::default().solve(&milp);
         assert_eq!(solution.status, MilpStatus::Optimal);
         assert!(solution.stats.nodes_explored < 4);
+    }
+
+    #[test]
+    fn exhaustive_counts_infeasible_assignments_as_pruned() {
+        // x + y >= 3 over two binaries and one continuous z in [0, 1]:
+        // no assignment is feasible, so all four enumerated LPs are pruned.
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        let z = milp.add_variable(0.0, 1.0);
+        milp.lp_mut()
+            .add_constraint(&[(x, 1.0), (y, 1.0), (z, 0.5)], ConstraintOp::Ge, 3.0);
+        let solution = ExhaustiveBackend::default().solve(&milp);
+        assert_eq!(solution.status, MilpStatus::Infeasible);
+        assert_eq!(solution.stats.nodes_explored, 4);
+        assert_eq!(solution.stats.nodes_pruned, 4);
+    }
+
+    #[test]
+    fn exhaustive_respects_prefixed_binaries() {
+        // The binary is pre-fixed to 1 (as a stable ReLU phase would be);
+        // enumerating the 0 assignment must stay infeasible, so the optimum
+        // reflects only the fixed phase.
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        milp.lp_mut().tighten_bounds(x, 1.0, 1.0);
+        milp.lp_mut().set_objective(&[(x, -1.0)], true);
+        let solution = ExhaustiveBackend::default().solve(&milp);
+        assert_eq!(solution.status, MilpStatus::Optimal);
+        assert!((solution.objective - (-1.0)).abs() < 1e-6);
+        assert_eq!(solution.stats.nodes_pruned, 1);
     }
 
     #[test]

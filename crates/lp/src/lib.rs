@@ -22,7 +22,9 @@
 //!   alternative engines (parallel branch-and-bound, external solvers) can
 //!   be swapped in without touching the verification logic.
 //!   [`BranchAndBoundBackend`] is the default engine; [`ExhaustiveBackend`]
-//!   is a brute-force cross-check oracle for tests.
+//!   is a brute-force cross-check oracle for tests; and
+//!   [`ParallelBranchAndBoundBackend`] explores branch-and-bound subtrees on
+//!   work-stealing worker threads with a shared incumbent bound.
 //!
 //! Scale expectations: the paper's approach verifies only the close-to-output
 //! tail of the perception network, so instances stay in the hundreds of
@@ -55,12 +57,14 @@
 mod backend;
 mod milp;
 mod model;
+mod parallel;
 mod relu;
 mod simplex;
 
 pub use backend::{default_backend, BranchAndBoundBackend, ExhaustiveBackend, SolverBackend};
 pub use milp::{MilpProblem, MilpSolution, MilpStatus, SolveStats};
 pub use model::{Constraint, ConstraintOp, LinearProgram, LpSolution, LpStatus, VarId};
+pub use parallel::ParallelBranchAndBoundBackend;
 pub use relu::{encode_relu_big_m, ReluEncoding};
 
 /// Numerical tolerance used throughout the solver for feasibility and

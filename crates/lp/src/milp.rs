@@ -23,8 +23,25 @@ pub enum MilpStatus {
 pub struct SolveStats {
     /// Number of LP relaxations solved.
     pub nodes_explored: usize,
-    /// Number of nodes pruned by bound.
+    /// Number of nodes pruned (by incumbent bound, or — for enumeration
+    /// backends — by infeasibility of the assignment's LP).
     pub nodes_pruned: usize,
+}
+
+impl std::ops::AddAssign for SolveStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.nodes_explored += rhs.nodes_explored;
+        self.nodes_pruned += rhs.nodes_pruned;
+    }
+}
+
+impl std::ops::Add for SolveStats {
+    type Output = SolveStats;
+
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
 }
 
 /// Result of a MILP solve.
@@ -44,6 +61,42 @@ impl MilpSolution {
     /// Returns `true` when an integer-feasible assignment was found.
     pub fn has_solution(&self) -> bool {
         !self.values.is_empty()
+    }
+}
+
+/// Picks the binary variable to branch on at a node whose relaxation is
+/// optimal, or `None` when the relaxation is integral over the unfixed
+/// binaries.
+///
+/// For **feasibility-only** problems (all-zero objective — the query safety
+/// verification issues) the *most* fractional unfixed binary is chosen: its
+/// relaxation value is closest to 1/2, so fixing it perturbs the relaxation
+/// the most and drives infeasible subtrees to contradiction soonest, which
+/// measurably shrinks refutation trees compared to PR-1's first-fractional
+/// rule. For **optimisation** problems the first fractional binary is kept:
+/// diving along the relaxation's suggestion finds strong incumbents early,
+/// and the incumbent bound — not contradiction depth — prunes the tree.
+pub(crate) fn select_branching_variable(
+    binaries: &[VarId],
+    fixings: &[(VarId, f64)],
+    values: &[f64],
+    feasibility_only: bool,
+) -> Option<VarId> {
+    let mut unfixed = binaries
+        .iter()
+        .copied()
+        .filter(|&b| fixings.iter().all(|(v, _)| *v != b));
+    if feasibility_only {
+        unfixed
+            .map(|b| {
+                let v = values[b];
+                (b, (v - v.round()).abs())
+            })
+            .filter(|&(_, frac)| frac > 1e-6)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractionality"))
+            .map(|(b, _)| b)
+    } else {
+        unfixed.find(|&b| (values[b] - values[b].round()).abs() > 1e-6)
     }
 }
 
@@ -137,6 +190,12 @@ impl MilpProblem {
         self.node_limit = limit.max(1);
     }
 
+    /// The current node limit. Alternative backends (parallel
+    /// branch-and-bound, external engines) honour the same budget.
+    pub fn node_limit(&self) -> usize {
+        self.node_limit
+    }
+
     /// Checks integer feasibility of an assignment.
     pub fn is_feasible(&self, values: &[f64], eps: f64) -> bool {
         self.lp.is_feasible(values, eps)
@@ -150,6 +209,11 @@ impl MilpProblem {
     ///
     /// For pure feasibility problems (zero objective) the search stops at the
     /// first integer-feasible node.
+    ///
+    /// Node evaluation is allocation-free with respect to the model: instead
+    /// of cloning the whole [`LinearProgram`] per node, a single scratch
+    /// program is reused — binary bounds are tightened to the node's fixings
+    /// on descent and restored from a saved snapshot on backtrack.
     pub fn solve(&self) -> MilpSolution {
         let feasibility_only = self.lp.objective().iter().all(|&c| c == 0.0);
         let mut stats = SolveStats::default();
@@ -157,6 +221,17 @@ impl MilpProblem {
         // Each stack entry is a list of (binary var, fixed value) decisions.
         let mut stack: Vec<Vec<(VarId, f64)>> = vec![Vec::new()];
         let mut hit_limit = false;
+        // The single scratch LP all nodes are evaluated against, plus the
+        // pristine binary bounds to restore between nodes.
+        let mut scratch = self.lp.clone();
+        let saved_bounds: Vec<(VarId, f64, f64)> = self
+            .binaries
+            .iter()
+            .map(|&b| {
+                let (lo, hi) = self.lp.bounds(b);
+                (b, lo, hi)
+            })
+            .collect();
 
         while let Some(fixings) = stack.pop() {
             if stats.nodes_explored >= self.node_limit {
@@ -165,21 +240,34 @@ impl MilpProblem {
             }
             stats.nodes_explored += 1;
 
-            let mut relaxation = self.lp.clone();
-            for (var, value) in &fixings {
-                relaxation.tighten_bounds(*var, *value, *value);
+            for &(var, lo, hi) in &saved_bounds {
+                scratch.set_bounds(var, lo, hi);
             }
-            let solution = relaxation.solve();
+            // A fixing that falls outside the variable's original bounds
+            // (possible when a binary was pre-fixed, e.g. a stable ReLU
+            // phase) makes the node infeasible without solving anything.
+            let mut conflict = false;
+            for &(var, value) in &fixings {
+                let (lo, hi) = self.lp.bounds(var);
+                if value < lo - SOLVER_EPS || value > hi + SOLVER_EPS {
+                    conflict = true;
+                    break;
+                }
+                scratch.set_bounds(var, value, value);
+            }
+            if conflict {
+                continue;
+            }
+            let solution = scratch.solve();
             match solution.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::Unbounded => {
-                    // The relaxation being unbounded at the root with no
-                    // incumbent means the MILP itself may be unbounded; deeper
-                    // in the tree we simply cannot prune, so branch further.
+                    // With every binary fixed the relaxation *is* an integer
+                    // assignment, so an unbounded ray there proves the MILP
+                    // itself unbounded (this also covers a binary-free
+                    // problem at the root). With binaries still free we
+                    // cannot prune, so branch further.
                     if fixings.len() == self.binaries.len() {
-                        continue;
-                    }
-                    if fixings.is_empty() && incumbent.is_none() && self.binaries.is_empty() {
                         return MilpSolution {
                             status: MilpStatus::Unbounded,
                             values: Vec::new(),
@@ -204,16 +292,13 @@ impl MilpProblem {
                 }
             }
 
-            // Find a fractional binary variable to branch on.
             let fractional = if solution.status == LpStatus::Optimal {
-                self.binaries
-                    .iter()
-                    .copied()
-                    .filter(|&b| fixings.iter().all(|(v, _)| *v != b))
-                    .find(|&b| {
-                        let v = solution.values[b];
-                        (v - v.round()).abs() > 1e-6
-                    })
+                select_branching_variable(
+                    &self.binaries,
+                    &fixings,
+                    &solution.values,
+                    feasibility_only,
+                )
             } else {
                 // Unbounded relaxation: branch on any unfixed binary.
                 self.binaries
@@ -244,7 +329,9 @@ impl MilpProblem {
                     }
                 }
                 None => {
-                    // Unbounded with all binaries fixed: nothing to record.
+                    // Unreachable: an unbounded relaxation with every binary
+                    // fixed already returned `Unbounded` above, so there is
+                    // always an unfixed binary to branch on here.
                 }
                 Some(branch_var) => {
                     // Depth-first: explore the branch suggested by the
@@ -397,6 +484,77 @@ mod tests {
         assert_eq!(milp.binaries(), &[x]);
         milp.mark_binary(x);
         assert_eq!(milp.binaries().len(), 1);
+    }
+
+    #[test]
+    fn unbounded_milp_with_binaries_is_reported_unbounded() {
+        // Regression: an unbounded MILP whose only integer structure is an
+        // unrelated binary used to terminate with no incumbent and be
+        // misreported as Infeasible. The continuous direction w → ∞ is
+        // feasible for every assignment of the binary, so the MILP is
+        // genuinely unbounded.
+        let mut milp = MilpProblem::new();
+        let b = milp.add_binary();
+        let w = milp.add_variable(0.0, f64::INFINITY);
+        milp.lp_mut().set_objective(&[(w, 1.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(w, 1.0), (b, -1.0)], ConstraintOp::Ge, 0.0);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::Unbounded);
+        assert!(!sol.has_solution());
+    }
+
+    #[test]
+    fn unbounded_lp_without_binaries_is_still_reported() {
+        let mut milp = MilpProblem::new();
+        let w = milp.add_variable(0.0, f64::INFINITY);
+        milp.lp_mut().set_objective(&[(w, 1.0)], true);
+        assert_eq!(milp.solve().status, MilpStatus::Unbounded);
+    }
+
+    #[test]
+    fn solve_stats_aggregate_with_add_assign() {
+        let mut total = SolveStats::default();
+        total += SolveStats {
+            nodes_explored: 3,
+            nodes_pruned: 1,
+        };
+        total += SolveStats {
+            nodes_explored: 5,
+            nodes_pruned: 2,
+        };
+        assert_eq!(total.nodes_explored, 8);
+        assert_eq!(total.nodes_pruned, 3);
+        let sum = total
+            + SolveStats {
+                nodes_explored: 2,
+                nodes_pruned: 0,
+            };
+        assert_eq!(sum.nodes_explored, 10);
+    }
+
+    #[test]
+    fn node_limit_is_exposed() {
+        let mut milp = MilpProblem::new();
+        assert_eq!(milp.node_limit(), 200_000);
+        milp.set_node_limit(7);
+        assert_eq!(milp.node_limit(), 7);
+    }
+
+    #[test]
+    fn solve_leaves_the_problem_bounds_untouched() {
+        // The scratch-LP rework must not mutate the caller's model: bounds
+        // observed after a solve are the bounds that went in.
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut().set_objective(&[(x, 1.0), (y, 1.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Le, 3.0);
+        let before: Vec<_> = (0..2).map(|v| milp.lp().bounds(v)).collect();
+        let _ = milp.solve();
+        let after: Vec<_> = (0..2).map(|v| milp.lp().bounds(v)).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -158,6 +158,28 @@ impl LinearProgram {
         self.upper[var] = self.upper[var].min(upper);
     }
 
+    /// Overwrites the bounds of an existing variable. Unlike
+    /// [`LinearProgram::tighten_bounds`] this does not intersect with the
+    /// current bounds, which lets branch-and-bound solvers fix a variable on
+    /// descent and *restore* its saved bounds on backtrack against a single
+    /// scratch program instead of cloning the whole model per node.
+    ///
+    /// # Panics
+    /// Panics when `var` is out of range, `lower > upper`, or either bound
+    /// is NaN.
+    pub fn set_bounds(&mut self, var: VarId, lower: f64, upper: f64) {
+        assert!(
+            !lower.is_nan() && !upper.is_nan(),
+            "variable bounds must not be NaN"
+        );
+        assert!(
+            lower <= upper,
+            "lower bound {lower} exceeds upper bound {upper}"
+        );
+        self.lower[var] = lower;
+        self.upper[var] = upper;
+    }
+
     /// Sets the objective `Σ coeff_i · x_i`, maximised when `maximize` is
     /// `true` and minimised otherwise. Variables not mentioned keep
     /// coefficient zero.
@@ -259,6 +281,26 @@ mod tests {
         assert_eq!(lp.bounds(x), (0.0, 5.0));
         lp.tighten_bounds(y, -0.5, 2.0);
         assert_eq!(lp.bounds(y), (-0.5, 1.0));
+    }
+
+    #[test]
+    fn set_bounds_overwrites_instead_of_intersecting() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 1.0);
+        // Fix on descent…
+        lp.set_bounds(x, 1.0, 1.0);
+        assert_eq!(lp.bounds(x), (1.0, 1.0));
+        // …and restore on backtrack: tighten_bounds could not widen again.
+        lp.set_bounds(x, 0.0, 1.0);
+        assert_eq!(lp.bounds(x), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn set_bounds_validates_ordering() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_variable(0.0, 1.0);
+        lp.set_bounds(x, 2.0, 1.0);
     }
 
     #[test]

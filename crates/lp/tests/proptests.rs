@@ -1,7 +1,10 @@
 //! Property-based tests for the LP/MILP solver: random small instances are
 //! compared against brute-force enumeration / sampled feasibility checks.
 
-use dpv_lp::{encode_relu_big_m, ConstraintOp, LinearProgram, LpStatus, MilpProblem, MilpStatus};
+use dpv_lp::{
+    encode_relu_big_m, ConstraintOp, ExhaustiveBackend, LinearProgram, LpStatus, MilpProblem,
+    MilpStatus, ParallelBranchAndBoundBackend, SolverBackend,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,6 +110,45 @@ proptest! {
         prop_assert_eq!(lo.status, MilpStatus::Optimal);
         prop_assert!((hi.objective - x.max(0.0)).abs() < 1e-6);
         prop_assert!((lo.objective - x.max(0.0)).abs() < 1e-6);
+    }
+
+    /// The parallel branch-and-bound backend must agree with the exhaustive
+    /// enumeration oracle on random small MILPs: same status, and (when an
+    /// optimum exists) objectives within 1e-6. Mixed ≤/≥ constraints make
+    /// both infeasible and feasible instances likely.
+    #[test]
+    fn parallel_backend_agrees_with_exhaustive_oracle(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b9);
+        let n_bin = 4usize;
+        let mut milp = MilpProblem::new();
+        let bins: Vec<_> = (0..n_bin).map(|_| milp.add_binary()).collect();
+        let w = milp.add_variable(0.0, 3.0);
+        let maximize = seed % 2 == 0;
+        let mut obj: Vec<_> = bins
+            .iter()
+            .map(|&v| (v, rng.gen_range(-3.0..3.0)))
+            .collect();
+        obj.push((w, rng.gen_range(-1.0..1.0)));
+        milp.lp_mut().set_objective(&obj, maximize);
+        for _ in 0..3 {
+            let mut coeffs: Vec<_> = bins
+                .iter()
+                .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+                .collect();
+            coeffs.push((w, rng.gen_range(-1.0..1.0)));
+            let op = if rng.gen_range(0.0..1.0) < 0.5 { ConstraintOp::Le } else { ConstraintOp::Ge };
+            milp.lp_mut().add_constraint(&coeffs, op, rng.gen_range(-2.0..4.0));
+        }
+
+        let parallel = ParallelBranchAndBoundBackend::new(4).solve(&milp);
+        let oracle = ExhaustiveBackend::default().solve(&milp);
+        prop_assert_eq!(parallel.status, oracle.status,
+            "parallel {:?} vs oracle {:?}", parallel.status, oracle.status);
+        if oracle.status == MilpStatus::Optimal {
+            prop_assert!((parallel.objective - oracle.objective).abs() < 1e-6,
+                "parallel {} vs oracle {}", parallel.objective, oracle.objective);
+            prop_assert!(milp.is_feasible(&parallel.values, 1e-6));
+        }
     }
 
     /// Equality-constrained LPs: solving Ax = b with a known feasible point

@@ -5,9 +5,18 @@
 //! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`,
 //! `BenchmarkId`, `black_box`) with a simple mean/min timing loop instead of
 //! criterion's statistical machinery. Output is plain text on stdout.
+//!
+//! Two environment variables make the shim scriptable for CI:
+//!
+//! * `CRITERION_JSON=<path>` — additionally emit every benchmark result as a
+//!   machine-readable JSON document at `<path>`. The file is rewritten after
+//!   each result so it is complete even when the process is interrupted.
+//! * `CRITERION_SAMPLE_SIZE=<n>` — override the per-benchmark sample count
+//!   (used by CI smoke runs to keep bench targets fast).
 #![forbid(unsafe_code)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export so `black_box(...)` behaves as in criterion.
@@ -67,6 +76,68 @@ impl Bencher {
     }
 }
 
+/// One finished benchmark, as recorded by the JSON emitter.
+#[derive(Debug, Clone)]
+struct JsonRecord {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+/// Results accumulated for the `CRITERION_JSON` emitter (process-wide, since
+/// `criterion_main!` may run several groups).
+static JSON_RECORDS: Mutex<Vec<JsonRecord>> = Mutex::new(Vec::new());
+
+fn sample_size_override() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|raw| raw.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+fn json_escape(raw: &str) -> String {
+    raw.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Rewrites the JSON report with every record collected so far. Rewriting on
+/// each result keeps the file valid JSON at all times, so an interrupted
+/// bench run still leaves usable data behind.
+fn emit_json(path: &str) {
+    let records = match JSON_RECORDS.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{comma}\n",
+            json_escape(&record.id),
+            record.mean_ns,
+            record.min_ns,
+            record.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(error) = std::fs::write(path, out) {
+        eprintln!("criterion shim: cannot write {path}: {error}");
+    }
+}
+
 fn report(id: &str, samples: &[Duration]) {
     if samples.is_empty() {
         println!("{id:<48} (no samples)");
@@ -81,6 +152,23 @@ fn report(id: &str, samples: &[Duration]) {
         min,
         samples.len()
     );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        match JSON_RECORDS.lock() {
+            Ok(mut records) => records.push(JsonRecord {
+                id: id.to_string(),
+                mean_ns: mean.as_nanos(),
+                min_ns: min.as_nanos(),
+                samples: samples.len(),
+            }),
+            Err(poisoned) => poisoned.into_inner().push(JsonRecord {
+                id: id.to_string(),
+                mean_ns: mean.as_nanos(),
+                min_ns: min.as_nanos(),
+                samples: samples.len(),
+            }),
+        }
+        emit_json(&path);
+    }
 }
 
 /// A named group of related benchmarks.
@@ -105,7 +193,7 @@ impl BenchmarkGroup<'_> {
     fn run(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
         let mut bencher = Bencher {
             samples: Vec::new(),
-            iterations: self.sample_size,
+            iterations: sample_size_override().unwrap_or(self.sample_size),
         };
         f(&mut bencher);
         report(&format!("{}/{}", self.name, id), &bencher.samples);
@@ -163,7 +251,7 @@ impl Criterion {
         let id = id.into().id;
         let mut bencher = Bencher {
             samples: Vec::new(),
-            iterations: 10,
+            iterations: sample_size_override().unwrap_or(10),
         };
         f(&mut bencher);
         report(&id, &bencher.samples);
@@ -217,5 +305,39 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("a", 3).id, "a/3");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn json_escaping_handles_special_characters() {
+        assert_eq!(json_escape("plain/id"), "plain/id");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak"), "line\\nbreak");
+    }
+
+    #[test]
+    fn json_emitter_writes_valid_report() {
+        let dir = std::env::temp_dir().join("criterion-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        {
+            let mut records = match JSON_RECORDS.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            records.clear();
+            records.push(JsonRecord {
+                id: "group/bench/4".to_string(),
+                mean_ns: 1_500,
+                min_ns: 1_000,
+                samples: 3,
+            });
+        }
+        emit_json(path.to_str().unwrap());
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"host_cpus\""));
+        assert!(body.contains("\"id\": \"group/bench/4\""));
+        assert!(body.contains("\"mean_ns\": 1500"));
+        assert!(body.trim_end().ends_with('}'));
+        std::fs::remove_file(&path).ok();
     }
 }

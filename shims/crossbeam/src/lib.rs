@@ -1,7 +1,13 @@
-//! Offline stand-in for the `crossbeam` scoped-thread API, implemented on
-//! top of `std::thread::scope` (stable since 1.63). Only the subset the
-//! workspace uses is provided: `thread::scope`, `Scope::spawn` and
-//! `ScopedJoinHandle::join`.
+//! Offline stand-in for the `crossbeam` scoped-thread and work-stealing
+//! deque APIs, implemented on top of `std::thread::scope` (stable since
+//! 1.63) and mutex-guarded `VecDeque`s. Only the subset the workspace uses
+//! is provided: `thread::scope`, `Scope::spawn`, `ScopedJoinHandle::join`,
+//! and `deque::{Injector, Worker, Stealer, Steal}`.
+//!
+//! The deque shim trades crossbeam's lock-free Chase–Lev algorithm for a
+//! mutex per queue. The workspace's branch-and-bound workers spend their
+//! time in LP solves, not queue operations, so the contention cost is
+//! negligible at the scales this repository targets.
 #![forbid(unsafe_code)]
 
 /// Scoped threads, mirroring `crossbeam::thread`.
@@ -51,8 +57,175 @@ pub mod thread {
     }
 }
 
+/// Work-stealing deques, mirroring `crossbeam::deque`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Returns the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Returns `true` when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn lock<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        match queue.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// A global FIFO injector queue shared by every worker.
+    #[derive(Debug)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Steals a task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` when the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+    }
+
+    /// A worker-local deque. The owner pushes and pops at one end;
+    /// [`Stealer`] handles take tasks from the opposite end.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        lifo: bool,
+    }
+
+    impl<T> Worker<T> {
+        /// A deque whose owner pops the most recently pushed task first
+        /// (depth-first order for tree searches).
+        pub fn new_lifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: true,
+            }
+        }
+
+        /// A deque whose owner pops the oldest task first.
+        pub fn new_fifo() -> Self {
+            Self {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                lifo: false,
+            }
+        }
+
+        /// Pushes a task onto the owner's end of the deque.
+        pub fn push(&self, task: T) {
+            lock(&self.queue).push_back(task);
+        }
+
+        /// Pops a task from the owner's end of the deque.
+        pub fn pop(&self) -> Option<T> {
+            let mut queue = lock(&self.queue);
+            if self.lifo {
+                queue.pop_back()
+            } else {
+                queue.pop_front()
+            }
+        }
+
+        /// Returns `true` when the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a [`Stealer`] handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A handle that steals tasks from the cold end of a [`Worker`] deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the oldest task from the deque.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Returns `true` when the deque is empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::deque::{Injector, Steal, Worker};
     use super::thread;
 
     #[test]
@@ -67,5 +240,61 @@ mod tests {
         })
         .unwrap();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn lifo_worker_pops_depth_first_and_steals_breadth_first() {
+        let worker: Worker<i32> = Worker::new_lifo();
+        let stealer = worker.stealer();
+        worker.push(1);
+        worker.push(2);
+        worker.push(3);
+        // Owner pops the most recent task; the stealer takes the oldest.
+        assert_eq!(worker.pop(), Some(3));
+        assert_eq!(stealer.steal(), Steal::Success(1));
+        assert_eq!(worker.pop(), Some(2));
+        assert!(worker.is_empty() && stealer.is_empty());
+        assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn fifo_worker_pops_in_push_order() {
+        let worker: Worker<i32> = Worker::new_fifo();
+        worker.push(1);
+        worker.push(2);
+        assert_eq!(worker.pop(), Some(1));
+        assert_eq!(worker.pop(), Some(2));
+        assert_eq!(worker.pop(), None);
+    }
+
+    #[test]
+    fn injector_is_fifo_and_shared_across_threads() {
+        let injector: Injector<usize> = Injector::new();
+        assert!(injector.is_empty());
+        for i in 0..100 {
+            injector.push(i);
+        }
+        assert_eq!(injector.len(), 100);
+        assert_eq!(injector.steal().success(), Some(0));
+        let drained = thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut count = 0usize;
+                        while injector.steal().success().is_some() {
+                            count += 1;
+                        }
+                        count
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(drained, 99);
+        assert!(injector.steal().is_empty());
     }
 }
