@@ -109,21 +109,76 @@ impl BoxDomain {
         BoxDomain { bounds: out }
     }
 
+    fn activation_interval(interval: &Interval, activation: Activation) -> Interval {
+        match activation {
+            Activation::Identity => *interval,
+            Activation::ReLU => interval.relu(),
+            Activation::LeakyReLU(slope) => interval.leaky_relu(slope),
+            // Sigmoid and tanh are monotone, so the endpoint images bound the interval.
+            Activation::Sigmoid | Activation::Tanh => {
+                Interval::new(activation.apply(interval.lo), activation.apply(interval.hi))
+            }
+        }
+    }
+
     fn activation(&self, activation: Activation) -> BoxDomain {
         let bounds = self
             .bounds
             .iter()
-            .map(|i| match activation {
-                Activation::Identity => *i,
-                Activation::ReLU => i.relu(),
-                Activation::LeakyReLU(slope) => i.leaky_relu(slope),
-                // Sigmoid and tanh are monotone, so the endpoint images bound the interval.
-                Activation::Sigmoid | Activation::Tanh => {
-                    Interval::new(activation.apply(i.lo), activation.apply(i.hi))
-                }
-            })
+            .map(|i| Self::activation_interval(i, activation))
             .collect();
         BoxDomain { bounds }
+    }
+
+    /// [`AbstractDomain::apply_layer`] into a caller-provided output box,
+    /// reusing its interval buffer instead of allocating a fresh `BoxDomain`
+    /// per layer. Hot encoders (the MILP layer-skeleton template in
+    /// `dpv-core`) ping-pong two boxes through a whole network with this.
+    ///
+    /// Dense, batch-norm, activation and flatten layers — the shapes the MILP
+    /// encoder accepts — are written in place; the remaining layer kinds fall
+    /// back to [`AbstractDomain::apply_layer`].
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches, exactly like
+    /// [`AbstractDomain::apply_layer`].
+    pub fn apply_layer_into(&self, layer: &Layer, out: &mut BoxDomain) {
+        match layer {
+            Layer::Dense(d) => {
+                assert_eq!(self.dim(), d.input_dim(), "box/dense dimension mismatch");
+                out.bounds.clear();
+                let weights = d.weights();
+                for r in 0..weights.rows() {
+                    let row = weights.row(r);
+                    let mut acc = Interval::point(d.bias()[r]);
+                    for (c, w) in row.iter().enumerate() {
+                        acc = acc.add(&self.bounds[c].scale(*w));
+                    }
+                    out.bounds.push(acc);
+                }
+            }
+            Layer::BatchNorm(bn) => {
+                assert_eq!(self.dim(), bn.dim(), "box/batch-norm dimension mismatch");
+                let (a, b) = bn.affine_form();
+                out.bounds.clear();
+                out.bounds.extend(
+                    self.bounds
+                        .iter()
+                        .enumerate()
+                        .map(|(i, interval)| interval.scale(a[i]).add_scalar(b[i])),
+                );
+            }
+            Layer::Activation(a) => {
+                out.bounds.clear();
+                out.bounds
+                    .extend(self.bounds.iter().map(|i| Self::activation_interval(i, *a)));
+            }
+            Layer::Flatten(_) => {
+                out.bounds.clear();
+                out.bounds.extend_from_slice(&self.bounds);
+            }
+            other => *out = self.apply_layer(other),
+        }
     }
 }
 
@@ -297,6 +352,25 @@ mod tests {
             let x = Vector::from_vec((0..36).map(|_| rng.gen_range(0.0..1.0)).collect());
             let y = net.forward(&x);
             assert!(out.box_contains(y.as_slice(), 1e-6));
+        }
+    }
+
+    #[test]
+    fn apply_layer_into_matches_apply_layer() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = NetworkBuilder::new(3)
+            .dense(5, &mut rng)
+            .activation(Activation::ReLU)
+            .batch_norm()
+            .dense(2, &mut rng)
+            .build();
+        let mut cur = BoxDomain::uniform(3, -1.0, 1.0);
+        let mut next = BoxDomain::uniform(0, 0.0, 0.0);
+        for layer in net.layers() {
+            let fresh = cur.apply_layer(layer);
+            cur.apply_layer_into(layer, &mut next);
+            assert_eq!(fresh, next, "in-place image differs for {layer:?}");
+            std::mem::swap(&mut cur, &mut next);
         }
     }
 

@@ -99,6 +99,14 @@ impl SolverBackend for CloningBranchAndBoundBackend {
             let solution = relaxation.solve();
             match solution.status {
                 LpStatus::Infeasible => continue,
+                LpStatus::IterationLimit => {
+                    return MilpSolution {
+                        status: MilpStatus::IterationLimit,
+                        values: Vec::new(),
+                        objective: 0.0,
+                        stats,
+                    };
+                }
                 LpStatus::Unbounded => {
                     if fixings.len() == binaries.len() {
                         return MilpSolution {

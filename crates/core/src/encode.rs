@@ -1,4 +1,36 @@
-//! Reduction of the tail-network verification problem to MILP.
+//! Reduction of the tail-network verification problem to MILP, and the
+//! incremental [`EncodingTemplate`] that amortises it across a refinement
+//! sweep.
+//!
+//! # One-shot encoding vs. template instantiation
+//!
+//! [`encode_verification`] builds the whole MILP from scratch for one start
+//! region. The refinement loop, however, solves the *same* (tail network,
+//! risk condition, characterizer) triple over `2^k` sub-boxes of one root
+//! region — re-running the full encoding per sub-box rebuilds hundreds of
+//! identical equality and big-M rows every time.
+//!
+//! An [`EncodingTemplate`] is built **once** from the root region: it owns
+//! the MILP *skeleton* (variables, dense/batch-norm equality rows, ReLU
+//! big-M rows with root-region constants, risk and characterizer rows) plus
+//! a per-layer plan of which variables belong to which stage.
+//! [`EncodingTemplate::instantiate`] then produces the MILP for any
+//! sub-region with **bound-shaped edits only**: it re-tightens the cut-layer
+//! variable bounds, re-propagates the sub-box through the cached layers to
+//! re-tighten every intermediate bound, pins ReLU phase indicators that the
+//! tighter bounds stabilise (`δ ∈ [1,1]` / `[0,0]`), and rewrites the
+//! octagon difference-row right-hand sides. Because none of these edits
+//! touch constraint coefficients or the objective, consecutive
+//! instantiations are also *warm-start compatible* at the LP layer
+//! (`dpv_lp::BasisSnapshot` remains valid across them).
+//!
+//! The instantiated MILP is **verdict-equivalent** to a fresh encoding: the
+//! big-M constants frozen at their root-region values are still valid for
+//! every sub-region (interval propagation is monotone), so the feasible set
+//! projected onto the cut-layer variables is identical — only the LP
+//! relaxation may be weaker, which pinning the stabilised indicators mostly
+//! recovers. The `backend_seam` tests assert verdict equality against the
+//! re-encoding path.
 
 use dpv_absint::{AbstractDomain, BoxDomain, Interval, OctagonLite};
 use dpv_lp::{encode_relu_big_m, ConstraintOp, MilpProblem, VarId};
@@ -55,16 +87,75 @@ pub struct EncodedProblem {
     pub output_vars: Vec<VarId>,
     /// Variable of the characterizer logit (when a characterizer was encoded).
     pub logit_var: Option<VarId>,
-    /// Number of binary (ReLU-phase) variables in the encoding.
+    /// Number of binary (ReLU-phase) variables in the encoding that are
+    /// actually free (neither structurally absent nor pinned by the bounds).
     pub num_binaries: usize,
     /// Number of ReLU neurons whose phase was fixed by the bounds (no binary
-    /// variable needed) — the tighter the start region, the larger this is.
+    /// variable needed, or the template pinned the indicator) — the tighter
+    /// the start region, the larger this is.
     pub stable_relus: usize,
+    /// Identity of the [`EncodingTemplate`] this problem was instantiated
+    /// from (`None` for one-shot encodings). [`EncodingTemplate::instantiate_into`]
+    /// refuses a scratch carrying a different template's id: two templates
+    /// can share variable/constraint *counts* while differing in frozen
+    /// coefficients (e.g. only a risk-row threshold apart), and re-tightening
+    /// the wrong skeleton would silently answer the wrong question.
+    pub(crate) template_id: Option<u64>,
+}
+
+/// One encoded layer of a template chain: the variables holding the layer's
+/// outputs and, for ReLU stages, the phase indicator of each neuron (`None`
+/// when the root bounds already fixed the phase, so no binary exists).
+#[derive(Debug, Clone)]
+struct Stage {
+    vars: Vec<VarId>,
+    indicators: Option<Vec<Option<VarId>>>,
+}
+
+/// Per-chain template plan: the cached layers plus their encoded stages.
+#[derive(Debug, Clone)]
+struct ChainPlan {
+    layers: Vec<Layer>,
+    stages: Vec<Stage>,
+}
+
+/// Estimated variable/constraint counts of a chain's encoding, used to
+/// pre-size the [`MilpProblem`] storage before any row is built.
+fn chain_size_estimate(input_dim: usize, layers: &[Layer]) -> (usize, usize) {
+    let mut dim = input_dim;
+    let mut vars = 0usize;
+    let mut rows = 0usize;
+    for layer in layers {
+        match layer {
+            Layer::Dense(d) => {
+                dim = d.output_dim();
+                vars += dim;
+                rows += dim;
+            }
+            Layer::BatchNorm(bn) => {
+                dim = bn.dim();
+                vars += dim;
+                rows += dim;
+            }
+            Layer::Activation(Activation::ReLU) => {
+                // Worst case: every neuron unstable (1 output + 1 indicator
+                // variable, 3 big-M rows).
+                vars += 2 * dim;
+                rows += 3 * dim;
+            }
+            _ => {}
+        }
+    }
+    (vars, rows)
 }
 
 /// Encodes one ReLU-MLP (a slice of layers) into `milp`, starting from the
 /// variables `inputs` whose concrete values range over `input_box`.
-/// Returns the output variables and the output box.
+/// Returns the output variables and the output box. When `stages` is given,
+/// records the per-layer variable plan for an [`EncodingTemplate`].
+///
+/// Interval propagation ping-pongs between two reused bound buffers instead
+/// of allocating a fresh `BoxDomain` per layer.
 fn encode_layers(
     milp: &mut MilpProblem,
     inputs: &[VarId],
@@ -72,10 +163,13 @@ fn encode_layers(
     layers: &[Layer],
     binaries: &mut usize,
     stable: &mut usize,
+    mut stages: Option<&mut Vec<Stage>>,
 ) -> Result<(Vec<VarId>, BoxDomain), CoreError> {
     let mut vars = inputs.to_vec();
     let mut bounds = input_box.clone();
+    let mut scratch = BoxDomain::from_intervals(Vec::new());
     for layer in layers {
+        let mut stage_indicators: Option<Vec<Option<VarId>>> = None;
         match layer {
             Layer::Dense(d) => {
                 if d.input_dim() != vars.len() {
@@ -85,10 +179,10 @@ fn encode_layers(
                         vars.len()
                     )));
                 }
-                let out_box = bounds.apply_layer(layer);
+                bounds.apply_layer_into(layer, &mut scratch);
                 let mut out_vars = Vec::with_capacity(d.output_dim());
                 for j in 0..d.output_dim() {
-                    let interval = out_box.bounds()[j];
+                    let interval = scratch.bounds()[j];
                     let v = milp.add_variable(interval.lo, interval.hi);
                     // y_j - Σ w_ji x_i = b_j
                     let mut coeffs = vec![(v, 1.0)];
@@ -103,7 +197,7 @@ fn encode_layers(
                     out_vars.push(v);
                 }
                 vars = out_vars;
-                bounds = out_box;
+                std::mem::swap(&mut bounds, &mut scratch);
             }
             Layer::BatchNorm(bn) => {
                 if bn.dim() != vars.len() {
@@ -112,10 +206,10 @@ fn encode_layers(
                     ));
                 }
                 let (a, b) = bn.affine_form();
-                let out_box = bounds.apply_layer(layer);
+                bounds.apply_layer_into(layer, &mut scratch);
                 let mut out_vars = Vec::with_capacity(bn.dim());
                 for j in 0..bn.dim() {
-                    let interval = out_box.bounds()[j];
+                    let interval = scratch.bounds()[j];
                     let v = milp.add_variable(interval.lo, interval.hi);
                     // y_j - a_j x_j = b_j
                     milp.lp_mut().add_constraint(
@@ -126,14 +220,14 @@ fn encode_layers(
                     out_vars.push(v);
                 }
                 vars = out_vars;
-                bounds = out_box;
+                std::mem::swap(&mut bounds, &mut scratch);
             }
             Layer::Activation(Activation::Identity) | Layer::Flatten(_) => {
                 // Numerically the identity; keep the same variables.
             }
             Layer::Activation(Activation::ReLU) => {
-                let out_box = bounds.apply_layer(layer);
                 let mut out_vars = Vec::with_capacity(vars.len());
+                let mut indicators = Vec::with_capacity(vars.len());
                 for (j, &x) in vars.iter().enumerate() {
                     let pre = bounds.bounds()[j];
                     let y = milp.add_variable(0.0, pre.hi.max(0.0));
@@ -143,10 +237,13 @@ fn encode_layers(
                     } else {
                         *stable += 1;
                     }
+                    indicators.push(encoding.indicator);
                     out_vars.push(y);
                 }
+                bounds.apply_layer_into(layer, &mut scratch);
                 vars = out_vars;
-                bounds = out_box;
+                stage_indicators = Some(indicators);
+                std::mem::swap(&mut bounds, &mut scratch);
             }
             Layer::Activation(other) => {
                 return Err(CoreError::NotPiecewiseLinear(format!(
@@ -160,32 +257,56 @@ fn encode_layers(
                 ));
             }
         }
+        if let Some(stages) = stages.as_deref_mut() {
+            stages.push(Stage {
+                vars: vars.clone(),
+                indicators: stage_indicators,
+            });
+        }
     }
     Ok((vars, bounds))
 }
 
-/// Builds the MILP whose feasibility answers the safety question:
-///
-/// > does there exist an activation `n̂_l` in `region` such that the tail
-/// > maps it to an output satisfying `risk`, while the characterizer's logit
-/// > is non-negative (`h_φ = 1`)?
-///
-/// `Infeasible` therefore proves safety relative to `region` (Lemma 1/2 or
-/// the assume-guarantee argument, depending on how `region` was obtained).
-///
-/// # Errors
-/// Returns [`CoreError::NotPiecewiseLinear`] when the tail or characterizer
-/// contains layers the encoder cannot represent, and
-/// [`CoreError::Inconsistent`] on dimension mismatches.
-pub fn encode_verification(
+/// Everything the template records while the skeleton is being encoded.
+#[derive(Debug, Clone, Default)]
+struct TemplatePlan {
+    tail_stages: Vec<Stage>,
+    ch_stages: Vec<Stage>,
+    /// Per adjacent-neuron difference, the `(>= row, <= row)` constraint
+    /// indices of the octagon refinement (empty for box templates).
+    diff_rows: Vec<(usize, usize)>,
+}
+
+/// Shared construction of the verification MILP, optionally recording a
+/// [`TemplatePlan`] for incremental re-instantiation.
+fn encode_core(
     tail: &[Layer],
     characterizer: Option<&Network>,
     risk: &RiskCondition,
     region: &StartRegion,
+    mut plan: Option<&mut TemplatePlan>,
 ) -> Result<EncodedProblem, CoreError> {
     let mut milp = MilpProblem::new();
     let box_domain = region.box_domain();
     let dim = region.dim();
+
+    // Pre-size the model from the known layer shapes: one pass of arithmetic
+    // instead of repeated mid-encoding re-allocation.
+    {
+        let (tail_vars, tail_rows) = chain_size_estimate(dim, tail);
+        let (ch_vars, ch_rows) = characterizer
+            .map(|ch| chain_size_estimate(dim, ch.layers()))
+            .unwrap_or((0, 0));
+        let diff_rows = match region {
+            StartRegion::Octagon(o) => 2 * o.diffs().len(),
+            StartRegion::Box(_) => 0,
+        };
+        let extra_rows = risk.inequalities().len() + usize::from(characterizer.is_some());
+        milp.lp_mut().reserve(
+            dim + tail_vars + ch_vars,
+            tail_rows + ch_rows + diff_rows + extra_rows,
+        );
+    }
 
     // Cut-layer activation variables.
     let cut_vars: Vec<VarId> = box_domain
@@ -197,6 +318,7 @@ pub fn encode_verification(
     // Octagon refinement: lo_i <= x[i+1] - x[i] <= hi_i.
     if let StartRegion::Octagon(oct) = region {
         for (i, diff) in oct.diffs().iter().enumerate() {
+            let ge_row = milp.lp().num_constraints();
             milp.lp_mut().add_constraint(
                 &[(cut_vars[i + 1], 1.0), (cut_vars[i], -1.0)],
                 ConstraintOp::Ge,
@@ -207,6 +329,9 @@ pub fn encode_verification(
                 ConstraintOp::Le,
                 diff.hi,
             );
+            if let Some(plan) = plan.as_deref_mut() {
+                plan.diff_rows.push((ge_row, ge_row + 1));
+            }
         }
     }
 
@@ -221,6 +346,7 @@ pub fn encode_verification(
         tail,
         &mut num_binaries,
         &mut stable_relus,
+        plan.as_deref_mut().map(|p| &mut p.tail_stages),
     )?;
 
     // Encode the characterizer and require h_φ = 1 (logit >= 0).
@@ -244,6 +370,7 @@ pub fn encode_verification(
                 ch.layers(),
                 &mut num_binaries,
                 &mut stable_relus,
+                plan.map(|p| &mut p.ch_stages),
             )?;
             let logit = logit_vars[0];
             milp.lp_mut()
@@ -283,7 +410,285 @@ pub fn encode_verification(
         logit_var,
         num_binaries,
         stable_relus,
+        template_id: None,
     })
+}
+
+/// Builds the MILP whose feasibility answers the safety question:
+///
+/// > does there exist an activation `n̂_l` in `region` such that the tail
+/// > maps it to an output satisfying `risk`, while the characterizer's logit
+/// > is non-negative (`h_φ = 1`)?
+///
+/// `Infeasible` therefore proves safety relative to `region` (Lemma 1/2 or
+/// the assume-guarantee argument, depending on how `region` was obtained).
+///
+/// # Errors
+/// Returns [`CoreError::NotPiecewiseLinear`] when the tail or characterizer
+/// contains layers the encoder cannot represent, and
+/// [`CoreError::Inconsistent`] on dimension mismatches.
+pub fn encode_verification(
+    tail: &[Layer],
+    characterizer: Option<&Network>,
+    risk: &RiskCondition,
+    region: &StartRegion,
+) -> Result<EncodedProblem, CoreError> {
+    encode_core(tail, characterizer, risk, region, None)
+}
+
+/// A reusable MILP skeleton for one (tail network, risk condition,
+/// characterizer) triple, built once from a **root** start region and
+/// instantiated for any sub-region with bound-shaped edits only (see the
+/// module docs for the full contract).
+#[derive(Debug, Clone)]
+pub struct EncodingTemplate {
+    skeleton: EncodedProblem,
+    tail: ChainPlan,
+    characterizer: Option<ChainPlan>,
+    diff_rows: Vec<(usize, usize)>,
+    root_box: BoxDomain,
+    /// `true` when the root region carried octagon difference rows.
+    octagonal: bool,
+    /// Process-unique identity stamped onto every instantiation, so
+    /// [`EncodingTemplate::instantiate_into`] can reject scratches built by
+    /// a *different* template.
+    id: u64,
+}
+
+/// Source of process-unique [`EncodingTemplate`] ids.
+static TEMPLATE_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl EncodingTemplate {
+    /// Encodes the skeleton once from `root`. Every later
+    /// [`EncodingTemplate::instantiate`] call must use a region contained in
+    /// `root` (checked), because the frozen big-M constants are only sound
+    /// for subsets of the root box.
+    ///
+    /// # Errors
+    /// Same conditions as [`encode_verification`].
+    pub fn build(
+        tail: &[Layer],
+        characterizer: Option<&Network>,
+        risk: &RiskCondition,
+        root: &StartRegion,
+    ) -> Result<Self, CoreError> {
+        let mut plan = TemplatePlan::default();
+        let skeleton = encode_core(tail, characterizer, risk, root, Some(&mut plan))?;
+        Ok(Self {
+            skeleton,
+            tail: ChainPlan {
+                layers: tail.to_vec(),
+                stages: plan.tail_stages,
+            },
+            characterizer: characterizer.map(|ch| ChainPlan {
+                layers: ch.layers().to_vec(),
+                stages: plan.ch_stages,
+            }),
+            diff_rows: plan.diff_rows,
+            root_box: root.box_domain(),
+            octagonal: matches!(root, StartRegion::Octagon(_)),
+            id: TEMPLATE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        })
+    }
+
+    /// The box enclosure of the root region the skeleton was built from.
+    pub fn root_box(&self) -> &BoxDomain {
+        &self.root_box
+    }
+
+    /// Whether `region` can be instantiated from this template: the region
+    /// kind must match the root's (a box template has no difference rows to
+    /// re-tighten; an octagon template would silently impose its root
+    /// differences on a plain box), the dimensions must agree, and the
+    /// region's box must be contained in the root box (the frozen big-M
+    /// constants are only valid for subsets). Callers fall back to
+    /// [`encode_verification`] when this returns `false`.
+    pub fn supports(&self, region: &StartRegion) -> bool {
+        if region.dim() != self.root_box.dim() {
+            return false;
+        }
+        let kind_matches = match region {
+            StartRegion::Box(_) => !self.octagonal,
+            StartRegion::Octagon(o) => self.octagonal && o.diffs().len() == self.diff_rows.len(),
+        };
+        if !kind_matches {
+            return false;
+        }
+        let tol = 1e-9;
+        match region {
+            StartRegion::Box(b) => b
+                .bounds()
+                .iter()
+                .zip(self.root_box.bounds())
+                .all(|(sub, root)| sub.lo >= root.lo - tol && sub.hi <= root.hi + tol),
+            StartRegion::Octagon(o) => o
+                .to_box_domain()
+                .bounds()
+                .iter()
+                .zip(self.root_box.bounds())
+                .all(|(sub, root)| sub.lo >= root.lo - tol && sub.hi <= root.hi + tol),
+        }
+    }
+
+    /// Instantiates the skeleton for `region`: a clone of the cached MILP
+    /// with every variable bound re-tightened to the sub-region (cut layer,
+    /// intermediate layers, ReLU outputs), stabilised phase indicators
+    /// pinned, and difference rows re-aimed. No constraint row is rebuilt.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when
+    /// [`EncodingTemplate::supports`] rejects the region.
+    pub fn instantiate(&self, region: &StartRegion) -> Result<EncodedProblem, CoreError> {
+        let mut scratch = self.skeleton.clone();
+        scratch.template_id = Some(self.id);
+        self.retighten(region, &mut scratch)?;
+        Ok(scratch)
+    }
+
+    /// Re-tightens an [`EncodedProblem`] previously produced by
+    /// [`EncodingTemplate::instantiate`] of this template for a new region,
+    /// in place — the zero-allocation path the refinement work-list drives
+    /// once per sub-box.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when the region is unsupported or
+    /// `scratch` does not structurally match this template's skeleton.
+    pub fn instantiate_into(
+        &self,
+        region: &StartRegion,
+        scratch: &mut EncodedProblem,
+    ) -> Result<(), CoreError> {
+        // Identity check, not just a shape check: two templates can share
+        // variable/constraint counts while differing in frozen coefficients
+        // (e.g. only a risk-row threshold apart), and re-tightening the
+        // wrong skeleton would silently answer the wrong question.
+        if scratch.template_id != Some(self.id) {
+            return Err(CoreError::Inconsistent(
+                "scratch problem does not derive from this template".into(),
+            ));
+        }
+        self.retighten(region, scratch)
+    }
+
+    fn retighten(
+        &self,
+        region: &StartRegion,
+        scratch: &mut EncodedProblem,
+    ) -> Result<(), CoreError> {
+        if !self.supports(region) {
+            return Err(CoreError::Inconsistent(
+                "region is not covered by the template's root region".into(),
+            ));
+        }
+        let owned_box;
+        let region_box: &BoxDomain = match region {
+            StartRegion::Box(b) => b,
+            StartRegion::Octagon(o) => {
+                owned_box = o.to_box_domain();
+                &owned_box
+            }
+        };
+
+        // Cut-layer bounds.
+        for (&v, interval) in scratch.cut_vars.iter().zip(region_box.bounds()) {
+            scratch
+                .milp
+                .lp_mut()
+                .set_bounds(v, interval.lo, interval.hi);
+        }
+
+        // Octagon difference rows.
+        if let StartRegion::Octagon(o) = region {
+            for (&(ge_row, le_row), diff) in self.diff_rows.iter().zip(o.diffs()) {
+                scratch.milp.lp_mut().set_constraint_rhs(ge_row, diff.lo);
+                scratch.milp.lp_mut().set_constraint_rhs(le_row, diff.hi);
+            }
+        }
+
+        let mut binaries = 0usize;
+        let mut stable = 0usize;
+        let mut cur = region_box.clone();
+        let mut next = BoxDomain::from_intervals(Vec::new());
+        retighten_chain(
+            &mut scratch.milp,
+            &self.tail,
+            &mut cur,
+            &mut next,
+            &mut binaries,
+            &mut stable,
+        );
+        if let Some(ch) = &self.characterizer {
+            cur = region_box.clone();
+            retighten_chain(
+                &mut scratch.milp,
+                ch,
+                &mut cur,
+                &mut next,
+                &mut binaries,
+                &mut stable,
+            );
+        }
+        scratch.num_binaries = binaries;
+        scratch.stable_relus = stable;
+        Ok(())
+    }
+}
+
+/// Walks one cached chain, re-propagating `cur` through the layers and
+/// re-tightening every stage's variable bounds; ReLU indicators that the
+/// tighter pre-activation bounds stabilise are pinned to their phase.
+fn retighten_chain(
+    milp: &mut MilpProblem,
+    chain: &ChainPlan,
+    cur: &mut BoxDomain,
+    next: &mut BoxDomain,
+    binaries: &mut usize,
+    stable: &mut usize,
+) {
+    for (layer, stage) in chain.layers.iter().zip(&chain.stages) {
+        match layer {
+            Layer::Dense(_) | Layer::BatchNorm(_) => {
+                cur.apply_layer_into(layer, next);
+                for (&v, interval) in stage.vars.iter().zip(next.bounds()) {
+                    milp.lp_mut().set_bounds(v, interval.lo, interval.hi);
+                }
+                std::mem::swap(cur, next);
+            }
+            Layer::Activation(Activation::ReLU) => {
+                let indicators = stage
+                    .indicators
+                    .as_ref()
+                    .expect("ReLU stages record their indicators");
+                for (j, (&y, indicator)) in stage.vars.iter().zip(indicators).enumerate() {
+                    let pre = cur.bounds()[j];
+                    milp.lp_mut()
+                        .set_bounds(y, pre.lo.max(0.0), pre.hi.max(0.0));
+                    match indicator {
+                        Some(delta) => {
+                            if pre.lo >= 0.0 {
+                                // Stably active in this sub-region: δ = 1
+                                // turns the big-M rows into y = x.
+                                milp.lp_mut().set_bounds(*delta, 1.0, 1.0);
+                                *stable += 1;
+                            } else if pre.hi <= 0.0 {
+                                milp.lp_mut().set_bounds(*delta, 0.0, 0.0);
+                                *stable += 1;
+                            } else {
+                                milp.lp_mut().set_bounds(*delta, 0.0, 1.0);
+                                *binaries += 1;
+                            }
+                        }
+                        None => *stable += 1,
+                    }
+                }
+                cur.apply_layer_into(layer, next);
+                std::mem::swap(cur, next);
+            }
+            Layer::Activation(Activation::Identity) | Layer::Flatten(_) => {}
+            // `EncodingTemplate::build` already rejected anything else.
+            _ => unreachable!("non-encodable layer survived template construction"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -457,5 +862,154 @@ mod tests {
             encode_verification(&identity_relu_tail(), None, &bad_risk, &region2),
             Err(CoreError::Inconsistent(_))
         ));
+    }
+
+    #[test]
+    fn template_instantiation_matches_fresh_encoding_verdicts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let tail_net = NetworkBuilder::new(3)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let root = StartRegion::Box(BoxDomain::uniform(3, -1.0, 1.0));
+        for threshold in [0.2, 1.0, 5.0, 50.0] {
+            let risk = RiskCondition::new("large").output_ge(0, threshold);
+            let template = EncodingTemplate::build(tail_net.layers(), None, &risk, &root).unwrap();
+            for (lo, hi) in [(-1.0, 1.0), (-0.5, 0.25), (0.1, 0.9), (-1.0, -0.6)] {
+                let sub = StartRegion::Box(BoxDomain::uniform(3, lo, hi));
+                assert!(template.supports(&sub));
+                let instantiated = template.instantiate(&sub).unwrap();
+                let fresh = encode_verification(tail_net.layers(), None, &risk, &sub).unwrap();
+                assert_eq!(
+                    instantiated.milp.solve().status,
+                    fresh.milp.solve().status,
+                    "verdict mismatch at threshold {threshold}, sub-box [{lo}, {hi}]"
+                );
+                // The phase classification matches the fresh encoding's.
+                assert_eq!(instantiated.num_binaries, fresh.num_binaries);
+                assert_eq!(
+                    instantiated.num_binaries + instantiated.stable_relus,
+                    fresh.num_binaries + fresh.stable_relus
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instantiate_into_reuses_scratch_exactly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let tail_net = NetworkBuilder::new(2)
+            .dense(4, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let root = StartRegion::Box(BoxDomain::uniform(2, -2.0, 2.0));
+        let risk = RiskCondition::new("r").output_ge(0, 0.1);
+        let template = EncodingTemplate::build(tail_net.layers(), None, &risk, &root).unwrap();
+
+        let a = StartRegion::Box(BoxDomain::uniform(2, -2.0, 0.0));
+        let b = StartRegion::Box(BoxDomain::uniform(2, 0.0, 1.5));
+        // Instantiating b into a scratch previously holding a must yield a
+        // problem identical to a fresh instantiation of b.
+        let mut scratch = template.instantiate(&a).unwrap();
+        template.instantiate_into(&b, &mut scratch).unwrap();
+        let fresh_b = template.instantiate(&b).unwrap();
+        assert_eq!(scratch.milp, fresh_b.milp);
+        assert_eq!(scratch.num_binaries, fresh_b.num_binaries);
+        assert_eq!(scratch.stable_relus, fresh_b.stable_relus);
+    }
+
+    #[test]
+    fn instantiate_into_rejects_scratches_from_other_templates() {
+        // Two templates over the same tail and root, differing only in the
+        // risk threshold: identical variable/constraint *counts*, different
+        // frozen row data. Cross-feeding a scratch must error, not silently
+        // answer the other template's question.
+        let tail = identity_relu_tail();
+        let root = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let risk_a = RiskCondition::new("a").output_ge(0, 0.25);
+        let risk_b = RiskCondition::new("b").output_ge(0, 5.0);
+        let template_a = EncodingTemplate::build(&tail, None, &risk_a, &root).unwrap();
+        let template_b = EncodingTemplate::build(&tail, None, &risk_b, &root).unwrap();
+        let sub = StartRegion::Box(BoxDomain::uniform(2, -0.5, 0.5));
+        let mut scratch_a = template_a.instantiate(&sub).unwrap();
+        assert!(matches!(
+            template_b.instantiate_into(&sub, &mut scratch_a),
+            Err(CoreError::Inconsistent(_))
+        ));
+        // Same-template reuse still works.
+        template_a.instantiate_into(&root, &mut scratch_a).unwrap();
+    }
+
+    #[test]
+    fn template_rejects_uncovered_and_mismatched_regions() {
+        let tail = identity_relu_tail();
+        let root = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let risk = RiskCondition::new("r").output_ge(0, 0.5);
+        let template = EncodingTemplate::build(&tail, None, &risk, &root).unwrap();
+        // Escaping the root box invalidates the frozen big-M constants.
+        let outside = StartRegion::Box(BoxDomain::uniform(2, -3.0, 3.0));
+        assert!(!template.supports(&outside));
+        assert!(template.instantiate(&outside).is_err());
+        // Octagon regions need an octagon-rooted template.
+        let oct = StartRegion::Octagon(OctagonLite::from_parts(
+            vec![Interval::new(-0.5, 0.5), Interval::new(-0.5, 0.5)],
+            vec![Interval::new(-0.1, 0.1)],
+        ));
+        assert!(!template.supports(&oct));
+        // Wrong dimension.
+        let wrong_dim = StartRegion::Box(BoxDomain::uniform(3, -0.5, 0.5));
+        assert!(!template.supports(&wrong_dim));
+    }
+
+    #[test]
+    fn octagon_template_retightens_difference_rows() {
+        // Same fixture as the octagon-vs-box test: y = x1 - x0 after ReLU.
+        let w = Matrix::from_rows(&[vec![-1.0, 1.0]]).unwrap();
+        let tail = vec![
+            Layer::Dense(Dense::from_parts(w, Vector::zeros(1))),
+            Layer::Activation(Activation::ReLU),
+        ];
+        let risk = RiskCondition::new("large difference").output_ge(0, 1.0);
+        let loose = OctagonLite::from_parts(
+            vec![Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)],
+            vec![Interval::new(-2.0, 2.0)],
+        );
+        let template =
+            EncodingTemplate::build(&tail, None, &risk, &StartRegion::Octagon(loose.clone()))
+                .unwrap();
+        // Root differences are vacuous → feasible.
+        let at_root = template.instantiate(&StartRegion::Octagon(loose)).unwrap();
+        assert_eq!(at_root.milp.solve().status, MilpStatus::Optimal);
+        // Tightened differences make the risk unreachable; same skeleton.
+        let tight = OctagonLite::from_parts(
+            vec![Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)],
+            vec![Interval::new(-0.1, 0.1)],
+        );
+        let tightened = template.instantiate(&StartRegion::Octagon(tight)).unwrap();
+        assert_eq!(tightened.milp.solve().status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn template_instantiation_pins_stabilised_indicators() {
+        let tail = identity_relu_tail();
+        let root = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let risk = RiskCondition::new("r").output_ge(0, 0.25);
+        let template = EncodingTemplate::build(&tail, None, &risk, &root).unwrap();
+        let root_encoded = template.instantiate(&root).unwrap();
+        assert_eq!(root_encoded.num_binaries, 2);
+        // A positive sub-box stabilises both ReLUs: no free binary remains
+        // even though the skeleton still carries the indicator columns.
+        let positive = StartRegion::Box(BoxDomain::uniform(2, 0.25, 0.75));
+        let pinned = template.instantiate(&positive).unwrap();
+        assert_eq!(pinned.num_binaries, 0);
+        assert_eq!(pinned.stable_relus, 2);
+        assert_eq!(pinned.milp.solve().status, MilpStatus::Optimal);
+        // And a negative one pins them inactive → risk unreachable.
+        let negative = StartRegion::Box(BoxDomain::uniform(2, -0.75, -0.25));
+        let inactive = template.instantiate(&negative).unwrap();
+        assert_eq!(inactive.num_binaries, 0);
+        assert_eq!(inactive.milp.solve().status, MilpStatus::Infeasible);
     }
 }

@@ -49,13 +49,13 @@ mod verify;
 mod workflow;
 
 pub use characterizer::{Characterizer, CharacterizerConfig};
-pub use encode::{encode_verification, EncodedProblem, StartRegion};
+pub use encode::{encode_verification, EncodedProblem, EncodingTemplate, StartRegion};
 pub use error::CoreError;
 pub use refine::{ParallelRefinementConfig, RefinedVerdict, RefinementReport, RefinementVerifier};
 pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
 pub use statistical::{ConfusionTable, StatisticalAnalysis};
 pub use verify::{
-    AssumeGuarantee, CounterExample, DomainKind, Verdict, VerificationOutcome, VerificationProblem,
-    VerificationStrategy,
+    AssumeGuarantee, CounterExample, DomainKind, ProblemTemplate, Verdict, VerificationOutcome,
+    VerificationProblem, VerificationStrategy,
 };
 pub use workflow::{Workflow, WorkflowConfig, WorkflowOutcome};

@@ -30,10 +30,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dpv_absint::{AbstractDomain, BoxDomain, Interval};
-use dpv_lp::{default_backend, SolveStats, SolverBackend};
+use dpv_lp::{default_backend, MilpSolution, SolveStats, SolverBackend};
 use dpv_tensor::Vector;
 
-use crate::{CoreError, CounterExample, StartRegion, Verdict, VerificationProblem};
+use crate::{
+    CoreError, CounterExample, EncodedProblem, ProblemTemplate, StartRegion, Verdict,
+    VerificationProblem,
+};
 
 /// Outcome of a refinement run.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,6 +142,7 @@ pub struct RefinementVerifier {
     max_splits: usize,
     realizability_tolerance: f64,
     parallel: Option<ParallelRefinementConfig>,
+    use_template: bool,
 }
 
 impl Default for RefinementVerifier {
@@ -147,6 +151,7 @@ impl Default for RefinementVerifier {
             max_splits: 256,
             realizability_tolerance: 0.05,
             parallel: None,
+            use_template: true,
         }
     }
 }
@@ -160,7 +165,22 @@ impl RefinementVerifier {
             max_splits,
             realizability_tolerance: realizability_tolerance.max(0.0),
             parallel: None,
+            use_template: true,
         }
+    }
+
+    /// Disables the incremental [`crate::EncodingTemplate`]: every sub-box is
+    /// re-encoded from scratch, exactly as before PR 3. Verdicts are
+    /// identical either way (the `backend_seam` tests assert it); this
+    /// switch exists for that comparison and as the benchmark baseline.
+    pub fn without_template(mut self) -> Self {
+        self.use_template = false;
+        self
+    }
+
+    /// Whether sub-boxes are encoded through the incremental template.
+    pub fn uses_template(&self) -> bool {
+        self.use_template
     }
 
     /// Dispatches the sub-box work-list across `config.workers` scoped
@@ -223,6 +243,13 @@ impl RefinementVerifier {
                 return self.verify_parallel(problem, region, references, backend, config.workers);
             }
         }
+        // The layer skeleton is encoded once for the whole sweep; every
+        // sub-box below re-tightens the same scratch problem in place.
+        let template = self
+            .use_template
+            .then(|| problem.encoding_template(&StartRegion::Box(region.clone())))
+            .transpose()?;
+        let mut scratch: Option<EncodedProblem> = None;
         let mut report = RefinementReport::default();
         let mut queue: Vec<BoxDomain> = vec![region.clone()];
 
@@ -237,8 +264,8 @@ impl RefinementVerifier {
                 continue;
             }
             report.verification_calls += 1;
-            let (verdict, _, solution) =
-                problem.run_solver(&StartRegion::Box(current.clone()), backend)?;
+            let (verdict, solution) =
+                solve_box(problem, template.as_ref(), &mut scratch, &current, backend)?;
             report.solver_stats += solution.stats;
             match verdict {
                 Verdict::Safe => {
@@ -319,11 +346,24 @@ impl RefinementVerifier {
         backend: &dyn SolverBackend,
         workers: usize,
     ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
+        // One skeleton for the whole sweep, shared read-only across the
+        // worker threads; each worker re-tightens its own scratch problem.
+        let template = self
+            .use_template
+            .then(|| problem.encoding_template(&StartRegion::Box(region.clone())))
+            .transpose()?;
         let mut report = RefinementReport::default();
         let mut generation: Vec<BoxDomain> = vec![region.clone()];
 
         while !generation.is_empty() {
-            let outcomes = solve_generation(problem, &generation, references, backend, workers);
+            let outcomes = solve_generation(
+                problem,
+                template.as_ref(),
+                &generation,
+                references,
+                backend,
+                workers,
+            );
             let mut next = Vec::new();
             for (index, outcome) in outcomes.into_iter().enumerate() {
                 match outcome? {
@@ -387,11 +427,31 @@ enum BoxOutcome {
     Solved { verdict: Verdict, stats: SolveStats },
 }
 
+/// Solves one sub-box, through the skeleton template when one is available
+/// (falling back to one-shot encoding inside
+/// [`VerificationProblem::run_solver_with_template`] for uncovered regions).
+fn solve_box(
+    problem: &VerificationProblem,
+    template: Option<&ProblemTemplate>,
+    scratch: &mut Option<EncodedProblem>,
+    current: &BoxDomain,
+    backend: &dyn SolverBackend,
+) -> Result<(Verdict, MilpSolution), CoreError> {
+    let region = StartRegion::Box(current.clone());
+    match template {
+        Some(template) => problem.run_solver_with_template(template, &region, scratch, backend),
+        None => problem
+            .run_solver(&region, backend)
+            .map(|(verdict, _, solution)| (verdict, solution)),
+    }
+}
+
 /// Solves every box of `generation` across `workers` scoped threads and
 /// returns the outcomes indexed like the input (position `i` holds box
 /// `i`'s result), so the caller's fold is scheduling-independent.
 fn solve_generation(
     problem: &VerificationProblem,
+    template: Option<&ProblemTemplate>,
     generation: &[BoxDomain],
     references: &[Vector],
     backend: &dyn SolverBackend,
@@ -405,6 +465,7 @@ fn solve_generation(
                 let cursor = &cursor;
                 scope.spawn(move |_| {
                     let mut local: Vec<(usize, Result<BoxOutcome, CoreError>)> = Vec::new();
+                    let mut scratch: Option<EncodedProblem> = None;
                     loop {
                         let index = cursor.fetch_add(1, Ordering::Relaxed);
                         if index >= generation.len() {
@@ -417,12 +478,12 @@ fn solve_generation(
                         {
                             Ok(BoxOutcome::Pruned)
                         } else {
-                            problem
-                                .run_solver(&StartRegion::Box(current.clone()), backend)
-                                .map(|(verdict, _, solution)| BoxOutcome::Solved {
+                            solve_box(problem, template, &mut scratch, current, backend).map(
+                                |(verdict, solution)| BoxOutcome::Solved {
                                     verdict,
                                     stats: solution.stats,
-                                })
+                                },
+                            )
                         };
                         local.push((index, outcome));
                     }

@@ -11,7 +11,8 @@ use dpv_nn::Network;
 use dpv_tensor::Vector;
 
 use crate::{
-    encode_verification, Characterizer, CoreError, EncodedProblem, RiskCondition, StartRegion,
+    encode_verification, Characterizer, CoreError, EncodedProblem, EncodingTemplate, RiskCondition,
+    StartRegion,
 };
 
 /// Which abstract domain computes the Lemma-2 set from the input domain.
@@ -172,6 +173,25 @@ impl VerificationOutcome {
     }
 }
 
+/// A [`VerificationProblem`]'s reusable encoding state: the MILP skeleton
+/// template plus the concretely-executable tail network (for counterexample
+/// validation), both derived once per (problem, root region) pair so a
+/// refinement sweep neither re-encodes the skeleton nor re-splits the
+/// network per sub-box. Build with
+/// [`VerificationProblem::encoding_template`].
+#[derive(Debug, Clone)]
+pub struct ProblemTemplate {
+    encoding: EncodingTemplate,
+    tail: Network,
+}
+
+impl ProblemTemplate {
+    /// The underlying MILP skeleton template.
+    pub fn encoding(&self) -> &EncodingTemplate {
+        &self.encoding
+    }
+}
+
 /// A complete verification problem: the perception network, the cut layer,
 /// the characterizer for φ, and the risk condition ψ.
 #[derive(Debug, Clone, PartialEq)]
@@ -294,6 +314,43 @@ impl VerificationProblem {
         }
     }
 
+    /// Translates a MILP solve into a [`Verdict`], re-running the tail
+    /// concretely for counterexamples so they are self-contained and
+    /// numerically honest. Shared by the one-shot and template solve paths.
+    fn interpret_solution(
+        &self,
+        encoded: &EncodedProblem,
+        solution: &MilpSolution,
+        tail: &Network,
+        backend: &dyn SolverBackend,
+    ) -> Verdict {
+        match solution.status {
+            MilpStatus::Infeasible => Verdict::Safe,
+            MilpStatus::Optimal => {
+                let activation: Vector = encoded
+                    .cut_vars
+                    .iter()
+                    .map(|&v| solution.values[v])
+                    .collect();
+                let output = tail.forward(&activation);
+                let logit = Some(self.characterizer.logit(&activation));
+                Verdict::Unsafe(CounterExample {
+                    activation,
+                    output,
+                    logit,
+                })
+            }
+            MilpStatus::NodeLimit => Verdict::Unknown(format!("{} node limit", backend.name())),
+            MilpStatus::IterationLimit => Verdict::Unknown(format!(
+                "{} simplex iteration limit (numerical trouble)",
+                backend.name()
+            )),
+            MilpStatus::Unbounded => {
+                Verdict::Unknown("relaxation unbounded (missing bounds)".to_string())
+            }
+        }
+    }
+
     /// Encodes the problem over `region` and hands the MILP to `backend`,
     /// translating the solver status into a [`Verdict`]. This is the single
     /// solve entry point every strategy (Lemma 1, Lemma 2, assume-guarantee)
@@ -314,30 +371,55 @@ impl VerificationProblem {
             region,
         )?;
         let solution = backend.solve(&encoded.milp);
-        let verdict = match solution.status {
-            MilpStatus::Infeasible => Verdict::Safe,
-            MilpStatus::Optimal => {
-                let activation: Vector = encoded
-                    .cut_vars
-                    .iter()
-                    .map(|&v| solution.values[v])
-                    .collect();
-                // Re-run the tail concretely so the counterexample is
-                // self-contained and numerically honest.
-                let output = tail.forward(&activation);
-                let logit = Some(self.characterizer.logit(&activation));
-                Verdict::Unsafe(CounterExample {
-                    activation,
-                    output,
-                    logit,
-                })
-            }
-            MilpStatus::NodeLimit => Verdict::Unknown(format!("{} node limit", backend.name())),
-            MilpStatus::Unbounded => {
-                Verdict::Unknown("relaxation unbounded (missing bounds)".to_string())
-            }
-        };
+        let verdict = self.interpret_solution(&encoded, &solution, &tail, backend);
         Ok((verdict, encoded, solution))
+    }
+
+    /// Builds a reusable [`ProblemTemplate`] whose MILP skeleton is encoded
+    /// once from `root`; [`VerificationProblem::run_solver_with_template`]
+    /// and [`VerificationProblem::verify_with_template`] then instantiate it
+    /// per sub-region with bound-only edits. Regions not covered by `root`
+    /// transparently fall back to one-shot encoding.
+    ///
+    /// # Errors
+    /// Same conditions as [`encode_verification`].
+    pub fn encoding_template(&self, root: &StartRegion) -> Result<ProblemTemplate, CoreError> {
+        let (_, tail) = self
+            .perception
+            .split_at(self.cut_layer)
+            .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+        let encoding = EncodingTemplate::build(
+            tail.layers(),
+            Some(self.characterizer.network()),
+            &self.risk,
+            root,
+        )?;
+        Ok(ProblemTemplate { encoding, tail })
+    }
+
+    /// [`VerificationProblem::run_solver`] through a [`ProblemTemplate`]:
+    /// the skeleton is re-tightened into `scratch` (allocated on first use,
+    /// reused afterwards) instead of re-encoding the whole MILP. Falls back
+    /// to one-shot encoding when the template does not support `region`.
+    pub(crate) fn run_solver_with_template(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        scratch: &mut Option<EncodedProblem>,
+        backend: &dyn SolverBackend,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
+        if !template.encoding.supports(region) {
+            let (verdict, _, solution) = self.run_solver(region, backend)?;
+            return Ok((verdict, solution));
+        }
+        match scratch {
+            Some(existing) => template.encoding.instantiate_into(region, existing)?,
+            None => *scratch = Some(template.encoding.instantiate(region)?),
+        }
+        let encoded = scratch.as_ref().expect("scratch populated above");
+        let solution = backend.solve(&encoded.milp);
+        let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);
+        Ok((verdict, solution))
     }
 
     /// Runs the verification under the given strategy with the default
@@ -369,6 +451,45 @@ impl VerificationProblem {
         let (verdict, encoded, solution) = self.run_solver(&region, backend)?;
         let solve_seconds = start_time.elapsed().as_secs_f64();
 
+        Ok(VerificationOutcome {
+            verdict,
+            strategy: strategy.label(),
+            backend: backend.name().to_string(),
+            conditional: !strategy.is_unconditional(),
+            num_binaries: encoded.num_binaries,
+            stable_relus: encoded.stable_relus,
+            nodes_explored: solution.stats.nodes_explored,
+            solve_seconds,
+        })
+    }
+
+    /// Runs the verification under the given strategy through a
+    /// [`ProblemTemplate`]: the cached skeleton is instantiated for the
+    /// strategy's start region instead of re-encoding the MILP from scratch.
+    /// Strategies whose region escapes the template's root (or differs in
+    /// kind, e.g. octagon vs. box) transparently fall back to
+    /// [`VerificationProblem::verify_with`] — template use never changes
+    /// verdicts, only encoding cost.
+    ///
+    /// # Errors
+    /// Propagates encoding errors ([`CoreError::NotPiecewiseLinear`],
+    /// [`CoreError::Inconsistent`]).
+    pub fn verify_with_template(
+        &self,
+        strategy: &VerificationStrategy,
+        template: &ProblemTemplate,
+        backend: &dyn SolverBackend,
+    ) -> Result<VerificationOutcome, CoreError> {
+        let start_time = Instant::now();
+        let region = self.start_region(strategy)?;
+        if !template.encoding.supports(&region) {
+            return self.verify_with(strategy, backend);
+        }
+        let mut scratch = None;
+        let (verdict, solution) =
+            self.run_solver_with_template(template, &region, &mut scratch, backend)?;
+        let encoded = scratch.expect("supported regions populate the scratch");
+        let solve_seconds = start_time.elapsed().as_secs_f64();
         Ok(VerificationOutcome {
             verdict,
             strategy: strategy.label(),

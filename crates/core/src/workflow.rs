@@ -349,9 +349,20 @@ impl Workflow {
                 use_difference_constraints: true,
             }),
         ];
+        // E1 solves the same (tail, characterizer, risk) triple under four
+        // start regions: encode the layer skeleton once from the widest
+        // region (the Lemma-1 box) and instantiate it per strategy. Regions
+        // the template cannot cover (the octagon variant, or an AI box that
+        // escapes the root) transparently fall back to one-shot encoding.
+        let e1_template =
+            e1_problem.encoding_template(&e1_problem.start_region(&e1_strategies[0])?)?;
         let mut e1_outcomes = Vec::new();
         for strategy in &e1_strategies {
-            e1_outcomes.push(e1_problem.verify_with(strategy, self.backend.as_ref())?);
+            e1_outcomes.push(e1_problem.verify_with_template(
+                strategy,
+                &e1_template,
+                self.backend.as_ref(),
+            )?);
         }
 
         let e2_risk = RiskCondition::new("suggest steering straight")

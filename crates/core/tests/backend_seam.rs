@@ -197,6 +197,144 @@ fn pruning_fixture() -> (VerificationProblem, BoxDomain, Vec<Vector>) {
     (problem, region, references)
 }
 
+/// A backend that always gives up with [`dpv_lp::MilpStatus::IterationLimit`],
+/// as a numerically degenerate model would make the simplex do.
+#[derive(Debug, Default)]
+struct IterationLimitedBackend;
+
+impl SolverBackend for IterationLimitedBackend {
+    fn name(&self) -> &str {
+        "iteration-limited"
+    }
+
+    fn solve(&self, _problem: &MilpProblem) -> MilpSolution {
+        MilpSolution {
+            status: dpv_lp::MilpStatus::IterationLimit,
+            values: Vec::new(),
+            objective: 0.0,
+            stats: dpv_lp::SolveStats::default(),
+        }
+    }
+}
+
+#[test]
+fn simplex_iteration_limits_degrade_to_unknown_not_abort() {
+    // Regression for the old `panic!("simplex exceeded the iteration
+    // limit…")`: a model the solver cannot finish must surface as an
+    // Unknown verdict (and a SolverLimit error in refinement), never tear
+    // down the process.
+    let problem = two_layer_problem(RiskCondition::new("reachable").output_ge(0, 1.5));
+    let outcome = problem
+        .verify_with(&strategy(), &IterationLimitedBackend)
+        .unwrap();
+    match &outcome.verdict {
+        dpv_core::Verdict::Unknown(reason) => {
+            assert!(reason.contains("iteration limit"), "reason: {reason}")
+        }
+        other => panic!("expected Unknown, got {other:?}"),
+    }
+    // The refinement loop converts the Unknown into a SolverLimit error.
+    let region =
+        BoxDomain::from_intervals(vec![Interval::new(-1.0, 1.0), Interval::new(-1.0, 1.0)]);
+    let references = vec![Vector::from_slice(&[0.5, 0.0])];
+    let verifier = RefinementVerifier::new(4, 0.05);
+    let result = verifier.verify_with(&problem, &region, &references, &IterationLimitedBackend);
+    assert!(matches!(result, Err(dpv_core::CoreError::SolverLimit(_))));
+}
+
+#[test]
+fn template_refinement_matches_the_reencoding_path_exactly() {
+    // The PR-3 incremental template must be invisible in the results: on the
+    // pruning fixture, the template-driven sweep and the PR-2 re-encoding
+    // sweep produce byte-identical verdicts and identical reports up to
+    // solver statistics (node/iteration counts legitimately differ because
+    // the instantiated MILP's relaxation is not the re-encoded one).
+    let (problem, region, references) = pruning_fixture();
+    for workers in [1usize, 4] {
+        let base = RefinementVerifier::new(2000, 0.05);
+        let (with_template, without_template) = if workers == 1 {
+            (base.clone(), base.without_template())
+        } else {
+            (
+                base.clone()
+                    .with_parallelism(ParallelRefinementConfig::new(workers)),
+                base.without_template()
+                    .with_parallelism(ParallelRefinementConfig::new(workers)),
+            )
+        };
+        assert!(with_template.uses_template());
+        assert!(!without_template.uses_template());
+        let backend = BranchAndBoundBackend;
+        let (template_verdict, template_report) = with_template
+            .verify_with(&problem, &region, &references, &backend)
+            .unwrap();
+        let (reencode_verdict, reencode_report) = without_template
+            .verify_with(&problem, &region, &references, &backend)
+            .unwrap();
+        assert_eq!(
+            template_verdict, reencode_verdict,
+            "workers={workers}: template and re-encoding verdicts diverge"
+        );
+        assert_eq!(
+            template_report.refined_envelope,
+            reencode_report.refined_envelope
+        );
+        assert_eq!(
+            template_report.verification_calls,
+            reencode_report.verification_calls
+        );
+        assert_eq!(template_report.splits, reencode_report.splits);
+        assert_eq!(
+            template_report.pruned_subregions,
+            reencode_report.pruned_subregions
+        );
+        assert_eq!(
+            template_report.spurious_counterexamples,
+            reencode_report.spurious_counterexamples
+        );
+        assert!(template_report.covers(&references, 1e-9));
+    }
+}
+
+#[test]
+fn template_refinement_reports_identical_unsafe_verdicts() {
+    // Data-supported violation: both sweeps must surface the same
+    // counterexample (the root box is the sole first-generation member, and
+    // the serial branch-and-bound engine is deterministic for a fixed MILP
+    // feasible set).
+    let (problem, region, _) = pruning_fixture();
+    let references: Vec<Vector> = (0..=10)
+        .map(|i| Vector::from_slice(&[0.9 + 0.01 * i as f64, 0.7]))
+        .collect();
+    let with_template = RefinementVerifier::new(2000, 0.35);
+    let without_template = RefinementVerifier::new(2000, 0.35).without_template();
+    let backend = BranchAndBoundBackend;
+    let (a, _) = with_template
+        .verify_with(&problem, &region, &references, &backend)
+        .unwrap();
+    let (b, _) = without_template
+        .verify_with(&problem, &region, &references, &backend)
+        .unwrap();
+    assert!(matches!(a, RefinedVerdict::Unsafe(_)));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn refinement_reports_surface_warm_start_counters() {
+    let (problem, region, references) = pruning_fixture();
+    let verifier = RefinementVerifier::new(2000, 0.05);
+    let (_, report) = verifier.verify(&problem, &region, &references).unwrap();
+    let stats = report.solver_stats;
+    assert!(stats.warm_solves + stats.cold_solves >= 1);
+    assert!(
+        stats.warm_solves + stats.cold_solves <= stats.nodes_explored,
+        "LP solves cannot exceed explored nodes: {stats:?}"
+    );
+    assert!(stats.simplex_iterations > 0);
+    // The hit rate feeds the e8 benchmark's JSON summary.
+    assert!(stats.warm_hit_rate() >= 0.0 && stats.warm_hit_rate() <= 1.0);
+}
+
 #[test]
 fn refinement_verdicts_match_for_serial_and_parallel_dispatch() {
     let (problem, region, references) = pruning_fixture();

@@ -25,7 +25,7 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
 }
 
 /// The crate's default engine: the depth-first branch-and-bound solver of
-/// [`MilpProblem::solve`].
+/// [`MilpProblem::solve`], with warm-started node relaxations.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BranchAndBoundBackend;
 
@@ -36,6 +36,24 @@ impl SolverBackend for BranchAndBoundBackend {
 
     fn solve(&self, problem: &MilpProblem) -> MilpSolution {
         problem.solve()
+    }
+}
+
+/// The warm-start-free variant of [`BranchAndBoundBackend`]: every node pays
+/// a cold two-phase simplex solve ([`MilpProblem::solve_cold`]). This is the
+/// PR-2 reference engine, kept for benchmarking the warm-start speedup
+/// (`benches/e8_warm_start.rs`) and for equivalence tests — the two engines
+/// explore the identical tree and must return identical statuses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ColdBranchAndBoundBackend;
+
+impl SolverBackend for ColdBranchAndBoundBackend {
+    fn name(&self) -> &str {
+        "branch-and-bound(cold)"
+    }
+
+    fn solve(&self, problem: &MilpProblem) -> MilpSolution {
+        problem.solve_cold()
     }
 }
 
@@ -50,7 +68,9 @@ pub fn default_backend() -> BranchAndBoundBackend {
 /// Exponential and only usable for small `k`, but its verdicts are trivially
 /// trustworthy, which makes it the cross-check oracle for testing smarter
 /// backends (the `SolverBackend`-seam tests assert it agrees with
-/// [`BranchAndBoundBackend`] on verification fixtures).
+/// [`BranchAndBoundBackend`] on verification fixtures). Every LP here is
+/// deliberately solved **cold**: the oracle must not share the warm-start
+/// machinery it is used to validate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExhaustiveBackend {
     /// Refuses problems with more binaries than this (returns
@@ -110,10 +130,20 @@ impl SolverBackend for ExhaustiveBackend {
                 continue;
             }
             let solution = scratch.solve();
+            stats.cold_solves += 1;
+            stats.simplex_iterations += solution.iterations;
             match solution.status {
                 LpStatus::Infeasible => {
                     stats.nodes_pruned += 1;
                     continue;
+                }
+                LpStatus::IterationLimit => {
+                    return MilpSolution {
+                        status: MilpStatus::IterationLimit,
+                        values: Vec::new(),
+                        objective: 0.0,
+                        stats,
+                    };
                 }
                 LpStatus::Unbounded => {
                     return MilpSolution {

@@ -9,11 +9,20 @@
 //!
 //! * [`LinearProgram`] — a model builder for LPs with per-variable bounds
 //!   and `≤ / ≥ / =` row constraints, solved by a dense two-phase primal
-//!   simplex ([`LinearProgram::solve`]).
+//!   simplex ([`LinearProgram::solve`]). A solved program can hand out a
+//!   [`BasisSnapshot`] ([`LinearProgram::solve_with_snapshot`]); after
+//!   **bound-only** edits ([`LinearProgram::set_bounds`],
+//!   [`LinearProgram::set_constraint_rhs`]) the snapshot re-solves warm via
+//!   a dual-simplex repair ([`LinearProgram::solve_from_basis`]) instead of
+//!   two cold phases — the hot-path primitive behind incremental
+//!   branch-and-bound and the refinement sweep.
 //! * [`MilpProblem`] — an LP plus a set of binary variables, solved by
-//!   branch-and-bound over the binaries ([`MilpProblem::solve`]). A
-//!   feasibility-only mode is what safety verification uses: *is there an
-//!   assignment inside the envelope that triggers the risk condition?*
+//!   branch-and-bound over the binaries ([`MilpProblem::solve`]), with every
+//!   node relaxation warm-started from the most recent basis
+//!   ([`SolveStats`] reports the warm/cold split; [`MilpProblem::solve_cold`]
+//!   keeps the PR-2 cold path for comparison). A feasibility-only mode is
+//!   what safety verification uses: *is there an assignment inside the
+//!   envelope that triggers the risk condition?*
 //! * [`encode_relu_big_m`] — the standard big-M encoding of a ReLU
 //!   constraint `y = max(0, x)` with known pre-activation bounds, the
 //!   building block of the network encoding in `dpv-core`.
@@ -61,11 +70,15 @@ mod parallel;
 mod relu;
 mod simplex;
 
-pub use backend::{default_backend, BranchAndBoundBackend, ExhaustiveBackend, SolverBackend};
+pub use backend::{
+    default_backend, BranchAndBoundBackend, ColdBranchAndBoundBackend, ExhaustiveBackend,
+    SolverBackend,
+};
 pub use milp::{MilpProblem, MilpSolution, MilpStatus, SolveStats};
 pub use model::{Constraint, ConstraintOp, LinearProgram, LpSolution, LpStatus, VarId};
 pub use parallel::ParallelBranchAndBoundBackend;
 pub use relu::{encode_relu_big_m, ReluEncoding};
+pub use simplex::BasisSnapshot;
 
 /// Numerical tolerance used throughout the solver for feasibility and
 /// integrality decisions.

@@ -1,6 +1,6 @@
 //! Branch-and-bound mixed-integer linear programming over binary variables.
 
-use crate::{LinearProgram, LpStatus, VarId, SOLVER_EPS};
+use crate::{BasisSnapshot, LinearProgram, LpSolution, LpStatus, VarId, SOLVER_EPS};
 
 /// Status of a MILP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +16,12 @@ pub enum MilpStatus {
     /// incumbent (if any) is returned, but optimality/infeasibility is not
     /// proven. Verification callers must treat this as "unknown".
     NodeLimit,
+    /// An LP relaxation ran out of its simplex pivot budget
+    /// ([`LpStatus::IterationLimit`]) — numerical trouble in the model. The
+    /// search stops conservatively; like [`MilpStatus::NodeLimit`] this is
+    /// "unknown", never a verdict, so a degenerate model cannot abort the
+    /// verification process.
+    IterationLimit,
 }
 
 /// Search statistics of a branch-and-bound run.
@@ -26,12 +32,33 @@ pub struct SolveStats {
     /// Number of nodes pruned (by incumbent bound, or — for enumeration
     /// backends — by infeasibility of the assignment's LP).
     pub nodes_pruned: usize,
+    /// LP relaxations re-solved warm from a parent basis (dual simplex).
+    pub warm_solves: usize,
+    /// LP relaxations solved cold (two full simplex phases).
+    pub cold_solves: usize,
+    /// Total simplex pivots across every LP solve of the run.
+    pub simplex_iterations: usize,
+}
+
+impl SolveStats {
+    /// Fraction of LP solves taken warm (zero when nothing was solved).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_solves + self.cold_solves;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_solves as f64 / total as f64
+        }
+    }
 }
 
 impl std::ops::AddAssign for SolveStats {
     fn add_assign(&mut self, rhs: Self) {
         self.nodes_explored += rhs.nodes_explored;
         self.nodes_pruned += rhs.nodes_pruned;
+        self.warm_solves += rhs.warm_solves;
+        self.cold_solves += rhs.cold_solves;
+        self.simplex_iterations += rhs.simplex_iterations;
     }
 }
 
@@ -76,6 +103,58 @@ impl MilpSolution {
 /// rule. For **optimisation** problems the first fractional binary is kept:
 /// diving along the relaxation's suggestion finds strong incumbents early,
 /// and the incumbent bound — not contradiction depth — prunes the tree.
+/// Solves one node's LP relaxation against `scratch`, warm-starting from the
+/// rolling basis in `warm` when enabled, and falls back to (and refreshes the
+/// basis from) a cold solve otherwise. Shared by the serial and parallel
+/// branch-and-bound engines so their statistics mean the same thing.
+///
+/// Any dual-feasible basis of the *same* matrix and objective warm-starts any
+/// node — dual feasibility does not depend on the right-hand side — so the
+/// rolling "most recent basis" works across backtracks and even across
+/// work-stealing, not just parent→child edges.
+pub(crate) fn solve_node_lp(
+    scratch: &LinearProgram,
+    warm: &mut Option<BasisSnapshot>,
+    warm_enabled: bool,
+    stats: &mut SolveStats,
+) -> LpSolution {
+    /// Warm re-solves per snapshot before a forced cold refactorisation.
+    /// The identity block accumulates floating-point drift with every pivot;
+    /// the Farkas certificate already guards against *wrong* verdicts, but a
+    /// periodic fresh factorisation keeps the certificate's bail-out rate —
+    /// and hence the warm hit rate — high on deep search trees.
+    const REFACTOR_INTERVAL: usize = 256;
+    if warm
+        .as_ref()
+        .is_some_and(|snapshot| snapshot.warm_uses() >= REFACTOR_INTERVAL)
+    {
+        *warm = None;
+    }
+    let solution = if warm_enabled {
+        match warm
+            .as_mut()
+            .and_then(|snap| scratch.solve_from_basis(snap))
+        {
+            Some(solution) => {
+                stats.warm_solves += 1;
+                solution
+            }
+            None => {
+                let (solution, snapshot) = scratch.solve_with_snapshot();
+                stats.cold_solves += 1;
+                *warm = snapshot;
+                solution
+            }
+        }
+    } else {
+        let solution = scratch.solve();
+        stats.cold_solves += 1;
+        solution
+    };
+    stats.simplex_iterations += solution.iterations;
+    solution
+}
+
 pub(crate) fn select_branching_variable(
     binaries: &[VarId],
     fixings: &[(VarId, f64)],
@@ -213,8 +292,23 @@ impl MilpProblem {
     /// Node evaluation is allocation-free with respect to the model: instead
     /// of cloning the whole [`LinearProgram`] per node, a single scratch
     /// program is reused — binary bounds are tightened to the node's fixings
-    /// on descent and restored from a saved snapshot on backtrack.
+    /// on descent and restored from a saved snapshot on backtrack. Each
+    /// node's relaxation is additionally **warm-started** from the most
+    /// recent solved basis ([`LinearProgram::solve_from_basis`]): consecutive
+    /// nodes differ only in binary bounds, so a dual-simplex repair replaces
+    /// the two cold phases; [`SolveStats`] records the warm/cold split.
     pub fn solve(&self) -> MilpSolution {
+        self.solve_impl(true)
+    }
+
+    /// [`MilpProblem::solve`] with warm starting disabled: every node pays a
+    /// cold two-phase solve. Kept as the PR-2 reference path for benchmarks
+    /// and equivalence tests ([`crate::ColdBranchAndBoundBackend`]).
+    pub fn solve_cold(&self) -> MilpSolution {
+        self.solve_impl(false)
+    }
+
+    fn solve_impl(&self, warm_enabled: bool) -> MilpSolution {
         let feasibility_only = self.lp.objective().iter().all(|&c| c == 0.0);
         let mut stats = SolveStats::default();
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
@@ -222,8 +316,10 @@ impl MilpProblem {
         let mut stack: Vec<Vec<(VarId, f64)>> = vec![Vec::new()];
         let mut hit_limit = false;
         // The single scratch LP all nodes are evaluated against, plus the
-        // pristine binary bounds to restore between nodes.
+        // pristine binary bounds to restore between nodes, plus the rolling
+        // warm-start basis refreshed after every solved relaxation.
         let mut scratch = self.lp.clone();
+        let mut warm: Option<BasisSnapshot> = None;
         let saved_bounds: Vec<(VarId, f64, f64)> = self
             .binaries
             .iter()
@@ -258,9 +354,23 @@ impl MilpProblem {
             if conflict {
                 continue;
             }
-            let solution = scratch.solve();
+            let solution = solve_node_lp(&scratch, &mut warm, warm_enabled, &mut stats);
             match solution.status {
                 LpStatus::Infeasible => continue,
+                LpStatus::IterationLimit => {
+                    // The relaxation could not be solved; neither pruning nor
+                    // branching is justified. Stop conservatively.
+                    let (values, objective) = match incumbent {
+                        Some((values, objective)) => (values, objective),
+                        None => (Vec::new(), 0.0),
+                    };
+                    return MilpSolution {
+                        status: MilpStatus::IterationLimit,
+                        values,
+                        objective,
+                        stats,
+                    };
+                }
                 LpStatus::Unbounded => {
                     // With every binary fixed the relaxation *is* an integer
                     // assignment, so an unbounded ray there proves the MILP
@@ -518,19 +628,90 @@ mod tests {
         total += SolveStats {
             nodes_explored: 3,
             nodes_pruned: 1,
+            warm_solves: 2,
+            cold_solves: 1,
+            simplex_iterations: 9,
         };
         total += SolveStats {
             nodes_explored: 5,
             nodes_pruned: 2,
+            warm_solves: 4,
+            cold_solves: 1,
+            simplex_iterations: 11,
         };
         assert_eq!(total.nodes_explored, 8);
         assert_eq!(total.nodes_pruned, 3);
+        assert_eq!(total.warm_solves, 6);
+        assert_eq!(total.cold_solves, 2);
+        assert_eq!(total.simplex_iterations, 20);
+        assert!((total.warm_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(SolveStats::default().warm_hit_rate(), 0.0);
         let sum = total
             + SolveStats {
                 nodes_explored: 2,
-                nodes_pruned: 0,
+                ..SolveStats::default()
             };
         assert_eq!(sum.nodes_explored, 10);
+    }
+
+    #[test]
+    fn warm_starts_carry_the_majority_of_node_solves() {
+        // A fractional equality over six binaries forces a real tree; after
+        // the cold root every node re-solve differs only in binary bounds,
+        // so the rolling basis keeps almost every solve warm.
+        let mut milp = MilpProblem::new();
+        for _ in 0..6 {
+            let _ = milp.add_binary();
+        }
+        let vars: Vec<_> = milp.binaries().to_vec();
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        milp.lp_mut().add_constraint(&coeffs, ConstraintOp::Eq, 2.5);
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::Infeasible);
+        assert!(sol.stats.warm_solves + sol.stats.cold_solves >= 3);
+        assert!(
+            sol.stats.warm_solves > sol.stats.cold_solves,
+            "expected a warm majority: {:?}",
+            sol.stats
+        );
+        assert!(sol.stats.simplex_iterations > 0);
+    }
+
+    #[test]
+    fn warm_and_cold_solves_agree_on_status_and_objective() {
+        let mut milp = MilpProblem::new();
+        let a = milp.add_binary();
+        let b = milp.add_binary();
+        let c = milp.add_binary();
+        let w = milp.add_variable(0.0, 2.0);
+        milp.lp_mut()
+            .set_objective(&[(a, 3.0), (b, 5.0), (c, 4.0), (w, 1.0)], true);
+        milp.lp_mut().add_constraint(
+            &[(a, 2.0), (b, 3.0), (c, 1.0), (w, 1.0)],
+            ConstraintOp::Le,
+            4.0,
+        );
+        let warm = milp.solve();
+        let cold = milp.solve_cold();
+        assert_eq!(warm.status, cold.status);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+        assert_eq!(cold.stats.warm_solves, 0);
+        assert!(cold.stats.cold_solves >= 1);
+    }
+
+    #[test]
+    fn iteration_limit_surfaces_as_milp_status() {
+        // A starved pivot budget must degrade to IterationLimit ("unknown"),
+        // not abort the process — the regression the old panic caused.
+        let mut milp = MilpProblem::new();
+        let x = milp.add_binary();
+        let y = milp.add_binary();
+        milp.lp_mut().set_objective(&[(x, 1.0), (y, 1.0)], true);
+        milp.lp_mut()
+            .add_constraint(&[(x, 2.0), (y, 2.0)], ConstraintOp::Le, 3.0);
+        milp.lp_mut().set_iteration_limit(Some(0));
+        let sol = milp.solve();
+        assert_eq!(sol.status, MilpStatus::IterationLimit);
     }
 
     #[test]

@@ -49,6 +49,11 @@ pub enum LpStatus {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
+    /// The simplex iteration budget was exhausted before the solve finished —
+    /// numerical trouble or an adversarially degenerate model. Neither
+    /// optimality nor infeasibility was established; callers must treat the
+    /// outcome as "unknown" rather than aborting.
+    IterationLimit,
 }
 
 /// Result of an LP solve.
@@ -60,6 +65,13 @@ pub struct LpSolution {
     pub values: Vec<f64>,
     /// Optimal objective value (meaningful only when `status == Optimal`).
     pub objective: f64,
+    /// Simplex pivots performed by this solve (all phases).
+    pub iterations: usize,
+    /// `true` when the solve was taken warm from a [`BasisSnapshot`]
+    /// (dual-simplex repair) instead of running the two cold phases.
+    ///
+    /// [`BasisSnapshot`]: crate::BasisSnapshot
+    pub warm_started: bool,
 }
 
 impl LpSolution {
@@ -69,6 +81,8 @@ impl LpSolution {
             status,
             values: Vec::new(),
             objective: 0.0,
+            iterations: 0,
+            warm_started: false,
         }
     }
 
@@ -90,6 +104,8 @@ pub struct LinearProgram {
     pub(crate) objective: Vec<f64>,
     pub(crate) maximize: bool,
     pub(crate) constraints: Vec<Constraint>,
+    /// Optional simplex pivot budget; `None` selects a size-derived default.
+    pub(crate) max_iterations: Option<usize>,
 }
 
 impl Default for LinearProgram {
@@ -107,7 +123,19 @@ impl LinearProgram {
             objective: Vec::new(),
             maximize: false,
             constraints: Vec::new(),
+            max_iterations: None,
         }
+    }
+
+    /// Pre-allocates storage for `vars` additional variables and `rows`
+    /// additional constraints. Encoders that know their output size up front
+    /// (e.g. the layer-skeleton template in `dpv-core`) use this to avoid
+    /// repeated re-allocation while the model grows.
+    pub fn reserve(&mut self, vars: usize, rows: usize) {
+        self.lower.reserve(vars);
+        self.upper.reserve(vars);
+        self.objective.reserve(vars);
+        self.constraints.reserve(rows);
     }
 
     /// Adds a variable with bounds `[lower, upper]` (either may be infinite)
@@ -213,6 +241,32 @@ impl LinearProgram {
         });
     }
 
+    /// Overwrites the right-hand side of an existing constraint, leaving its
+    /// coefficients and operator untouched. This is a *bound-shaped* edit:
+    /// like [`LinearProgram::set_bounds`] it only moves the standard-form
+    /// right-hand side, so warm restarts from a [`crate::BasisSnapshot`]
+    /// remain valid across it (the refinement template uses this for the
+    /// octagon difference rows).
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range or `rhs` is NaN.
+    pub fn set_constraint_rhs(&mut self, index: usize, rhs: f64) {
+        assert!(!rhs.is_nan(), "constraint rhs must not be NaN");
+        self.constraints[index].rhs = rhs;
+    }
+
+    /// Overrides the simplex pivot budget (`None` restores the size-derived
+    /// default). When the budget runs out a solve reports
+    /// [`LpStatus::IterationLimit`] instead of panicking.
+    pub fn set_iteration_limit(&mut self, limit: Option<usize>) {
+        self.max_iterations = limit;
+    }
+
+    /// The explicit simplex pivot budget, when one was set.
+    pub fn iteration_limit(&self) -> Option<usize> {
+        self.max_iterations
+    }
+
     /// Objective coefficients (dense, aligned with variable ids).
     pub fn objective(&self) -> &[f64] {
         &self.objective
@@ -265,6 +319,30 @@ impl LinearProgram {
     /// Solves the LP with the two-phase primal simplex method.
     pub fn solve(&self) -> LpSolution {
         simplex::solve(self)
+    }
+
+    /// Solves cold and, when the final basis supports it, additionally
+    /// returns a [`crate::BasisSnapshot`] that [`LinearProgram::solve_from_basis`]
+    /// can re-solve from after bound-only changes.
+    pub fn solve_with_snapshot(&self) -> (LpSolution, Option<crate::BasisSnapshot>) {
+        simplex::solve_with_snapshot(self)
+    }
+
+    /// Warm re-solve from a previous solve's basis.
+    ///
+    /// Valid after **bound-shaped** edits only: [`LinearProgram::set_bounds`] /
+    /// [`LinearProgram::tighten_bounds`] changes that preserve each bound's
+    /// finiteness pattern, and [`LinearProgram::set_constraint_rhs`]. Those
+    /// edits move only the standard-form right-hand side, so the stored basis
+    /// stays dual feasible and a dual-simplex phase repairs primal
+    /// feasibility instead of re-running both cold phases. The structural
+    /// fingerprint is re-checked on every call; coefficient or objective
+    /// changes, or numerical trouble, make the call return `None` — the
+    /// snapshot must then be discarded and replaced via
+    /// [`LinearProgram::solve_with_snapshot`]. On success the snapshot is
+    /// updated in place to the new final basis, ready for the next re-solve.
+    pub fn solve_from_basis(&self, snapshot: &mut crate::BasisSnapshot) -> Option<LpSolution> {
+        simplex::solve_from_basis(self, snapshot)
     }
 }
 

@@ -35,8 +35,8 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::Mutex;
 
 use crate::{
-    LinearProgram, LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats, SolverBackend,
-    VarId, SOLVER_EPS,
+    BasisSnapshot, LinearProgram, LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats,
+    SolverBackend, VarId, SOLVER_EPS,
 };
 
 /// A branching decision list: the `(binary, fixed value)` pairs on the path
@@ -103,6 +103,9 @@ struct SearchState<'a> {
     stop: AtomicBool,
     unbounded: AtomicBool,
     hit_limit: AtomicBool,
+    /// Set when some relaxation ran out of its simplex pivot budget; the
+    /// whole search then reports [`MilpStatus::IterationLimit`].
+    iter_limited: AtomicBool,
     /// Nodes queued but not yet fully processed; zero means the tree is
     /// exhausted.
     pending: AtomicUsize,
@@ -195,6 +198,7 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
             stop: AtomicBool::new(false),
             unbounded: AtomicBool::new(false),
             hit_limit: AtomicBool::new(false),
+            iter_limited: AtomicBool::new(false),
             pending: AtomicUsize::new(1),
             nodes_charged: AtomicUsize::new(0),
         };
@@ -211,6 +215,13 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
                 .map(|local| {
                     scope.spawn(move |_| {
                         let mut scratch = state.problem.lp().clone();
+                        // Per-worker rolling warm-start basis. Any basis of
+                        // the shared matrix is dual feasible for any node, so
+                        // a stolen subtree keeps warm-starting from whatever
+                        // this worker solved last — a steal never forces a
+                        // cold solve; only each worker's very first node (or
+                        // a numerical bail-out) pays the two cold phases.
+                        let mut warm: Option<BasisSnapshot> = None;
                         let mut stats = SolveStats::default();
                         // Idle backoff: yield first (cheap when a node is
                         // about to appear), then sleep so starved workers on
@@ -221,7 +232,14 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
                             match state.find_node(&local) {
                                 Some(node) => {
                                     idle_rounds = 0;
-                                    process_node(state, &local, &mut scratch, &mut stats, node);
+                                    process_node(
+                                        state,
+                                        &local,
+                                        &mut scratch,
+                                        &mut warm,
+                                        &mut stats,
+                                        node,
+                                    );
                                     state.pending.fetch_sub(1, Ordering::AcqRel);
                                 }
                                 None => {
@@ -248,6 +266,7 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
 
         let incumbent = state.incumbent.lock().take();
         let hit_limit = state.hit_limit.load(Ordering::Acquire);
+        let iter_limited = state.iter_limited.load(Ordering::Acquire);
         if state.unbounded.load(Ordering::Acquire) {
             return MilpSolution {
                 status: MilpStatus::Unbounded,
@@ -259,11 +278,13 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
         match incumbent {
             Some((values, objective)) => MilpSolution {
                 // A feasibility-only search is complete at the first feasible
-                // point even when another worker tripped the node limit in
-                // the same instant; an optimisation search interrupted by the
-                // limit has not proven its incumbent optimal.
-                status: if state.feasibility_only || !hit_limit {
+                // point even when another worker tripped a limit in the same
+                // instant; an optimisation search interrupted by a limit has
+                // not proven its incumbent optimal.
+                status: if state.feasibility_only || !(hit_limit || iter_limited) {
                     MilpStatus::Optimal
+                } else if iter_limited {
+                    MilpStatus::IterationLimit
                 } else {
                     MilpStatus::NodeLimit
                 },
@@ -272,7 +293,9 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
                 stats,
             },
             None => MilpSolution {
-                status: if hit_limit {
+                status: if iter_limited {
+                    MilpStatus::IterationLimit
+                } else if hit_limit {
                     MilpStatus::NodeLimit
                 } else {
                     MilpStatus::Infeasible
@@ -292,6 +315,7 @@ fn process_node(
     state: &SearchState<'_>,
     local: &Worker<Node>,
     scratch: &mut LinearProgram,
+    warm: &mut Option<BasisSnapshot>,
     stats: &mut SolveStats,
     fixings: Node,
 ) {
@@ -316,10 +340,15 @@ fn process_node(
         }
         scratch.set_bounds(var, value, value);
     }
-    let solution = scratch.solve();
+    let solution = crate::milp::solve_node_lp(scratch, warm, true, stats);
     let binaries = state.problem.binaries();
     match solution.status {
         LpStatus::Infeasible => return,
+        LpStatus::IterationLimit => {
+            state.iter_limited.store(true, Ordering::Release);
+            state.stop.store(true, Ordering::Release);
+            return;
+        }
         LpStatus::Unbounded => {
             if fixings.len() == binaries.len() {
                 // Every binary fixed: the unbounded ray is integer feasible,

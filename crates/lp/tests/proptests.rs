@@ -151,6 +151,76 @@ proptest! {
         }
     }
 
+    /// Warm re-solving from a parent basis after random bound tightenings
+    /// must agree with a fresh cold solve — same status and (when optimal)
+    /// the same objective. Covers ~400 random LPs × 4 successive
+    /// tightenings, including tightenings that drive the program infeasible,
+    /// with mixed ≤/≥/= constraints so every standard-form row shape is
+    /// exercised.
+    #[test]
+    fn warm_restart_agrees_with_cold_solve(seed in 0u64..400) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1ab1e);
+        let n = 4usize;
+        let mut lp = LinearProgram::new();
+        let vars: Vec<_> = (0..n).map(|_| lp.add_variable(-5.0, 5.0)).collect();
+        let obj: Vec<_> = vars
+            .iter()
+            .map(|&v| (v, rng.gen_range(-2.0..2.0)))
+            .collect();
+        lp.set_objective(&obj, seed % 2 == 0);
+        for _ in 0..3 {
+            let coeffs: Vec<_> = vars
+                .iter()
+                .map(|&v| (v, rng.gen_range(-1.5..1.5)))
+                .collect();
+            let pick: f64 = rng.gen_range(0.0..1.0);
+            let op = if pick < 0.4 {
+                ConstraintOp::Le
+            } else if pick < 0.8 {
+                ConstraintOp::Ge
+            } else {
+                ConstraintOp::Eq
+            };
+            lp.add_constraint(&coeffs, op, rng.gen_range(-2.0..2.0));
+        }
+
+        let (root, snapshot) = lp.solve_with_snapshot();
+        prop_assume!(root.status == LpStatus::Optimal);
+        let mut snapshot = snapshot.expect("optimal cold solves yield a snapshot");
+
+        for round in 0..4 {
+            // Tighten a random variable to a random sub-range (possibly a
+            // point), keeping lo <= hi.
+            let var = vars[rng.gen_range(0..n)];
+            let a = rng.gen_range(-5.0..5.0);
+            let b = rng.gen_range(-5.0..5.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            lp.set_bounds(var, lo, hi);
+
+            let cold = lp.solve();
+            match lp.solve_from_basis(&mut snapshot) {
+                Some(warm) => {
+                    prop_assert!(warm.warm_started);
+                    prop_assert_eq!(warm.status, cold.status,
+                        "round {}: warm {:?} vs cold {:?}", round, warm.status, cold.status);
+                    if cold.status == LpStatus::Optimal {
+                        prop_assert!((warm.objective - cold.objective).abs() < 1e-5,
+                            "round {}: warm {} vs cold {}", round, warm.objective, cold.objective);
+                        prop_assert!(lp.is_feasible(&warm.values, 1e-6));
+                    }
+                }
+                None => {
+                    // A numerical bail-out is allowed; re-seed from cold.
+                    let (_, fresh) = lp.solve_with_snapshot();
+                    match fresh {
+                        Some(fresh) => snapshot = fresh,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+
     /// Equality-constrained LPs: solving Ax = b with a known feasible point
     /// must report a feasible optimum.
     #[test]

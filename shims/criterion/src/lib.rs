@@ -171,6 +171,31 @@ fn report(id: &str, samples: &[Duration]) {
     }
 }
 
+/// Records a scalar, non-timing metric (a counter, a rate in permille, …)
+/// alongside the benchmark results: printed to stdout and, under
+/// `CRITERION_JSON`, emitted as a single-sample record whose `mean_ns` /
+/// `min_ns` slots carry the raw value. Real criterion has no equivalent —
+/// bench targets using this stay shim-only by construction, which is fine
+/// for the CI perf artifacts it exists for (e.g. the warm-start hit rate in
+/// `BENCH_e8.json`).
+pub fn report_metric(id: impl Into<String>, value: u128) {
+    let id = id.into();
+    println!("{id:<48} value {value:>12}");
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        let record = JsonRecord {
+            id,
+            mean_ns: value,
+            min_ns: value,
+            samples: 1,
+        };
+        match JSON_RECORDS.lock() {
+            Ok(mut records) => records.push(record),
+            Err(poisoned) => poisoned.into_inner().push(record),
+        }
+        emit_json(&path);
+    }
+}
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,

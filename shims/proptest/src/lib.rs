@@ -146,6 +146,24 @@ macro_rules! prop_assert_ne {
     ($($tt:tt)*) => { assert_ne!($($tt)*) };
 }
 
+/// Test-case assumption: a failed assumption skips the current random case
+/// (the shim's expansion runs cases in a loop, so this is a plain
+/// `continue`). Real proptest additionally re-draws a replacement input;
+/// the shim simply moves on to the next seed.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_items {
@@ -180,7 +198,7 @@ macro_rules! proptest {
 pub mod prelude {
     /// Alias so `prop::collection::vec(...)` resolves as in real proptest.
     pub use crate as prop;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
     pub use crate::{ProptestConfig, Strategy};
 }
 
@@ -205,6 +223,14 @@ mod tests {
             prop_assert_eq!(fixed.len(), 7);
             prop_assert!((3..6).contains(&ranged.len()));
             prop_assert_ne!(ranged.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assumptions_skip_cases(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
         }
     }
 
