@@ -62,7 +62,8 @@ fn bench_e6(c: &mut Criterion) {
         )
         .expect("characterizer training");
         let envelope =
-            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0);
+            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0)
+                .expect("envelope from training activations");
         let problem =
             VerificationProblem::new(outcome.perception.clone(), cut, characterizer, risk.clone())
                 .expect("problem assembly");

@@ -128,7 +128,8 @@ fn bench_e7(c: &mut Criterion) {
         )
         .expect("characterizer training");
         let envelope =
-            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, margin);
+            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, margin)
+                .expect("envelope from training activations");
         let (_, tail) = outcome.perception.split_at(cut).expect("split");
         // Structural encoding (vacuous risk) to measure the integrality gap
         // of the reachable-minimum objective.
@@ -174,7 +175,8 @@ fn bench_e7(c: &mut Criterion) {
     {
         let cut = outcome.cut_layer;
         let envelope =
-            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0);
+            ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, 0.0)
+                .expect("envelope from training activations");
         let (_, tail) = outcome.perception.split_at(cut).expect("split");
         let encoded = encode_verification(
             tail.layers(),

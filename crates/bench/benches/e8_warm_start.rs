@@ -81,7 +81,8 @@ fn bench_e8(c: &mut Criterion) {
     )
     .expect("characterizer training");
     let envelope =
-        ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, margin);
+        ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, margin)
+            .expect("envelope from training activations");
     let (_, tail) = outcome.perception.split_at(cut).expect("split");
     let encoded = encode_verification(
         tail.layers(),

@@ -36,7 +36,9 @@ fn bench_workflow(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("envelope_construction", |b| {
-        b.iter(|| ActivationEnvelope::from_activations(outcome.cut_layer, &activations, 0.0))
+        b.iter(|| {
+            ActivationEnvelope::from_activations(outcome.cut_layer, &activations, 0.0).unwrap()
+        })
     });
 
     let e1 = &outcome.experiments[0];

@@ -496,6 +496,14 @@ impl EncodingTemplate {
         &self.root_box
     }
 
+    /// The skeleton itself — the problem encoded at the root region.
+    /// Instantiating the template at its own root only re-derives these
+    /// exact bounds, so callers solving the *root* obligation (e.g. one
+    /// whole envelope shard) can use this directly and skip the clone.
+    pub(crate) fn root_problem(&self) -> &EncodedProblem {
+        &self.skeleton
+    }
+
     /// Whether `region` can be instantiated from this template: the region
     /// kind must match the root's (a box template has no difference rows to
     /// re-tighten; an octagon template would silently impose its root

@@ -56,6 +56,9 @@ impl From<dpv_monitor::MonitorError> for CoreError {
         match value {
             dpv_monitor::MonitorError::Mismatch(msg) => CoreError::Inconsistent(msg),
             dpv_monitor::MonitorError::MalformedLog(msg) => CoreError::Data(msg),
+            dpv_monitor::MonitorError::EmptyActivations => {
+                CoreError::Data("cannot build an envelope from zero activations".into())
+            }
         }
     }
 }

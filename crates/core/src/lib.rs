@@ -43,6 +43,7 @@ mod characterizer;
 mod encode;
 mod error;
 mod refine;
+mod shard_verify;
 mod spec;
 mod statistical;
 mod verify;
@@ -52,6 +53,7 @@ pub use characterizer::{Characterizer, CharacterizerConfig};
 pub use encode::{encode_verification, EncodedProblem, EncodingTemplate, StartRegion};
 pub use error::CoreError;
 pub use refine::{ParallelRefinementConfig, RefinedVerdict, RefinementReport, RefinementVerifier};
+pub use shard_verify::{ShardObligation, ShardedVerificationConfig, ShardedVerificationReport};
 pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
 pub use statistical::{ConfusionTable, StatisticalAnalysis};
 pub use verify::{

@@ -397,6 +397,26 @@ impl VerificationProblem {
         Ok(ProblemTemplate { encoding, tail })
     }
 
+    /// Solves the template's **root** obligation directly on the cached
+    /// skeleton — instantiating a template at its own root is a semantic
+    /// no-op, so this skips the clone-and-retighten entirely. Returns the
+    /// verdict, the solution and the skeleton's binary/stable counts.
+    pub(crate) fn run_solver_on_template_root(
+        &self,
+        template: &ProblemTemplate,
+        backend: &dyn SolverBackend,
+    ) -> (Verdict, MilpSolution, usize, usize) {
+        let encoded = template.encoding.root_problem();
+        let solution = backend.solve(&encoded.milp);
+        let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);
+        (
+            verdict,
+            solution,
+            encoded.num_binaries,
+            encoded.stable_relus,
+        )
+    }
+
     /// [`VerificationProblem::run_solver`] through a [`ProblemTemplate`]:
     /// the skeleton is re-tightened into `scratch` (allocated on first use,
     /// reused afterwards) instead of re-encoding the whole MILP. Falls back
@@ -594,7 +614,7 @@ mod tests {
         examples: &[(Vector, bool)],
     ) -> (ActivationEnvelope, f64) {
         let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
-        let envelope = ActivationEnvelope::from_inputs(perception, 3, &inputs, 0.0);
+        let envelope = ActivationEnvelope::from_inputs(perception, 3, &inputs, 0.0).unwrap();
         let (_, tail) = perception.split_at(3).unwrap();
         let out_box = envelope.box_only().propagate(tail.layers());
         let lower = out_box.to_box()[0].lo;
@@ -649,7 +669,7 @@ mod tests {
         let risk = RiskCondition::new("positive output").output_ge(0, 0.2);
         let problem = VerificationProblem::new(perception.clone(), 3, characterizer, risk).unwrap();
         let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
-        let envelope = ActivationEnvelope::from_inputs(&perception, 3, &inputs, 0.0);
+        let envelope = ActivationEnvelope::from_inputs(&perception, 3, &inputs, 0.0).unwrap();
         let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
             envelope,
             use_difference_constraints: true,
@@ -701,7 +721,7 @@ mod tests {
         let (perception, characterizer, examples) = setup(4);
         let inputs: Vec<Vector> = examples.iter().map(|(x, _)| x.clone()).collect();
         // Envelope built at the wrong layer.
-        let envelope = ActivationEnvelope::from_inputs(&perception, 1, &inputs, 0.0);
+        let envelope = ActivationEnvelope::from_inputs(&perception, 1, &inputs, 0.0).unwrap();
         let risk = RiskCondition::new("r").output_le(0, -0.5);
         let problem = VerificationProblem::new(perception, 3, characterizer, risk).unwrap();
         let strategy = VerificationStrategy::AssumeGuarantee(AssumeGuarantee {

@@ -18,14 +18,15 @@ use dpv_nn::{
 use dpv_scenegen::{
     affordance, render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind, SceneConfig,
 };
+use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
 use dpv_tensor::Vector;
 
 use dpv_absint::AbstractDomain;
 
 use crate::{
     AssumeGuarantee, Characterizer, CharacterizerConfig, CoreError, DomainKind, InputProperty,
-    RiskCondition, StatisticalAnalysis, VerificationOutcome, VerificationProblem,
-    VerificationStrategy,
+    RiskCondition, ShardedVerificationConfig, ShardedVerificationReport, StatisticalAnalysis,
+    VerificationOutcome, VerificationProblem, VerificationStrategy,
 };
 
 /// Configuration of the end-to-end workflow.
@@ -49,6 +50,14 @@ pub struct WorkflowConfig {
     pub cut_layer: usize,
     /// Widening margin applied to the activation envelope.
     pub envelope_margin: f64,
+    /// Number of envelope shards (k-means clusters over the cut-layer
+    /// activations). With a value above one the workflow additionally
+    /// builds a [`dpv_shard::ShardedEnvelope`], verifies the E1 risk per
+    /// shard through [`VerificationProblem::verify_sharded_with`] and
+    /// measures the sharded monitor against the monolithic one (see
+    /// [`WorkflowOutcome::sharded`]); with one — the default — the sharded
+    /// stage is skipped and the workflow behaves exactly as before.
+    pub envelope_shards: usize,
     /// Worker threads for the MILP solves of the verification stages. With a
     /// value above one, [`Workflow::new`] picks the parallel branch-and-bound
     /// backend ([`dpv_lp::ParallelBranchAndBoundBackend`]); with one it keeps
@@ -72,6 +81,7 @@ impl WorkflowConfig {
             characterizer: CharacterizerConfig::small(),
             cut_layer: 6,
             envelope_margin: 0.0,
+            envelope_shards: 1,
             solver_workers: 1,
             seed: 42,
         }
@@ -106,6 +116,22 @@ pub struct ExperimentResult {
     pub outcomes: Vec<VerificationOutcome>,
 }
 
+/// Artefacts of the sharded-envelope stage (only produced when
+/// [`WorkflowConfig::envelope_shards`] exceeds one).
+#[derive(Debug, Clone)]
+pub struct ShardedArtifacts {
+    /// The per-cluster envelopes over the training activations.
+    pub envelope: ShardedEnvelope,
+    /// Per-shard verification of the E1 risk condition.
+    pub verification: ShardedVerificationReport,
+    /// Fraction of held-out in-ODD frames accepted by the *sharded*
+    /// monitor (never above the monolithic rate: the union is tighter).
+    pub monitor_in_odd_rate: f64,
+    /// Fraction of out-of-ODD frames flagged by the sharded monitor (never
+    /// below the monolithic rate).
+    pub monitor_out_of_odd_detection: f64,
+}
+
 /// Everything a workflow run produces.
 #[derive(Debug, Clone)]
 pub struct WorkflowOutcome {
@@ -129,6 +155,8 @@ pub struct WorkflowOutcome {
     pub monitor_in_odd_rate: f64,
     /// Fraction of out-of-ODD frames flagged by the runtime monitor.
     pub monitor_out_of_odd_detection: f64,
+    /// Sharded-envelope artefacts, when `envelope_shards > 1`.
+    pub sharded: Option<ShardedArtifacts>,
 }
 
 impl WorkflowOutcome {
@@ -178,6 +206,23 @@ impl WorkflowOutcome {
             "  in-ODD acceptance:        {:.3}\n  out-of-ODD detection:     {:.3}\n",
             self.monitor_in_odd_rate, self.monitor_out_of_odd_detection
         ));
+
+        if let Some(sharded) = &self.sharded {
+            out.push_str(&format!(
+                "\n-- Sharded envelope ({} shards) --\n",
+                sharded.envelope.shard_count()
+            ));
+            out.push_str(&format!(
+                "  E1 per-shard: {}\n",
+                sharded.verification.summary()
+            ));
+            out.push_str(&format!(
+                "  in-ODD acceptance:        {:.3}\n  out-of-ODD detection:     {:.3} (monolithic {:.3})\n",
+                sharded.monitor_in_odd_rate,
+                sharded.monitor_out_of_odd_detection,
+                self.monitor_out_of_odd_detection
+            ));
+        }
         out
     }
 }
@@ -316,7 +361,7 @@ impl Workflow {
             cut_layer,
             &bundle.images,
             cfg.envelope_margin,
-        );
+        )?;
 
         // 5. Verification experiments.
         let (_, tail) = perception
@@ -403,27 +448,72 @@ impl Workflow {
         let statistical =
             StatisticalAnalysis::estimate(&perception, &bend_characterizer, &e1_risk, &validation)?;
 
-        // 7. Runtime monitor coverage on in-ODD and out-of-ODD frames.
+        // 7. Runtime monitor coverage on in-ODD and out-of-ODD frames. The
+        //    frames are rendered up front (in the historical RNG order) so
+        //    the sharded monitor below scores the exact same frames.
         let monitor = RuntimeMonitor::new(perception.clone(), cut_layer, envelope.clone())?;
         let sampler = OddSampler::new(cfg.scene);
         let mut monitor_rng = StdRng::seed_from_u64(cfg.seed ^ 0x77);
-        let mut in_odd_accepted = 0usize;
-        for _ in 0..cfg.validation_samples {
-            let scene = sampler.sample_in_odd(&mut monitor_rng);
-            let image = render_scene(&scene, &cfg.scene);
-            if monitor.check(&image).is_in_odd() {
-                in_odd_accepted += 1;
-            }
-        }
-        let mut out_of_odd_flagged = 0usize;
-        for _ in 0..cfg.validation_samples {
-            let scene = sampler.sample_out_of_odd(&mut monitor_rng);
-            let image = render_scene(&scene, &cfg.scene);
-            if !monitor.check(&image).is_in_odd() {
-                out_of_odd_flagged += 1;
-            }
-        }
+        let in_odd_images: Vec<Vector> = (0..cfg.validation_samples)
+            .map(|_| render_scene(&sampler.sample_in_odd(&mut monitor_rng), &cfg.scene))
+            .collect();
+        let out_of_odd_images: Vec<Vector> = (0..cfg.validation_samples)
+            .map(|_| render_scene(&sampler.sample_out_of_odd(&mut monitor_rng), &cfg.scene))
+            .collect();
+        let in_odd_accepted = in_odd_images
+            .iter()
+            .filter(|image| monitor.check(image).is_in_odd())
+            .count();
+        let out_of_odd_flagged = out_of_odd_images
+            .iter()
+            .filter(|image| !monitor.check(image).is_in_odd())
+            .count();
         let n = cfg.validation_samples.max(1) as f64;
+
+        // 8. Sharded-envelope stage (opt-in via `envelope_shards > 1`):
+        //    k-means shards over the same training activations, per-shard
+        //    verification of the E1 risk, and the sharded monitor scored on
+        //    the same held-out frames as the monolithic one.
+        let sharded = if cfg.envelope_shards > 1 {
+            let sharded_envelope = ShardedEnvelope::from_inputs(
+                &perception,
+                cut_layer,
+                &bundle.images,
+                cfg.envelope_margin,
+                &ShardConfig::fixed(cfg.envelope_shards).with_seed(cfg.seed ^ 0x88),
+            )?;
+            // One shard at a time: with `solver_workers > 1` the workflow's
+            // backend already fans each solve out across that many threads,
+            // so stacking shard-level workers on top would oversubscribe
+            // the host quadratically. Callers wanting shard-level dispatch
+            // with a serial backend use `verify_sharded_with` directly.
+            let verification = e1_problem.verify_sharded_with(
+                &sharded_envelope,
+                &ShardedVerificationConfig {
+                    use_difference_constraints: true,
+                    workers: 1,
+                },
+                self.backend.as_ref(),
+            )?;
+            let sharded_monitor =
+                ShardedMonitor::new(perception.clone(), cut_layer, sharded_envelope.clone())?;
+            let sharded_accepted = in_odd_images
+                .iter()
+                .filter(|image| sharded_monitor.check(image).is_in_odd())
+                .count();
+            let sharded_flagged = out_of_odd_images
+                .iter()
+                .filter(|image| !sharded_monitor.check(image).is_in_odd())
+                .count();
+            Some(ShardedArtifacts {
+                envelope: sharded_envelope,
+                verification,
+                monitor_in_odd_rate: sharded_accepted as f64 / n,
+                monitor_out_of_odd_detection: sharded_flagged as f64 / n,
+            })
+        } else {
+            None
+        };
 
         Ok(WorkflowOutcome {
             perception,
@@ -436,6 +526,7 @@ impl Workflow {
             statistical,
             monitor_in_odd_rate: in_odd_accepted as f64 / n,
             monitor_out_of_odd_detection: out_of_odd_flagged as f64 / n,
+            sharded,
         })
     }
 
@@ -543,6 +634,47 @@ mod tests {
             }
             other => panic!("expected E2 to be unprovable, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn envelope_shards_stage_is_skipped_by_default() {
+        let outcome = Workflow::new(tiny_config()).run().unwrap();
+        assert!(outcome.sharded.is_none());
+        assert!(!outcome.report().contains("Sharded envelope"));
+    }
+
+    #[test]
+    fn sharded_stage_produces_consistent_artifacts() {
+        let outcome = Workflow::new(WorkflowConfig {
+            envelope_shards: 3,
+            ..tiny_config()
+        })
+        .run()
+        .unwrap();
+        let sharded = outcome.sharded.as_ref().expect("sharded stage requested");
+        assert!(sharded.envelope.shard_count() >= 2);
+        assert_eq!(
+            sharded.verification.shards.len(),
+            sharded.envelope.shard_count()
+        );
+        // The per-shard E1 verdict agrees with the monolithic
+        // assume-guarantee outcome (shards are subsets of the envelope, so
+        // a monolithic Safe stays Safe per shard).
+        let monolithic_e1 = outcome.experiments[0].outcomes.last().unwrap();
+        if monolithic_e1.verdict.is_safe() {
+            assert!(
+                sharded.verification.verdict.is_safe(),
+                "{}",
+                sharded.verification.summary()
+            );
+        }
+        // The shard union is tighter than the single octagon: acceptance
+        // can only drop, detection can only rise (same frames scored).
+        assert!(sharded.monitor_in_odd_rate <= outcome.monitor_in_odd_rate);
+        assert!(sharded.monitor_out_of_odd_detection >= outcome.monitor_out_of_odd_detection);
+        let report = outcome.report();
+        assert!(report.contains("Sharded envelope"));
+        assert!(report.contains("E1 per-shard"));
     }
 
     #[test]

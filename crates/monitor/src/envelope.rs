@@ -6,6 +6,8 @@ use dpv_absint::{BoxDomain, Interval, OctagonLite};
 use dpv_nn::Network;
 use dpv_tensor::Vector;
 
+use crate::{MonitorError, Violation, ViolationKind};
+
 /// An over-approximation of the layer-`l` activations observed on a data
 /// set: per-neuron `[min, max]` plus `[min, max]` of every adjacent-neuron
 /// difference, optionally widened by a margin.
@@ -26,35 +28,44 @@ impl ActivationEnvelope {
     /// Builds an envelope from already-computed activation vectors at the
     /// cut layer.
     ///
-    /// # Panics
-    /// Panics when `activations` is empty.
-    pub fn from_activations(layer: usize, activations: &[Vector], margin: f64) -> Self {
-        assert!(
-            !activations.is_empty(),
-            "cannot build an envelope from zero activations"
-        );
+    /// # Errors
+    /// Returns [`MonitorError::EmptyActivations`] when `activations` is
+    /// empty — an envelope is the hull of observed data, so zero samples
+    /// leave nothing to build.
+    pub fn from_activations(
+        layer: usize,
+        activations: &[Vector],
+        margin: f64,
+    ) -> Result<Self, MonitorError> {
+        if activations.is_empty() {
+            return Err(MonitorError::EmptyActivations);
+        }
         let mut octagon = OctagonLite::from_samples(activations);
         if margin > 0.0 {
             octagon.widen(margin);
         }
-        Self {
+        Ok(Self {
             layer,
             octagon,
             samples: activations.len(),
             margin,
-        }
+        })
     }
 
     /// Runs every input through `network` up to layer `layer` (zero-based)
     /// and builds the envelope of the resulting activations.
     ///
+    /// # Errors
+    /// Returns [`MonitorError::EmptyActivations`] when `inputs` is empty.
+    ///
     /// # Panics
-    /// Panics when `inputs` is empty or `layer` is out of range.
-    pub fn from_inputs(network: &Network, layer: usize, inputs: &[Vector], margin: f64) -> Self {
-        assert!(
-            !inputs.is_empty(),
-            "cannot build an envelope from zero inputs"
-        );
+    /// Panics when `layer` is out of range for the network.
+    pub fn from_inputs(
+        network: &Network,
+        layer: usize,
+        inputs: &[Vector],
+        margin: f64,
+    ) -> Result<Self, MonitorError> {
         let activations: Vec<Vector> = inputs
             .iter()
             .map(|x| network.activation_at(layer, x))
@@ -151,6 +162,39 @@ impl ActivationEnvelope {
         }
     }
 
+    /// Every constraint of the envelope the activation violates (empty iff
+    /// [`ActivationEnvelope::contains`] holds at the same tolerance). This
+    /// is the single source of the violation diagnostics reported by
+    /// [`crate::RuntimeMonitor`] and by the sharded monitor in `dpv-shard`.
+    pub fn violations(&self, activation: &Vector, tol: f64) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        for (i, interval) in self.neuron_bounds().iter().enumerate() {
+            let v = activation[i];
+            if !interval.contains(v, tol) {
+                violations.push(Violation {
+                    kind: ViolationKind::NeuronBound,
+                    index: i,
+                    value: v,
+                    lower: interval.lo,
+                    upper: interval.hi,
+                });
+            }
+        }
+        for (i, interval) in self.diff_bounds().iter().enumerate() {
+            let d = activation[i + 1] - activation[i];
+            if !interval.contains(d, tol) {
+                violations.push(Violation {
+                    kind: ViolationKind::AdjacentDifference,
+                    index: i,
+                    value: d,
+                    lower: interval.lo,
+                    upper: interval.hi,
+                });
+            }
+        }
+        violations
+    }
+
     /// Fraction of a set of activations that falls inside the envelope —
     /// the coverage statistic reported in the experiments.
     pub fn coverage(&self, activations: &[Vector], tol: f64) -> f64 {
@@ -179,7 +223,7 @@ mod tests {
     #[test]
     fn envelope_contains_every_training_activation() {
         let acts = samples(100, 5, 1);
-        let env = ActivationEnvelope::from_activations(3, &acts, 0.0);
+        let env = ActivationEnvelope::from_activations(3, &acts, 0.0).unwrap();
         assert_eq!(env.layer(), 3);
         assert_eq!(env.sample_count(), 100);
         assert_eq!(env.dim(), 5);
@@ -197,9 +241,9 @@ mod tests {
             .dense(2, &mut rng)
             .build();
         let inputs = samples(30, 3, 3);
-        let env = ActivationEnvelope::from_inputs(&net, 1, &inputs, 0.0);
+        let env = ActivationEnvelope::from_inputs(&net, 1, &inputs, 0.0).unwrap();
         let manual: Vec<Vector> = inputs.iter().map(|x| net.activation_at(1, x)).collect();
-        let manual_env = ActivationEnvelope::from_activations(1, &manual, 0.0);
+        let manual_env = ActivationEnvelope::from_activations(1, &manual, 0.0).unwrap();
         assert_eq!(env.neuron_bounds(), manual_env.neuron_bounds());
         assert_eq!(env.diff_bounds(), manual_env.diff_bounds());
     }
@@ -210,8 +254,8 @@ mod tests {
             Vector::from_slice(&[0.0, 1.0]),
             Vector::from_slice(&[0.5, 0.5]),
         ];
-        let tight = ActivationEnvelope::from_activations(0, &acts, 0.0);
-        let wide = ActivationEnvelope::from_activations(0, &acts, 0.2);
+        let tight = ActivationEnvelope::from_activations(0, &acts, 0.0).unwrap();
+        let wide = ActivationEnvelope::from_activations(0, &acts, 0.2).unwrap();
         assert!(!tight.contains(&Vector::from_slice(&[0.6, 0.6]), 0.0));
         assert!(wide.contains(&Vector::from_slice(&[0.6, 0.6]), 0.0));
         assert_eq!(wide.margin(), 0.2);
@@ -226,7 +270,7 @@ mod tests {
                 Vector::from_slice(&[base, base + 1.0])
             })
             .collect();
-        let env = ActivationEnvelope::from_activations(0, &acts, 0.0);
+        let env = ActivationEnvelope::from_activations(0, &acts, 0.0).unwrap();
         let corner = Vector::from_slice(&[0.0, 2.9]);
         assert!(env.box_contains(&corner, 1e-9));
         assert!(!env.contains(&corner, 1e-9));
@@ -234,8 +278,8 @@ mod tests {
 
     #[test]
     fn merge_unions_the_ranges() {
-        let a = ActivationEnvelope::from_activations(2, &samples(20, 3, 5), 0.0);
-        let b = ActivationEnvelope::from_activations(2, &samples(20, 3, 6), 0.0);
+        let a = ActivationEnvelope::from_activations(2, &samples(20, 3, 5), 0.0).unwrap();
+        let b = ActivationEnvelope::from_activations(2, &samples(20, 3, 6), 0.0).unwrap();
         let merged = a.merge(&b);
         assert_eq!(merged.sample_count(), 40);
         for s in samples(20, 3, 5).iter().chain(samples(20, 3, 6).iter()) {
@@ -246,7 +290,7 @@ mod tests {
     #[test]
     fn coverage_statistics() {
         let acts = samples(50, 4, 7);
-        let env = ActivationEnvelope::from_activations(0, &acts, 0.0);
+        let env = ActivationEnvelope::from_activations(0, &acts, 0.0).unwrap();
         assert_eq!(env.coverage(&acts, 1e-12), 1.0);
         let far: Vec<Vector> = (0..10).map(|_| Vector::filled(4, 100.0)).collect();
         assert_eq!(env.coverage(&far, 1e-12), 0.0);
@@ -254,8 +298,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero activations")]
-    fn empty_activation_list_panics() {
-        let _ = ActivationEnvelope::from_activations(0, &[], 0.0);
+    fn empty_activation_list_is_an_error_not_a_panic() {
+        assert_eq!(
+            ActivationEnvelope::from_activations(0, &[], 0.0),
+            Err(MonitorError::EmptyActivations)
+        );
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = NetworkBuilder::new(2).dense(2, &mut rng).build();
+        assert_eq!(
+            ActivationEnvelope::from_inputs(&net, 0, &[], 0.0),
+            Err(MonitorError::EmptyActivations)
+        );
     }
 }

@@ -10,6 +10,9 @@ pub enum MonitorError {
     Mismatch(String),
     /// A persisted activation log could not be decoded.
     MalformedLog(String),
+    /// An envelope was requested over zero activation samples; an envelope is
+    /// the hull of observed data, so there is nothing to build it from.
+    EmptyActivations,
 }
 
 impl fmt::Display for MonitorError {
@@ -17,6 +20,9 @@ impl fmt::Display for MonitorError {
         match self {
             MonitorError::Mismatch(msg) => write!(f, "monitor mismatch: {msg}"),
             MonitorError::MalformedLog(msg) => write!(f, "malformed activation log: {msg}"),
+            MonitorError::EmptyActivations => {
+                write!(f, "cannot build an envelope from zero activations")
+            }
         }
     }
 }
@@ -35,5 +41,8 @@ mod tests {
         assert!(MonitorError::MalformedLog("short".into())
             .to_string()
             .contains("short"));
+        assert!(MonitorError::EmptyActivations
+            .to_string()
+            .contains("zero activations"));
     }
 }

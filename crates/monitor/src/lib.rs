@@ -23,6 +23,22 @@
 //!   (little-endian `f64`s framed per record) so ODD evidence can be
 //!   persisted and replayed cheaply.
 //!
+//! ## Sharded monitoring
+//!
+//! The `dpv-shard` crate partitions the training activations into k-means
+//! clusters and builds one [`ActivationEnvelope`] per cluster (a
+//! `ShardedEnvelope`). Its `ShardedMonitor` reuses this crate's verdict
+//! vocabulary ([`MonitorVerdict`], [`Violation`], [`MonitorReport`]) with
+//! **any-shard semantics**: a frame is in ODD iff its activation lies in at
+//! least one shard. Because every shard is a subset of the single envelope
+//! over the same data while the shard *union* still contains every training
+//! activation, the sharded monitor accepts every training frame, flags
+//! everything this crate's [`RuntimeMonitor`] flags, and additionally flags
+//! activations that fall *between* the data's modes — strictly tighter
+//! out-of-ODD detection at the price of up to `k` containment checks per
+//! frame. Out-of-union frames report the violations of the shard whose
+//! centroid is nearest.
+//!
 //! ## Example
 //!
 //! ```
@@ -41,7 +57,7 @@
 //! let samples: Vec<Vector> = (0..50)
 //!     .map(|i| Vector::filled(4, i as f64 / 50.0))
 //!     .collect();
-//! let envelope = ActivationEnvelope::from_inputs(&net, cut, &samples, 0.0);
+//! let envelope = ActivationEnvelope::from_inputs(&net, cut, &samples, 0.0).unwrap();
 //! let monitor = RuntimeMonitor::new(net.clone(), cut, envelope).unwrap();
 //! assert!(monitor.check(&samples[0]).is_in_odd());
 //! ```

@@ -168,33 +168,7 @@ impl RuntimeMonitor {
 
     /// Pure classification without statistics side effects.
     pub fn classify(&self, activation: &Vector) -> MonitorVerdict {
-        let tol = self.tolerance;
-        let mut violations = Vec::new();
-        let bounds = self.envelope.neuron_bounds();
-        for (i, interval) in bounds.iter().enumerate() {
-            let v = activation[i];
-            if !interval.contains(v, tol) {
-                violations.push(Violation {
-                    kind: ViolationKind::NeuronBound,
-                    index: i,
-                    value: v,
-                    lower: interval.lo,
-                    upper: interval.hi,
-                });
-            }
-        }
-        for (i, interval) in self.envelope.diff_bounds().iter().enumerate() {
-            let d = activation[i + 1] - activation[i];
-            if !interval.contains(d, tol) {
-                violations.push(Violation {
-                    kind: ViolationKind::AdjacentDifference,
-                    index: i,
-                    value: d,
-                    lower: interval.lo,
-                    upper: interval.hi,
-                });
-            }
-        }
+        let violations = self.envelope.violations(activation, self.tolerance);
         if violations.is_empty() {
             MonitorVerdict::InOdd
         } else {
@@ -238,7 +212,7 @@ mod tests {
     #[test]
     fn training_inputs_stay_in_odd() {
         let (net, inputs) = setup(1);
-        let env = ActivationEnvelope::from_inputs(&net, 3, &inputs, 0.0);
+        let env = ActivationEnvelope::from_inputs(&net, 3, &inputs, 0.0).unwrap();
         let monitor = RuntimeMonitor::new(net, 3, env).unwrap();
         for x in &inputs {
             assert!(monitor.check(x).is_in_odd());
@@ -254,7 +228,7 @@ mod tests {
         let (net, inputs) = setup(2);
         // Monitor the (pre-ReLU) dense output, which scales linearly with the
         // input, so far-out inputs must escape the envelope.
-        let env = ActivationEnvelope::from_inputs(&net, 0, &inputs, 0.0);
+        let env = ActivationEnvelope::from_inputs(&net, 0, &inputs, 0.0).unwrap();
         let monitor = RuntimeMonitor::new(net, 0, env).unwrap();
         // Inputs far outside the [0,1] pixel range the envelope was built from.
         let mut flagged = 0;
@@ -278,7 +252,7 @@ mod tests {
             Vector::from_slice(&[0.0, 0.0]),
             Vector::from_slice(&[1.0, 1.0]),
         ];
-        let env = ActivationEnvelope::from_activations(0, &acts, 0.0);
+        let env = ActivationEnvelope::from_activations(0, &acts, 0.0).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let net = NetworkBuilder::new(2).dense(2, &mut rng).build();
         let monitor = RuntimeMonitor::new(net, 0, env).unwrap();
@@ -300,7 +274,7 @@ mod tests {
     #[test]
     fn constructor_validates_dimensions() {
         let (net, inputs) = setup(4);
-        let env = ActivationEnvelope::from_inputs(&net, 1, &inputs, 0.0);
+        let env = ActivationEnvelope::from_inputs(&net, 1, &inputs, 0.0).unwrap();
         assert!(RuntimeMonitor::new(net.clone(), 99, env.clone()).is_err());
         assert!(RuntimeMonitor::new(net, 3, env).is_err());
     }
@@ -308,7 +282,7 @@ mod tests {
     #[test]
     fn reset_clears_statistics() {
         let (net, inputs) = setup(5);
-        let env = ActivationEnvelope::from_inputs(&net, 2, &inputs, 0.1);
+        let env = ActivationEnvelope::from_inputs(&net, 2, &inputs, 0.1).unwrap();
         let monitor = RuntimeMonitor::new(net, 2, env).unwrap();
         let _ = monitor.check(&inputs[0]);
         assert_eq!(monitor.report().frames, 1);
@@ -319,7 +293,7 @@ mod tests {
     #[test]
     fn monitor_is_shareable_across_threads() {
         let (net, inputs) = setup(6);
-        let env = ActivationEnvelope::from_inputs(&net, 3, &inputs, 0.0);
+        let env = ActivationEnvelope::from_inputs(&net, 3, &inputs, 0.0).unwrap();
         let monitor = std::sync::Arc::new(RuntimeMonitor::new(net, 3, env).unwrap());
         let handles: Vec<_> = (0..4)
             .map(|_| {

@@ -27,16 +27,49 @@ impl OddSampler {
     /// Samples a scene inside the ODD: curvature, offset, heading, lighting
     /// and noise all within the configured ranges; adjacent traffic present
     /// in roughly a third of the scenes.
+    ///
+    /// With [`SceneConfig::curvature_mix`] above zero, that fraction of the
+    /// samples draws its curvature from a bimodal straight-or-tight-curve
+    /// distribution instead of the uniform range (see
+    /// [`OddSampler::sample_bimodal_curvature`]); at the default `0.0` the
+    /// random stream is identical to the historical uniform sampler.
     pub fn sample_in_odd<R: Rng + ?Sized>(&self, rng: &mut R) -> SceneParams {
         let c = &self.config;
+        // Short-circuit keeps the RNG stream untouched when the knob is off.
+        let curvature = if c.curvature_mix > 0.0 && rng.gen_bool(c.curvature_mix.min(1.0)) {
+            self.sample_bimodal_curvature(rng)
+        } else {
+            rng.gen_range(-c.max_curvature..=c.max_curvature)
+        };
         SceneParams {
-            curvature: rng.gen_range(-c.max_curvature..=c.max_curvature),
+            curvature,
             ego_offset: rng.gen_range(-c.max_ego_offset..=c.max_ego_offset),
             heading_error: rng.gen_range(-c.max_heading_error..=c.max_heading_error),
             lighting: rng.gen_range(c.min_lighting..=1.0),
             noise: rng.gen_range(0.0..=c.max_noise),
             adjacent_traffic: rng.gen_bool(0.35),
             traffic_distance: rng.gen_range(0.0..=1.0),
+        }
+    }
+
+    /// Draws one curvature from the bimodal straight/tight-curve mixture:
+    /// half the draws are straight scenes (|curvature| below
+    /// `straight_threshold`), half are tight curves (|curvature| between
+    /// `strong_bend_threshold` and `max_curvature`, either direction). Both
+    /// modes lie inside the ODD, but they occupy opposite ends of the
+    /// curvature range, so the resulting cut-layer activations cluster —
+    /// the workload the per-cluster envelope sharding is designed for.
+    pub fn sample_bimodal_curvature<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let c = &self.config;
+        if rng.gen_bool(0.5) {
+            rng.gen_range(-c.straight_threshold..=c.straight_threshold)
+        } else {
+            let magnitude = rng.gen_range(c.strong_bend_threshold..=c.max_curvature);
+            if rng.gen_bool(0.5) {
+                magnitude
+            } else {
+                -magnitude
+            }
         }
     }
 
@@ -153,5 +186,79 @@ mod tests {
         let cfg = SceneConfig::medium();
         let sampler = OddSampler::new(cfg);
         assert_eq!(sampler.config(), &cfg);
+    }
+
+    #[test]
+    fn zero_curvature_mix_reproduces_the_uniform_stream() {
+        let uniform = OddSampler::new(SceneConfig::small());
+        let explicit = OddSampler::new(SceneConfig {
+            curvature_mix: 0.0,
+            ..SceneConfig::small()
+        });
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(
+                uniform.sample_in_odd(&mut rng_a),
+                explicit.sample_in_odd(&mut rng_b)
+            );
+        }
+    }
+
+    #[test]
+    fn curvature_mix_is_bimodal_and_stays_in_odd() {
+        let cfg = SceneConfig {
+            curvature_mix: 1.0,
+            ..SceneConfig::small()
+        };
+        let sampler = OddSampler::new(cfg);
+        let mut rng = StdRng::seed_from_u64(10);
+        let scenes: Vec<_> = (0..400).map(|_| sampler.sample_in_odd(&mut rng)).collect();
+        let straight = scenes
+            .iter()
+            .filter(|s| s.curvature.abs() <= cfg.straight_threshold)
+            .count();
+        let tight = scenes
+            .iter()
+            .filter(|s| s.curvature.abs() >= cfg.strong_bend_threshold)
+            .count();
+        // Every sample falls in one of the two modes, none in between …
+        assert_eq!(straight + tight, scenes.len());
+        assert!(straight > 100, "straight mode undersampled: {straight}");
+        assert!(tight > 100, "tight-curve mode undersampled: {tight}");
+        // … both curve directions appear, and everything stays in the ODD.
+        assert!(scenes
+            .iter()
+            .any(|s| s.curvature > cfg.strong_bend_threshold));
+        assert!(scenes
+            .iter()
+            .any(|s| s.curvature < -cfg.strong_bend_threshold));
+        for scene in &scenes {
+            assert!(sampler.is_in_odd(scene), "scene left the ODD: {scene:?}");
+        }
+    }
+
+    #[test]
+    fn partial_curvature_mix_keeps_the_uniform_component() {
+        let cfg = SceneConfig {
+            curvature_mix: 0.5,
+            ..SceneConfig::small()
+        };
+        let sampler = OddSampler::new(cfg);
+        let mut rng = StdRng::seed_from_u64(11);
+        let scenes: Vec<_> = (0..400).map(|_| sampler.sample_in_odd(&mut rng)).collect();
+        // Mid-range curvatures (between the two modes) can only come from the
+        // uniform component, which half the draws still use.
+        let mid = scenes
+            .iter()
+            .filter(|s| {
+                s.curvature.abs() > cfg.straight_threshold
+                    && s.curvature.abs() < cfg.strong_bend_threshold
+            })
+            .count();
+        assert!(
+            mid > 40,
+            "uniform component missing: {mid} mid-range scenes"
+        );
     }
 }

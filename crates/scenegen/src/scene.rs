@@ -103,6 +103,14 @@ pub struct SceneConfig {
     pub straight_threshold: f64,
     /// Look-ahead distance (in image heights) at which the next waypoint is placed.
     pub lookahead: f64,
+    /// Fraction of in-ODD samples drawn from a deliberately *bimodal*
+    /// curvature distribution (half straight scenes with |curvature| below
+    /// `straight_threshold`, half tight curves with |curvature| above
+    /// `strong_bend_threshold`) instead of the uniform range. `0.0` — the
+    /// default — reproduces the uniform sampler bit for bit; values near
+    /// `1.0` give the clustered straight-vs-curve workload the envelope
+    /// sharding experiments need. Both modes stay inside the ODD.
+    pub curvature_mix: f64,
 }
 
 impl SceneConfig {
@@ -120,6 +128,7 @@ impl SceneConfig {
             strong_bend_threshold: 0.5,
             straight_threshold: 0.15,
             lookahead: 1.0,
+            curvature_mix: 0.0,
         }
     }
 

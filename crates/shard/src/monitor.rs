@@ -1,0 +1,259 @@
+//! The sharded runtime monitor: containment in **any** shard counts as
+//! in-ODD.
+
+use parking_lot::Mutex;
+
+use dpv_monitor::{MonitorError, MonitorReport, MonitorVerdict};
+use dpv_nn::Network;
+use dpv_tensor::Vector;
+
+use crate::ShardedEnvelope;
+
+/// The sharded counterpart of [`dpv_monitor::RuntimeMonitor`]: evaluates
+/// the perception network up to the cut layer and checks the activation
+/// against a [`ShardedEnvelope`].
+///
+/// Semantics: a frame is **in ODD** iff its activation lies inside *at
+/// least one* shard. Because the shard union is a subset of the monolithic
+/// envelope over the same data, the sharded monitor accepts everything only
+/// a tighter region would — it can only *raise* out-of-ODD detection
+/// relative to the single-octagon monitor, never lower it, while still
+/// accepting every training-set activation (each one lies in its own
+/// cluster's shard by construction).
+///
+/// When a frame is out of every shard, the reported violations are those of
+/// the shard whose centroid is nearest to the activation — the cluster the
+/// frame "should" have belonged to — so the diagnostics stay as actionable
+/// as the monolithic monitor's.
+#[derive(Debug)]
+pub struct ShardedMonitor {
+    network: Network,
+    cut_layer: usize,
+    envelope: ShardedEnvelope,
+    tolerance: f64,
+    stats: Mutex<MonitorReport>,
+}
+
+impl ShardedMonitor {
+    /// Creates a sharded monitor for `network`, monitoring the activation
+    /// after `cut_layer` (zero-based) against the shard union.
+    ///
+    /// # Errors
+    /// Returns [`MonitorError::Mismatch`] when the cut layer is out of range
+    /// or the envelope dimension does not match the network's activation
+    /// dimension at that layer — the same contract as
+    /// [`dpv_monitor::RuntimeMonitor::new`].
+    pub fn new(
+        network: Network,
+        cut_layer: usize,
+        envelope: ShardedEnvelope,
+    ) -> Result<Self, MonitorError> {
+        if cut_layer >= network.len() {
+            return Err(MonitorError::Mismatch(format!(
+                "cut layer {cut_layer} out of range for a network with {} layers",
+                network.len()
+            )));
+        }
+        let dim = network.layer_output_dim(cut_layer);
+        if dim != envelope.dim() {
+            return Err(MonitorError::Mismatch(format!(
+                "sharded envelope dimension {} does not match layer dimension {dim}",
+                envelope.dim()
+            )));
+        }
+        Ok(Self {
+            network,
+            cut_layer,
+            envelope,
+            tolerance: 1e-9,
+            stats: Mutex::new(MonitorReport::default()),
+        })
+    }
+
+    /// The monitored cut layer.
+    pub fn cut_layer(&self) -> usize {
+        self.cut_layer
+    }
+
+    /// The shard union being enforced.
+    pub fn envelope(&self) -> &ShardedEnvelope {
+        &self.envelope
+    }
+
+    /// Sets the numerical tolerance used for containment checks.
+    pub fn set_tolerance(&mut self, tolerance: f64) {
+        self.tolerance = tolerance.max(0.0);
+    }
+
+    /// Computes the monitored activation for an input image.
+    pub fn activation(&self, input: &Vector) -> Vector {
+        self.network.activation_at(self.cut_layer, input)
+    }
+
+    /// Checks one input frame end to end (forward pass to the cut layer
+    /// plus shard-union containment) and updates the statistics.
+    pub fn check(&self, input: &Vector) -> MonitorVerdict {
+        let activation = self.activation(input);
+        self.check_activation(&activation)
+    }
+
+    /// Checks an already-computed activation against the shard union and
+    /// updates the statistics.
+    pub fn check_activation(&self, activation: &Vector) -> MonitorVerdict {
+        let verdict = self.classify(activation);
+        let mut stats = self.stats.lock();
+        stats.frames += 1;
+        match &verdict {
+            MonitorVerdict::InOdd => stats.in_odd += 1,
+            MonitorVerdict::OutOfOdd { .. } => stats.out_of_odd += 1,
+        }
+        verdict
+    }
+
+    /// Pure classification without statistics side effects: in ODD iff the
+    /// activation lies in any shard; otherwise the violations of the
+    /// nearest shard (by centroid) are reported.
+    pub fn classify(&self, activation: &Vector) -> MonitorVerdict {
+        if self.envelope.contains(activation, self.tolerance) {
+            return MonitorVerdict::InOdd;
+        }
+        let nearest = self.envelope.nearest_shard(activation);
+        MonitorVerdict::OutOfOdd {
+            violations: self
+                .envelope
+                .shard(nearest)
+                .violations(activation, self.tolerance),
+        }
+    }
+
+    /// Snapshot of the cumulative statistics.
+    pub fn report(&self) -> MonitorReport {
+        *self.stats.lock()
+    }
+
+    /// Resets the cumulative statistics.
+    pub fn reset(&self) {
+        *self.stats.lock() = MonitorReport::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShardConfig;
+    use dpv_monitor::RuntimeMonitor;
+    use dpv_nn::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A network plus deliberately bimodal inputs (two input blobs).
+    fn setup(seed: u64) -> (Network, Vec<Vector>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new(4)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(3, &mut rng)
+            .build();
+        let inputs: Vec<Vector> = (0..80)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 2.0 };
+                Vector::from_vec((0..4).map(|_| base + rng.gen_range(0.0..0.3)).collect())
+            })
+            .collect();
+        (net, inputs)
+    }
+
+    #[test]
+    fn training_inputs_are_never_rejected() {
+        let (net, inputs) = setup(1);
+        let envelope =
+            ShardedEnvelope::from_inputs(&net, 1, &inputs, 0.0, &ShardConfig::fixed(4)).unwrap();
+        let monitor = ShardedMonitor::new(net, 1, envelope).unwrap();
+        for x in &inputs {
+            assert!(monitor.check(x).is_in_odd());
+        }
+        let report = monitor.report();
+        assert_eq!(report.frames, inputs.len());
+        assert_eq!(report.out_of_odd, 0);
+    }
+
+    #[test]
+    fn sharded_detection_dominates_the_monolithic_monitor() {
+        let (net, inputs) = setup(2);
+        let sharded_env =
+            ShardedEnvelope::from_inputs(&net, 0, &inputs, 0.0, &ShardConfig::fixed(4)).unwrap();
+        let mono_env = sharded_env.merged();
+        let sharded = ShardedMonitor::new(net.clone(), 0, sharded_env).unwrap();
+        let monolithic = RuntimeMonitor::new(net, 0, mono_env).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sharded_flags = 0usize;
+        let mut mono_flags = 0usize;
+        for _ in 0..200 {
+            // Probes across and beyond the two input modes.
+            let x = Vector::from_vec((0..4).map(|_| rng.gen_range(-1.0..3.5)).collect());
+            let sharded_out = !sharded.check(&x).is_in_odd();
+            let mono_out = !monolithic.check(&x).is_in_odd();
+            sharded_flags += usize::from(sharded_out);
+            mono_flags += usize::from(mono_out);
+            // Union ⊆ monolithic envelope: anything the single octagon
+            // flags, the shards flag too.
+            if mono_out {
+                assert!(sharded_out, "sharded monitor missed a monolithic flag");
+            }
+        }
+        assert!(
+            sharded_flags > mono_flags,
+            "sharding should tighten detection: {sharded_flags} vs {mono_flags}"
+        );
+    }
+
+    #[test]
+    fn out_of_odd_verdicts_carry_nearest_shard_violations() {
+        let (net, inputs) = setup(3);
+        let envelope =
+            ShardedEnvelope::from_inputs(&net, 1, &inputs, 0.0, &ShardConfig::fixed(2)).unwrap();
+        let monitor = ShardedMonitor::new(net, 1, envelope).unwrap();
+        let far = Vector::filled(monitor.envelope().dim(), 1e3);
+        match monitor.classify(&far) {
+            MonitorVerdict::OutOfOdd { violations } => {
+                assert!(!violations.is_empty());
+                assert!(violations.iter().all(|v| v.lower <= v.upper));
+            }
+            MonitorVerdict::InOdd => panic!("extreme activation accepted"),
+        }
+    }
+
+    #[test]
+    fn constructor_validates_dimensions() {
+        let (net, inputs) = setup(4);
+        let envelope =
+            ShardedEnvelope::from_inputs(&net, 1, &inputs, 0.0, &ShardConfig::fixed(2)).unwrap();
+        assert!(ShardedMonitor::new(net.clone(), 99, envelope.clone()).is_err());
+        assert!(ShardedMonitor::new(net, 2, envelope).is_err());
+    }
+
+    #[test]
+    fn reset_clears_statistics_and_monitor_is_shareable() {
+        let (net, inputs) = setup(5);
+        let envelope =
+            ShardedEnvelope::from_inputs(&net, 1, &inputs, 0.1, &ShardConfig::fixed(3)).unwrap();
+        let monitor = std::sync::Arc::new(ShardedMonitor::new(net, 1, envelope).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = monitor.clone();
+                let xs = inputs.clone();
+                std::thread::spawn(move || {
+                    for x in &xs {
+                        let _ = m.check(x);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(monitor.report().frames, 4 * inputs.len());
+        monitor.reset();
+        assert_eq!(monitor.report().frames, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the sharded-envelope invariants: whatever the
+//! data distribution, the cluster count or the margin, the shard union must
+//! contain every training activation (the soundness the assume-guarantee
+//! argument rests on), and every shard must stay inside the monolithic
+//! envelope (so sharded monitoring only tightens detection).
+
+use dpv_monitor::ActivationEnvelope;
+use dpv_shard::{kmeans, KMeansConfig, ShardConfig, ShardedEnvelope};
+use dpv_tensor::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random activation sets with `modes` Gaussian-ish blobs in `dim`
+/// dimensions — the multi-modal shape envelope sharding targets.
+fn random_activations(seed: u64, n: usize, dim: usize, modes: usize) -> Vec<Vector> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centres: Vec<Vec<f64>> = (0..modes)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let centre = &centres[i % modes];
+            Vector::from_vec(
+                centre
+                    .iter()
+                    .map(|c| c + rng.gen_range(-0.5..0.5))
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness vs. the monolithic envelope: every activation the single
+    /// envelope was built from lies in the shard union, for any k.
+    #[test]
+    fn sharded_union_contains_every_training_activation(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let n = rng.gen_range(5usize..80);
+        let dim = rng.gen_range(1usize..6);
+        let modes = rng.gen_range(1usize..4);
+        let k = rng.gen_range(1usize..8);
+        let margin = if rng.gen_bool(0.5) { 0.0 } else { 0.1 };
+        let activations = random_activations(seed, n, dim, modes);
+
+        let config = ShardConfig::fixed(k).with_seed(seed ^ 0xc105_7e28);
+        let sharded =
+            ShardedEnvelope::from_activations(2, &activations, margin, &config).unwrap();
+        prop_assert!(sharded.shard_count() >= 1 && sharded.shard_count() <= k.min(n));
+        for a in &activations {
+            prop_assert!(
+                sharded.contains(a, 1e-9),
+                "activation escaped the shard union (n={n}, dim={dim}, k={k})"
+            );
+        }
+        prop_assert_eq!(
+            sharded.shards().iter().map(|s| s.sample_count()).sum::<usize>(),
+            n
+        );
+
+        // Each shard is a subset of the monolithic envelope (so anything the
+        // monolithic monitor flags, the sharded union flags too).
+        let monolithic =
+            ActivationEnvelope::from_activations(2, &activations, margin).unwrap();
+        for shard in sharded.shards() {
+            for (s, m) in shard.neuron_bounds().iter().zip(monolithic.neuron_bounds()) {
+                prop_assert!(s.lo >= m.lo - 1e-9 && s.hi <= m.hi + 1e-9);
+            }
+        }
+        // Volume sanity: each shard's box fits in the monolithic box, so
+        // the summed ratio is bounded by the shard count — and a single
+        // shard reproduces the monolithic envelope exactly (ratio 1). The
+        // headline "strictly below 1 on multi-modal data" claim is a
+        // workload property, measured by `benches/e9_sharding.rs`.
+        let ratio = sharded.box_volume_ratio(&monolithic);
+        prop_assert!(ratio <= sharded.shard_count() as f64 + 1e-9);
+        if sharded.shard_count() == 1 {
+            prop_assert!((ratio - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// k-means partitions exactly: every sample is assigned, assignments
+    /// index real clusters, and no cluster is empty.
+    #[test]
+    fn kmeans_partitions_the_samples(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x006b_ea95);
+        let n = rng.gen_range(3usize..60);
+        let dim = rng.gen_range(1usize..5);
+        let k = rng.gen_range(1usize..10);
+        let samples = random_activations(seed, n, dim, 2);
+        let clustering = kmeans(&samples, k, &KMeansConfig { seed, ..Default::default() });
+        prop_assert_eq!(clustering.assignments.len(), n);
+        prop_assert!(clustering.k() <= k.min(n));
+        prop_assert!(clustering.assignments.iter().all(|&a| a < clustering.k()));
+        prop_assert!(clustering.cluster_sizes().iter().all(|&s| s > 0));
+        prop_assert!(clustering.inertia >= 0.0);
+    }
+}

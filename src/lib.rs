@@ -19,6 +19,9 @@
 //!   octagon-lite with adjacent-neuron differences).
 //! * [`monitor`] — runtime activation-envelope monitor used by the
 //!   assume-guarantee argument.
+//! * [`shard`] — cluster-partitioned (sharded) envelopes: k-means over
+//!   cut-layer activations, one envelope per cluster, and the sharded
+//!   runtime monitor (containment = membership in any shard).
 //! * [`core`] — the paper's contribution: input property characterizers,
 //!   risk conditions, the layer-abstraction / assume-guarantee verification
 //!   strategies, and the statistical (Table I) reasoning.
@@ -46,6 +49,7 @@ pub use dpv_lp as lp;
 pub use dpv_monitor as monitor;
 pub use dpv_nn as nn;
 pub use dpv_scenegen as scenegen;
+pub use dpv_shard as shard;
 pub use dpv_tensor as tensor;
 
 /// Convenience re-exports of the most commonly used types.
@@ -60,5 +64,6 @@ pub mod prelude {
     pub use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};
     pub use dpv_nn::{Activation, Dataset, Layer, Network, NetworkBuilder, TrainConfig};
     pub use dpv_scenegen::{OddSampler, PropertyKind, SceneConfig, SceneParams};
+    pub use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
     pub use dpv_tensor::{Matrix, Vector};
 }

@@ -218,6 +218,7 @@ fn envelope_contains_every_training_activation_via_facade() {
         outcome.cut_layer,
         &bundle.images,
         0.0,
-    );
+    )
+    .unwrap();
     assert_eq!(rebuilt.dim(), outcome.envelope.dim());
 }
