@@ -1,0 +1,168 @@
+//! E10: scenario diversity — per-violation-class monitor detection and
+//! scenario-family verification over the diverse ODD.
+//!
+//! The workload runs the end-to-end workflow on [`SceneConfig::diverse`]:
+//! every scenario dimension on (occlusion, rain, dashed-vs-solid lanes, the
+//! bimodal curvature mix), envelope sharding at k = 4 (the diverse ODD is
+//! genuinely multi-modal, so the k-means split is no longer a synthetic
+//! curvature artefact), and the scenario-mix stage measuring:
+//!
+//! * **per-class detection** — for each [`OddViolation`] class, the
+//!   fraction of violating frames flagged by the monolithic envelope
+//!   monitor and by the sharded monitor on identical frames. The sharded
+//!   rate can never be below the monolithic one (union containment); the
+//!   per-class split is the point — an aggregate rate would hide a monitor
+//!   that is blind to one class but sharp on the others.
+//! * **scenario families** — one E1 assume-guarantee verification per
+//!   satisfiable [`PropertyKind`] family (envelope built from that family's
+//!   scenes alone), the compositional ODD split.
+//!
+//! Run with `CRITERION_JSON=BENCH_e10.json` for machine-readable results;
+//! besides the timing records the file carries one
+//! `e10/detection-<class>-permille` and `e10/detection-sharded-<class>-permille`
+//! record per violation class, `e10/detection-delta-permille` (mean sharded
+//! − monolithic detection across classes) and `e10/families-safe-permille`
+//! (fraction of family E1 verdicts that are safe). All of these come from
+//! seeded, single-threaded workloads and are gated by `tools/benchgate`
+//! against the committed baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_bench::permille;
+use dpv_core::{Workflow, WorkflowConfig};
+use dpv_scenegen::{render_scene, DatasetBundle, GeneratorConfig, OddSampler, OddViolation};
+
+fn bench_e10(c: &mut Criterion) {
+    // The diverse ODD: occlusion, rain and dashed lanes on, plus a strong
+    // bimodal curvature mix so the cut-layer activations cluster.
+    let mut scene = dpv_scenegen::SceneConfig::diverse();
+    scene.curvature_mix = 0.8;
+
+    // --- Timed: diverse dataset generation throughput ---------------------
+    let generator = GeneratorConfig {
+        scene,
+        samples: 150,
+        seed: 11,
+        threads: 1,
+    };
+    let mut group = c.benchmark_group("e10");
+    group.sample_size(3);
+    group.bench_function(BenchmarkId::new("generate", "diverse-150"), |b| {
+        b.iter(|| DatasetBundle::generate(&generator).len())
+    });
+    group.finish();
+
+    // --- The end-to-end workflow with sharding and the scenario stage -----
+    let outcome = Workflow::new(WorkflowConfig {
+        scene,
+        training_samples: 150,
+        characterizer_samples: 150,
+        validation_samples: 80,
+        perception_epochs: 10,
+        envelope_shards: 4,
+        scenario_samples: 60,
+        violation_samples: 150,
+        ..WorkflowConfig::small()
+    })
+    .run()
+    .expect("benchmark workflow must succeed");
+    let scenario = outcome
+        .scenario
+        .as_ref()
+        .expect("the scenario stage is enabled");
+
+    // Families: one E1 verification per satisfiable property class — under
+    // the diverse ODD that is every property, including the new occlusion /
+    // rain / dashed families.
+    assert_eq!(
+        scenario.families.len(),
+        dpv_scenegen::PropertyKind::ALL.len(),
+        "every scenario family must be satisfiable under the diverse ODD"
+    );
+    println!("e10 scenario families:");
+    for family in &scenario.families {
+        println!(
+            "  {:<16} ({} scenes)  {}",
+            family.property.name(),
+            family.samples,
+            family.outcome.summary()
+        );
+    }
+    let safe = scenario
+        .families
+        .iter()
+        .filter(|f| f.outcome.verdict.is_safe())
+        .count();
+    criterion::report_metric(
+        "e10/families-safe-permille",
+        permille(safe as f64, scenario.families.len() as f64),
+    );
+
+    // Per-class detection: the headline table. The sharded monitor must
+    // dominate the monolithic one on every class (union containment).
+    assert_eq!(scenario.violations.len(), OddViolation::ALL.len());
+    println!(
+        "e10 detection: {:<20} {:>7} {:>11} {:>9}",
+        "class", "frames", "monolithic", "sharded"
+    );
+    let mut delta_sum = 0.0f64;
+    for detection in &scenario.violations {
+        let sharded_rate = detection
+            .sharded_rate()
+            .expect("sharded stage enabled at k = 4");
+        let monolithic_rate = detection.monolithic_rate();
+        println!(
+            "e10 detection: {:<20} {:>7} {:>11.3} {:>9.3}",
+            detection.class.name(),
+            detection.frames,
+            monolithic_rate,
+            sharded_rate
+        );
+        assert!(
+            sharded_rate >= monolithic_rate,
+            "{}: sharded detection below monolithic",
+            detection.class
+        );
+        delta_sum += sharded_rate - monolithic_rate;
+        criterion::report_metric(
+            format!("e10/detection-{}-permille", detection.class.name()),
+            permille(monolithic_rate, 1.0),
+        );
+        criterion::report_metric(
+            format!("e10/detection-sharded-{}-permille", detection.class.name()),
+            permille(sharded_rate, 1.0),
+        );
+    }
+    criterion::report_metric(
+        "e10/detection-delta-permille",
+        permille(delta_sum / scenario.violations.len() as f64, 1.0),
+    );
+
+    // --- Timed: per-frame violation sampling + rendering + monitor check --
+    let monitor = dpv_monitor::RuntimeMonitor::new(
+        outcome.perception.clone(),
+        outcome.cut_layer,
+        outcome.envelope.clone(),
+    )
+    .expect("monitor over the workflow envelope");
+    let sampler = OddSampler::new(scene);
+    let mut rng = StdRng::seed_from_u64(47);
+    let mut group = c.benchmark_group("e10");
+    group.sample_size(10);
+    group.bench_function(
+        BenchmarkId::new("violation-frame", "sample-render-check"),
+        |b| {
+            b.iter(|| {
+                let scene_params = sampler.sample_violation(OddViolation::Downpour, &mut rng);
+                let image = render_scene(&scene_params, &scene);
+                monitor.check(&image).is_in_odd()
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_e10);
+criterion_main!(benches);

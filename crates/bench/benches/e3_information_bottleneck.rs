@@ -10,13 +10,16 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dpv_bench::{bench_config, quick_outcome};
+use dpv_bench::quick_outcome;
 use dpv_core::{Characterizer, CharacterizerConfig, InputProperty};
-use dpv_scenegen::{property_examples, PropertyKind};
+use dpv_scenegen::{property_examples, PropertyKind, SceneConfig};
 
 fn bench_e3(c: &mut Criterion) {
     let outcome = quick_outcome();
-    let scene = bench_config().scene;
+    // The diverse ODD keeps every property — including the occlusion, rain
+    // and dashed-lane scenario classes — satisfiable for balanced example
+    // generation; its image geometry matches the training configuration.
+    let scene = SceneConfig::diverse();
     let cut = outcome.cut_layer;
     let config = CharacterizerConfig::small();
     let mut rng = StdRng::seed_from_u64(31);

@@ -35,7 +35,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use dpv_bench::{bench_config, quick_outcome};
+use dpv_bench::{bench_config, permille, quick_outcome};
 use dpv_core::{
     encode_verification, Characterizer, CharacterizerConfig, InputProperty, RefinementVerifier,
     RiskCondition, StartRegion, VerificationProblem,
@@ -46,13 +46,6 @@ use dpv_lp::{
 use dpv_monitor::ActivationEnvelope;
 use dpv_scenegen::{DatasetBundle, GeneratorConfig, PropertyKind};
 use dpv_tensor::Vector;
-
-fn permille(numerator: f64, denominator: f64) -> u128 {
-    if denominator <= 0.0 {
-        return 0;
-    }
-    ((numerator / denominator) * 1000.0).round().max(0.0) as u128
-}
 
 fn bench_e8(c: &mut Criterion) {
     let outcome = quick_outcome();

@@ -26,11 +26,18 @@
 //! Run with `CRITERION_JSON=BENCH_e9.json` for machine-readable results;
 //! besides the timing records the file carries
 //! `e9/shard-speedup-permille` (monolithic mean ÷ k = 4 sharded mean ×
-//! 1000), `e9/k1-parity-permille` (monolithic ÷ k = 1: ~1000 means the
-//! degenerate sharding costs nothing), `e9/volume-ratio-permille` and
-//! `e9/detection-delta-permille`. Single-threaded throughout (the shard
-//! dispatch composes with worker threads, but the comparison isolates the
-//! tightening effect).
+//! 1000), `e9/k1-parity-permille` (monolithic ÷ k = 1), `e9/volume-ratio-
+//! permille` and `e9/detection-delta-permille`. Single-threaded throughout
+//! (the shard dispatch composes with worker threads, but the comparison
+//! isolates the tightening effect).
+//!
+//! **Reading the parity metric**: the contract is a ±5% *band* around
+//! exact parity (1000‰), not exact parity — the degenerate k = 1 sharding
+//! runs the same MILP through a thin dispatch layer, so small deviations
+//! in either direction are noise. A value *above* 1000 means k = 1 is
+//! *slower* than the monolithic path (the committed baseline of 1007 ⇒
+//! 0.7% slower), below 1000 means faster. `tools/benchgate` enforces the
+//! [950, 1050] band in CI.
 
 use std::time::Instant;
 
@@ -38,6 +45,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use dpv_bench::permille;
 use dpv_core::{
     encode_verification, AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty,
     RiskCondition, ShardedVerificationConfig, StartRegion, VerificationProblem,
@@ -47,13 +55,6 @@ use dpv_lp::{BranchAndBoundBackend, SolverBackend};
 use dpv_monitor::{ActivationEnvelope, RuntimeMonitor};
 use dpv_scenegen::{render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind};
 use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
-
-fn permille(numerator: f64, denominator: f64) -> u128 {
-    if denominator <= 0.0 {
-        return 0;
-    }
-    ((numerator / denominator) * 1000.0).round().max(0.0) as u128
-}
 
 fn bench_e9(c: &mut Criterion) {
     // Multi-modal ODD: 80% of the scenes are either straight or tight

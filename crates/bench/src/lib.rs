@@ -11,6 +11,17 @@ use dpv_lp::{
     LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats, SolverBackend, VarId, SOLVER_EPS,
 };
 
+/// Ratio → permille conversion for `criterion::report_metric` records
+/// (`0` when the denominator is non-positive). Shared by every bench
+/// target that emits `*-permille` metrics, so the rounding convention
+/// stays uniform across `BENCH_*.json` files.
+pub fn permille(numerator: f64, denominator: f64) -> u128 {
+    if denominator <= 0.0 {
+        return 0;
+    }
+    ((numerator / denominator) * 1000.0).round().max(0.0) as u128
+}
+
 /// Workflow configuration used by every benchmark: large enough that the
 /// trained networks behave like the paper's (the bend characterizer is
 /// accurate, the traffic one is not), small enough that each bench target

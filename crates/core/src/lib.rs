@@ -60,4 +60,7 @@ pub use verify::{
     AssumeGuarantee, CounterExample, DomainKind, ProblemTemplate, Verdict, VerificationOutcome,
     VerificationProblem, VerificationStrategy,
 };
-pub use workflow::{Workflow, WorkflowConfig, WorkflowOutcome};
+pub use workflow::{
+    ScenarioFamilyResult, ScenarioReport, ViolationDetection, Workflow, WorkflowConfig,
+    WorkflowOutcome,
+};

@@ -16,7 +16,8 @@ use dpv_nn::{
     TrainConfig,
 };
 use dpv_scenegen::{
-    affordance, render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind, SceneConfig,
+    affordance, render_scene, DatasetBundle, GeneratorConfig, OddSampler, OddViolation,
+    PropertyKind, SceneConfig,
 };
 use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
 use dpv_tensor::Vector;
@@ -64,6 +65,22 @@ pub struct WorkflowConfig {
     /// the serial default. Ignored by [`Workflow::with_backend`], which
     /// receives an explicit engine.
     pub solver_workers: usize,
+    /// Scenes per *scenario family* for the per-class E1 verification of
+    /// the scenario-mix stage: every satisfiable [`PropertyKind`] under the
+    /// scene configuration defines a family, whose own activation envelope
+    /// is verified against the E1 risk (scenario-based compositional
+    /// verification). `0` skips the family verification. Unlike the
+    /// opt-in sharded stage, this defaults on: family envelopes are
+    /// subsets of well-behaved regions, so each verification is typically
+    /// a root-infeasible single-node solve (sub-millisecond), and the
+    /// stage draws from its own RNG streams — existing stages are
+    /// unaffected.
+    pub scenario_samples: usize,
+    /// Frames per [`OddViolation`] class for the per-class monitor
+    /// detection table of the scenario-mix stage (monolithic and — when
+    /// [`WorkflowConfig::envelope_shards`] exceeds one — sharded rates on
+    /// identical frames). `0` skips the detection table.
+    pub violation_samples: usize,
     /// Base RNG seed (the whole workflow is deterministic given the seed).
     pub seed: u64,
 }
@@ -83,6 +100,8 @@ impl WorkflowConfig {
             envelope_margin: 0.0,
             envelope_shards: 1,
             solver_workers: 1,
+            scenario_samples: 40,
+            violation_samples: 40,
             seed: 42,
         }
     }
@@ -94,6 +113,8 @@ impl WorkflowConfig {
             characterizer_samples: 400,
             validation_samples: 300,
             perception_epochs: 25,
+            scenario_samples: 120,
+            violation_samples: 120,
             ..Self::small()
         }
     }
@@ -132,6 +153,79 @@ pub struct ShardedArtifacts {
     pub monitor_out_of_odd_detection: f64,
 }
 
+/// Per-class E1 verification of one scenario family: the activation
+/// envelope over scenes satisfying one [`PropertyKind`], verified against
+/// the E1 risk with the assume-guarantee strategy.
+#[derive(Debug, Clone)]
+pub struct ScenarioFamilyResult {
+    /// The scenario class (family) this envelope was built from.
+    pub property: PropertyKind,
+    /// Number of scenes the family envelope was built from.
+    pub samples: usize,
+    /// The verification outcome for this family.
+    pub outcome: VerificationOutcome,
+}
+
+/// Per-class monitor detection of one [`OddViolation`] class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViolationDetection {
+    /// The out-of-ODD violation class.
+    pub class: OddViolation,
+    /// Frames sampled from this class.
+    pub frames: usize,
+    /// Frames the monolithic envelope monitor flagged.
+    pub monolithic_flagged: usize,
+    /// Frames the sharded monitor flagged (same frames), when the sharded
+    /// stage ran. Never below `monolithic_flagged` (union containment).
+    pub sharded_flagged: Option<usize>,
+}
+
+impl ViolationDetection {
+    /// Monolithic detection rate in `[0, 1]` (1.0 when no frames sampled).
+    pub fn monolithic_rate(&self) -> f64 {
+        if self.frames == 0 {
+            1.0
+        } else {
+            self.monolithic_flagged as f64 / self.frames as f64
+        }
+    }
+
+    /// Sharded detection rate in `[0, 1]`, when the sharded stage ran.
+    pub fn sharded_rate(&self) -> Option<f64> {
+        self.sharded_flagged.map(|flagged| {
+            if self.frames == 0 {
+                1.0
+            } else {
+                flagged as f64 / self.frames as f64
+            }
+        })
+    }
+}
+
+/// Artefacts of the scenario-mix stage: scenario-family E1 verification
+/// plus the per-violation-class monitor detection table.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// One E1 verification per satisfiable scenario family (empty when
+    /// [`WorkflowConfig::scenario_samples`] is zero).
+    pub families: Vec<ScenarioFamilyResult>,
+    /// Per-violation-class monitor detection (empty when
+    /// [`WorkflowConfig::violation_samples`] is zero).
+    pub violations: Vec<ViolationDetection>,
+}
+
+impl ScenarioReport {
+    /// Returns `true` when every scenario family's E1 verdict is safe.
+    pub fn all_families_safe(&self) -> bool {
+        self.families.iter().all(|f| f.outcome.verdict.is_safe())
+    }
+
+    /// The detection entry for one violation class, if measured.
+    pub fn detection(&self, class: OddViolation) -> Option<&ViolationDetection> {
+        self.violations.iter().find(|v| v.class == class)
+    }
+}
+
 /// Everything a workflow run produces.
 #[derive(Debug, Clone)]
 pub struct WorkflowOutcome {
@@ -157,6 +251,10 @@ pub struct WorkflowOutcome {
     pub monitor_out_of_odd_detection: f64,
     /// Sharded-envelope artefacts, when `envelope_shards > 1`.
     pub sharded: Option<ShardedArtifacts>,
+    /// Scenario-mix artefacts (family E1 verification and the per-class
+    /// out-of-ODD detection table), when `scenario_samples` or
+    /// `violation_samples` is non-zero.
+    pub scenario: Option<ScenarioReport>,
 }
 
 impl WorkflowOutcome {
@@ -222,6 +320,39 @@ impl WorkflowOutcome {
                 sharded.monitor_out_of_odd_detection,
                 self.monitor_out_of_odd_detection
             ));
+        }
+
+        if let Some(scenario) = &self.scenario {
+            if !scenario.families.is_empty() {
+                out.push_str("\n-- Scenario families (per-class E1 verification) --\n");
+                for family in &scenario.families {
+                    out.push_str(&format!(
+                        "  {:<20} ({} scenes)  {}\n",
+                        family.property.name(),
+                        family.samples,
+                        family.outcome.summary()
+                    ));
+                }
+            }
+            if !scenario.violations.is_empty() {
+                out.push_str("\n-- Out-of-ODD taxonomy (detection per violation class) --\n");
+                out.push_str(&format!(
+                    "  {:<20} {:>7} {:>11} {:>9}\n",
+                    "class", "frames", "monolithic", "sharded"
+                ));
+                for detection in &scenario.violations {
+                    let sharded = detection
+                        .sharded_rate()
+                        .map_or_else(|| "    -".to_string(), |r| format!("{r:9.3}"));
+                    out.push_str(&format!(
+                        "  {:<20} {:>7} {:>11.3} {}\n",
+                        detection.class.name(),
+                        detection.frames,
+                        detection.monolithic_rate(),
+                        sharded
+                    ));
+                }
+            }
         }
         out
     }
@@ -474,6 +605,7 @@ impl Workflow {
         //    k-means shards over the same training activations, per-shard
         //    verification of the E1 risk, and the sharded monitor scored on
         //    the same held-out frames as the monolithic one.
+        let mut sharded_monitor: Option<ShardedMonitor> = None;
         let sharded = if cfg.envelope_shards > 1 {
             let sharded_envelope = ShardedEnvelope::from_inputs(
                 &perception,
@@ -495,21 +627,101 @@ impl Workflow {
                 },
                 self.backend.as_ref(),
             )?;
-            let sharded_monitor =
+            let monitor_for_shards =
                 ShardedMonitor::new(perception.clone(), cut_layer, sharded_envelope.clone())?;
             let sharded_accepted = in_odd_images
                 .iter()
-                .filter(|image| sharded_monitor.check(image).is_in_odd())
+                .filter(|image| monitor_for_shards.check(image).is_in_odd())
                 .count();
             let sharded_flagged = out_of_odd_images
                 .iter()
-                .filter(|image| !sharded_monitor.check(image).is_in_odd())
+                .filter(|image| !monitor_for_shards.check(image).is_in_odd())
                 .count();
+            sharded_monitor = Some(monitor_for_shards);
             Some(ShardedArtifacts {
                 envelope: sharded_envelope,
                 verification,
                 monitor_in_odd_rate: sharded_accepted as f64 / n,
                 monitor_out_of_odd_detection: sharded_flagged as f64 / n,
+            })
+        } else {
+            None
+        };
+
+        // 9. Scenario-mix stage: per-class E1 verification over scenario
+        //    families (an envelope per satisfiable property class, verified
+        //    with the assume-guarantee strategy — the scenario-based
+        //    compositional split of the ODD) and the out-of-ODD taxonomy
+        //    detection table (per violation class, monolithic and — when
+        //    available — sharded monitor rates on identical frames).
+        let scenario = if cfg.scenario_samples > 0 || cfg.violation_samples > 0 {
+            let mut families = Vec::new();
+            if cfg.scenario_samples > 0 {
+                let mut family_rng = StdRng::seed_from_u64(cfg.seed ^ 0x99);
+                for property in PropertyKind::ALL {
+                    if !property.satisfiable_in(&cfg.scene) {
+                        continue;
+                    }
+                    let family_images: Vec<Vector> = (0..cfg.scenario_samples)
+                        .map(|_| {
+                            let scene = sampler
+                                .sample_where(&mut family_rng, |s| property.holds(s, &cfg.scene));
+                            render_scene(&scene, &cfg.scene)
+                        })
+                        .collect();
+                    let family_envelope = ActivationEnvelope::from_inputs(
+                        &perception,
+                        cut_layer,
+                        &family_images,
+                        cfg.envelope_margin,
+                    )?;
+                    let outcome = e1_problem.verify_with(
+                        &VerificationStrategy::AssumeGuarantee(AssumeGuarantee {
+                            envelope: family_envelope,
+                            use_difference_constraints: true,
+                        }),
+                        self.backend.as_ref(),
+                    )?;
+                    families.push(ScenarioFamilyResult {
+                        property,
+                        samples: cfg.scenario_samples,
+                        outcome,
+                    });
+                }
+            }
+            let mut violations = Vec::new();
+            if cfg.violation_samples > 0 {
+                let mut violation_rng = StdRng::seed_from_u64(cfg.seed ^ 0xaa);
+                for class in OddViolation::ALL {
+                    let mut monolithic_flagged = 0usize;
+                    let mut sharded_flagged = sharded_monitor.as_ref().map(|_| 0usize);
+                    for _ in 0..cfg.violation_samples {
+                        let image = render_scene(
+                            &sampler.sample_violation(class, &mut violation_rng),
+                            &cfg.scene,
+                        );
+                        if !monitor.check(&image).is_in_odd() {
+                            monolithic_flagged += 1;
+                        }
+                        if let (Some(count), Some(shard_monitor)) =
+                            (sharded_flagged.as_mut(), sharded_monitor.as_ref())
+                        {
+                            if !shard_monitor.check(&image).is_in_odd() {
+                                *count += 1;
+                            }
+                        }
+                    }
+                    violations.push(ViolationDetection {
+                        class,
+                        frames: cfg.violation_samples,
+                        monolithic_flagged,
+                        sharded_flagged,
+                    });
+                }
+            }
+            Some(ScenarioReport {
+                families,
+                violations,
             })
         } else {
             None
@@ -527,6 +739,7 @@ impl Workflow {
             monitor_in_odd_rate: in_odd_accepted as f64 / n,
             monitor_out_of_odd_detection: out_of_odd_flagged as f64 / n,
             sharded,
+            scenario,
         })
     }
 
@@ -675,6 +888,97 @@ mod tests {
         let report = outcome.report();
         assert!(report.contains("Sharded envelope"));
         assert!(report.contains("E1 per-shard"));
+    }
+
+    #[test]
+    fn scenario_stage_reports_families_and_violation_classes() {
+        let outcome = Workflow::new(tiny_config()).run().unwrap();
+        let scenario = outcome
+            .scenario
+            .as_ref()
+            .expect("scenario stage on by default");
+        // Under the legacy small scene config only the five historical
+        // properties are satisfiable; the diversity families need
+        // SceneConfig::diverse().
+        assert_eq!(scenario.families.len(), 5);
+        assert!(scenario
+            .families
+            .iter()
+            .all(|f| f.samples == tiny_config().scenario_samples));
+        assert_eq!(scenario.violations.len(), OddViolation::ALL.len());
+        for detection in &scenario.violations {
+            assert_eq!(detection.frames, tiny_config().violation_samples);
+            assert!(detection.monolithic_rate() >= 0.0 && detection.monolithic_rate() <= 1.0);
+            // No sharded stage requested, so no sharded column.
+            assert!(detection.sharded_flagged.is_none());
+        }
+        let report = outcome.report();
+        assert!(report.contains("Scenario families"));
+        assert!(report.contains("Out-of-ODD taxonomy"));
+        assert!(report.contains("extreme-curvature"));
+    }
+
+    #[test]
+    fn scenario_stage_with_shards_dominates_monolithic_detection() {
+        let outcome = Workflow::new(WorkflowConfig {
+            envelope_shards: 3,
+            scenario_samples: 0,
+            ..tiny_config()
+        })
+        .run()
+        .unwrap();
+        let scenario = outcome
+            .scenario
+            .as_ref()
+            .expect("violation table requested");
+        assert!(scenario.families.is_empty());
+        for detection in &scenario.violations {
+            let sharded = detection.sharded_flagged.expect("sharded rates measured");
+            assert!(
+                sharded >= detection.monolithic_flagged,
+                "{}: sharded {} < monolithic {}",
+                detection.class,
+                sharded,
+                detection.monolithic_flagged
+            );
+        }
+        assert!(scenario
+            .detection(OddViolation::Blackout)
+            .is_some_and(|d| d.frames > 0));
+    }
+
+    #[test]
+    fn scenario_stage_is_skipped_when_disabled() {
+        let outcome = Workflow::new(WorkflowConfig {
+            scenario_samples: 0,
+            violation_samples: 0,
+            ..tiny_config()
+        })
+        .run()
+        .unwrap();
+        assert!(outcome.scenario.is_none());
+        assert!(!outcome.report().contains("Out-of-ODD taxonomy"));
+    }
+
+    #[test]
+    fn diverse_scene_config_adds_the_diversity_families() {
+        let outcome = Workflow::new(WorkflowConfig {
+            scene: SceneConfig::diverse(),
+            violation_samples: 0,
+            ..tiny_config()
+        })
+        .run()
+        .unwrap();
+        let scenario = outcome.scenario.as_ref().unwrap();
+        assert_eq!(scenario.families.len(), PropertyKind::ALL.len());
+        let names: Vec<_> = scenario
+            .families
+            .iter()
+            .map(|f| f.property.name())
+            .collect();
+        assert!(names.contains(&"occluded"));
+        assert!(names.contains(&"heavy_rain"));
+        assert!(names.contains(&"dashed_lane"));
     }
 
     #[test]

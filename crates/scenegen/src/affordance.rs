@@ -45,10 +45,11 @@ impl Affordance {
 /// distance `L` displaces the waypoint laterally by `k·L²/2` and rotates the
 /// required heading by `k·L`. The ego's own lateral offset and heading error
 /// must be compensated, so they enter with a negative sign. Nuisance
-/// parameters (lighting, noise, traffic) do **not** influence the affordance
-/// — this is precisely the causal structure that makes the "traffic
-/// participants" property unlearnable from close-to-output layers
-/// (information bottleneck, experiment E3).
+/// parameters (lighting, noise, traffic — and the scenario-diversity
+/// dimensions: occlusion, rain, dashed markings, sensor dropout) do **not**
+/// influence the affordance — this is precisely the causal structure that
+/// makes the "traffic participants" property unlearnable from
+/// close-to-output layers (information bottleneck, experiment E3).
 ///
 /// The result is returned as the 2-vector `(waypoint_offset, orientation)`.
 pub fn affordance(scene: &SceneParams, config: &SceneConfig) -> Vector {
@@ -111,6 +112,20 @@ mod tests {
         let mut perturbed = base.with_adjacent_traffic(0.4);
         perturbed.lighting = 0.6;
         perturbed.noise = 0.03;
+        assert_eq!(affordance(&base, &cfg), affordance(&perturbed, &cfg));
+    }
+
+    #[test]
+    fn diversity_dimensions_do_not_change_the_affordance() {
+        let cfg = cfg();
+        let base = SceneParams::nominal()
+            .with_curvature(-0.4)
+            .with_ego_offset(0.2);
+        let mut perturbed = base
+            .with_occlusion(0.7, 0.3)
+            .with_rain(0.8, 0.4)
+            .with_dashed_lanes();
+        perturbed.sensor_dropout = 0.3;
         assert_eq!(affordance(&base, &cfg), affordance(&perturbed, &cfg));
     }
 

@@ -33,6 +33,16 @@ impl GeneratorConfig {
             threads: 1,
         }
     }
+
+    /// Like [`GeneratorConfig::small`], but over the scenario-diverse ODD
+    /// ([`SceneConfig::diverse`]), under which every [`PropertyKind`] is
+    /// satisfiable.
+    pub fn diverse(samples: usize) -> Self {
+        Self {
+            scene: SceneConfig::diverse(),
+            ..Self::small(samples)
+        }
+    }
 }
 
 /// A generated dataset together with the hidden scenes that produced it.
@@ -62,7 +72,18 @@ impl DatasetBundle {
     /// Generates a bundle in which roughly half the scenes satisfy
     /// `property` and half do not — the balanced labelling the paper's
     /// characterizer training assumes.
+    ///
+    /// # Panics
+    /// Panics when `property` is unsatisfiable under the scene
+    /// configuration (check [`PropertyKind::satisfiable_in`] first; the
+    /// scenario-diversity properties need their ODD dimension enabled,
+    /// e.g. via [`crate::SceneConfig::diverse`]).
     pub fn generate_balanced(config: &GeneratorConfig, property: PropertyKind) -> Self {
+        assert!(
+            property.satisfiable_in(&config.scene),
+            "property {property} is unsatisfiable under this scene configuration; \
+             enable its ODD dimension (e.g. SceneConfig::diverse())"
+        );
         let sampler = OddSampler::new(config.scene);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut scenes = Vec::with_capacity(config.samples);
@@ -187,6 +208,11 @@ pub fn property_examples<R: Rng + ?Sized>(
     samples: usize,
     rng: &mut R,
 ) -> Vec<(Vector, bool)> {
+    assert!(
+        property.satisfiable_in(config),
+        "property {property} is unsatisfiable under this scene configuration; \
+         enable its ODD dimension (e.g. SceneConfig::diverse())"
+    );
     let sampler = OddSampler::new(*config);
     (0..samples)
         .map(|i| {
@@ -258,5 +284,26 @@ mod tests {
         assert_eq!(examples.len(), 10);
         assert!(examples.iter().step_by(2).all(|(_, l)| *l));
         assert!(examples.iter().skip(1).step_by(2).all(|(_, l)| !*l));
+    }
+
+    #[test]
+    fn balanced_generation_covers_the_diversity_properties() {
+        let cfg = GeneratorConfig::diverse(30);
+        for property in [
+            PropertyKind::Occluded,
+            PropertyKind::HeavyRain,
+            PropertyKind::DashedLane,
+        ] {
+            let bundle = DatasetBundle::generate_balanced(&cfg, property);
+            let labels = bundle.property_labels(property, &cfg.scene);
+            assert_eq!(labels.iter().filter(|&&l| l).count(), 15, "{property}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn balanced_generation_rejects_unsatisfiable_properties_early() {
+        let _ =
+            DatasetBundle::generate_balanced(&GeneratorConfig::small(10), PropertyKind::Occluded);
     }
 }

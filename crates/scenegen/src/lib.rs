@@ -26,6 +26,36 @@
 //! correct affordance, while nuisance parameters (lighting, noise, traffic)
 //! perturb the image without changing the affordance.
 //!
+//! ## Scenario diversity
+//!
+//! Beyond the original highway recipe, the ODD spans four additional
+//! scenario dimensions, each with a [`SceneConfig`] knob that defaults to
+//! *off* (reproducing the historical RNG stream and renderer output bit for
+//! bit, like `curvature_mix = 0.0`):
+//!
+//! * **occlusion** (`max_occlusion`) — a leading vehicle in the ego lane
+//!   hides a fraction of the lane markings ([`SceneParams::occlusion`] /
+//!   [`SceneParams::occlusion_position`]);
+//! * **rain** (`max_rain`) — bright streaks perturb pixel intensities
+//!   ([`SceneParams::rain_density`] / [`SceneParams::rain_length`]);
+//! * **dashed lanes** (`dashed_lane_fraction`) — the centre marking is
+//!   rendered dashed instead of solid ([`SceneParams::dashed_lanes`]);
+//! * **sensor dropout** — a dead band of blanked rows
+//!   ([`SceneParams::sensor_dropout`]), outside *every* ODD by definition.
+//!
+//! [`SceneConfig::diverse`] switches every dimension on. The matching
+//! scenario properties ([`PropertyKind::Occluded`],
+//! [`PropertyKind::HeavyRain`], [`PropertyKind::DashedLane`]) are
+//! satisfiable only under such a configuration — check
+//! [`PropertyKind::satisfiable_in`] before balanced dataset generation.
+//!
+//! Scenes *leave* the ODD in named ways: the [`OddViolation`] taxonomy
+//! (extreme curvature, blackout, full occlusion, downpour, sensor dropout,
+//! lane departure) with the per-class sampler
+//! [`OddSampler::sample_violation`], so monitor experiments measure
+//! detection rates per violation class instead of one aggregate "extreme
+//! scene" recipe.
+//!
 //! ## Example
 //!
 //! ```
@@ -48,6 +78,7 @@
 
 mod affordance;
 mod dataset;
+mod odd;
 mod property;
 mod render;
 mod sampler;
@@ -57,6 +88,7 @@ pub use affordance::{affordance, Affordance, AFFORDANCE_DIM};
 pub use dataset::{
     characterizer_dataset, perception_dataset, property_examples, DatasetBundle, GeneratorConfig,
 };
+pub use odd::OddViolation;
 pub use property::PropertyKind;
 pub use render::render_scene;
 pub use sampler::OddSampler;

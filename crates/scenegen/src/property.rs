@@ -25,16 +25,28 @@ pub enum PropertyKind {
     AdjacentTraffic,
     /// The scene is darker than the lighting threshold (dusk / tunnel).
     LowLight,
+    /// A leading vehicle hides at least the configured fraction of the lane
+    /// markings ([`SceneConfig::occlusion_threshold`]). Like traffic and
+    /// lighting, a nuisance dimension unrelated to the affordance output.
+    Occluded,
+    /// Rain streaks at or above the configured density
+    /// ([`SceneConfig::heavy_rain_threshold`]).
+    HeavyRain,
+    /// The centre lane marking is rendered dashed instead of solid.
+    DashedLane,
 }
 
 impl PropertyKind {
     /// All property kinds, in a stable order.
-    pub const ALL: [PropertyKind; 5] = [
+    pub const ALL: [PropertyKind; 8] = [
         PropertyKind::BendsRight,
         PropertyKind::BendsLeft,
         PropertyKind::Straight,
         PropertyKind::AdjacentTraffic,
         PropertyKind::LowLight,
+        PropertyKind::Occluded,
+        PropertyKind::HeavyRain,
+        PropertyKind::DashedLane,
     ];
 
     /// Ground-truth decision: does the property hold for this scene?
@@ -45,6 +57,27 @@ impl PropertyKind {
             PropertyKind::Straight => scene.curvature.abs() <= config.straight_threshold,
             PropertyKind::AdjacentTraffic => scene.adjacent_traffic,
             PropertyKind::LowLight => scene.lighting < (config.min_lighting + 0.15),
+            PropertyKind::Occluded => scene.occlusion >= config.occlusion_threshold,
+            PropertyKind::HeavyRain => scene.rain_density >= config.heavy_rain_threshold,
+            PropertyKind::DashedLane => scene.dashed_lanes,
+        }
+    }
+
+    /// Returns `true` when in-ODD scenes satisfying the property exist
+    /// under `config` — i.e. when balanced rejection sampling
+    /// ([`crate::DatasetBundle::generate_balanced`]) can terminate. The
+    /// diversity properties need their ODD dimension switched on (e.g.
+    /// [`SceneConfig::diverse`]); under the legacy configurations they are
+    /// unsatisfiable and must be skipped.
+    pub fn satisfiable_in(self, config: &SceneConfig) -> bool {
+        // Strict comparisons: at threshold == maximum the satisfying set
+        // has measure zero under the uniform sampler, so rejection
+        // sampling would still spin forever.
+        match self {
+            PropertyKind::Occluded => config.max_occlusion > config.occlusion_threshold,
+            PropertyKind::HeavyRain => config.max_rain > config.heavy_rain_threshold,
+            PropertyKind::DashedLane => config.dashed_lane_fraction > 0.0,
+            _ => true,
         }
     }
 
@@ -68,6 +101,9 @@ impl PropertyKind {
             PropertyKind::Straight => "straight",
             PropertyKind::AdjacentTraffic => "adjacent_traffic",
             PropertyKind::LowLight => "low_light",
+            PropertyKind::Occluded => "occluded",
+            PropertyKind::HeavyRain => "heavy_rain",
+            PropertyKind::DashedLane => "dashed_lane",
         }
     }
 }
@@ -130,6 +166,49 @@ mod tests {
         assert_eq!(related.len(), 3);
         assert!(!PropertyKind::AdjacentTraffic.is_output_related());
         assert!(!PropertyKind::LowLight.is_output_related());
+        // The diversity dimensions are nuisance parameters, not affordance
+        // inputs — the information-bottleneck split must classify them so.
+        assert!(!PropertyKind::Occluded.is_output_related());
+        assert!(!PropertyKind::HeavyRain.is_output_related());
+        assert!(!PropertyKind::DashedLane.is_output_related());
+    }
+
+    #[test]
+    fn diversity_properties_follow_their_scene_knobs() {
+        let cfg = SceneConfig::diverse();
+        let occluded = SceneParams::nominal().with_occlusion(cfg.occlusion_threshold + 0.1, 0.4);
+        assert!(PropertyKind::Occluded.holds(&occluded, &cfg));
+        assert!(!PropertyKind::Occluded.holds(&SceneParams::nominal(), &cfg));
+        let rainy = SceneParams::nominal().with_rain(cfg.heavy_rain_threshold + 0.1, 0.3);
+        assert!(PropertyKind::HeavyRain.holds(&rainy, &cfg));
+        assert!(!PropertyKind::HeavyRain.holds(&SceneParams::nominal(), &cfg));
+        let dashed = SceneParams::nominal().with_dashed_lanes();
+        assert!(PropertyKind::DashedLane.holds(&dashed, &cfg));
+        assert!(!PropertyKind::DashedLane.holds(&SceneParams::nominal(), &cfg));
+    }
+
+    #[test]
+    fn satisfiability_tracks_the_odd_configuration() {
+        let legacy = SceneConfig::small();
+        let diverse = SceneConfig::diverse();
+        for p in PropertyKind::ALL {
+            assert!(p.satisfiable_in(&diverse), "{p} unsatisfiable in diverse");
+        }
+        assert!(!PropertyKind::Occluded.satisfiable_in(&legacy));
+        assert!(!PropertyKind::HeavyRain.satisfiable_in(&legacy));
+        assert!(!PropertyKind::DashedLane.satisfiable_in(&legacy));
+        assert!(PropertyKind::BendsRight.satisfiable_in(&legacy));
+        // Threshold exactly at the maximum: the satisfying set has measure
+        // zero, so the property must count as unsatisfiable.
+        let boundary = SceneConfig {
+            max_occlusion: 0.25,
+            occlusion_threshold: 0.25,
+            max_rain: 0.3,
+            heavy_rain_threshold: 0.3,
+            ..SceneConfig::small()
+        };
+        assert!(!PropertyKind::Occluded.satisfiable_in(&boundary));
+        assert!(!PropertyKind::HeavyRain.satisfiable_in(&boundary));
     }
 
     #[test]

@@ -12,6 +12,10 @@ const MARKING_INTENSITY: f64 = 0.95;
 const TERRAIN_INTENSITY: f64 = 0.2;
 /// Pixel intensity of a traffic participant.
 const VEHICLE_INTENSITY: f64 = 0.05;
+/// Pixel intensity a rain streak pulls its pixels towards.
+const RAIN_INTENSITY: f64 = 0.85;
+/// Number of dash periods over the rendered look-ahead for dashed markings.
+const DASH_PERIODS: f64 = 6.0;
 
 /// Renders a scene into a flattened single-channel image of
 /// `config.height * config.width` pixels in row-major order, row 0 at the
@@ -50,8 +54,12 @@ pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
             let offset = x - centre;
             let idx = row * w + col;
             let value = if offset.abs() <= half_width {
-                // Lane markings at the centre and at both road edges.
-                let near_centre = offset.abs() <= marking_half_width;
+                // Lane markings at the centre and at both road edges. With
+                // `dashed_lanes` the centre marking is painted only on the
+                // "on" half of each dash period; edge markings stay solid.
+                let centre_drawn =
+                    !scene.dashed_lanes || (distance * DASH_PERIODS).rem_euclid(1.0) < 0.5;
+                let near_centre = centre_drawn && offset.abs() <= marking_half_width;
                 let near_edge = (offset.abs() - half_width).abs() <= marking_half_width;
                 if near_centre || near_edge {
                     MARKING_INTENSITY
@@ -62,6 +70,23 @@ pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
                 TERRAIN_INTENSITY
             };
             pixels[idx] = value;
+        }
+
+        // Leading vehicle in the ego lane: a dark box over the road centre
+        // whose footprint grows with the occlusion fraction, hiding the
+        // centre marking (and, at large fractions, the edge markings too).
+        if scene.occlusion > 0.0 {
+            let occlusion = scene.occlusion.clamp(0.0, 1.0);
+            let position = scene.occlusion_position.clamp(0.0, 1.0);
+            if (distance - position).abs() <= 0.08 + 0.14 * occlusion {
+                let vehicle_half = (half_width * occlusion).max(1.0);
+                for col in 0..w {
+                    let x = col as f64 + 0.5;
+                    if (x - centre).abs() <= vehicle_half {
+                        pixels[row * w + col] = VEHICLE_INTENSITY;
+                    }
+                }
+            }
         }
 
         // Adjacent-lane traffic participant: a dark box one lane to the left.
@@ -82,6 +107,33 @@ pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
         }
     }
 
+    // Rain streaks: bright, slightly slanted line segments drawn from a
+    // deterministic stream (same reproducibility contract as the noise),
+    // pulling the pixels they cross towards `RAIN_INTENSITY`.
+    if scene.rain_density > 0.0 {
+        let streaks = (scene.rain_density * w as f64).round() as usize;
+        let length_px = (scene.rain_length.clamp(0.0, 1.0) * h as f64).max(1.0) as usize;
+        let mut rain_state = scene_hash(scene) ^ 0x5261_696e_5261_696e;
+        for _ in 0..streaks {
+            let col0 = (next_uniform(&mut rain_state) * w as f64) as usize;
+            let row0 = (next_uniform(&mut rain_state) * h as f64) as usize;
+            // Slant: at most one column of drift over the streak's run.
+            let slant = next_uniform(&mut rain_state) * 2.0 - 1.0;
+            for step in 0..length_px {
+                let row = row0 + step;
+                if row >= h {
+                    break;
+                }
+                let col = col0 as f64 + slant * step as f64 / length_px as f64;
+                if col < 0.0 || col >= w as f64 {
+                    continue;
+                }
+                let idx = row * w + col as usize;
+                pixels[idx] = 0.5 * pixels[idx] + 0.5 * RAIN_INTENSITY;
+            }
+        }
+    }
+
     // Lighting and deterministic noise.
     let lighting = scene.lighting.clamp(0.05, 1.0);
     let mut state = scene_hash(scene);
@@ -92,6 +144,16 @@ pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
         }
         *p = value.clamp(0.0, 1.0);
     }
+
+    // Sensor dropout: the bottom rows (nearest the ego vehicle) go dark —
+    // a dead region no lighting or noise can reach. Applied last.
+    if scene.sensor_dropout > 0.0 {
+        let dead_rows = (scene.sensor_dropout.clamp(0.0, 1.0) * h as f64).ceil() as usize;
+        let first_dead = h.saturating_sub(dead_rows);
+        for p in &mut pixels[first_dead * w..] {
+            *p = 0.0;
+        }
+    }
     Vector::from_vec(pixels)
 }
 
@@ -99,6 +161,11 @@ pub fn render_scene(scene: &SceneParams, config: &SceneConfig) -> Vector {
 /// sequence, so identical scenes always render to identical images.
 fn scene_hash(scene: &SceneParams) -> u64 {
     let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut mix = |v: f64| {
+        state ^= v.to_bits();
+        state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        state ^= state >> 27;
+    };
     for v in [
         scene.curvature,
         scene.ego_offset,
@@ -108,22 +175,41 @@ fn scene_hash(scene: &SceneParams) -> u64 {
         scene.traffic_distance,
         if scene.adjacent_traffic { 1.0 } else { 0.0 },
     ] {
-        state ^= v.to_bits();
-        state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        state ^= state >> 27;
+        mix(v);
+    }
+    // The scenario-diversity dimensions join the hash only when active, so
+    // legacy scenes (every new knob zeroed) keep their historical noise
+    // stream bit for bit.
+    if scene.occlusion > 0.0 {
+        mix(scene.occlusion);
+        mix(scene.occlusion_position);
+    }
+    if scene.rain_density > 0.0 {
+        mix(scene.rain_density);
+        mix(scene.rain_length);
+    }
+    if scene.sensor_dropout > 0.0 {
+        mix(scene.sensor_dropout);
+    }
+    if scene.dashed_lanes {
+        mix(1.0);
     }
     state
+}
+
+/// One uniform draw in `[0, 1)` from the xorshift stream.
+fn next_uniform(state: &mut u64) -> f64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    (*state >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// xorshift-based pseudo-normal noise in roughly `[-2, 2]` (sum of uniforms).
 fn next_noise(state: &mut u64) -> f64 {
     let mut sum = 0.0;
     for _ in 0..4 {
-        *state ^= *state << 13;
-        *state ^= *state >> 7;
-        *state ^= *state << 17;
-        let uniform = (*state >> 11) as f64 / (1u64 << 53) as f64;
-        sum += uniform;
+        sum += next_uniform(state);
     }
     (sum - 2.0) * 1.0
 }
@@ -224,5 +310,133 @@ mod tests {
         let a = render_scene(&SceneParams::nominal().with_curvature(0.2), &cfg);
         let b = render_scene(&SceneParams::nominal().with_curvature(0.4), &cfg);
         assert_ne!(a, b);
+    }
+
+    /// FNV-style fold of an image into one checksum, for the golden tests.
+    fn image_checksum(image: &Vector) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in image.iter() {
+            hash ^= v.to_bits();
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Golden checksums captured from the pre-diversity renderer: scenes
+    /// with every new knob at its default must render bit-identically to
+    /// the historical code, at both image geometries.
+    #[test]
+    fn legacy_scenes_render_bit_identically_to_the_historical_code() {
+        let mut scene = SceneParams::nominal()
+            .with_curvature(0.6)
+            .with_ego_offset(-0.2)
+            .with_adjacent_traffic(0.4);
+        scene.noise = 0.03;
+        scene.lighting = 0.8;
+        assert_eq!(
+            image_checksum(&render_scene(&scene, &SceneConfig::small())),
+            0x97c7_822e_9367_7ff0
+        );
+        assert_eq!(
+            image_checksum(&render_scene(&scene, &SceneConfig::medium())),
+            0xa236_5cbd_2a67_88d9
+        );
+    }
+
+    #[test]
+    fn occlusion_darkens_the_road_centre() {
+        let cfg = config();
+        let clear = render_scene(&SceneParams::nominal(), &cfg);
+        let occluded = render_scene(&SceneParams::nominal().with_occlusion(0.6, 0.3), &cfg);
+        assert_ne!(clear, occluded);
+        // The leading vehicle is dark, so the mean drops, and at least one
+        // centre-marking pixel is swallowed.
+        assert!(occluded.mean() < clear.mean());
+        let changed_dark = (0..cfg.pixel_count())
+            .filter(|&i| clear[i] >= MARKING_INTENSITY && occluded[i] <= VEHICLE_INTENSITY + 1e-9)
+            .count();
+        assert!(changed_dark > 0, "no marking pixel was occluded");
+    }
+
+    #[test]
+    fn larger_occlusion_hides_more_marking() {
+        let cfg = config();
+        let clear = render_scene(&SceneParams::nominal(), &cfg);
+        let hidden = |fraction: f64| {
+            let img = render_scene(&SceneParams::nominal().with_occlusion(fraction, 0.4), &cfg);
+            (0..cfg.pixel_count())
+                .filter(|&i| clear[i] >= MARKING_INTENSITY && img[i] <= VEHICLE_INTENSITY + 1e-9)
+                .count()
+        };
+        assert!(hidden(0.9) > hidden(0.3));
+    }
+
+    #[test]
+    fn rain_streaks_brighten_and_scale_with_density() {
+        let cfg = config();
+        let mut dusk = SceneParams::nominal();
+        dusk.lighting = 0.6;
+        let dry = render_scene(&dusk, &cfg);
+        let drizzle = render_scene(&dusk.with_rain(0.3, 0.3), &cfg);
+        let downpour = render_scene(&dusk.with_rain(2.0, 0.5), &cfg);
+        assert_ne!(dry, drizzle);
+        // Streaks pull dark dusk pixels up towards the rain intensity.
+        assert!(drizzle.mean() > dry.mean());
+        assert!(downpour.mean() > drizzle.mean());
+        assert!(downpour.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn dashed_centre_marking_removes_rows_but_keeps_edges() {
+        let cfg = config();
+        let solid = render_scene(&SceneParams::nominal(), &cfg);
+        let dashed = render_scene(&SceneParams::nominal().with_dashed_lanes(), &cfg);
+        assert_ne!(solid, dashed);
+        // Dashing only ever removes marking pixels, never adds any.
+        for i in 0..cfg.pixel_count() {
+            assert!(dashed[i] <= solid[i] + 1e-9);
+        }
+        // Some rows keep their centre marking ("on" dash phase), some lose
+        // it — and every removed pixel sits near the centre column (the
+        // straight nominal scene keeps the road centred), so the edge
+        // markings are untouched.
+        let centre_cols = (cfg.width / 2 - 2)..(cfg.width / 2 + 2);
+        let mut rows_with_centre = 0usize;
+        let mut rows_without_centre = 0usize;
+        for row in 0..cfg.height {
+            let mut row_changed = false;
+            for col in 0..cfg.width {
+                if dashed[row * cfg.width + col] != solid[row * cfg.width + col] {
+                    row_changed = true;
+                    assert!(
+                        centre_cols.contains(&col),
+                        "dashing touched non-centre pixel ({row}, {col})"
+                    );
+                }
+            }
+            if row_changed {
+                rows_without_centre += 1;
+            } else {
+                rows_with_centre += 1;
+            }
+        }
+        assert!(rows_with_centre > 0 && rows_without_centre > 0);
+    }
+
+    #[test]
+    fn sensor_dropout_blanks_the_bottom_rows() {
+        let cfg = config();
+        let mut scene = SceneParams::nominal();
+        scene.sensor_dropout = 0.25;
+        scene.noise = 0.03;
+        let img = render_scene(&scene, &cfg);
+        let dead_rows = (0.25 * cfg.height as f64).ceil() as usize;
+        for row in cfg.height - dead_rows..cfg.height {
+            for col in 0..cfg.width {
+                assert_eq!(img[row * cfg.width + col], 0.0);
+            }
+        }
+        // The live region above still shows the road.
+        assert!(img.iter().any(|&v| v > 0.0));
     }
 }

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use crate::{SceneConfig, SceneParams};
+use crate::{OddViolation, SceneConfig, SceneParams};
 
 /// Samples scene parameters from the operational design domain (ODD) — the
 /// distribution the paper's training data is drawn from ("a particular
@@ -41,7 +41,7 @@ impl OddSampler {
         } else {
             rng.gen_range(-c.max_curvature..=c.max_curvature)
         };
-        SceneParams {
+        let mut scene = SceneParams {
             curvature,
             ego_offset: rng.gen_range(-c.max_ego_offset..=c.max_ego_offset),
             heading_error: rng.gen_range(-c.max_heading_error..=c.max_heading_error),
@@ -49,7 +49,23 @@ impl OddSampler {
             noise: rng.gen_range(0.0..=c.max_noise),
             adjacent_traffic: rng.gen_bool(0.35),
             traffic_distance: rng.gen_range(0.0..=1.0),
+            ..SceneParams::default()
+        };
+        // The scenario-diversity dimensions draw only when their ODD knob
+        // is on, so the default configuration reproduces the historical
+        // RNG stream bit for bit (same contract as `curvature_mix`).
+        if c.max_occlusion > 0.0 {
+            scene.occlusion = rng.gen_range(0.0..=c.max_occlusion);
+            scene.occlusion_position = rng.gen_range(0.0..=1.0);
         }
+        if c.max_rain > 0.0 {
+            scene.rain_density = rng.gen_range(0.0..=c.max_rain);
+            scene.rain_length = rng.gen_range(0.1..=0.35);
+        }
+        if c.dashed_lane_fraction > 0.0 {
+            scene.dashed_lanes = rng.gen_bool(c.dashed_lane_fraction.min(1.0));
+        }
+        scene
     }
 
     /// Draws one curvature from the bimodal straight/tight-curve mixture:
@@ -92,10 +108,81 @@ impl OddSampler {
         panic!("sample_where: predicate unsatisfied after 100000 rejection-sampling attempts");
     }
 
+    /// Samples a scene exhibiting one *specific* out-of-ODD violation
+    /// class: an in-ODD base scene with exactly the class's dimension
+    /// pushed far outside its configured range, so per-class monitor
+    /// detection rates decompose cleanly (see [`OddViolation`]).
+    ///
+    /// The guarantee is `!self.is_in_odd(&scene)` and
+    /// `class.exhibited_by(&scene, self.config())` for every sample, for
+    /// any configuration whose ODD maxima leave room above them (a
+    /// positive `min_lighting` and `max_occlusion` at most 0.95; zeroed
+    /// maxima for the other dimensions are handled by absolute floors).
+    pub fn sample_violation<R: Rng + ?Sized>(
+        &self,
+        class: OddViolation,
+        rng: &mut R,
+    ) -> SceneParams {
+        let c = &self.config;
+        let mut scene = self.sample_in_odd(rng);
+        match class {
+            OddViolation::ExtremeCurvature => {
+                // Absolute floors keep the range non-degenerate (and out
+                // of the ODD) even when the configured maximum is zero.
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                scene.curvature = sign
+                    * rng.gen_range(
+                        (c.max_curvature * 1.5).max(0.2)..=(c.max_curvature * 3.0).max(0.6),
+                    );
+            }
+            OddViolation::Blackout => {
+                // The `max` keeps the range non-empty for tiny lighting
+                // minima; the final `min` guarantees the sample stays
+                // below the ODD floor for any `min_lighting > 0`.
+                let hi = (c.min_lighting * 0.25).max(0.021);
+                scene.lighting = rng
+                    .gen_range(0.02f64.min(hi)..=hi)
+                    .min(c.min_lighting * 0.9);
+            }
+            OddViolation::FullOcclusion => {
+                // Near-total occlusion by a close leading vehicle; the
+                // lower edge stays above the in-ODD maximum (up to the
+                // 0.98 cap — a `max_occlusion` beyond that leaves no room
+                // for a distinguishable violation).
+                let lo = (c.max_occlusion * 1.5)
+                    .clamp(0.85, 0.95)
+                    .max((c.max_occlusion + 0.02).min(0.98));
+                scene.occlusion = rng.gen_range(lo..=1.0);
+                scene.occlusion_position = rng.gen_range(0.1..=0.6);
+            }
+            OddViolation::Downpour => {
+                let lo = c.max_rain * 2.0 + 0.5;
+                scene.rain_density = rng.gen_range(lo..=lo + 1.0);
+                scene.rain_length = rng.gen_range(0.3..=0.6);
+            }
+            OddViolation::SensorDropout => {
+                scene.sensor_dropout = rng.gen_range(0.25..=0.6);
+            }
+            OddViolation::LaneDeparture => {
+                let sign = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
+                scene.ego_offset = sign
+                    * rng.gen_range(
+                        (c.max_ego_offset * 2.0).max(0.1)..=(c.max_ego_offset * 4.0).max(0.3),
+                    );
+            }
+        }
+        scene
+    }
+
     /// Samples a scene *outside* the ODD: at least one parameter exceeds its
     /// configured range (sharper curvature, stronger noise, darker lighting
     /// or a larger lateral offset). These are the inputs the runtime monitor
     /// is expected to flag.
+    ///
+    /// This is the historical *aggregate* out-of-ODD recipe (its RNG stream
+    /// is pinned by regression tests); experiments that need detection
+    /// rates per violation class use [`OddSampler::sample_violation`] with
+    /// the [`OddViolation`] taxonomy instead.
     pub fn sample_out_of_odd<R: Rng + ?Sized>(&self, rng: &mut R) -> SceneParams {
         let c = &self.config;
         let mut scene = self.sample_in_odd(rng);
@@ -121,7 +208,10 @@ impl OddSampler {
         scene
     }
 
-    /// Returns `true` when every scene parameter is within the ODD ranges.
+    /// Returns `true` when every scene parameter is within the ODD ranges,
+    /// including the scenario-diversity dimensions (occlusion and rain stay
+    /// below their configured maxima; any sensor dropout is out of *every*
+    /// ODD; dashed-vs-solid markings are an in-ODD rendering variant).
     pub fn is_in_odd(&self, scene: &SceneParams) -> bool {
         let c = &self.config;
         scene.curvature.abs() <= c.max_curvature
@@ -130,6 +220,9 @@ impl OddSampler {
             && scene.lighting >= c.min_lighting
             && scene.lighting <= 1.0
             && scene.noise <= c.max_noise
+            && scene.occlusion <= c.max_occlusion
+            && scene.rain_density <= c.max_rain
+            && scene.sensor_dropout == 0.0
     }
 }
 
@@ -235,6 +328,118 @@ mod tests {
             .any(|s| s.curvature < -cfg.strong_bend_threshold));
         for scene in &scenes {
             assert!(sampler.is_in_odd(scene), "scene left the ODD: {scene:?}");
+        }
+    }
+
+    /// FNV-style fold of sampled scenes into one checksum.
+    fn stream_checksum(scenes: &[SceneParams]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |v: f64| {
+            hash ^= v.to_bits();
+            hash = hash.wrapping_mul(0x0100_0000_01b3);
+        };
+        for s in scenes {
+            for v in [
+                s.curvature,
+                s.ego_offset,
+                s.heading_error,
+                s.lighting,
+                s.noise,
+                if s.adjacent_traffic { 1.0 } else { 0.0 },
+                s.traffic_distance,
+            ] {
+                fold(v);
+            }
+        }
+        hash
+    }
+
+    /// Golden checksums captured from the pre-diversity sampler: with every
+    /// new knob at its zero default, both sampling streams must match the
+    /// historical code bit for bit.
+    #[test]
+    fn default_config_reproduces_the_historical_rng_stream() {
+        let sampler = OddSampler::new(SceneConfig::small());
+        let mut rng = StdRng::seed_from_u64(12345);
+        let in_odd: Vec<_> = (0..64).map(|_| sampler.sample_in_odd(&mut rng)).collect();
+        assert_eq!(stream_checksum(&in_odd), 0x13f5_e52d_2431_faea);
+        let out_of_odd: Vec<_> = (0..64)
+            .map(|_| sampler.sample_out_of_odd(&mut rng))
+            .collect();
+        assert_eq!(stream_checksum(&out_of_odd), 0x090e_1342_5760_3631);
+        // And the zeroed knobs really stay zeroed.
+        for s in in_odd.iter().chain(&out_of_odd) {
+            assert_eq!(s.occlusion, 0.0);
+            assert_eq!(s.rain_density, 0.0);
+            assert_eq!(s.sensor_dropout, 0.0);
+            assert!(!s.dashed_lanes);
+        }
+    }
+
+    #[test]
+    fn diverse_config_samples_cover_every_dimension_and_stay_in_odd() {
+        let cfg = SceneConfig::diverse();
+        let sampler = OddSampler::new(cfg);
+        let mut rng = StdRng::seed_from_u64(21);
+        let scenes: Vec<_> = (0..400).map(|_| sampler.sample_in_odd(&mut rng)).collect();
+        for s in &scenes {
+            assert!(sampler.is_in_odd(s), "diverse sample left the ODD: {s:?}");
+        }
+        assert!(scenes
+            .iter()
+            .any(|s| s.occlusion >= cfg.occlusion_threshold));
+        assert!(scenes
+            .iter()
+            .any(|s| s.rain_density >= cfg.heavy_rain_threshold));
+        assert!(scenes.iter().any(|s| s.dashed_lanes));
+        assert!(scenes.iter().any(|s| !s.dashed_lanes));
+        assert!(scenes.iter().all(|s| s.sensor_dropout == 0.0));
+    }
+
+    #[test]
+    fn violation_samples_exhibit_their_class_and_leave_the_odd() {
+        // Under both the legacy config (occlusion/rain disabled in the ODD)
+        // and the diverse one, every class sample must leave the ODD and
+        // exhibit exactly its own dimension's violation.
+        for cfg in [SceneConfig::small(), SceneConfig::diverse()] {
+            let sampler = OddSampler::new(cfg);
+            let mut rng = StdRng::seed_from_u64(31);
+            for class in OddViolation::ALL {
+                for _ in 0..100 {
+                    let scene = sampler.sample_violation(class, &mut rng);
+                    assert!(
+                        !sampler.is_in_odd(&scene),
+                        "{class} sample stayed in ODD: {scene:?}"
+                    );
+                    assert!(
+                        class.exhibited_by(&scene, &cfg),
+                        "{class} sample does not exhibit its class: {scene:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn violation_samples_survive_degenerate_odd_configurations() {
+        // Zeroed maxima, a lighting floor below the historical blackout
+        // range, and an occlusion ceiling close to 1 must neither panic
+        // (empty `gen_range`) nor break the out-of-ODD guarantee.
+        let cfg = SceneConfig {
+            max_curvature: 0.0,
+            max_ego_offset: 0.0,
+            min_lighting: 0.05,
+            max_occlusion: 0.95,
+            ..SceneConfig::small()
+        };
+        let sampler = OddSampler::new(cfg);
+        let mut rng = StdRng::seed_from_u64(41);
+        for class in OddViolation::ALL {
+            for _ in 0..50 {
+                let scene = sampler.sample_violation(class, &mut rng);
+                assert!(!sampler.is_in_odd(&scene), "{class}: {scene:?}");
+                assert!(class.exhibited_by(&scene, &cfg), "{class}: {scene:?}");
+            }
         }
     }
 

@@ -31,6 +31,31 @@ pub struct SceneParams {
     /// (0 = right next to the ego vehicle, 1 = near the horizon). Ignored
     /// when `adjacent_traffic` is `false`.
     pub traffic_distance: f64,
+    /// Fraction of the lane markings hidden by a *leading* vehicle in the
+    /// ego lane, in `[0, 1]` (0 = no leading vehicle — the historical
+    /// default). The renderer paints a dark box over the road centre whose
+    /// footprint grows with this fraction, swallowing the centre marking.
+    pub occlusion: f64,
+    /// Longitudinal position of the leading (occluding) vehicle in `[0, 1]`
+    /// (0 = right in front of the ego vehicle, 1 = near the horizon).
+    /// Ignored when `occlusion` is zero.
+    pub occlusion_position: f64,
+    /// Rain-streak density: expected number of streaks per image column
+    /// (0 = dry — the historical default). Streaks brighten the pixels they
+    /// cross, the classic nuisance perturbation of camera frames in rain.
+    pub rain_density: f64,
+    /// Length of each rain streak as a fraction of the image height.
+    /// Ignored when `rain_density` is zero.
+    pub rain_length: f64,
+    /// Whether the centre lane marking is rendered *dashed* instead of
+    /// solid (`false` — solid — is the historical default). Road-edge
+    /// markings stay solid either way.
+    pub dashed_lanes: bool,
+    /// Fraction of image rows (from the bottom, nearest the ego vehicle)
+    /// blanked to zero intensity — a dead sensor region. Any non-zero value
+    /// is outside every ODD; it exists for the out-of-ODD taxonomy's
+    /// [`crate::OddViolation::SensorDropout`] class.
+    pub sensor_dropout: f64,
 }
 
 impl Default for SceneParams {
@@ -43,6 +68,12 @@ impl Default for SceneParams {
             noise: 0.0,
             adjacent_traffic: false,
             traffic_distance: 0.5,
+            occlusion: 0.0,
+            occlusion_position: 0.5,
+            rain_density: 0.0,
+            rain_length: 0.2,
+            dashed_lanes: false,
+            sensor_dropout: 0.0,
         }
     }
 }
@@ -75,6 +106,27 @@ impl SceneParams {
     pub fn with_adjacent_traffic(mut self, distance: f64) -> Self {
         self.adjacent_traffic = true;
         self.traffic_distance = distance.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with a leading vehicle occluding the given fraction of
+    /// the lane markings at the given longitudinal position.
+    pub fn with_occlusion(mut self, fraction: f64, position: f64) -> Self {
+        self.occlusion = fraction.clamp(0.0, 1.0);
+        self.occlusion_position = position.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with rain streaks of the given density and length.
+    pub fn with_rain(mut self, density: f64, length: f64) -> Self {
+        self.rain_density = density.max(0.0);
+        self.rain_length = length.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Returns a copy with the centre lane marking rendered dashed.
+    pub fn with_dashed_lanes(mut self) -> Self {
+        self.dashed_lanes = true;
         self
     }
 }
@@ -111,6 +163,24 @@ pub struct SceneConfig {
     /// `1.0` give the clustered straight-vs-curve workload the envelope
     /// sharding experiments need. Both modes stay inside the ODD.
     pub curvature_mix: f64,
+    /// Maximum lane-marking occlusion fraction inside the ODD. `0.0` — the
+    /// default — keeps the leading-vehicle dimension off entirely and the
+    /// historical RNG stream bit-identical.
+    pub max_occlusion: f64,
+    /// Occlusion fraction at or above which a scene counts as "occluded"
+    /// for [`crate::PropertyKind::Occluded`].
+    pub occlusion_threshold: f64,
+    /// Maximum rain-streak density inside the ODD. `0.0` — the default —
+    /// keeps the rain dimension off entirely and the historical RNG stream
+    /// bit-identical.
+    pub max_rain: f64,
+    /// Rain density at or above which a scene counts as "heavy rain" for
+    /// [`crate::PropertyKind::HeavyRain`].
+    pub heavy_rain_threshold: f64,
+    /// Fraction of in-ODD scenes rendered with a dashed centre marking.
+    /// `0.0` — the default — renders every scene with solid markings and
+    /// keeps the historical RNG stream bit-identical.
+    pub dashed_lane_fraction: f64,
 }
 
 impl SceneConfig {
@@ -129,6 +199,11 @@ impl SceneConfig {
             straight_threshold: 0.15,
             lookahead: 1.0,
             curvature_mix: 0.0,
+            max_occlusion: 0.0,
+            occlusion_threshold: 0.25,
+            max_rain: 0.0,
+            heavy_rain_threshold: 0.3,
+            dashed_lane_fraction: 0.0,
         }
     }
 
@@ -138,6 +213,26 @@ impl SceneConfig {
         Self {
             height: 32,
             width: 64,
+            ..Self::small()
+        }
+    }
+
+    /// The scenario-diversity configuration: every ODD dimension switched
+    /// on — partial lane-marking occlusion by leading vehicles, rain
+    /// streaks, a dashed-vs-solid lane mix, and the bimodal curvature
+    /// distribution — so datasets cover the full scenario taxonomy and the
+    /// cut-layer activations are genuinely multi-modal. The thresholds keep
+    /// [`crate::PropertyKind::Occluded`] and
+    /// [`crate::PropertyKind::HeavyRain`] satisfiable *and* refutable, so
+    /// balanced characterizer datasets exist for all properties.
+    pub fn diverse() -> Self {
+        Self {
+            curvature_mix: 0.5,
+            max_occlusion: 0.5,
+            occlusion_threshold: 0.25,
+            max_rain: 0.6,
+            heavy_rain_threshold: 0.3,
+            dashed_lane_fraction: 0.5,
             ..Self::small()
         }
     }
@@ -192,5 +287,47 @@ mod tests {
         let c = SceneConfig::small();
         assert!(c.straight_threshold < c.strong_bend_threshold);
         assert!(c.strong_bend_threshold < c.max_curvature);
+    }
+
+    #[test]
+    fn nominal_scene_has_every_diversity_knob_off() {
+        let s = SceneParams::nominal();
+        assert_eq!(s.occlusion, 0.0);
+        assert_eq!(s.rain_density, 0.0);
+        assert_eq!(s.sensor_dropout, 0.0);
+        assert!(!s.dashed_lanes);
+    }
+
+    #[test]
+    fn diversity_builders_replace_and_clamp() {
+        let s = SceneParams::nominal()
+            .with_occlusion(1.5, -0.2)
+            .with_rain(0.4, 2.0)
+            .with_dashed_lanes();
+        assert_eq!(s.occlusion, 1.0, "occlusion is clamped to [0, 1]");
+        assert_eq!(s.occlusion_position, 0.0);
+        assert_eq!(s.rain_density, 0.4);
+        assert_eq!(s.rain_length, 1.0, "length is clamped to [0, 1]");
+        assert!(s.dashed_lanes);
+    }
+
+    #[test]
+    fn small_config_keeps_diversity_dimensions_off() {
+        let c = SceneConfig::small();
+        assert_eq!(c.max_occlusion, 0.0);
+        assert_eq!(c.max_rain, 0.0);
+        assert_eq!(c.dashed_lane_fraction, 0.0);
+    }
+
+    #[test]
+    fn diverse_config_enables_every_dimension_with_reachable_thresholds() {
+        let c = SceneConfig::diverse();
+        assert!(c.max_occlusion > 0.0 && c.occlusion_threshold < c.max_occlusion);
+        assert!(c.max_rain > 0.0 && c.heavy_rain_threshold < c.max_rain);
+        assert!(c.dashed_lane_fraction > 0.0 && c.dashed_lane_fraction < 1.0);
+        assert!(c.curvature_mix > 0.0);
+        // Geometry and the historical ODD ranges are untouched.
+        assert_eq!(c.pixel_count(), SceneConfig::small().pixel_count());
+        assert_eq!(c.max_curvature, SceneConfig::small().max_curvature);
     }
 }

@@ -1,0 +1,97 @@
+//! Property-based tests of the out-of-ODD taxonomy against the runtime
+//! monitors: whatever the seed, every [`OddViolation`] class sample must be
+//! rejected by the scene-parameter in-ODD check (the ground truth the
+//! [`dpv_scenegen::PropertyKind`] oracles and `OddSampler::is_in_odd`
+//! decide from), and the rendered frames must be flagged by both the
+//! monolithic envelope monitor and the sharded monitor at high per-class
+//! rates — with the sharded monitor never missing a frame the monolithic
+//! one flags (the union-containment invariant).
+
+use dpv_monitor::{ActivationEnvelope, RuntimeMonitor};
+use dpv_nn::{Activation, NetworkBuilder};
+use dpv_scenegen::{render_scene, OddSampler, OddViolation, SceneConfig};
+use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ground truth: a violation sample is never in the ODD and always
+    /// exhibits its own class, under the legacy and the diverse config.
+    #[test]
+    fn violation_samples_are_rejected_by_the_in_odd_check(seed in 0u64..1000) {
+        for cfg in [SceneConfig::small(), SceneConfig::diverse()] {
+            let sampler = OddSampler::new(cfg);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for class in OddViolation::ALL {
+                let scene = sampler.sample_violation(class, &mut rng);
+                prop_assert!(!sampler.is_in_odd(&scene), "{class} stayed in ODD");
+                prop_assert!(
+                    class.exhibited_by(&scene, &cfg),
+                    "{class} sample does not exhibit its class"
+                );
+            }
+        }
+    }
+
+    /// Monitors: per violation class, the monolithic envelope monitor
+    /// flags ≥ 90% of rendered violation frames and the sharded monitor
+    /// dominates it frame by frame. The envelope is built directly over
+    /// rendered in-ODD pixels (an identity ReLU "network"), isolating the
+    /// taxonomy from perception-training noise.
+    #[test]
+    fn violation_frames_are_flagged_by_both_monitors(seed in 0u64..200) {
+        let cfg = SceneConfig::diverse();
+        let sampler = OddSampler::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0dd);
+        let images: Vec<_> = (0..100)
+            .map(|_| render_scene(&sampler.sample_in_odd(&mut rng), &cfg))
+            .collect();
+        // Pixels are non-negative, so a single ReLU layer is the identity:
+        // the monitored "activation" is the frame itself.
+        let net = NetworkBuilder::new(cfg.pixel_count())
+            .activation(Activation::ReLU)
+            .build();
+        let monolithic_envelope =
+            ActivationEnvelope::from_inputs(&net, 0, &images, 0.0).unwrap();
+        let sharded_envelope = ShardedEnvelope::from_inputs(
+            &net,
+            0,
+            &images,
+            0.0,
+            &ShardConfig::fixed(4).with_seed(seed ^ 0x5ead),
+        )
+        .unwrap();
+        let monolithic = RuntimeMonitor::new(net.clone(), 0, monolithic_envelope).unwrap();
+        let sharded = ShardedMonitor::new(net, 0, sharded_envelope).unwrap();
+
+        // Every training frame stays accepted by both (soundness side).
+        for image in &images {
+            prop_assert!(monolithic.check(image).is_in_odd());
+            prop_assert!(sharded.check(image).is_in_odd());
+        }
+
+        let frames = 20usize;
+        for class in OddViolation::ALL {
+            let mut mono_flagged = 0usize;
+            let mut shard_flagged = 0usize;
+            for _ in 0..frames {
+                let image = render_scene(&sampler.sample_violation(class, &mut rng), &cfg);
+                let mono_out = !monolithic.check(&image).is_in_odd();
+                let shard_out = !sharded.check(&image).is_in_odd();
+                // Union ⊆ monolithic envelope: the sharded monitor flags
+                // every frame the monolithic one does.
+                prop_assert!(shard_out || !mono_out, "{class}: sharded missed a mono flag");
+                mono_flagged += usize::from(mono_out);
+                shard_flagged += usize::from(shard_out);
+            }
+            prop_assert!(
+                mono_flagged * 10 >= frames * 9,
+                "{class}: monolithic detection {mono_flagged}/{frames} below 90%"
+            );
+            prop_assert!(shard_flagged >= mono_flagged);
+        }
+    }
+}

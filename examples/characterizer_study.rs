@@ -15,12 +15,16 @@
 use direct_perception_verify::core::{
     Characterizer, CharacterizerConfig, InputProperty, Workflow, WorkflowConfig,
 };
-use direct_perception_verify::scenegen::{property_examples, PropertyKind};
+use direct_perception_verify::scenegen::{property_examples, PropertyKind, SceneConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The diverse ODD keeps every property — including the occlusion, rain
+    // and dashed-lane scenario classes — satisfiable for balanced example
+    // generation.
     let config = WorkflowConfig {
+        scene: SceneConfig::diverse(),
         training_samples: 300,
         perception_epochs: 20,
         ..WorkflowConfig::small()

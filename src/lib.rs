@@ -12,7 +12,11 @@
 //! * [`nn`] — from-scratch neural network library (layers, training,
 //!   activation recording).
 //! * [`scenegen`] — synthetic road-scene generator standing in for the
-//!   paper's proprietary camera data (the operational design domain, ODD).
+//!   paper's proprietary camera data (the operational design domain, ODD):
+//!   highway scenes across curvature, lighting, traffic, occlusion, rain
+//!   and lane-marking-style dimensions, plus the named out-of-ODD
+//!   violation taxonomy (`OddViolation`) for per-class monitor
+//!   experiments.
 //! * [`lp`] — simplex LP solver and branch-and-bound MILP solver with
 //!   big-M ReLU encodings.
 //! * [`absint`] — abstract interpretation domains (box, zonotope,
@@ -63,7 +67,7 @@ pub mod prelude {
     pub use dpv_lp::{LinearProgram, MilpProblem, MilpStatus};
     pub use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};
     pub use dpv_nn::{Activation, Dataset, Layer, Network, NetworkBuilder, TrainConfig};
-    pub use dpv_scenegen::{OddSampler, PropertyKind, SceneConfig, SceneParams};
+    pub use dpv_scenegen::{OddSampler, OddViolation, PropertyKind, SceneConfig, SceneParams};
     pub use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
     pub use dpv_tensor::{Matrix, Vector};
 }

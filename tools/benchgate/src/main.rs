@@ -1,0 +1,390 @@
+//! `benchgate` — the CI bench-regression gate.
+//!
+//! Compares a freshly emitted `BENCH_*.json` (the criterion shim's
+//! `CRITERION_JSON` output) against the committed baseline and fails when a
+//! **metric record** regresses beyond its per-metric tolerance. Only
+//! records whose id ends in `-permille` are gated — they are emitted by
+//! `criterion::report_metric` and are deterministic (seeded workloads) or
+//! slow-moving ratios; raw `mean_ns` timings are informational only, since
+//! CI runners vary wildly in speed and core count.
+//!
+//! ```bash
+//! benchgate <baseline.json> <fresh.json>
+//! ```
+//!
+//! Exit status 0 when every gated metric is within tolerance, 1 otherwise
+//! (including a metric present in the baseline but missing from the fresh
+//! run — a silently dropped metric must not pass CI).
+//!
+//! ## Tolerance model
+//!
+//! Every metric id is matched to a [`Gate`]:
+//!
+//! * `k1-parity-permille` — a **band around 1000** with halfwidth 50
+//!   (±5%): k = 1 sharding must stay cost-comparable to the monolithic
+//!   path in *either* direction. The committed e9 baseline of 1007 means
+//!   k = 1 is 0.7% slower — well inside the band; exact parity is not the
+//!   contract, the band is.
+//! * `*speedup*` — higher is better, 35% relative slack: these are timing
+//!   *ratios*, so runner-speed effects largely cancel, but shared CI
+//!   hardware still jitters them.
+//! * `warm-hit`, `detection-*`, `families-safe` — higher is better with a
+//!   small absolute slack (these are deterministic permille rates from
+//!   seeded workloads; the slack absorbs platform float differences).
+//! * `volume-ratio` — lower is better (the shard union should stay tight).
+//! * anything else ending in `-permille` — higher is better, 10% relative
+//!   slack: add an explicit rule when a new metric's direction differs.
+
+use std::process::ExitCode;
+
+/// One parsed benchmark record (the subset of the shim's JSON we need).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Record {
+    id: String,
+    value: u128,
+}
+
+/// Tolerance rule for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Regression = fresh below `baseline - slack`.
+    HigherIsBetter { rel_permille: u128, abs: u128 },
+    /// Regression = fresh above `baseline + slack`.
+    LowerIsBetter { rel_permille: u128, abs: u128 },
+    /// Regression = fresh outside `centre ± halfwidth` (baseline-independent).
+    Band { centre: u128, halfwidth: u128 },
+}
+
+/// Per-metric rule table. Matches on the metric id (which includes the
+/// bench prefix, e.g. `e9/k1-parity-permille`).
+fn rule_for(id: &str) -> Gate {
+    if id.ends_with("k1-parity-permille") {
+        // The documented ±5% parity band around exact parity (1000‰).
+        Gate::Band {
+            centre: 1000,
+            halfwidth: 50,
+        }
+    } else if id.contains("speedup") {
+        Gate::HigherIsBetter {
+            rel_permille: 350,
+            abs: 0,
+        }
+    } else if id.contains("warm-hit") {
+        Gate::HigherIsBetter {
+            rel_permille: 0,
+            abs: 20,
+        }
+    } else if id.contains("detection") {
+        Gate::HigherIsBetter {
+            rel_permille: 0,
+            abs: 30,
+        }
+    } else if id.contains("families-safe") {
+        Gate::HigherIsBetter {
+            rel_permille: 0,
+            abs: 50,
+        }
+    } else if id.contains("volume-ratio") {
+        Gate::LowerIsBetter {
+            rel_permille: 100,
+            abs: 10,
+        }
+    } else {
+        Gate::HigherIsBetter {
+            rel_permille: 100,
+            abs: 25,
+        }
+    }
+}
+
+/// The verdict for one gated metric.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Finding {
+    id: String,
+    baseline: u128,
+    fresh: Option<u128>,
+    passed: bool,
+    allowed: String,
+}
+
+fn slack(baseline: u128, rel_permille: u128, abs: u128) -> u128 {
+    (baseline * rel_permille / 1000).max(abs)
+}
+
+/// Evaluates one metric against its rule.
+fn evaluate(id: &str, baseline: u128, fresh: u128) -> (bool, String) {
+    match rule_for(id) {
+        Gate::HigherIsBetter { rel_permille, abs } => {
+            let floor = baseline.saturating_sub(slack(baseline, rel_permille, abs));
+            (fresh >= floor, format!(">= {floor}"))
+        }
+        Gate::LowerIsBetter { rel_permille, abs } => {
+            let ceiling = baseline + slack(baseline, rel_permille, abs);
+            (fresh <= ceiling, format!("<= {ceiling}"))
+        }
+        Gate::Band { centre, halfwidth } => {
+            let lo = centre.saturating_sub(halfwidth);
+            let hi = centre + halfwidth;
+            (
+                (lo..=hi).contains(&fresh),
+                format!("in [{lo}, {hi}] (band around {centre})"),
+            )
+        }
+    }
+}
+
+/// Minimal parser for the criterion shim's JSON report: extracts every
+/// `{"id": "...", "mean_ns": N, ...}` object from the `results` array. The
+/// format is produced by our own shim, so a targeted scanner is enough —
+/// but it tolerates arbitrary whitespace and field order.
+fn parse_records(json: &str) -> Result<Vec<Record>, String> {
+    let mut records = Vec::new();
+    let mut rest = json;
+    while let Some(open) = rest.find('{') {
+        // Skip the top-level document object: only objects that contain an
+        // "id" key before their closing brace are records.
+        let Some(close_rel) = rest[open + 1..].find('}') else {
+            break;
+        };
+        let body = &rest[open + 1..open + 1 + close_rel];
+        if body.contains("\"id\"") {
+            let id = extract_string(body, "id")
+                .ok_or_else(|| format!("record without a readable id: {body}"))?;
+            let value = extract_number(body, "mean_ns")
+                .ok_or_else(|| format!("record {id} without a mean_ns value"))?;
+            records.push(Record { id, value });
+            rest = &rest[open + 1 + close_rel..];
+        } else {
+            // The document object itself: descend into it.
+            rest = &rest[open + 1..];
+        }
+    }
+    Ok(records)
+}
+
+fn extract_string(body: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\"");
+    let after_key = &body[body.find(&marker)? + marker.len()..];
+    let after_colon = &after_key[after_key.find(':')? + 1..];
+    let start = after_colon.find('"')? + 1;
+    let end = start + after_colon[start..].find('"')?;
+    Some(after_colon[start..end].to_string())
+}
+
+fn extract_number(body: &str, key: &str) -> Option<u128> {
+    let marker = format!("\"{key}\"");
+    let after_key = &body[body.find(&marker)? + marker.len()..];
+    let after_colon = after_key[after_key.find(':')? + 1..].trim_start();
+    let digits: String = after_colon
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Gates every `-permille` metric of `baseline_json` against `fresh_json`.
+fn gate(baseline_json: &str, fresh_json: &str) -> Result<Vec<Finding>, String> {
+    let baseline = parse_records(baseline_json)?;
+    let fresh = parse_records(fresh_json)?;
+    let mut findings = Vec::new();
+    for record in baseline.iter().filter(|r| r.id.ends_with("-permille")) {
+        match fresh.iter().find(|f| f.id == record.id) {
+            Some(found) => {
+                let (passed, allowed) = evaluate(&record.id, record.value, found.value);
+                findings.push(Finding {
+                    id: record.id.clone(),
+                    baseline: record.value,
+                    fresh: Some(found.value),
+                    passed,
+                    allowed,
+                });
+            }
+            None => findings.push(Finding {
+                id: record.id.clone(),
+                baseline: record.value,
+                fresh: None,
+                passed: false,
+                allowed: "present in the fresh run".to_string(),
+            }),
+        }
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: benchgate <baseline.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|error| format!("cannot read {path}: {error}"))
+    };
+    let result = read(baseline_path)
+        .and_then(|baseline| read(fresh_path).map(|fresh| (baseline, fresh)))
+        .and_then(|(baseline, fresh)| gate(&baseline, &fresh));
+    let findings = match result {
+        Ok(findings) => findings,
+        Err(error) => {
+            eprintln!("benchgate: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("benchgate: no -permille metric records in {baseline_path}; nothing gated");
+        return ExitCode::SUCCESS;
+    }
+    let mut failed = 0usize;
+    println!("benchgate: {baseline_path} vs {fresh_path}");
+    println!(
+        "{:<44} {:>10} {:>10}  verdict",
+        "metric", "baseline", "fresh"
+    );
+    for finding in &findings {
+        let fresh = finding
+            .fresh
+            .map_or_else(|| "missing".to_string(), |v| v.to_string());
+        let verdict = if finding.passed {
+            "ok".to_string()
+        } else {
+            failed += 1;
+            format!("REGRESSION (allowed: {})", finding.allowed)
+        };
+        println!(
+            "{:<44} {:>10} {:>10}  {verdict}",
+            finding.id, finding.baseline, fresh
+        );
+    }
+    if failed > 0 {
+        eprintln!("benchgate: {failed} metric(s) regressed beyond tolerance");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "benchgate: all {} gated metric(s) within tolerance",
+            findings.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, u128)]) -> String {
+        let mut out = String::from("{\n  \"host_cpus\": 1,\n  \"results\": [\n");
+        for (i, (id, value)) in entries.iter().enumerate() {
+            let comma = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{\"id\": \"{id}\", \"mean_ns\": {value}, \"min_ns\": {value}, \"samples\": 1}}{comma}\n"
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    #[test]
+    fn parser_reads_the_shim_format() {
+        let json = report(&[
+            ("e9/verify/monolithic", 222487335),
+            ("e9/k1-parity-permille", 1007),
+        ]);
+        let records = parse_records(&json).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].id, "e9/verify/monolithic");
+        assert_eq!(records[1].value, 1007);
+    }
+
+    #[test]
+    fn timings_are_not_gated() {
+        let baseline = report(&[("e9/verify/monolithic", 1_000_000)]);
+        // A 100× timing "regression" passes: timings are informational.
+        let fresh = report(&[("e9/verify/monolithic", 100_000_000)]);
+        assert!(gate(&baseline, &fresh).unwrap().is_empty());
+    }
+
+    #[test]
+    fn injected_ten_percent_regression_fails() {
+        // The acceptance scenario: a deterministic detection metric drops
+        // 10% (800‰ → 720‰). The slack is 30‰ absolute, so this fails.
+        let baseline = report(&[("e10/detection-blackout-permille", 800)]);
+        let fresh = report(&[("e10/detection-blackout-permille", 720)]);
+        let findings = gate(&baseline, &fresh).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].passed);
+        // Same for the warm-hit rate (993‰ → 893‰).
+        let baseline = report(&[("e8/warm-hit-permille", 993)]);
+        let fresh = report(&[("e8/warm-hit-permille", 893)]);
+        assert!(!gate(&baseline, &fresh).unwrap()[0].passed);
+    }
+
+    #[test]
+    fn small_drift_and_improvements_pass() {
+        let baseline = report(&[
+            ("e10/detection-downpour-permille", 950),
+            ("e8/speedup-permille", 6800),
+            ("e9/volume-ratio-permille", 56),
+        ]);
+        let fresh = report(&[
+            ("e10/detection-downpour-permille", 940), // within abs slack 30
+            ("e8/speedup-permille", 9000),            // improvement
+            ("e9/volume-ratio-permille", 50),         // tighter union
+        ]);
+        assert!(gate(&baseline, &fresh).unwrap().iter().all(|f| f.passed));
+    }
+
+    #[test]
+    fn parity_band_is_plus_minus_five_percent_around_exact_parity() {
+        let baseline = report(&[("e9/k1-parity-permille", 1007)]);
+        // 1007 (0.7% slower than monolithic) is inside the band …
+        assert!(gate(&baseline, &report(&[("e9/k1-parity-permille", 1007)])).unwrap()[0].passed);
+        // … as is anything in [950, 1050] …
+        assert!(gate(&baseline, &report(&[("e9/k1-parity-permille", 951)])).unwrap()[0].passed);
+        assert!(gate(&baseline, &report(&[("e9/k1-parity-permille", 1049)])).unwrap()[0].passed);
+        // … but a 6% deviation in either direction fails.
+        assert!(!gate(&baseline, &report(&[("e9/k1-parity-permille", 1060)])).unwrap()[0].passed);
+        assert!(!gate(&baseline, &report(&[("e9/k1-parity-permille", 940)])).unwrap()[0].passed);
+    }
+
+    #[test]
+    fn speedup_ratios_get_relative_slack() {
+        let baseline = report(&[("e9/shard-speedup-permille", 11622)]);
+        // 35% relative slack: floor is 11622 - 4067 = 7555.
+        assert!(
+            gate(&baseline, &report(&[("e9/shard-speedup-permille", 7600)])).unwrap()[0].passed
+        );
+        assert!(
+            !gate(&baseline, &report(&[("e9/shard-speedup-permille", 7000)])).unwrap()[0].passed
+        );
+    }
+
+    #[test]
+    fn volume_ratio_gates_increases_only() {
+        let baseline = report(&[("e9/volume-ratio-permille", 56)]);
+        assert!(gate(&baseline, &report(&[("e9/volume-ratio-permille", 60)])).unwrap()[0].passed);
+        assert!(!gate(&baseline, &report(&[("e9/volume-ratio-permille", 80)])).unwrap()[0].passed);
+    }
+
+    #[test]
+    fn missing_metric_fails_the_gate() {
+        let baseline = report(&[("e9/detection-delta-permille", 100)]);
+        let fresh = report(&[("e9/verify/monolithic", 12345)]);
+        let findings = gate(&baseline, &fresh).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].passed);
+        assert_eq!(findings[0].fresh, None);
+    }
+
+    #[test]
+    fn committed_e9_baseline_passes_against_itself() {
+        let baseline = report(&[
+            ("e9/volume-ratio-permille", 56),
+            ("e9/k1-parity-permille", 1007),
+            ("e9/shard-speedup-permille", 11622),
+            ("e9/detection-delta-permille", 100),
+        ]);
+        let findings = gate(&baseline, &baseline).unwrap();
+        assert_eq!(findings.len(), 4);
+        assert!(findings.iter().all(|f| f.passed));
+    }
+}
