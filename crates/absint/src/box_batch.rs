@@ -1,0 +1,296 @@
+//! Structure-of-arrays batch of box domains for sibling propagation.
+//!
+//! Refinement explores *generations* of sibling sub-boxes that all flow
+//! through the same cached layer chain. Propagating them one
+//! [`BoxDomain`] at a time re-reads every weight row per sub-box;
+//! [`BoxBatch`] instead keeps the sub-boxes as SIMD lanes (`lo`/`hi`
+//! stored dimension-major, lanes contiguous) so one sweep over the
+//! weights propagates the whole generation, and the inner loops run over
+//! contiguous `f64` slices the compiler can vectorise.
+//!
+//! ## Parity invariant
+//!
+//! Lane `s` of [`BoxBatch::apply_layer_into`] is **bit-identical** to
+//! [`BoxDomain::apply_layer_into`] of box `s`: every kernel replicates
+//! the scalar [`Interval`] operation sequence (dense rows start at the
+//! bias point-interval and accumulate inputs in ascending index order
+//! with sign-dependent bound selection, batch-norm applies the affine
+//! form as one multiply and one add per bound, activations transform the
+//! endpoints) and only widens the loop across lanes. The bound
+//! propagation that instantiates refinement MILPs can therefore run
+//! batched without perturbing a single verdict.
+
+use dpv_nn::{Activation, Layer};
+
+use crate::{AbstractDomain, BoxDomain, Interval};
+
+/// A batch of same-dimension boxes in structure-of-arrays layout:
+/// `lo[d * lanes + s]` / `hi[d * lanes + s]` hold bound `d` of lane
+/// (sub-box) `s`, so each dimension's bounds are contiguous across the
+/// batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxBatch {
+    dim: usize,
+    lanes: usize,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl BoxBatch {
+    /// Packs a slice of equal-dimension boxes into one batch.
+    ///
+    /// # Panics
+    /// Panics when the boxes have differing dimensions.
+    pub fn from_boxes(boxes: &[&BoxDomain]) -> Self {
+        let lanes = boxes.len();
+        let dim = boxes.first().map_or(0, |b| b.dim());
+        let mut lo = vec![0.0; dim * lanes];
+        let mut hi = vec![0.0; dim * lanes];
+        for (s, b) in boxes.iter().enumerate() {
+            assert_eq!(b.dim(), dim, "box batch dimension mismatch");
+            for (d, interval) in b.bounds().iter().enumerate() {
+                lo[d * lanes + s] = interval.lo;
+                hi[d * lanes + s] = interval.hi;
+            }
+        }
+        Self { dim, lanes, lo, hi }
+    }
+
+    /// An uninitialised batch used as the ping-pong partner of
+    /// [`BoxBatch::apply_layer_into`]; its contents are overwritten by
+    /// the first application.
+    pub fn empty() -> Self {
+        Self {
+            dim: 0,
+            lanes: 0,
+            lo: Vec::new(),
+            hi: Vec::new(),
+        }
+    }
+
+    /// Number of lanes (sub-boxes) in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Dimension shared by every lane.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Bound `d` of lane `s`.
+    ///
+    /// # Panics
+    /// Panics when `s` or `d` is out of range.
+    pub fn interval(&self, s: usize, d: usize) -> Interval {
+        assert!(
+            s < self.lanes && d < self.dim,
+            "box batch index out of range"
+        );
+        Interval::new(self.lo[d * self.lanes + s], self.hi[d * self.lanes + s])
+    }
+
+    /// Extracts lane `s` as a standalone box.
+    ///
+    /// # Panics
+    /// Panics when `s` is out of range.
+    pub fn lane(&self, s: usize) -> BoxDomain {
+        assert!(s < self.lanes, "box batch lane out of range");
+        BoxDomain::from_intervals((0..self.dim).map(|d| self.interval(s, d)).collect())
+    }
+
+    /// Resizes this batch to `dim` bounds per lane across `lanes` lanes
+    /// (contents unspecified until written).
+    fn reset(&mut self, dim: usize, lanes: usize) {
+        self.dim = dim;
+        self.lanes = lanes;
+        self.lo.clear();
+        self.lo.resize(dim * lanes, 0.0);
+        self.hi.clear();
+        self.hi.resize(dim * lanes, 0.0);
+    }
+
+    /// Batched [`BoxDomain::apply_layer_into`]: propagates every lane
+    /// through `layer` into `out`, reusing `out`'s buffers. Lane `s` of
+    /// the result is bit-identical to propagating box `s` alone (see the
+    /// module docs for the parity argument). Spatial layers fall back to
+    /// the scalar transformer per lane.
+    ///
+    /// # Panics
+    /// Panics on layer/batch dimension mismatches, exactly like the
+    /// scalar path.
+    pub fn apply_layer_into(&self, layer: &Layer, out: &mut BoxBatch) {
+        let lanes = self.lanes;
+        match layer {
+            Layer::Dense(d) => {
+                assert_eq!(self.dim, d.input_dim(), "box/dense dimension mismatch");
+                let weights = d.weights();
+                out.reset(weights.rows(), lanes);
+                for r in 0..weights.rows() {
+                    let row = weights.row(r);
+                    let bias = d.bias()[r];
+                    let olo = &mut out.lo[r * lanes..(r + 1) * lanes];
+                    let ohi = &mut out.hi[r * lanes..(r + 1) * lanes];
+                    olo.fill(bias);
+                    ohi.fill(bias);
+                    for (c, &w) in row.iter().enumerate() {
+                        let slo = &self.lo[c * lanes..(c + 1) * lanes];
+                        let shi = &self.hi[c * lanes..(c + 1) * lanes];
+                        if w >= 0.0 {
+                            for s in 0..lanes {
+                                olo[s] += slo[s] * w;
+                                ohi[s] += shi[s] * w;
+                            }
+                        } else {
+                            for s in 0..lanes {
+                                olo[s] += shi[s] * w;
+                                ohi[s] += slo[s] * w;
+                            }
+                        }
+                    }
+                }
+            }
+            Layer::BatchNorm(bn) => {
+                assert_eq!(self.dim, bn.dim(), "box/batch-norm dimension mismatch");
+                let (a, b) = bn.affine_form();
+                out.reset(self.dim, lanes);
+                for d in 0..self.dim {
+                    let (ad, bd) = (a[d], b[d]);
+                    let slo = &self.lo[d * lanes..(d + 1) * lanes];
+                    let shi = &self.hi[d * lanes..(d + 1) * lanes];
+                    let olo = &mut out.lo[d * lanes..(d + 1) * lanes];
+                    let ohi = &mut out.hi[d * lanes..(d + 1) * lanes];
+                    if ad >= 0.0 {
+                        for s in 0..lanes {
+                            olo[s] = slo[s] * ad + bd;
+                            ohi[s] = shi[s] * ad + bd;
+                        }
+                    } else {
+                        for s in 0..lanes {
+                            olo[s] = shi[s] * ad + bd;
+                            ohi[s] = slo[s] * ad + bd;
+                        }
+                    }
+                }
+            }
+            Layer::Activation(act) => {
+                out.reset(self.dim, lanes);
+                let f = |x: f64| Self::endpoint(*act, x);
+                for (o, &v) in out.lo.iter_mut().zip(self.lo.iter()) {
+                    *o = f(v);
+                }
+                for (o, &v) in out.hi.iter_mut().zip(self.hi.iter()) {
+                    *o = f(v);
+                }
+            }
+            Layer::Flatten(_) => {
+                out.reset(self.dim, lanes);
+                out.lo.copy_from_slice(&self.lo);
+                out.hi.copy_from_slice(&self.hi);
+            }
+            other => {
+                // Spatial layers: scalar transformer per lane.
+                let images: Vec<BoxDomain> = (0..lanes)
+                    .map(|s| self.lane(s).apply_layer(other))
+                    .collect();
+                let refs: Vec<&BoxDomain> = images.iter().collect();
+                *out = BoxBatch::from_boxes(&refs);
+            }
+        }
+    }
+
+    /// Endpoint image of the monotone activation transformers —
+    /// textually the per-endpoint expressions of the scalar
+    /// `activation_interval` (ReLU clamps at zero, leaky-ReLU scales the
+    /// negative part, sigmoid/tanh map endpoints by monotonicity).
+    fn endpoint(activation: Activation, x: f64) -> f64 {
+        match activation {
+            Activation::Identity => x,
+            Activation::ReLU => x.max(0.0),
+            Activation::LeakyReLU(slope) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            }
+            Activation::Sigmoid | Activation::Tanh => activation.apply(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpv_nn::NetworkBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_boxes(seed: u64, n: usize, dim: usize) -> Vec<BoxDomain> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                BoxDomain::from_intervals(
+                    (0..dim)
+                        .map(|_| {
+                            let lo = rng.gen_range(-2.0..1.0);
+                            Interval::new(lo, lo + rng.gen_range(0.0..2.0))
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lanes_round_trip() {
+        let boxes = random_boxes(7, 5, 3);
+        let refs: Vec<&BoxDomain> = boxes.iter().collect();
+        let batch = BoxBatch::from_boxes(&refs);
+        assert_eq!(batch.lanes(), 5);
+        assert_eq!(batch.dim(), 3);
+        for (s, b) in boxes.iter().enumerate() {
+            assert_eq!(&batch.lane(s), b);
+        }
+    }
+
+    #[test]
+    fn batched_propagation_matches_the_scalar_path_exactly() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = NetworkBuilder::new(4)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .batch_norm()
+            .dense(3, &mut rng)
+            .activation(Activation::LeakyReLU(0.1))
+            .dense(2, &mut rng)
+            .build();
+        let boxes = random_boxes(13, 9, 4);
+        let refs: Vec<&BoxDomain> = boxes.iter().collect();
+
+        let mut batch = BoxBatch::from_boxes(&refs);
+        let mut batch_next = BoxBatch::empty();
+        let mut scalars = boxes.clone();
+        let mut scratch = BoxDomain::from_intervals(Vec::new());
+        for layer in net.layers() {
+            batch.apply_layer_into(layer, &mut batch_next);
+            std::mem::swap(&mut batch, &mut batch_next);
+            for cur in scalars.iter_mut() {
+                cur.apply_layer_into(layer, &mut scratch);
+                std::mem::swap(cur, &mut scratch);
+            }
+            for (s, expected) in scalars.iter().enumerate() {
+                // Bit-exact equality, not approximate: the batched kernel
+                // replicates the scalar operation order.
+                assert_eq!(&batch.lane(s), expected, "lane {s} drifted after {layer:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_well_formed() {
+        let batch = BoxBatch::from_boxes(&[]);
+        assert_eq!(batch.lanes(), 0);
+        assert_eq!(batch.dim(), 0);
+    }
+}

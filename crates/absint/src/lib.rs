@@ -46,11 +46,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod box_batch;
 mod box_domain;
 mod interval;
 mod octagon;
 mod zonotope;
 
+pub use box_batch::BoxBatch;
 pub use box_domain::BoxDomain;
 pub use interval::Interval;
 pub use octagon::{BoundRows, OctagonLite};

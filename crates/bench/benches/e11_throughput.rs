@@ -1,0 +1,346 @@
+//! E11: batched monitor & propagation throughput — the SIMD-friendly
+//! structure-of-arrays pass over frames and refinement siblings.
+//!
+//! The workload is the E9 sharded-monitor setup (cut-4 envelope over the
+//! multi-modal `curvature_mix` ODD, `k = 4` shards), measured three ways:
+//!
+//! * **monitor batching** — a stream of frames classified one call per
+//!   frame (`check`) versus one call per stream (`check_frames`). The
+//!   batched path runs one matrix–matrix forward pass per layer and a
+//!   fused min/max containment sweep over the contiguous SoA envelope
+//!   (64-frame chunks with an early-exit bitmask), so the speedup is pure
+//!   layout/fusion — no extra cores involved. Verdict parity with the
+//!   scalar path is asserted *before* anything is timed and reported as
+//!   `e11/batch-parity-permille` (exactly 1000 or the gate fails: the
+//!   batch sweep must be bit-identical to per-frame monitoring, violation
+//!   lists included).
+//! * **frames/sec** — the same measurements re-expressed as throughput
+//!   records (`*-frames-per-sec-permille`, value = frames·1000/s). These
+//!   are machine-speed dependent, so `tools/benchgate` gives them the
+//!   lenient higher-is-better rule rather than the tight ratio rules.
+//! * **propagation batching** — interval bound propagation for a
+//!   generation of refinement siblings through the cached
+//!   [`EncodingTemplate`] layers: per-sibling `region_bounds` versus one
+//!   SoA `region_bounds_batch` pass. This is the precompute the
+//!   generational refinement loop performs before fanning out to workers.
+//!
+//! Run with `CRITERION_JSON=BENCH_e11.json` for machine-readable results.
+//! The committed baseline was produced on a **single-core** container
+//! (`host_cpus: 1` in the JSON), which is the point: every speedup below
+//! is batching, not parallelism. The `e11/monitor-batch-speedup-permille`
+//! acceptance floor is 2000 (≥ 2×).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dpv_absint::{AbstractDomain, BoxDomain, Interval};
+use dpv_bench::permille;
+use dpv_core::{
+    Characterizer, CharacterizerConfig, EncodingTemplate, InputProperty, RiskCondition,
+    StartRegion, Workflow, WorkflowConfig,
+};
+use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};
+use dpv_scenegen::{render_scene, DatasetBundle, GeneratorConfig, OddSampler, PropertyKind};
+use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
+use dpv_tensor::Vector;
+
+/// Frames per measured stream — a few SoA chunks plus a ragged tail, so the
+/// 64-lane bitmask path and the remainder path are both on the clock.
+const STREAM: usize = 200;
+
+/// Mean seconds over `reps` runs of `routine`.
+fn mean_seconds<O>(reps: usize, mut routine: impl FnMut() -> O) -> f64 {
+    criterion::black_box(routine());
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        criterion::black_box(routine());
+        total += start.elapsed().as_secs_f64();
+    }
+    total / reps as f64
+}
+
+/// Splits `root` into `2^splits` sibling sub-boxes by bisecting the widest
+/// dimensions — the shape one refinement generation hands to the batched
+/// propagation pass.
+fn sibling_boxes(root: &BoxDomain, splits: usize) -> Vec<BoxDomain> {
+    let mut generation = vec![root.clone()];
+    for _ in 0..splits {
+        generation = generation
+            .iter()
+            .flat_map(|b| {
+                let bounds = b.bounds();
+                let (dim, _) = bounds
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, x), (_, y)| {
+                        (x.hi - x.lo).partial_cmp(&(y.hi - y.lo)).expect("finite")
+                    })
+                    .expect("non-empty box");
+                let mid = 0.5 * (bounds[dim].lo + bounds[dim].hi);
+                let mut lo_half = bounds.to_vec();
+                let mut hi_half = bounds.to_vec();
+                lo_half[dim] = Interval::new(bounds[dim].lo, mid);
+                hi_half[dim] = Interval::new(mid, bounds[dim].hi);
+                [
+                    BoxDomain::from_intervals(lo_half),
+                    BoxDomain::from_intervals(hi_half),
+                ]
+            })
+            .collect();
+    }
+    generation
+}
+
+fn bench_e11(c: &mut Criterion) {
+    // E9 workload: multi-modal ODD, cut-4 envelope, k = 4 shards.
+    let mut scene = dpv_scenegen::SceneConfig::small();
+    scene.curvature_mix = 0.8;
+    let outcome = Workflow::new(WorkflowConfig {
+        scene,
+        training_samples: 150,
+        characterizer_samples: 150,
+        validation_samples: 80,
+        perception_epochs: 10,
+        ..WorkflowConfig::small()
+    })
+    .run()
+    .expect("benchmark setup workflow must succeed");
+    let generator = GeneratorConfig {
+        scene,
+        samples: 150,
+        seed: 11,
+        threads: 1,
+    };
+    let bundle = DatasetBundle::generate(&generator);
+
+    let cut = 4usize;
+    let margin = 0.25;
+    let monolithic =
+        ActivationEnvelope::from_inputs(&outcome.perception, cut, &bundle.images, margin)
+            .expect("envelope from training activations");
+    let sharded = ShardedEnvelope::from_inputs(
+        &outcome.perception,
+        cut,
+        &bundle.images,
+        margin,
+        &ShardConfig::fixed(4).with_seed(23),
+    )
+    .expect("k = 4 sharding");
+    let mono_monitor = RuntimeMonitor::new(outcome.perception.clone(), cut, monolithic.clone())
+        .expect("monolithic monitor");
+    let shard_monitor = ShardedMonitor::new(outcome.perception.clone(), cut, sharded.clone())
+        .expect("sharded monitor");
+
+    // A frame stream mixing in- and out-of-ODD scenes, as a deployed
+    // monitor would see.
+    let sampler = OddSampler::new(scene);
+    let mut frame_rng = StdRng::seed_from_u64(29);
+    let frames: Vec<Vector> = (0..STREAM)
+        .map(|i| {
+            let scene_desc = if i % 3 == 0 {
+                sampler.sample_out_of_odd(&mut frame_rng)
+            } else {
+                sampler.sample_in_odd(&mut frame_rng)
+            };
+            render_scene(&scene_desc, &scene)
+        })
+        .collect();
+
+    // --- Parity before anything is timed ---------------------------------
+    let mono_batched = mono_monitor.check_frames(&frames);
+    let mono_scalar: Vec<MonitorVerdict> = frames.iter().map(|f| mono_monitor.check(f)).collect();
+    let shard_batched = shard_monitor.check_frames(&frames);
+    let shard_scalar: Vec<MonitorVerdict> = frames.iter().map(|f| shard_monitor.check(f)).collect();
+    let parity = mono_batched == mono_scalar && shard_batched == shard_scalar;
+    assert!(
+        parity,
+        "batched verdicts must be identical to per-frame verdicts"
+    );
+    let flagged = mono_batched.iter().filter(|v| !v.is_in_odd()).count();
+    println!(
+        "e11 setup: {STREAM} frames, {} flagged out-of-ODD monolithically, {} by the shard union",
+        flagged,
+        shard_batched.iter().filter(|v| !v.is_in_odd()).count()
+    );
+    assert!(
+        flagged > 0 && flagged < STREAM,
+        "the stream must exercise both verdicts"
+    );
+    criterion::report_metric("e11/batch-parity-permille", u128::from(parity) * 1000);
+    mono_monitor.reset();
+    shard_monitor.reset();
+
+    // --- Monitor throughput: per-frame vs batched -------------------------
+    let reps = 30usize;
+    let mono_scalar_s = mean_seconds(reps, || {
+        frames
+            .iter()
+            .filter(|f| mono_monitor.check(f).is_in_odd())
+            .count()
+    });
+    let mono_batch_s = mean_seconds(reps, || {
+        mono_monitor
+            .check_frames(&frames)
+            .iter()
+            .filter(|v| v.is_in_odd())
+            .count()
+    });
+    let shard_scalar_s = mean_seconds(reps, || {
+        frames
+            .iter()
+            .filter(|f| shard_monitor.check(f).is_in_odd())
+            .count()
+    });
+    let shard_batch_s = mean_seconds(reps, || {
+        shard_monitor
+            .check_frames(&frames)
+            .iter()
+            .filter(|v| v.is_in_odd())
+            .count()
+    });
+    println!(
+        "e11 monitor: monolithic {:.1} µs/frame scalar vs {:.1} µs/frame batched ({:.2}x); \
+         sharded {:.1} vs {:.1} µs/frame ({:.2}x)",
+        1e6 * mono_scalar_s / STREAM as f64,
+        1e6 * mono_batch_s / STREAM as f64,
+        mono_scalar_s / mono_batch_s.max(1e-12),
+        1e6 * shard_scalar_s / STREAM as f64,
+        1e6 * shard_batch_s / STREAM as f64,
+        shard_scalar_s / shard_batch_s.max(1e-12),
+    );
+    criterion::report_metric(
+        "e11/monitor-batch-speedup-permille",
+        permille(mono_scalar_s, mono_batch_s),
+    );
+    criterion::report_metric(
+        "e11/sharded-batch-speedup-permille",
+        permille(shard_scalar_s, shard_batch_s),
+    );
+    // Throughput records: frames · 1000 / second, gated leniently (they are
+    // machine-speed dependent, unlike the ratios above).
+    criterion::report_metric(
+        "e11/monitor-batch-frames-per-sec-permille",
+        permille(STREAM as f64, mono_batch_s),
+    );
+    criterion::report_metric(
+        "e11/sharded-batch-frames-per-sec-permille",
+        permille(STREAM as f64, shard_batch_s),
+    );
+
+    let mut group = c.benchmark_group("e11");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("monitor-stream", "scalar"), |b| {
+        b.iter(|| {
+            frames
+                .iter()
+                .filter(|f| mono_monitor.check(f).is_in_odd())
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("monitor-stream", "batched"), |b| {
+        b.iter(|| {
+            mono_monitor
+                .check_frames(&frames)
+                .iter()
+                .filter(|v| v.is_in_odd())
+                .count()
+        })
+    });
+    group.bench_function(BenchmarkId::new("monitor-stream", "sharded-batched"), |b| {
+        b.iter(|| {
+            shard_monitor
+                .check_frames(&frames)
+                .iter()
+                .filter(|v| v.is_in_odd())
+                .count()
+        })
+    });
+
+    // --- Sibling bound propagation: scalar vs batched ---------------------
+    // The cut-4 template the refinement loop would cache, with the trained
+    // characterizer chained on; one generation = 32 sibling sub-boxes.
+    let mut rng = StdRng::seed_from_u64(17);
+    let examples = dpv_scenegen::property_examples(&scene, PropertyKind::BendsRight, 160, &mut rng);
+    let characterizer = Characterizer::train(
+        InputProperty::new("bends_right", "scene oracle"),
+        &outcome.perception,
+        cut,
+        &examples,
+        &CharacterizerConfig::small(),
+        &mut rng,
+    )
+    .expect("characterizer training");
+    let (_, tail) = outcome.perception.split_at(cut).expect("split");
+    let root_box = monolithic.box_only();
+    let template = EncodingTemplate::build(
+        tail.layers(),
+        Some(characterizer.network()),
+        &RiskCondition::new("steer far left").output_le(0, -1e3),
+        &StartRegion::Box(root_box.clone()),
+    )
+    .expect("template build");
+    let generation = sibling_boxes(&root_box, 5);
+    let refs: Vec<&BoxDomain> = generation.iter().collect();
+    println!(
+        "e11 propagation: generation of {} sibling boxes, {} tail layers",
+        generation.len(),
+        tail.layers().len()
+    );
+
+    let batched_bounds = template.region_bounds_batch(&refs).expect("batched bounds");
+    for (sub_box, batched) in generation.iter().zip(&batched_bounds) {
+        let scalar = template
+            .region_bounds(&StartRegion::Box(sub_box.clone()))
+            .expect("scalar bounds");
+        assert_eq!(batched, &scalar, "batched propagation must be bit-exact");
+    }
+
+    let prop_reps = 20usize;
+    let scalar_prop_s = mean_seconds(prop_reps, || {
+        generation
+            .iter()
+            .map(|sub_box| {
+                template
+                    .region_bounds(&StartRegion::Box(sub_box.clone()))
+                    .expect("scalar bounds")
+            })
+            .collect::<Vec<_>>()
+    });
+    let batch_prop_s = mean_seconds(prop_reps, || {
+        template.region_bounds_batch(&refs).expect("batched bounds")
+    });
+    println!(
+        "e11 propagation: {:.1} µs/box scalar vs {:.1} µs/box batched ({:.2}x)",
+        1e6 * scalar_prop_s / generation.len() as f64,
+        1e6 * batch_prop_s / generation.len() as f64,
+        scalar_prop_s / batch_prop_s.max(1e-12),
+    );
+    criterion::report_metric(
+        "e11/propagation-batch-speedup-permille",
+        permille(scalar_prop_s, batch_prop_s),
+    );
+
+    group.bench_function(BenchmarkId::new("propagation-generation", "scalar"), |b| {
+        b.iter(|| {
+            generation
+                .iter()
+                .map(|sub_box| {
+                    template
+                        .region_bounds(&StartRegion::Box(sub_box.clone()))
+                        .expect("scalar bounds")
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function(BenchmarkId::new("propagation-generation", "batched"), |b| {
+        b.iter(|| template.region_bounds_batch(&refs).expect("batched bounds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e11);
+criterion_main!(benches);

@@ -35,7 +35,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dpv_absint::{AbstractDomain, BoxDomain};
-use dpv_bench::{bench_config, quick_outcome, CloningBranchAndBoundBackend};
+use dpv_bench::{bench_config, permille, quick_outcome, CloningBranchAndBoundBackend};
 use dpv_core::{
     encode_verification, AssumeGuarantee, Characterizer, CharacterizerConfig, InputProperty,
     ParallelRefinementConfig, RefinementVerifier, RiskCondition, StartRegion, VerificationProblem,
@@ -238,6 +238,47 @@ fn bench_e7(c: &mut Criterion) {
                 seconds,
                 nodes,
                 nodes as f64 / seconds.max(1e-9)
+            );
+        }
+    }
+
+    // On a multi-core host, turn the worker sweep on the embarrassingly
+    // parallel refutation workload into wall-clock speedup records: serial
+    // mean ÷ parallel mean, per worker count that fits the host. These rows
+    // are deliberately absent from the committed single-core baseline
+    // (`host_cpus: 1` in `BENCH_e7.json`), where the sweep can only measure
+    // coordination overhead; a multi-core CI profile records them so the
+    // subtree fan-out shows up as a gated metric the first time a multi-core
+    // baseline is committed.
+    if host_cpus > 1 {
+        let (label, refute) = &workloads[0];
+        let reps = 3usize;
+        let measure = |backend: &dyn SolverBackend| {
+            let mut total = 0.0;
+            for _ in 0..reps {
+                let start = Instant::now();
+                refute.run(backend);
+                total += start.elapsed().as_secs_f64();
+            }
+            total / reps as f64
+        };
+        let serial_mean = measure(&BranchAndBoundBackend);
+        for workers in WORKER_SWEEP.iter().copied().filter(|&n| n > 1) {
+            let parallel_mean = measure(&ParallelBranchAndBoundBackend::new(workers));
+            let speedup = permille(serial_mean, parallel_mean);
+            println!(
+                "{label} multicore: serial {serial_mean:.3}s vs {workers} workers \
+                 {parallel_mean:.3}s ({:.2}x)",
+                serial_mean / parallel_mean.max(1e-9)
+            );
+            criterion::report_metric(format!("e7/parallel-speedup-{workers}-permille"), speedup);
+            // Lenient self-check: with real cores available, the parallel
+            // backend must not be pathologically slower than the serial one
+            // (CI runners jitter, so the floor is loose).
+            assert!(
+                speedup >= 500,
+                "parallel/{workers} was more than 2x slower than serial on a \
+                 {host_cpus}-core host ({speedup} permille)"
             );
         }
     }

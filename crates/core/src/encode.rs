@@ -32,7 +32,7 @@
 //! recovers. The `backend_seam` tests assert verdict equality against the
 //! re-encoding path.
 
-use dpv_absint::{AbstractDomain, BoxDomain, Interval, OctagonLite};
+use dpv_absint::{AbstractDomain, BoxBatch, BoxDomain, Interval, OctagonLite};
 use dpv_lp::{encode_relu_big_m, ConstraintOp, MilpProblem, VarId};
 use dpv_nn::{Activation, Layer, Network};
 
@@ -512,30 +512,31 @@ impl EncodingTemplate {
     /// constants are only valid for subsets). Callers fall back to
     /// [`encode_verification`] when this returns `false`.
     pub fn supports(&self, region: &StartRegion) -> bool {
-        if region.dim() != self.root_box.dim() {
-            return false;
-        }
-        let kind_matches = match region {
-            StartRegion::Box(_) => !self.octagonal,
-            StartRegion::Octagon(o) => self.octagonal && o.diffs().len() == self.diff_rows.len(),
-        };
-        if !kind_matches {
-            return false;
-        }
-        let tol = 1e-9;
         match region {
-            StartRegion::Box(b) => b
-                .bounds()
-                .iter()
-                .zip(self.root_box.bounds())
-                .all(|(sub, root)| sub.lo >= root.lo - tol && sub.hi <= root.hi + tol),
-            StartRegion::Octagon(o) => o
-                .to_box_domain()
-                .bounds()
-                .iter()
-                .zip(self.root_box.bounds())
-                .all(|(sub, root)| sub.lo >= root.lo - tol && sub.hi <= root.hi + tol),
+            StartRegion::Box(b) => self.supports_box(b),
+            StartRegion::Octagon(o) => {
+                self.octagonal
+                    && o.diffs().len() == self.diff_rows.len()
+                    && o.dim() == self.root_box.dim()
+                    && self.box_within_root(&o.to_box_domain())
+            }
         }
+    }
+
+    /// [`EncodingTemplate::supports`] for a plain box region, without
+    /// wrapping it in a [`StartRegion`] (the refinement work-list checks
+    /// whole generations of sub-boxes).
+    pub fn supports_box(&self, sub: &BoxDomain) -> bool {
+        !self.octagonal && sub.dim() == self.root_box.dim() && self.box_within_root(sub)
+    }
+
+    /// Containment of `sub` in the root box up to the support tolerance.
+    fn box_within_root(&self, sub: &BoxDomain) -> bool {
+        let tol = 1e-9;
+        sub.bounds()
+            .iter()
+            .zip(self.root_box.bounds())
+            .all(|(sub, root)| sub.lo >= root.lo - tol && sub.hi <= root.hi + tol)
     }
 
     /// Instantiates the skeleton for `region`: a clone of the cached MILP
@@ -588,6 +589,152 @@ impl EncodingTemplate {
                 "region is not covered by the template's root region".into(),
             ));
         }
+        let bounds = self.propagate_region(region);
+        self.apply_bounds(region, &bounds, scratch);
+        Ok(())
+    }
+
+    /// The **propagate** half of an instantiation: interval-propagates the
+    /// region through every cached chain and returns the per-stage bounds
+    /// the **apply** half ([`EncodingTemplate::instantiate_into_with`])
+    /// needs. Splitting the two lets a refinement generation batch the
+    /// propagation of all sibling sub-boxes in one SoA pass
+    /// ([`EncodingTemplate::region_bounds_batch`]).
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when
+    /// [`EncodingTemplate::supports`] rejects the region.
+    pub fn region_bounds(&self, region: &StartRegion) -> Result<RegionBounds, CoreError> {
+        if !self.supports(region) {
+            return Err(CoreError::Inconsistent(
+                "region is not covered by the template's root region".into(),
+            ));
+        }
+        Ok(self.propagate_region(region))
+    }
+
+    /// Batched [`EncodingTemplate::region_bounds`] for sibling sub-boxes of
+    /// one refinement generation: all boxes are propagated through the
+    /// cached tail and characterizer chains in a single structure-of-arrays
+    /// sweep ([`BoxBatch`]), whose lanes are bit-identical to the scalar
+    /// propagation — entry `i` of the result equals
+    /// `region_bounds(&StartRegion::Box(boxes[i]))` exactly.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when any box fails
+    /// [`EncodingTemplate::supports_box`] (octagon-rooted templates reject
+    /// plain boxes wholesale).
+    pub fn region_bounds_batch(
+        &self,
+        boxes: &[&BoxDomain],
+    ) -> Result<Vec<RegionBounds>, CoreError> {
+        if boxes.iter().any(|b| !self.supports_box(b)) {
+            return Err(CoreError::Inconsistent(
+                "region is not covered by the template's root region".into(),
+            ));
+        }
+        if boxes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let batch = BoxBatch::from_boxes(boxes);
+        let tail = propagate_chain_batch(&self.tail, &batch);
+        let characterizer = self
+            .characterizer
+            .as_ref()
+            .map(|ch| propagate_chain_batch(ch, &batch));
+        Ok((0..boxes.len())
+            .map(|s| RegionBounds {
+                template_id: self.id,
+                tail: tail[s].clone(),
+                characterizer: characterizer
+                    .as_ref()
+                    .map(|ch| ch[s].clone())
+                    .unwrap_or_default(),
+            })
+            .collect())
+    }
+
+    /// [`EncodingTemplate::instantiate_into`] with the propagate half
+    /// already done: re-tightens `scratch` using precomputed `bounds`
+    /// (typically one lane of [`EncodingTemplate::region_bounds_batch`])
+    /// instead of re-propagating the region. The resulting problem is
+    /// identical to `instantiate_into(region, scratch)`.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when the region is unsupported,
+    /// `scratch` derives from a different template, or `bounds` was
+    /// computed by a different template.
+    pub fn instantiate_into_with(
+        &self,
+        region: &StartRegion,
+        bounds: &RegionBounds,
+        scratch: &mut EncodedProblem,
+    ) -> Result<(), CoreError> {
+        if scratch.template_id != Some(self.id) {
+            return Err(CoreError::Inconsistent(
+                "scratch problem does not derive from this template".into(),
+            ));
+        }
+        if bounds.template_id != self.id {
+            return Err(CoreError::Inconsistent(
+                "region bounds derive from a different template".into(),
+            ));
+        }
+        if !self.supports(region) {
+            return Err(CoreError::Inconsistent(
+                "region is not covered by the template's root region".into(),
+            ));
+        }
+        self.apply_bounds(region, bounds, scratch);
+        Ok(())
+    }
+
+    /// [`EncodingTemplate::instantiate`] with precomputed bounds: clones
+    /// the skeleton and applies `bounds`.
+    ///
+    /// # Errors
+    /// Same conditions as [`EncodingTemplate::instantiate_into_with`].
+    pub fn instantiate_with(
+        &self,
+        region: &StartRegion,
+        bounds: &RegionBounds,
+    ) -> Result<EncodedProblem, CoreError> {
+        let mut scratch = self.skeleton.clone();
+        scratch.template_id = Some(self.id);
+        self.instantiate_into_with(region, bounds, &mut scratch)?;
+        Ok(scratch)
+    }
+
+    /// Scalar propagate half (callers have already validated `region`).
+    fn propagate_region(&self, region: &StartRegion) -> RegionBounds {
+        let owned_box;
+        let region_box: &BoxDomain = match region {
+            StartRegion::Box(b) => b,
+            StartRegion::Octagon(o) => {
+                owned_box = o.to_box_domain();
+                &owned_box
+            }
+        };
+        RegionBounds {
+            template_id: self.id,
+            tail: propagate_chain_scalar(&self.tail, region_box),
+            characterizer: self
+                .characterizer
+                .as_ref()
+                .map(|ch| propagate_chain_scalar(ch, region_box))
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Apply half: bound-shaped MILP edits only, consuming per-stage bounds
+    /// in the exact order the fused `retighten_chain` used to produce them,
+    /// so the resulting problem is identical.
+    fn apply_bounds(
+        &self,
+        region: &StartRegion,
+        bounds: &RegionBounds,
+        scratch: &mut EncodedProblem,
+    ) {
         let owned_box;
         let region_box: &BoxDomain = match region {
             StartRegion::Box(b) => b,
@@ -615,52 +762,126 @@ impl EncodingTemplate {
 
         let mut binaries = 0usize;
         let mut stable = 0usize;
-        let mut cur = region_box.clone();
-        let mut next = BoxDomain::from_intervals(Vec::new());
-        retighten_chain(
+        apply_chain(
             &mut scratch.milp,
             &self.tail,
-            &mut cur,
-            &mut next,
+            &bounds.tail,
             &mut binaries,
             &mut stable,
         );
         if let Some(ch) = &self.characterizer {
-            cur = region_box.clone();
-            retighten_chain(
+            apply_chain(
                 &mut scratch.milp,
                 ch,
-                &mut cur,
-                &mut next,
+                &bounds.characterizer,
                 &mut binaries,
                 &mut stable,
             );
         }
         scratch.num_binaries = binaries;
         scratch.stable_relus = stable;
-        Ok(())
     }
 }
 
-/// Walks one cached chain, re-propagating `cur` through the layers and
-/// re-tightening every stage's variable bounds; ReLU indicators that the
-/// tighter pre-activation bounds stabilise are pinned to their phase.
-fn retighten_chain(
+/// Precomputed per-stage interval bounds of one region under one template —
+/// the output of the propagate half ([`EncodingTemplate::region_bounds`] /
+/// [`EncodingTemplate::region_bounds_batch`]) and the input of the apply
+/// half ([`EncodingTemplate::instantiate_into_with`]).
+///
+/// Per stage the stored bounds are what the apply half edits into the MILP:
+/// post-affine bounds for dense/batch-norm stages, **pre-activation** bounds
+/// for ReLU stages (they determine both the output-variable bounds and the
+/// indicator pinning), and nothing for identity/flatten stages. The struct
+/// is opaque and stamped with the template's identity so bounds cannot be
+/// applied through the wrong skeleton.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionBounds {
+    template_id: u64,
+    tail: Vec<Vec<Interval>>,
+    characterizer: Vec<Vec<Interval>>,
+}
+
+/// Propagate half over one cached chain: walks the layers with the scalar
+/// box transformer and records, per stage, the bounds the apply half needs
+/// (see [`RegionBounds`]).
+fn propagate_chain_scalar(chain: &ChainPlan, region_box: &BoxDomain) -> Vec<Vec<Interval>> {
+    let mut stages = Vec::with_capacity(chain.layers.len());
+    let mut cur = region_box.clone();
+    let mut next = BoxDomain::from_intervals(Vec::new());
+    for layer in &chain.layers {
+        match layer {
+            Layer::Dense(_) | Layer::BatchNorm(_) => {
+                cur.apply_layer_into(layer, &mut next);
+                std::mem::swap(&mut cur, &mut next);
+                stages.push(cur.bounds().to_vec());
+            }
+            Layer::Activation(Activation::ReLU) => {
+                // Record the PRE-activation bounds, then keep propagating.
+                stages.push(cur.bounds().to_vec());
+                cur.apply_layer_into(layer, &mut next);
+                std::mem::swap(&mut cur, &mut next);
+            }
+            _ => stages.push(Vec::new()),
+        }
+    }
+    stages
+}
+
+/// Batched propagate half: one [`BoxBatch`] sweep through the chain,
+/// returning the per-stage bounds for every lane (`result[lane][stage]`).
+/// Lane `s` is bit-identical to `propagate_chain_scalar` of box `s` — the
+/// parity the `BoxBatch` kernels guarantee.
+fn propagate_chain_batch(chain: &ChainPlan, start: &BoxBatch) -> Vec<Vec<Vec<Interval>>> {
+    let lanes = start.lanes();
+    let mut per_lane: Vec<Vec<Vec<Interval>>> = (0..lanes)
+        .map(|_| Vec::with_capacity(chain.layers.len()))
+        .collect();
+    let record = |batch: &BoxBatch, per_lane: &mut Vec<Vec<Vec<Interval>>>| {
+        for (s, lane) in per_lane.iter_mut().enumerate() {
+            lane.push((0..batch.dim()).map(|d| batch.interval(s, d)).collect());
+        }
+    };
+    let mut cur = start.clone();
+    let mut next = BoxBatch::empty();
+    for layer in &chain.layers {
+        match layer {
+            Layer::Dense(_) | Layer::BatchNorm(_) => {
+                cur.apply_layer_into(layer, &mut next);
+                std::mem::swap(&mut cur, &mut next);
+                record(&cur, &mut per_lane);
+            }
+            Layer::Activation(Activation::ReLU) => {
+                record(&cur, &mut per_lane);
+                cur.apply_layer_into(layer, &mut next);
+                std::mem::swap(&mut cur, &mut next);
+            }
+            _ => {
+                for lane in per_lane.iter_mut() {
+                    lane.push(Vec::new());
+                }
+            }
+        }
+    }
+    per_lane
+}
+
+/// Apply half over one cached chain: consumes the recorded per-stage bounds
+/// in stage order, re-tightening every stage's variable bounds and pinning
+/// ReLU indicators the tighter pre-activation bounds stabilise. Edit order
+/// and values match the former fused walk exactly.
+fn apply_chain(
     milp: &mut MilpProblem,
     chain: &ChainPlan,
-    cur: &mut BoxDomain,
-    next: &mut BoxDomain,
+    stage_bounds: &[Vec<Interval>],
     binaries: &mut usize,
     stable: &mut usize,
 ) {
-    for (layer, stage) in chain.layers.iter().zip(&chain.stages) {
+    for ((layer, stage), bounds) in chain.layers.iter().zip(&chain.stages).zip(stage_bounds) {
         match layer {
             Layer::Dense(_) | Layer::BatchNorm(_) => {
-                cur.apply_layer_into(layer, next);
-                for (&v, interval) in stage.vars.iter().zip(next.bounds()) {
+                for (&v, interval) in stage.vars.iter().zip(bounds) {
                     milp.lp_mut().set_bounds(v, interval.lo, interval.hi);
                 }
-                std::mem::swap(cur, next);
             }
             Layer::Activation(Activation::ReLU) => {
                 let indicators = stage
@@ -668,7 +889,7 @@ fn retighten_chain(
                     .as_ref()
                     .expect("ReLU stages record their indicators");
                 for (j, (&y, indicator)) in stage.vars.iter().zip(indicators).enumerate() {
-                    let pre = cur.bounds()[j];
+                    let pre = bounds[j];
                     milp.lp_mut()
                         .set_bounds(y, pre.lo.max(0.0), pre.hi.max(0.0));
                     match indicator {
@@ -689,8 +910,6 @@ fn retighten_chain(
                         None => *stable += 1,
                     }
                 }
-                cur.apply_layer_into(layer, next);
-                std::mem::swap(cur, next);
             }
             Layer::Activation(Activation::Identity) | Layer::Flatten(_) => {}
             // `EncodingTemplate::build` already rejected anything else.
@@ -997,6 +1216,89 @@ mod tests {
         );
         let tightened = template.instantiate(&StartRegion::Octagon(tight)).unwrap();
         assert_eq!(tightened.milp.solve().status, MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn batched_region_bounds_match_scalar_propagation_exactly() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let tail_net = NetworkBuilder::new(3)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .batch_norm()
+            .dense(2, &mut rng)
+            .build();
+        let ch = NetworkBuilder::new(3)
+            .dense(4, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let risk = RiskCondition::new("r").output_ge(0, 0.3);
+        let root = StartRegion::Box(BoxDomain::uniform(3, -1.0, 1.0));
+        let template = EncodingTemplate::build(tail_net.layers(), Some(&ch), &risk, &root).unwrap();
+        let boxes: Vec<BoxDomain> = [(-1.0, 1.0), (-0.5, 0.25), (0.1, 0.9), (-1.0, -0.6)]
+            .iter()
+            .map(|&(lo, hi)| BoxDomain::uniform(3, lo, hi))
+            .collect();
+        let refs: Vec<&BoxDomain> = boxes.iter().collect();
+        let batched = template.region_bounds_batch(&refs).unwrap();
+        assert_eq!(batched.len(), boxes.len());
+        for (b, batched_bounds) in boxes.iter().zip(&batched) {
+            let scalar = template
+                .region_bounds(&StartRegion::Box(b.clone()))
+                .unwrap();
+            // Bit-exact: the SoA lanes replicate scalar interval propagation.
+            assert_eq!(batched_bounds, &scalar);
+        }
+        assert!(template.region_bounds_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn instantiate_with_precomputed_bounds_matches_instantiate() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let tail_net = NetworkBuilder::new(2)
+            .dense(5, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build();
+        let risk = RiskCondition::new("r").output_ge(0, 0.2);
+        let root = StartRegion::Box(BoxDomain::uniform(2, -2.0, 2.0));
+        let template = EncodingTemplate::build(tail_net.layers(), None, &risk, &root).unwrap();
+        let sub = StartRegion::Box(BoxDomain::uniform(2, -0.5, 1.5));
+        let bounds = template.region_bounds(&sub).unwrap();
+        let via_bounds = template.instantiate_with(&sub, &bounds).unwrap();
+        let direct = template.instantiate(&sub).unwrap();
+        assert_eq!(via_bounds.milp, direct.milp);
+        assert_eq!(via_bounds.num_binaries, direct.num_binaries);
+        assert_eq!(via_bounds.stable_relus, direct.stable_relus);
+        // The in-place apply path is identical too.
+        let other = StartRegion::Box(BoxDomain::uniform(2, 0.0, 2.0));
+        let mut scratch = template.instantiate(&other).unwrap();
+        template
+            .instantiate_into_with(&sub, &bounds, &mut scratch)
+            .unwrap();
+        assert_eq!(scratch.milp, direct.milp);
+    }
+
+    #[test]
+    fn region_bounds_are_template_scoped() {
+        let tail = identity_relu_tail();
+        let root = StartRegion::Box(BoxDomain::uniform(2, -1.0, 1.0));
+        let risk_a = RiskCondition::new("a").output_ge(0, 0.25);
+        let risk_b = RiskCondition::new("b").output_ge(0, 5.0);
+        let template_a = EncodingTemplate::build(&tail, None, &risk_a, &root).unwrap();
+        let template_b = EncodingTemplate::build(&tail, None, &risk_b, &root).unwrap();
+        let sub = StartRegion::Box(BoxDomain::uniform(2, -0.5, 0.5));
+        let bounds_a = template_a.region_bounds(&sub).unwrap();
+        let mut scratch_b = template_b.instantiate(&sub).unwrap();
+        assert!(matches!(
+            template_b.instantiate_into_with(&sub, &bounds_a, &mut scratch_b),
+            Err(CoreError::Inconsistent(_))
+        ));
+        // Uncovered regions are rejected at the propagate half already.
+        let outside = StartRegion::Box(BoxDomain::uniform(2, -3.0, 3.0));
+        assert!(template_a.region_bounds(&outside).is_err());
+        let outside_box = BoxDomain::uniform(2, -3.0, 3.0);
+        assert!(template_a.region_bounds_batch(&[&outside_box]).is_err());
     }
 
     #[test]

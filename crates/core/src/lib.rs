@@ -50,7 +50,9 @@ mod verify;
 mod workflow;
 
 pub use characterizer::{Characterizer, CharacterizerConfig};
-pub use encode::{encode_verification, EncodedProblem, EncodingTemplate, StartRegion};
+pub use encode::{
+    encode_verification, EncodedProblem, EncodingTemplate, RegionBounds, StartRegion,
+};
 pub use error::CoreError;
 pub use refine::{ParallelRefinementConfig, RefinedVerdict, RefinementReport, RefinementVerifier};
 pub use shard_verify::{ShardObligation, ShardedVerificationConfig, ShardedVerificationReport};

@@ -34,7 +34,7 @@ use dpv_lp::{default_backend, MilpSolution, SolveStats, SolverBackend};
 use dpv_tensor::Vector;
 
 use crate::{
-    CoreError, CounterExample, EncodedProblem, ProblemTemplate, StartRegion, Verdict,
+    CoreError, CounterExample, EncodedProblem, ProblemTemplate, RegionBounds, StartRegion, Verdict,
     VerificationProblem,
 };
 
@@ -264,8 +264,14 @@ impl RefinementVerifier {
                 continue;
             }
             report.verification_calls += 1;
-            let (verdict, solution) =
-                solve_box(problem, template.as_ref(), &mut scratch, &current, backend)?;
+            let (verdict, solution) = solve_box(
+                problem,
+                template.as_ref(),
+                &mut scratch,
+                &current,
+                None,
+                backend,
+            )?;
             report.solver_stats += solution.stats;
             match verdict {
                 Verdict::Safe => {
@@ -435,11 +441,14 @@ fn solve_box(
     template: Option<&ProblemTemplate>,
     scratch: &mut Option<EncodedProblem>,
     current: &BoxDomain,
+    bounds: Option<&RegionBounds>,
     backend: &dyn SolverBackend,
 ) -> Result<(Verdict, MilpSolution), CoreError> {
     let region = StartRegion::Box(current.clone());
     match template {
-        Some(template) => problem.run_solver_with_template(template, &region, scratch, backend),
+        Some(template) => {
+            problem.run_solver_with_template(template, &region, bounds, scratch, backend)
+        }
         None => problem
             .run_solver(&region, backend)
             .map(|(verdict, _, solution)| (verdict, solution)),
@@ -449,6 +458,12 @@ fn solve_box(
 /// Solves every box of `generation` across `workers` scoped threads and
 /// returns the outcomes indexed like the input (position `i` holds box
 /// `i`'s result), so the caller's fold is scheduling-independent.
+///
+/// Before the workers spawn, the bound propagation for every surviving
+/// (non-pruned, template-covered) sibling is done in **one batched SoA
+/// sweep** ([`crate::EncodingTemplate::region_bounds_batch`]) — the workers
+/// then only apply the precomputed bounds and solve. The batched lanes are
+/// bit-identical to scalar propagation, so verdicts are unchanged.
 fn solve_generation(
     problem: &VerificationProblem,
     template: Option<&ProblemTemplate>,
@@ -457,12 +472,24 @@ fn solve_generation(
     backend: &dyn SolverBackend,
     workers: usize,
 ) -> Vec<Result<BoxOutcome, CoreError>> {
+    let pruned: Vec<bool> = generation
+        .iter()
+        .map(|current| {
+            !references
+                .iter()
+                .any(|r| current.box_contains(r.as_slice(), 1e-9))
+        })
+        .collect();
+    let bounds = batch_region_bounds(template, generation, &pruned);
+
     let cursor = AtomicUsize::new(0);
     let workers = workers.min(generation.len()).max(1);
     let collected = crossbeam::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 let cursor = &cursor;
+                let pruned = &pruned;
+                let bounds = &bounds;
                 scope.spawn(move |_| {
                     let mut local: Vec<(usize, Result<BoxOutcome, CoreError>)> = Vec::new();
                     let mut scratch: Option<EncodedProblem> = None;
@@ -472,18 +499,23 @@ fn solve_generation(
                             break;
                         }
                         let current = &generation[index];
-                        let outcome = if !references
-                            .iter()
-                            .any(|r| current.box_contains(r.as_slice(), 1e-9))
-                        {
+                        let outcome = if pruned[index] {
                             Ok(BoxOutcome::Pruned)
                         } else {
-                            solve_box(problem, template, &mut scratch, current, backend).map(
-                                |(verdict, solution)| BoxOutcome::Solved {
+                            solve_box(
+                                problem,
+                                template,
+                                &mut scratch,
+                                current,
+                                bounds[index].as_ref(),
+                                backend,
+                            )
+                            .map(|(verdict, solution)| {
+                                BoxOutcome::Solved {
                                     verdict,
                                     stats: solution.stats,
-                                },
-                            )
+                                }
+                            })
                         };
                         local.push((index, outcome));
                     }
@@ -507,6 +539,37 @@ fn solve_generation(
         .into_iter()
         .map(|slot| slot.expect("every box receives exactly one outcome"))
         .collect()
+}
+
+/// The batched propagate half of one generation: every box that will
+/// actually be solved through the template (not pruned, covered by the
+/// root) gets its per-stage bounds from one
+/// [`crate::EncodingTemplate::region_bounds_batch`] sweep; the rest stay
+/// `None` (pruned boxes are never solved, uncovered boxes fall back to
+/// one-shot encoding inside `solve_box`).
+fn batch_region_bounds(
+    template: Option<&ProblemTemplate>,
+    generation: &[BoxDomain],
+    pruned: &[bool],
+) -> Vec<Option<RegionBounds>> {
+    let mut slots: Vec<Option<RegionBounds>> = (0..generation.len()).map(|_| None).collect();
+    let Some(template) = template else {
+        return slots;
+    };
+    let mut indices = Vec::new();
+    let mut boxes = Vec::new();
+    for (index, current) in generation.iter().enumerate() {
+        if !pruned[index] && template.encoding().supports_box(current) {
+            indices.push(index);
+            boxes.push(current);
+        }
+    }
+    if let Ok(all) = template.encoding().region_bounds_batch(&boxes) {
+        for (index, bounds) in indices.into_iter().zip(all) {
+            slots[index] = Some(bounds);
+        }
+    }
+    slots
 }
 
 /// Splits a box along its widest dimension at the midpoint. The two halves

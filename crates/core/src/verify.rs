@@ -11,8 +11,8 @@ use dpv_nn::Network;
 use dpv_tensor::Vector;
 
 use crate::{
-    encode_verification, Characterizer, CoreError, EncodedProblem, EncodingTemplate, RiskCondition,
-    StartRegion,
+    encode_verification, Characterizer, CoreError, EncodedProblem, EncodingTemplate, RegionBounds,
+    RiskCondition, StartRegion,
 };
 
 /// Which abstract domain computes the Lemma-2 set from the input domain.
@@ -421,10 +421,16 @@ impl VerificationProblem {
     /// the skeleton is re-tightened into `scratch` (allocated on first use,
     /// reused afterwards) instead of re-encoding the whole MILP. Falls back
     /// to one-shot encoding when the template does not support `region`.
+    ///
+    /// When `bounds` is given (one lane of a batched
+    /// [`crate::EncodingTemplate::region_bounds_batch`] propagation), the
+    /// propagate half is skipped and the precomputed bounds are applied
+    /// directly — the instantiated problem is identical either way.
     pub(crate) fn run_solver_with_template(
         &self,
         template: &ProblemTemplate,
         region: &StartRegion,
+        bounds: Option<&RegionBounds>,
         scratch: &mut Option<EncodedProblem>,
         backend: &dyn SolverBackend,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
@@ -432,9 +438,15 @@ impl VerificationProblem {
             let (verdict, _, solution) = self.run_solver(region, backend)?;
             return Ok((verdict, solution));
         }
-        match scratch {
-            Some(existing) => template.encoding.instantiate_into(region, existing)?,
-            None => *scratch = Some(template.encoding.instantiate(region)?),
+        match (scratch.as_mut(), bounds) {
+            (Some(existing), Some(bounds)) => template
+                .encoding
+                .instantiate_into_with(region, bounds, existing)?,
+            (Some(existing), None) => template.encoding.instantiate_into(region, existing)?,
+            (None, Some(bounds)) => {
+                *scratch = Some(template.encoding.instantiate_with(region, bounds)?)
+            }
+            (None, None) => *scratch = Some(template.encoding.instantiate(region)?),
         }
         let encoded = scratch.as_ref().expect("scratch populated above");
         let solution = backend.solve(&encoded.milp);
@@ -507,7 +519,7 @@ impl VerificationProblem {
         }
         let mut scratch = None;
         let (verdict, solution) =
-            self.run_solver_with_template(template, &region, &mut scratch, backend)?;
+            self.run_solver_with_template(template, &region, None, &mut scratch, backend)?;
         let encoded = scratch.expect("supported regions populate the scratch");
         let solve_seconds = start_time.elapsed().as_secs_f64();
         Ok(VerificationOutcome {

@@ -591,13 +591,18 @@ impl Workflow {
         let out_of_odd_images: Vec<Vector> = (0..cfg.validation_samples)
             .map(|_| render_scene(&sampler.sample_out_of_odd(&mut monitor_rng), &cfg.scene))
             .collect();
-        let in_odd_accepted = in_odd_images
+        // One batched sweep per frame set: the forward passes run
+        // matrix–matrix and the envelope containment runs over the SoA
+        // bounds, with verdicts identical to per-frame `check`.
+        let in_odd_accepted = monitor
+            .check_frames(&in_odd_images)
             .iter()
-            .filter(|image| monitor.check(image).is_in_odd())
+            .filter(|verdict| verdict.is_in_odd())
             .count();
-        let out_of_odd_flagged = out_of_odd_images
+        let out_of_odd_flagged = monitor
+            .check_frames(&out_of_odd_images)
             .iter()
-            .filter(|image| !monitor.check(image).is_in_odd())
+            .filter(|verdict| !verdict.is_in_odd())
             .count();
         let n = cfg.validation_samples.max(1) as f64;
 
@@ -629,13 +634,15 @@ impl Workflow {
             )?;
             let monitor_for_shards =
                 ShardedMonitor::new(perception.clone(), cut_layer, sharded_envelope.clone())?;
-            let sharded_accepted = in_odd_images
+            let sharded_accepted = monitor_for_shards
+                .check_frames(&in_odd_images)
                 .iter()
-                .filter(|image| monitor_for_shards.check(image).is_in_odd())
+                .filter(|verdict| verdict.is_in_odd())
                 .count();
-            let sharded_flagged = out_of_odd_images
+            let sharded_flagged = monitor_for_shards
+                .check_frames(&out_of_odd_images)
                 .iter()
-                .filter(|image| !monitor_for_shards.check(image).is_in_odd())
+                .filter(|verdict| !verdict.is_in_odd())
                 .count();
             sharded_monitor = Some(monitor_for_shards);
             Some(ShardedArtifacts {
@@ -693,24 +700,29 @@ impl Workflow {
             if cfg.violation_samples > 0 {
                 let mut violation_rng = StdRng::seed_from_u64(cfg.seed ^ 0xaa);
                 for class in OddViolation::ALL {
-                    let mut monolithic_flagged = 0usize;
-                    let mut sharded_flagged = sharded_monitor.as_ref().map(|_| 0usize);
-                    for _ in 0..cfg.violation_samples {
-                        let image = render_scene(
-                            &sampler.sample_violation(class, &mut violation_rng),
-                            &cfg.scene,
-                        );
-                        if !monitor.check(&image).is_in_odd() {
-                            monolithic_flagged += 1;
-                        }
-                        if let (Some(count), Some(shard_monitor)) =
-                            (sharded_flagged.as_mut(), sharded_monitor.as_ref())
-                        {
-                            if !shard_monitor.check(&image).is_in_odd() {
-                                *count += 1;
-                            }
-                        }
-                    }
+                    // Render the class's frames first (same RNG stream order
+                    // as the historical per-frame loop), then score both
+                    // monitors with one batched sweep each.
+                    let images: Vec<Vector> = (0..cfg.violation_samples)
+                        .map(|_| {
+                            render_scene(
+                                &sampler.sample_violation(class, &mut violation_rng),
+                                &cfg.scene,
+                            )
+                        })
+                        .collect();
+                    let monolithic_flagged = monitor
+                        .check_frames(&images)
+                        .iter()
+                        .filter(|verdict| !verdict.is_in_odd())
+                        .count();
+                    let sharded_flagged = sharded_monitor.as_ref().map(|shard_monitor| {
+                        shard_monitor
+                            .check_frames(&images)
+                            .iter()
+                            .filter(|verdict| !verdict.is_in_odd())
+                            .count()
+                    });
                     violations.push(ViolationDetection {
                         class,
                         frames: cfg.violation_samples,
@@ -945,6 +957,42 @@ mod tests {
         assert!(scenario
             .detection(OddViolation::Blackout)
             .is_some_and(|d| d.frames > 0));
+    }
+
+    /// The e10 detection tables are produced by batched `check_frames`
+    /// sweeps; replaying the same violation RNG stream through per-frame
+    /// `check` must reproduce every count exactly — one containment code
+    /// path, not two that can drift.
+    #[test]
+    fn detection_table_matches_per_frame_monitoring() {
+        let cfg = tiny_config();
+        let outcome = Workflow::new(cfg.clone()).run().unwrap();
+        let scenario = outcome.scenario.as_ref().expect("scenario stage");
+        assert!(cfg.violation_samples > 0);
+        let monitor = RuntimeMonitor::new(
+            outcome.perception.clone(),
+            outcome.cut_layer,
+            outcome.envelope.clone(),
+        )
+        .unwrap();
+        let sampler = OddSampler::new(cfg.scene);
+        let mut violation_rng = StdRng::seed_from_u64(cfg.seed ^ 0xaa);
+        for detection in &scenario.violations {
+            let flagged = (0..cfg.violation_samples)
+                .filter(|_| {
+                    let image = render_scene(
+                        &sampler.sample_violation(detection.class, &mut violation_rng),
+                        &cfg.scene,
+                    );
+                    !monitor.check(&image).is_in_odd()
+                })
+                .count();
+            assert_eq!(
+                detection.monolithic_flagged, flagged,
+                "{}: batched table drifted from per-frame checks",
+                detection.class
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Property-based parity of the batched bound-propagation path used by the
+//! generational refinement loop: for any tail/characterizer pair and any set
+//! of sibling sub-boxes, `region_bounds_batch` must be bit-identical to the
+//! scalar `region_bounds`, and instantiating from precomputed bounds must
+//! yield exactly the MILP that direct instantiation would.
+
+use dpv_absint::{AbstractDomain, BoxDomain, Interval};
+use dpv_core::{EncodingTemplate, RiskCondition, StartRegion};
+use dpv_nn::{Activation, Network, NetworkBuilder};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tail(rng: &mut StdRng, input_dim: usize, out_dim: usize) -> Network {
+    let mut builder = NetworkBuilder::new(input_dim);
+    for _ in 0..rng.gen_range(1usize..3) {
+        builder = builder.dense(rng.gen_range(2usize..6), rng);
+        builder = if rng.gen_bool(0.7) {
+            builder.activation(Activation::ReLU)
+        } else {
+            builder.batch_norm()
+        };
+    }
+    builder.dense(out_dim, rng).build()
+}
+
+/// Random sub-boxes of the root, the shape refinement splitting produces.
+fn random_sub_boxes(rng: &mut StdRng, dim: usize, n: usize) -> Vec<BoxDomain> {
+    (0..n)
+        .map(|_| {
+            let bounds: Vec<Interval> = (0..dim)
+                .map(|_| {
+                    let a: f64 = rng.gen_range(-1.0..1.0);
+                    let b: f64 = rng.gen_range(-1.0..1.0);
+                    Interval::new(a.min(b), a.max(b))
+                })
+                .collect();
+            BoxDomain::from_intervals(bounds)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batched sibling propagation is bit-identical to per-region scalar
+    /// propagation, and the bounds instantiate the exact same MILP.
+    #[test]
+    fn batched_bounds_and_instantiation_match_scalar(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbb05);
+        let input_dim = rng.gen_range(2usize..4);
+        let tail_out = rng.gen_range(1usize..3);
+        let tail = random_tail(&mut rng, input_dim, tail_out);
+        let characterizer = if rng.gen_bool(0.5) {
+            Some(random_tail(&mut rng, input_dim, 1))
+        } else {
+            None
+        };
+        let risk = RiskCondition::new("r").output_ge(0, rng.gen_range(-0.5..0.5));
+        let root = StartRegion::Box(BoxDomain::uniform(input_dim, -1.0, 1.0));
+        let template = EncodingTemplate::build(
+            tail.layers(),
+            characterizer.as_ref(),
+            &risk,
+            &root,
+        )
+        .unwrap();
+
+        let sibling_count = rng.gen_range(1usize..9);
+        let boxes = random_sub_boxes(&mut rng, input_dim, sibling_count);
+        let refs: Vec<&BoxDomain> = boxes.iter().collect();
+        let batched = template.region_bounds_batch(&refs).unwrap();
+        prop_assert_eq!(batched.len(), boxes.len());
+
+        for (sub_box, batched_bounds) in boxes.iter().zip(&batched) {
+            let region = StartRegion::Box(sub_box.clone());
+            let scalar = template.region_bounds(&region).unwrap();
+            prop_assert_eq!(batched_bounds, &scalar);
+
+            let via_bounds = template.instantiate_with(&region, batched_bounds).unwrap();
+            let direct = template.instantiate(&region).unwrap();
+            prop_assert_eq!(&via_bounds.milp, &direct.milp);
+            prop_assert_eq!(via_bounds.num_binaries, direct.num_binaries);
+            prop_assert_eq!(via_bounds.stable_relus, direct.stable_relus);
+        }
+    }
+}

@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use dpv_absint::{BoxDomain, Interval, OctagonLite};
 use dpv_nn::Network;
-use dpv_tensor::Vector;
+use dpv_tensor::{Matrix, Vector};
 
 use crate::{MonitorError, Violation, ViolationKind};
 
@@ -197,12 +197,19 @@ impl ActivationEnvelope {
 
     /// Fraction of a set of activations that falls inside the envelope —
     /// the coverage statistic reported in the experiments.
+    ///
+    /// Routed through the batched SoA containment sweep
+    /// ([`crate::union_contained_mask`]) so coverage statistics and the
+    /// batched monitors share one containment code path.
     pub fn coverage(&self, activations: &[Vector], tol: f64) -> f64 {
         if activations.is_empty() {
             return 1.0;
         }
-        let inside = activations.iter().filter(|a| self.contains(a, tol)).count();
-        inside as f64 / activations.len() as f64
+        let frames = Matrix::from_columns(activations)
+            .expect("coverage activations must share one dimension");
+        let soa = crate::EnvelopeSoa::from_envelope(self);
+        let mask = crate::union_contained_mask(std::slice::from_ref(&soa), &frames, tol);
+        mask.count_contained() as f64 / activations.len() as f64
     }
 }
 

@@ -68,8 +68,10 @@ mod envelope;
 mod error;
 mod log;
 mod monitor;
+mod soa;
 
 pub use envelope::ActivationEnvelope;
 pub use error::MonitorError;
 pub use log::ActivationLog;
 pub use monitor::{MonitorReport, MonitorVerdict, RuntimeMonitor, Violation, ViolationKind};
+pub use soa::{union_contained_mask, ContainmentMask, EnvelopeSoa};

@@ -1,10 +1,11 @@
 //! The runtime monitor guarding the assume-guarantee proof.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use dpv_nn::Network;
 use dpv_tensor::Vector;
 
+use crate::soa::{union_contained_mask, EnvelopeSoa};
 use crate::{ActivationEnvelope, MonitorError};
 
 /// Which envelope constraint an activation violated.
@@ -79,16 +80,27 @@ impl MonitorReport {
 /// The runtime monitor: evaluates the perception network up to the cut
 /// layer and checks the resulting activation against the envelope.
 ///
-/// The monitor is `Sync`: the per-frame counters are kept behind a
-/// [`parking_lot::Mutex`] so one monitor instance can serve several camera
-/// pipelines.
+/// The monitor is `Sync`: the per-frame counters are plain atomics
+/// (monotonically increasing, relaxed ordering) so one monitor instance
+/// can serve several camera pipelines without any lock contention on the
+/// hot path. A [`RuntimeMonitor::report`] taken while checks are in
+/// flight may observe a frame whose in/out counter increment has not
+/// landed yet; quiescent reports (after joining the checking threads) are
+/// exact.
+///
+/// Containment itself runs on a cached [`EnvelopeSoa`] flattening of the
+/// envelope — the same code path the batched [`RuntimeMonitor::check_frames`]
+/// sweeps — so scalar and batched verdicts cannot drift.
 #[derive(Debug)]
 pub struct RuntimeMonitor {
     network: Network,
     cut_layer: usize,
     envelope: ActivationEnvelope,
+    soa: EnvelopeSoa,
     tolerance: f64,
-    stats: Mutex<MonitorReport>,
+    frames: AtomicUsize,
+    in_odd: AtomicUsize,
+    out_of_odd: AtomicUsize,
 }
 
 impl RuntimeMonitor {
@@ -117,12 +129,16 @@ impl RuntimeMonitor {
                 envelope.dim()
             )));
         }
+        let soa = EnvelopeSoa::from_envelope(&envelope);
         Ok(Self {
             network,
             cut_layer,
             envelope,
+            soa,
             tolerance: 1e-9,
-            stats: Mutex::new(MonitorReport::default()),
+            frames: AtomicUsize::new(0),
+            in_odd: AtomicUsize::new(0),
+            out_of_odd: AtomicUsize::new(0),
         })
     }
 
@@ -157,33 +173,80 @@ impl RuntimeMonitor {
     /// updates the statistics.
     pub fn check_activation(&self, activation: &Vector) -> MonitorVerdict {
         let verdict = self.classify(activation);
-        let mut stats = self.stats.lock();
-        stats.frames += 1;
+        self.frames.fetch_add(1, Ordering::Relaxed);
         match &verdict {
-            MonitorVerdict::InOdd => stats.in_odd += 1,
-            MonitorVerdict::OutOfOdd { .. } => stats.out_of_odd += 1,
-        }
+            MonitorVerdict::InOdd => self.in_odd.fetch_add(1, Ordering::Relaxed),
+            MonitorVerdict::OutOfOdd { .. } => self.out_of_odd.fetch_add(1, Ordering::Relaxed),
+        };
         verdict
     }
 
+    /// Checks a batch of input frames in one pass: a single batched forward
+    /// pass to the cut layer ([`Network::activation_at_batch`]) followed by
+    /// one SoA containment sweep over all frames, with the violation lists
+    /// materialised only for the frames that escape the envelope.
+    ///
+    /// Verdicts (including violation lists) are identical to calling
+    /// [`RuntimeMonitor::check`] frame by frame in order — the batch path
+    /// only amortises per-frame allocation, dispatch and statistics
+    /// updates. Statistics are updated once for the whole batch.
+    pub fn check_frames(&self, inputs: &[Vector]) -> Vec<MonitorVerdict> {
+        let activations = self.network.activation_matrix_at(self.cut_layer, inputs);
+        let mask = union_contained_mask(
+            std::slice::from_ref(&self.soa),
+            &activations,
+            self.tolerance,
+        );
+        let verdicts: Vec<MonitorVerdict> = (0..inputs.len())
+            .map(|f| {
+                if mask.is_contained(f) {
+                    MonitorVerdict::InOdd
+                } else {
+                    let activation = activations.col_vector(f);
+                    MonitorVerdict::OutOfOdd {
+                        violations: self.envelope.violations(&activation, self.tolerance),
+                    }
+                }
+            })
+            .collect();
+        let in_odd = mask.count_contained();
+        self.frames.fetch_add(inputs.len(), Ordering::Relaxed);
+        self.in_odd.fetch_add(in_odd, Ordering::Relaxed);
+        self.out_of_odd
+            .fetch_add(inputs.len() - in_odd, Ordering::Relaxed);
+        verdicts
+    }
+
     /// Pure classification without statistics side effects.
+    ///
+    /// Containment runs on the cached SoA flattening (the batch code
+    /// path); the violation list — empty exactly when containment holds,
+    /// see [`ActivationEnvelope::violations`] — is only materialised for
+    /// frames outside the envelope.
     pub fn classify(&self, activation: &Vector) -> MonitorVerdict {
-        let violations = self.envelope.violations(activation, self.tolerance);
-        if violations.is_empty() {
+        if self.soa.contains(activation.as_slice(), self.tolerance) {
             MonitorVerdict::InOdd
         } else {
-            MonitorVerdict::OutOfOdd { violations }
+            MonitorVerdict::OutOfOdd {
+                violations: self.envelope.violations(activation, self.tolerance),
+            }
         }
     }
 
     /// Snapshot of the cumulative statistics.
     pub fn report(&self) -> MonitorReport {
-        *self.stats.lock()
+        MonitorReport {
+            frames: self.frames.load(Ordering::Relaxed),
+            in_odd: self.in_odd.load(Ordering::Relaxed),
+            out_of_odd: self.out_of_odd.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the cumulative statistics.
     pub fn reset(&self) {
-        *self.stats.lock() = MonitorReport::default();
+        self.frames.store(0, Ordering::Relaxed);
+        self.in_odd.store(0, Ordering::Relaxed);
+        self.out_of_odd.store(0, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,295 @@
+//! Structure-of-arrays envelope layout for batched containment.
+//!
+//! [`ActivationEnvelope`] stores its constraints as an array of
+//! [`dpv_absint::Interval`] structs — convenient for diagnostics, hostile
+//! to vectorisation (the `lo`/`hi` fields interleave in memory). This
+//! module flattens one envelope into four contiguous `f64` slices
+//! ([`EnvelopeSoa`]) and sweeps a whole *batch* of frames through them at
+//! once: frames are the SIMD lanes, constraints are the sweep axis, and a
+//! per-chunk `u64` bitmask drops lanes as soon as they fail a constraint
+//! (early exit once a chunk has no live lane left).
+//!
+//! ## Parity invariants
+//!
+//! The SoA kernels are a *layout* change, not a semantics change:
+//!
+//! * the per-lane predicate is textually the interval predicate
+//!   (`v >= lo - tol && v <= hi + tol`), so NaN activations fail
+//!   containment exactly as they do on the scalar path;
+//! * adjacent differences are formed as `x[i + 1] - x[i]`, the same
+//!   expression [`crate::ActivationEnvelope::violations`] uses;
+//! * [`union_contained_mask`] ORs shard verdicts in slice order, so the
+//!   union semantics of a sharded envelope (in-ODD iff *any* shard
+//!   contains the frame) and the lowest-index-shard-wins convention are
+//!   unchanged.
+//!
+//! Every batch entry point in the workspace routes through this module, so
+//! there is exactly one containment code path for the monitors, coverage
+//! statistics and detection tables to agree on.
+
+use dpv_tensor::Matrix;
+
+use crate::ActivationEnvelope;
+
+/// Number of frames processed per bitmask word.
+const LANES: usize = 64;
+
+/// One envelope flattened to contiguous bound slices (structure of
+/// arrays): `lo`/`hi` hold the per-neuron interval bounds, and
+/// `diff_lo`/`diff_hi` the adjacent-difference bounds of `x[i+1] - x[i]`.
+///
+/// The flattening is a pure re-layout of [`ActivationEnvelope`]'s octagon
+/// constraints; containment verdicts are bit-identical to the scalar path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeSoa {
+    dim: usize,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    diff_lo: Vec<f64>,
+    diff_hi: Vec<f64>,
+}
+
+impl EnvelopeSoa {
+    /// Flattens `envelope` into the SoA layout.
+    pub fn from_envelope(envelope: &ActivationEnvelope) -> Self {
+        let bounds = envelope.neuron_bounds();
+        let diffs = envelope.diff_bounds();
+        Self {
+            dim: bounds.len(),
+            lo: bounds.iter().map(|b| b.lo).collect(),
+            hi: bounds.iter().map(|b| b.hi).collect(),
+            diff_lo: diffs.iter().map(|d| d.lo).collect(),
+            diff_hi: diffs.iter().map(|d| d.hi).collect(),
+        }
+    }
+
+    /// Activation dimension of the underlying envelope.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scalar containment of a single activation — the same verdict as
+    /// `ActivationEnvelope::contains` at the same tolerance (wrong-length
+    /// and NaN points are outside).
+    pub fn contains(&self, point: &[f64], tol: f64) -> bool {
+        if point.len() != self.dim {
+            return false;
+        }
+        for ((&v, &lo), &hi) in point.iter().zip(&self.lo).zip(&self.hi) {
+            if !(v >= lo - tol && v <= hi + tol) {
+                return false;
+            }
+        }
+        for (i, (&lo, &hi)) in self.diff_lo.iter().zip(&self.diff_hi).enumerate() {
+            let d = point[i + 1] - point[i];
+            if !(d >= lo - tol && d <= hi + tol) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Sweeps one chunk of lanes through every constraint: bit `l` of the
+    /// result is kept from `candidates` iff frame `base + l` satisfies all
+    /// neuron and difference bounds. Exits early once no candidate lane
+    /// survives.
+    fn sweep_chunk(
+        &self,
+        frames: &Matrix,
+        base: usize,
+        lanes: usize,
+        tol: f64,
+        candidates: u64,
+    ) -> u64 {
+        if frames.rows() != self.dim {
+            return 0;
+        }
+        let mut live = candidates;
+        for d in 0..self.dim {
+            if live == 0 {
+                return 0;
+            }
+            let (lo, hi) = (self.lo[d] - tol, self.hi[d] + tol);
+            let row = &frames.row(d)[base..base + lanes];
+            let mut pass = 0u64;
+            for (l, &v) in row.iter().enumerate() {
+                pass |= ((v >= lo && v <= hi) as u64) << l;
+            }
+            live &= pass;
+        }
+        for d in 0..self.diff_lo.len() {
+            if live == 0 {
+                return 0;
+            }
+            let (lo, hi) = (self.diff_lo[d] - tol, self.diff_hi[d] + tol);
+            let row_lo = &frames.row(d)[base..base + lanes];
+            let row_hi = &frames.row(d + 1)[base..base + lanes];
+            let mut pass = 0u64;
+            for (l, (&a, &b)) in row_lo.iter().zip(row_hi.iter()).enumerate() {
+                let v = b - a;
+                pass |= ((v >= lo && v <= hi) as u64) << l;
+            }
+            live &= pass;
+        }
+        live
+    }
+}
+
+/// Per-frame containment verdicts of one batch, packed 64 frames per word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainmentMask {
+    frames: usize,
+    words: Vec<u64>,
+}
+
+impl ContainmentMask {
+    /// Number of frames in the batch.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Whether frame `frame` was contained (in the union, for a sharded
+    /// sweep).
+    ///
+    /// # Panics
+    /// Panics when `frame` is out of range.
+    pub fn is_contained(&self, frame: usize) -> bool {
+        assert!(frame < self.frames, "frame index out of range");
+        self.words[frame / LANES] >> (frame % LANES) & 1 == 1
+    }
+
+    /// Number of contained frames.
+    pub fn count_contained(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Batched union containment: frame `f` is contained iff *any* envelope in
+/// `shards` contains column `f` of the feature-major `frames` matrix
+/// (rows = activation dimension, columns = frames).
+///
+/// Verdicts are bit-identical to checking each frame against each shard
+/// with the scalar path; shards are swept in slice order and a frame stops
+/// being re-tested once some shard accepts it, preserving the
+/// lowest-index-shard-wins convention of the sharded monitor.
+pub fn union_contained_mask(shards: &[EnvelopeSoa], frames: &Matrix, tol: f64) -> ContainmentMask {
+    let n = frames.cols();
+    let mut words = vec![0u64; n.div_ceil(LANES)];
+    for (chunk, word) in words.iter_mut().enumerate() {
+        let base = chunk * LANES;
+        let lanes = LANES.min(n - base);
+        let full = if lanes == LANES {
+            u64::MAX
+        } else {
+            (1u64 << lanes) - 1
+        };
+        let mut remaining = full;
+        let mut contained = 0u64;
+        for shard in shards {
+            let accepted = shard.sweep_chunk(frames, base, lanes, tol, remaining);
+            contained |= accepted;
+            remaining &= !accepted;
+            if remaining == 0 {
+                break;
+            }
+        }
+        *word = contained;
+    }
+    ContainmentMask { frames: n, words }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpv_tensor::Vector;
+
+    fn envelope() -> ActivationEnvelope {
+        let acts = vec![
+            Vector::from_slice(&[0.0, 0.0, 1.0]),
+            Vector::from_slice(&[1.0, 2.0, 3.0]),
+        ];
+        ActivationEnvelope::from_activations(0, &acts, 0.0).unwrap()
+    }
+
+    #[test]
+    fn scalar_containment_matches_the_envelope() {
+        let env = envelope();
+        let soa = EnvelopeSoa::from_envelope(&env);
+        assert_eq!(soa.dim(), 3);
+        let points = [
+            vec![0.5, 1.0, 2.0],
+            vec![2.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 2.0, 1.0], // difference violation only
+            vec![f64::NAN, 1.0, 2.0],
+        ];
+        for p in &points {
+            assert_eq!(
+                soa.contains(p, 1e-9),
+                env.contains(&Vector::from_slice(p), 1e-9),
+                "scalar SoA containment drifted for {p:?}"
+            );
+        }
+        // Wrong-length points are outside, as on the scalar path.
+        assert!(!soa.contains(&[0.5, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn batched_union_matches_per_frame_checks() {
+        let env = envelope();
+        let soa = EnvelopeSoa::from_envelope(&env);
+        // More than one 64-lane chunk, with a mix of in/out frames.
+        let frames: Vec<Vector> = (0..130)
+            .map(|i| {
+                let t = (i % 13) as f64 / 12.0;
+                if i % 3 == 0 {
+                    Vector::from_slice(&[t, 2.0 * t, 1.0 + 2.0 * t])
+                } else {
+                    Vector::from_slice(&[5.0 + t, -3.0, 10.0])
+                }
+            })
+            .collect();
+        let matrix = Matrix::from_columns(&frames).unwrap();
+        let mask = union_contained_mask(std::slice::from_ref(&soa), &matrix, 1e-9);
+        assert_eq!(mask.frames(), frames.len());
+        let mut expected = 0usize;
+        for (i, frame) in frames.iter().enumerate() {
+            let scalar = env.contains(frame, 1e-9);
+            assert_eq!(mask.is_contained(i), scalar, "frame {i} drifted");
+            expected += scalar as usize;
+        }
+        assert_eq!(mask.count_contained(), expected);
+    }
+
+    #[test]
+    fn union_prefers_any_containing_shard() {
+        let lo = ActivationEnvelope::from_activations(
+            0,
+            &[Vector::from_slice(&[0.0]), Vector::from_slice(&[1.0])],
+            0.0,
+        )
+        .unwrap();
+        let hi = ActivationEnvelope::from_activations(
+            0,
+            &[Vector::from_slice(&[10.0]), Vector::from_slice(&[11.0])],
+            0.0,
+        )
+        .unwrap();
+        let shards = [
+            EnvelopeSoa::from_envelope(&lo),
+            EnvelopeSoa::from_envelope(&hi),
+        ];
+        let frames = [
+            Vector::from_slice(&[0.5]),
+            Vector::from_slice(&[10.5]),
+            Vector::from_slice(&[5.0]),
+        ];
+        let matrix = Matrix::from_columns(&frames).unwrap();
+        let mask = union_contained_mask(&shards, &matrix, 0.0);
+        assert!(mask.is_contained(0));
+        assert!(mask.is_contained(1));
+        assert!(!mask.is_contained(2));
+        assert_eq!(mask.count_contained(), 2);
+    }
+}

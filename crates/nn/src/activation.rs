@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dpv_tensor::Vector;
+use dpv_tensor::{Matrix, Vector};
 
 /// Element-wise activation functions supported by the library.
 ///
@@ -79,6 +79,13 @@ impl Activation {
 
     /// Applies the activation element-wise to a vector.
     pub fn apply_vector(self, x: &Vector) -> Vector {
+        x.map(|v| self.apply(v))
+    }
+
+    /// Applies the activation element-wise to a feature-major frame batch.
+    /// Same per-element function as [`Activation::apply_vector`], so each
+    /// column matches the scalar path bit for bit.
+    pub fn apply_matrix(self, x: &Matrix) -> Matrix {
         x.map(|v| self.apply(v))
     }
 

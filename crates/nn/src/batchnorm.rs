@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dpv_tensor::Vector;
+use dpv_tensor::{Matrix, Vector};
 
 /// Batch normalisation over a 1-D feature vector.
 ///
@@ -124,6 +124,28 @@ impl BatchNorm1d {
         assert_eq!(x.len(), self.dim(), "batch-norm input dimension mismatch");
         let (a, b) = self.affine_form();
         &x.hadamard(&a) + &b
+    }
+
+    /// Batched inference forward pass over a feature-major frame batch
+    /// (rows = channel, columns = frames). Applies the same frozen affine
+    /// form `y = a * x + b` as [`BatchNorm1d::forward`] with the identical
+    /// multiply-then-add per element, so every column matches the scalar
+    /// path bit for bit.
+    ///
+    /// # Panics
+    /// Panics when `x.rows() != self.dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.dim(), "batch-norm input dimension mismatch");
+        let (a, b) = self.affine_form();
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            let (ai, bi) = (a[i], b[i]);
+            let src = x.row(i);
+            for (o, &v) in out.row_mut(i).iter_mut().zip(src.iter()) {
+                *o = v * ai + bi;
+            }
+        }
+        out
     }
 
     /// Updates the running statistics from one observed pre-normalisation

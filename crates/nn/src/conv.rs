@@ -160,6 +160,60 @@ impl Conv2d {
         out
     }
 
+    /// Batched forward pass over feature-major columns: `xs` has one row per
+    /// input feature and one column per frame; the result has one row per
+    /// output feature and the same columns.
+    ///
+    /// Bit-exact with [`Conv2d::forward`] per frame: for every output
+    /// position the patch columns are accumulated in the same `(channel,
+    /// ky, kx)` order the scalar dot product walks them in, with the bias
+    /// added last — the batch kernel only widens the inner loop across
+    /// frames (and skips the per-position patch allocation, which is where
+    /// the throughput win comes from).
+    ///
+    /// # Panics
+    /// Panics when `xs.rows() != self.input_dim()`.
+    pub fn forward_batch(&self, xs: &Matrix) -> Matrix {
+        assert_eq!(
+            xs.rows(),
+            self.input_dim(),
+            "conv2d batch input dimension mismatch"
+        );
+        let TensorShape { height, width, .. } = self.in_shape;
+        let out_shape = self.output_shape();
+        let mut out = Matrix::zeros(out_shape.len(), xs.cols());
+        for oc in 0..self.out_channels {
+            let kernel_row = self.weights.row(oc);
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    let out_row = out.row_mut(
+                        oc * out_shape.height * out_shape.width + oy * out_shape.width + ox,
+                    );
+                    let mut col = 0usize;
+                    for c in 0..self.in_shape.channels {
+                        for ky in 0..self.kernel {
+                            let y = oy * self.stride + ky;
+                            for kx in 0..self.kernel {
+                                let xx = ox * self.stride + kx;
+                                let w = kernel_row[col];
+                                let src = xs.row(c * height * width + y * width + xx);
+                                for (acc, &v) in out_row.iter_mut().zip(src.iter()) {
+                                    *acc += w * v;
+                                }
+                                col += 1;
+                            }
+                        }
+                    }
+                    let b = self.bias[oc];
+                    for acc in out_row.iter_mut() {
+                        *acc += b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Backward pass. Returns `(grad_input, grad_weights, grad_bias)`.
     pub fn backward(&self, input: &Vector, grad_output: &Vector) -> (Vector, Matrix, Vector) {
         let out_shape = self.output_shape();
@@ -245,6 +299,33 @@ mod tests {
         let y = conv.forward(&x);
         // Sliding 2x2 sums of [[1,2,3],[4,5,6],[7,8,9]].
         assert_eq!(y.as_slice(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn batched_forward_matches_scalar_exactly() {
+        let shape = TensorShape {
+            channels: 2,
+            height: 5,
+            width: 6,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv2d::new(shape, 3, 2, 2, Initializer::XavierUniform, &mut rng);
+        let frames: Vec<Vector> = (0..7)
+            .map(|f| {
+                Vector::from_vec(
+                    (0..shape.len())
+                        .map(|i| ((i + f * 31) as f64 * 0.17).sin())
+                        .collect(),
+                )
+            })
+            .collect();
+        let batched = conv.forward_batch(&Matrix::from_columns(&frames).unwrap());
+        for (f, frame) in frames.iter().enumerate() {
+            let scalar = conv.forward(frame);
+            // Bit-exact, not approximate: the batch kernel replays the
+            // scalar accumulation order.
+            assert_eq!(batched.col_vector(f), scalar, "frame {f} drifted");
+        }
     }
 
     #[test]

@@ -88,6 +88,46 @@ impl Dense {
         &self.weights.matvec(x) + &self.bias
     }
 
+    /// Batched forward pass `W X + b` over a feature-major frame batch
+    /// (rows = `input_dim`, columns = frames).
+    ///
+    /// Column `f` of the result is bit-identical to `forward` of column `f`:
+    /// per output row the inputs are accumulated in ascending index order
+    /// with no zero-skipping (exactly [`Matrix::matvec`]) and the bias is
+    /// added in a separate final pass (exactly the `matvec + bias` sum of
+    /// the scalar path). The inner loops run over the contiguous frame
+    /// lanes, which is what lets the compiler vectorise them.
+    ///
+    /// # Panics
+    /// Panics when `x.rows() != self.input_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.input_dim(),
+            "dense batch dimension mismatch: {}x{} * {}x{}",
+            self.output_dim(),
+            self.input_dim(),
+            x.rows(),
+            x.cols()
+        );
+        let mut out = Matrix::zeros(self.output_dim(), x.cols());
+        for r in 0..self.weights.rows() {
+            let row = self.weights.row(r);
+            let out_row = out.row_mut(r);
+            for (c, &w) in row.iter().enumerate() {
+                let src = x.row(c);
+                for (acc, &v) in out_row.iter_mut().zip(src.iter()) {
+                    *acc += w * v;
+                }
+            }
+            let b = self.bias[r];
+            for acc in out_row.iter_mut() {
+                *acc += b;
+            }
+        }
+        out
+    }
+
     /// Backward pass. Given the gradient of the loss with respect to the
     /// layer output and the cached input, returns
     /// `(grad_input, grad_weights, grad_bias)`.

@@ -192,6 +192,34 @@ impl Layer {
         }
     }
 
+    /// Batched inference forward pass over a feature-major frame batch
+    /// (rows = input dimension, columns = frames).
+    ///
+    /// Column `f` of the result is **bit-identical** to `forward` of column
+    /// `f` of the input: the dense, activation and batch-norm kernels
+    /// perform the exact per-frame operation sequence of their scalar
+    /// counterparts and only vectorise across the frame lanes. Spatial
+    /// layers (convolution, pooling) fall back to the scalar kernel per
+    /// frame — they never appear past the cut layer in the monitor hot
+    /// path.
+    ///
+    /// # Panics
+    /// Panics when `x.rows()` does not match the layer input dimension.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        match self {
+            Layer::Dense(d) => d.forward_batch(x),
+            Layer::Activation(a) => a.apply_matrix(x),
+            Layer::BatchNorm(bn) => bn.forward_batch(x),
+            Layer::Conv2d(c) => c.forward_batch(x),
+            other => {
+                let columns: Vec<Vector> = (0..x.cols())
+                    .map(|f| other.forward(&x.col_vector(f)))
+                    .collect();
+                Matrix::from_columns(&columns).expect("layer outputs share one dimension")
+            }
+        }
+    }
+
     /// Training-mode forward pass: returns the output and a cache for the
     /// backward pass. Batch-norm layers additionally update their running
     /// statistics.

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use dpv_tensor::Vector;
+use dpv_tensor::{Matrix, Vector};
 
 use crate::layer::LayerCache;
 use crate::{Layer, LayerGrad, NnError};
@@ -182,6 +182,53 @@ impl Network {
         let mut acc = x.clone();
         for l in &self.layers[..=layer] {
             acc = l.forward(&acc);
+        }
+        acc
+    }
+
+    /// Batched [`Network::activation_at`]: evaluates the cut-layer
+    /// activation of every frame in one matrix–matrix pass per layer
+    /// instead of a matrix–vector pass per frame.
+    ///
+    /// The result is **bit-identical** to calling `activation_at` on each
+    /// frame: the batch kernels keep the per-frame accumulation order of
+    /// the scalar kernels and only widen the loop across frames (see
+    /// [`Layer::forward_batch`]), so monitors built on either path agree
+    /// exactly.
+    ///
+    /// # Panics
+    /// Panics when `layer` is out of bounds or any frame's length differs
+    /// from the network input dimension.
+    pub fn activation_at_batch(&self, layer: usize, inputs: &[Vector]) -> Vec<Vector> {
+        let activations = self.activation_matrix_at(layer, inputs);
+        (0..activations.cols())
+            .map(|f| activations.col_vector(f))
+            .collect()
+    }
+
+    /// Batched activations at `layer` in feature-major layout: row `d` of
+    /// the result holds activation coordinate `d` of every frame
+    /// contiguously (columns = frames, in input order). This is the form
+    /// the batched monitors sweep directly; [`Network::activation_at_batch`]
+    /// is the column-unpacked convenience wrapper.
+    ///
+    /// # Panics
+    /// Panics when `layer` is out of bounds or any frame's length differs
+    /// from the network input dimension.
+    pub fn activation_matrix_at(&self, layer: usize, inputs: &[Vector]) -> Matrix {
+        assert!(layer < self.len(), "layer index out of bounds");
+        if inputs.is_empty() {
+            return Matrix::zeros(self.layer_output_dim(layer), 0);
+        }
+        let mut acc =
+            Matrix::from_columns(inputs).expect("all frames must share the input dimension");
+        assert_eq!(
+            acc.rows(),
+            self.input_dim,
+            "frame length must equal the network input dimension"
+        );
+        for l in &self.layers[..=layer] {
+            acc = l.forward_batch(&acc);
         }
         acc
     }

@@ -1,0 +1,81 @@
+//! Property-based parity of the batched forward pass: for any network the
+//! builder can produce and any batch of frames, `activation_at_batch` must
+//! return **bit-identical** vectors to the per-frame `activation_at` — the
+//! batched kernels replicate the scalar accumulation order, they only widen
+//! the inner loops across frames.
+
+use dpv_nn::{Activation, Network, NetworkBuilder, TensorShape};
+use dpv_tensor::Vector;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_dense_network(seed: u64) -> (Network, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input_dim = rng.gen_range(1usize..6);
+    let mut builder = NetworkBuilder::new(input_dim);
+    let hidden_layers = rng.gen_range(1usize..4);
+    for _ in 0..hidden_layers {
+        builder = builder.dense(rng.gen_range(1usize..8), &mut rng);
+        builder = match rng.gen_range(0u8..4) {
+            0 => builder.activation(Activation::ReLU),
+            1 => builder.activation(Activation::LeakyReLU(0.05)),
+            2 => builder.activation(Activation::Tanh),
+            _ => builder.batch_norm(),
+        };
+    }
+    let net = builder.dense(rng.gen_range(1usize..4), &mut rng).build();
+    (net, input_dim)
+}
+
+fn random_frames(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|_| Vector::from_vec((0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched activations equal the scalar path exactly, at every layer,
+    /// for batches spanning empty through several SIMD chunks.
+    #[test]
+    fn activation_at_batch_matches_activation_at(seed in 0u64..500) {
+        let (net, input_dim) = random_dense_network(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xf0a3);
+        let n = rng.gen_range(0usize..70);
+        let frames = random_frames(&mut rng, n, input_dim);
+        for layer in 0..net.len() {
+            let batched = net.activation_at_batch(layer, &frames);
+            let scalar: Vec<Vector> =
+                frames.iter().map(|x| net.activation_at(layer, x)).collect();
+            // Exact f64 equality, not approximate.
+            prop_assert_eq!(&batched, &scalar, "layer {} drifted", layer);
+        }
+    }
+}
+
+/// The spatial layers (conv, pooling-free here) run through the per-frame
+/// fallback inside `Layer::forward_batch`; the parity contract still holds.
+#[test]
+fn conv_head_batch_matches_scalar() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let net = NetworkBuilder::with_image_input(TensorShape::new(1, 6, 8))
+        .conv2d(2, 3, 2, &mut rng)
+        .activation(Activation::ReLU)
+        .flatten()
+        .dense(4, &mut rng)
+        .build();
+    let frames = random_frames(&mut rng, 9, 6 * 8);
+    for layer in 0..net.len() {
+        let batched = net.activation_at_batch(layer, &frames);
+        let scalar: Vec<Vector> = frames.iter().map(|x| net.activation_at(layer, x)).collect();
+        assert_eq!(batched, scalar, "layer {layer} drifted");
+    }
+}
+
+#[test]
+fn empty_batch_is_empty() {
+    let (net, _) = random_dense_network(7);
+    assert!(net.activation_at_batch(0, &[]).is_empty());
+}

@@ -3,9 +3,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use dpv_monitor::{ActivationEnvelope, MonitorError};
+use dpv_monitor::{union_contained_mask, ActivationEnvelope, EnvelopeSoa, MonitorError};
 use dpv_nn::Network;
-use dpv_tensor::Vector;
+use dpv_tensor::{Matrix, Vector};
 
 use crate::kmeans::nearest_centroid;
 use crate::{kmeans, kmeans_auto, KMeansConfig};
@@ -210,13 +210,29 @@ impl ShardedEnvelope {
         nearest_centroid(&self.centroids, activation).0
     }
 
+    /// Flattens every shard into the SoA containment layout, aligned with
+    /// [`ShardedEnvelope::shards`]. The flattening is rebuilt on demand (it
+    /// is deliberately *not* part of the serialised/compared envelope
+    /// state); callers on a hot path — the [`crate::ShardedMonitor`] —
+    /// build it once and cache it.
+    pub fn soa_shards(&self) -> Vec<EnvelopeSoa> {
+        self.shards.iter().map(EnvelopeSoa::from_envelope).collect()
+    }
+
     /// Fraction of `activations` inside the shard union (1.0 when empty).
+    ///
+    /// Routed through the batched SoA union sweep
+    /// ([`dpv_monitor::union_contained_mask`]) — the same containment code
+    /// path the batched [`crate::ShardedMonitor::check_frames`] uses, so
+    /// coverage statistics cannot drift from monitor verdicts.
     pub fn coverage(&self, activations: &[Vector], tol: f64) -> f64 {
         if activations.is_empty() {
             return 1.0;
         }
-        let inside = activations.iter().filter(|a| self.contains(a, tol)).count();
-        inside as f64 / activations.len() as f64
+        let frames = Matrix::from_columns(activations)
+            .expect("coverage activations must share one dimension");
+        let mask = union_contained_mask(&self.soa_shards(), &frames, tol);
+        mask.count_contained() as f64 / activations.len() as f64
     }
 
     /// Folds every shard back into a single monolithic envelope (the join of

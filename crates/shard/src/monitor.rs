@@ -1,12 +1,13 @@
 //! The sharded runtime monitor: containment in **any** shard counts as
 //! in-ODD.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-use dpv_monitor::{MonitorError, MonitorReport, MonitorVerdict};
+use dpv_monitor::{union_contained_mask, EnvelopeSoa, MonitorError, MonitorReport, MonitorVerdict};
 use dpv_nn::Network;
 use dpv_tensor::Vector;
 
+use crate::kmeans::squared_distance;
 use crate::ShardedEnvelope;
 
 /// The sharded counterpart of [`dpv_monitor::RuntimeMonitor`]: evaluates
@@ -25,13 +26,28 @@ use crate::ShardedEnvelope;
 /// the shard whose centroid is nearest to the activation — the cluster the
 /// frame "should" have belonged to — so the diagnostics stay as actionable
 /// as the monolithic monitor's.
+///
+/// Containment runs on a cached [`EnvelopeSoa`] flattening of every shard
+/// (one contiguous `lo`/`hi` slice pair per shard) shared between the
+/// scalar [`ShardedMonitor::check`] and the batched
+/// [`ShardedMonitor::check_frames`], so the two paths cannot drift. Shard
+/// union semantics are unchanged: in-ODD iff *any* shard contains the
+/// activation, shards tested in index order, lowest-index shard wins.
+///
+/// The per-frame statistics are plain atomics (monotonic counters,
+/// relaxed ordering): a [`ShardedMonitor::report`] taken while checks are
+/// in flight may observe a frame before its in/out increment, but
+/// quiescent reports are exact and the hot path never contends on a lock.
 #[derive(Debug)]
 pub struct ShardedMonitor {
     network: Network,
     cut_layer: usize,
     envelope: ShardedEnvelope,
+    soa: Vec<EnvelopeSoa>,
     tolerance: f64,
-    stats: Mutex<MonitorReport>,
+    frames: AtomicUsize,
+    in_odd: AtomicUsize,
+    out_of_odd: AtomicUsize,
 }
 
 impl ShardedMonitor {
@@ -61,12 +77,16 @@ impl ShardedMonitor {
                 envelope.dim()
             )));
         }
+        let soa = envelope.soa_shards();
         Ok(Self {
             network,
             cut_layer,
             envelope,
+            soa,
             tolerance: 1e-9,
-            stats: Mutex::new(MonitorReport::default()),
+            frames: AtomicUsize::new(0),
+            in_odd: AtomicUsize::new(0),
+            out_of_odd: AtomicUsize::new(0),
         })
     }
 
@@ -101,39 +121,105 @@ impl ShardedMonitor {
     /// updates the statistics.
     pub fn check_activation(&self, activation: &Vector) -> MonitorVerdict {
         let verdict = self.classify(activation);
-        let mut stats = self.stats.lock();
-        stats.frames += 1;
+        self.frames.fetch_add(1, Ordering::Relaxed);
         match &verdict {
-            MonitorVerdict::InOdd => stats.in_odd += 1,
-            MonitorVerdict::OutOfOdd { .. } => stats.out_of_odd += 1,
-        }
+            MonitorVerdict::InOdd => self.in_odd.fetch_add(1, Ordering::Relaxed),
+            MonitorVerdict::OutOfOdd { .. } => self.out_of_odd.fetch_add(1, Ordering::Relaxed),
+        };
         verdict
+    }
+
+    /// Checks a batch of input frames in one pass: one batched forward
+    /// pass to the cut layer ([`Network::activation_at_batch`]) and one
+    /// SoA union sweep over all frames and shards, with nearest-shard
+    /// violation lists materialised only for the frames that escape the
+    /// union.
+    ///
+    /// Verdicts (including violation lists) are identical to calling
+    /// [`ShardedMonitor::check`] frame by frame in order; statistics are
+    /// updated once for the whole batch.
+    pub fn check_frames(&self, inputs: &[Vector]) -> Vec<MonitorVerdict> {
+        let activations = self.network.activation_matrix_at(self.cut_layer, inputs);
+        let mask = union_contained_mask(&self.soa, &activations, self.tolerance);
+        let verdicts: Vec<MonitorVerdict> = (0..inputs.len())
+            .map(|f| {
+                if mask.is_contained(f) {
+                    MonitorVerdict::InOdd
+                } else {
+                    let activation = activations.col_vector(f);
+                    let nearest = self.envelope.nearest_shard(&activation);
+                    MonitorVerdict::OutOfOdd {
+                        violations: self
+                            .envelope
+                            .shard(nearest)
+                            .violations(&activation, self.tolerance),
+                    }
+                }
+            })
+            .collect();
+        let in_odd = mask.count_contained();
+        self.frames.fetch_add(inputs.len(), Ordering::Relaxed);
+        self.in_odd.fetch_add(in_odd, Ordering::Relaxed);
+        self.out_of_odd
+            .fetch_add(inputs.len() - in_odd, Ordering::Relaxed);
+        verdicts
     }
 
     /// Pure classification without statistics side effects: in ODD iff the
     /// activation lies in any shard; otherwise the violations of the
     /// nearest shard (by centroid) are reported.
+    ///
+    /// Runs a *single* pass over the shards: each shard is tested for
+    /// containment (returning immediately on the first hit — shard union
+    /// semantics, lowest index wins) while the centroid distance is
+    /// accumulated along the way, so the out-of-union path no longer
+    /// re-walks every centroid after a full containment scan.
     pub fn classify(&self, activation: &Vector) -> MonitorVerdict {
-        if self.envelope.contains(activation, self.tolerance) {
-            return MonitorVerdict::InOdd;
+        match self.locate(activation) {
+            Ok(_) => MonitorVerdict::InOdd,
+            Err(nearest) => MonitorVerdict::OutOfOdd {
+                violations: self
+                    .envelope
+                    .shard(nearest)
+                    .violations(activation, self.tolerance),
+            },
         }
-        let nearest = self.envelope.nearest_shard(activation);
-        MonitorVerdict::OutOfOdd {
-            violations: self
-                .envelope
-                .shard(nearest)
-                .violations(activation, self.tolerance),
+    }
+
+    /// Single shard sweep: `Ok(index)` of the first (lowest-index) shard
+    /// containing the activation, or `Err(index)` of the nearest shard by
+    /// centroid (ties break to the lowest index, the k-means rule) when no
+    /// shard contains it.
+    fn locate(&self, activation: &Vector) -> Result<usize, usize> {
+        let mut best = 0usize;
+        let mut best_d2 = f64::INFINITY;
+        for (i, (soa, centroid)) in self.soa.iter().zip(self.envelope.centroids()).enumerate() {
+            if soa.contains(activation.as_slice(), self.tolerance) {
+                return Ok(i);
+            }
+            let d2 = squared_distance(centroid, activation);
+            if d2 < best_d2 {
+                best = i;
+                best_d2 = d2;
+            }
         }
+        Err(best)
     }
 
     /// Snapshot of the cumulative statistics.
     pub fn report(&self) -> MonitorReport {
-        *self.stats.lock()
+        MonitorReport {
+            frames: self.frames.load(Ordering::Relaxed),
+            in_odd: self.in_odd.load(Ordering::Relaxed),
+            out_of_odd: self.out_of_odd.load(Ordering::Relaxed),
+        }
     }
 
     /// Resets the cumulative statistics.
     pub fn reset(&self) {
-        *self.stats.lock() = MonitorReport::default();
+        self.frames.store(0, Ordering::Relaxed);
+        self.in_odd.store(0, Ordering::Relaxed);
+        self.out_of_odd.store(0, Ordering::Relaxed);
     }
 }
 

@@ -5,7 +5,8 @@
 //! envelope (so sharded monitoring only tightens detection).
 
 use dpv_monitor::ActivationEnvelope;
-use dpv_shard::{kmeans, KMeansConfig, ShardConfig, ShardedEnvelope};
+use dpv_nn::{Activation, NetworkBuilder};
+use dpv_shard::{kmeans, KMeansConfig, ShardConfig, ShardedEnvelope, ShardedMonitor};
 use dpv_tensor::Vector;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -97,5 +98,89 @@ proptest! {
         prop_assert!(clustering.assignments.iter().all(|&a| a < clustering.k()));
         prop_assert!(clustering.cluster_sizes().iter().all(|&s| s > 0));
         prop_assert!(clustering.inertia >= 0.0);
+    }
+
+    /// Batched sharded monitoring parity: `check_frames` returns the same
+    /// verdicts — including the nearest-shard violation lists — as per-frame
+    /// `check`, and accumulates the same report.
+    #[test]
+    fn sharded_check_frames_matches_per_frame_check(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xba7c);
+        let input_dim = rng.gen_range(2usize..5);
+        let net = NetworkBuilder::new(input_dim)
+            .dense(rng.gen_range(2usize..6), &mut rng)
+            .activation(Activation::ReLU)
+            .dense(rng.gen_range(2usize..4), &mut rng)
+            .build();
+        let training: Vec<Vector> = (0..rng.gen_range(5usize..40))
+            .map(|_| {
+                Vector::from_vec(
+                    (0..input_dim).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+                )
+            })
+            .collect();
+        let k = rng.gen_range(1usize..5);
+        let config = ShardConfig::fixed(k).with_seed(seed ^ 0x51ab);
+        let sharded = ShardedEnvelope::from_inputs(&net, 1, &training, 0.02, &config).unwrap();
+        let batched_monitor =
+            ShardedMonitor::new(net.clone(), 1, sharded.clone()).unwrap();
+        let scalar_monitor = ShardedMonitor::new(net, 1, sharded).unwrap();
+
+        // Mix in-distribution frames with far-out ones so both verdicts and
+        // the escaped-frame violation path are exercised.
+        let frames: Vec<Vector> = (0..rng.gen_range(0usize..80))
+            .map(|_| {
+                let scale = if rng.gen_bool(0.6) { 1.0 } else { 40.0 };
+                Vector::from_vec(
+                    (0..input_dim)
+                        .map(|_| scale * rng.gen_range(-1.0..1.0))
+                        .collect(),
+                )
+            })
+            .collect();
+        let batched = batched_monitor.check_frames(&frames);
+        let scalar: Vec<_> = frames.iter().map(|f| scalar_monitor.check(f)).collect();
+        prop_assert_eq!(&batched, &scalar);
+        prop_assert_eq!(batched_monitor.report(), scalar_monitor.report());
+    }
+
+    /// `ShardedEnvelope::coverage` routes through the batched SoA union
+    /// sweep; it must equal the per-activation `contains` fraction.
+    #[test]
+    fn sharded_coverage_equals_per_frame_containment_fraction(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0fe);
+        let n = rng.gen_range(5usize..60);
+        let dim = rng.gen_range(1usize..5);
+        let k = rng.gen_range(1usize..6);
+        let activations = random_activations(seed, n, dim, 2);
+        let config = ShardConfig::fixed(k).with_seed(seed ^ 0x7a11);
+        let sharded =
+            ShardedEnvelope::from_activations(2, &activations, 0.0, &config).unwrap();
+
+        // Probe with a mix of training points and perturbed/far-out points.
+        let probes: Vec<Vector> = activations
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                if i % 3 == 0 {
+                    a.clone()
+                } else {
+                    let scale = if i % 3 == 1 { 1.0 } else { 20.0 };
+                    Vector::from_vec(
+                        a.as_slice()
+                            .iter()
+                            .map(|v| v + scale * rng.gen_range(-0.3..0.3))
+                            .collect(),
+                    )
+                }
+            })
+            .collect();
+        let expected = probes
+            .iter()
+            .filter(|p| sharded.contains(p, 1e-9))
+            .count() as f64
+            / probes.len() as f64;
+        prop_assert_eq!(sharded.coverage(&probes, 1e-9), expected);
+        prop_assert_eq!(sharded.coverage(&[], 1e-9), 1.0);
     }
 }

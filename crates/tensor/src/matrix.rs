@@ -88,6 +88,34 @@ impl Matrix {
         Ok(Self { rows, cols, data })
     }
 
+    /// Builds a matrix whose columns are the given vectors — the
+    /// feature-major layout of a frame batch (`rows` = vector dimension,
+    /// `cols` = number of vectors), where each *feature* ends up contiguous
+    /// across frames so batch kernels can sweep it as one SIMD-friendly
+    /// slice. All vectors must have equal length.
+    ///
+    /// # Errors
+    /// Returns a [`ShapeError`] when the vectors have differing lengths.
+    pub fn from_columns(columns: &[Vector]) -> Result<Self, ShapeError> {
+        if columns.is_empty() {
+            return Ok(Self::zeros(0, 0));
+        }
+        let rows = columns[0].len();
+        for (i, v) in columns.iter().enumerate() {
+            if v.len() != rows {
+                return Err(ShapeError::new("from_columns", (i, v.len()), (rows, 1)));
+            }
+        }
+        let cols = columns.len();
+        let mut data = vec![0.0; rows * cols];
+        for (c, v) in columns.iter().enumerate() {
+            for (r, &value) in v.as_slice().iter().enumerate() {
+                data[r * cols + c] = value;
+            }
+        }
+        Ok(Self { rows, cols, data })
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -477,6 +505,22 @@ mod tests {
         assert!(Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0]).is_err());
         let m = Matrix::from_flat(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         assert_eq!(m[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn from_columns_packs_feature_major() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        let m = Matrix::from_columns(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(m.shape(), (3, 2));
+        // Each feature row is contiguous over the frames.
+        assert_eq!(m.row(0), &[1.0, 4.0]);
+        assert_eq!(m.row(2), &[3.0, 6.0]);
+        // Columns round-trip to the original vectors.
+        assert_eq!(m.col_vector(0), a);
+        assert_eq!(m.col_vector(1), b);
+        assert!(Matrix::from_columns(&[Vector::zeros(2), Vector::zeros(3)]).is_err());
+        assert_eq!(Matrix::from_columns(&[]).unwrap().shape(), (0, 0));
     }
 
     #[test]

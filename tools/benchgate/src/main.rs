@@ -20,11 +20,18 @@
 //!
 //! Every metric id is matched to a [`Gate`]:
 //!
+//! * `batch-parity-permille` — a **zero-width band at 1000**: the batched
+//!   monitor sweep must be verdict-identical to per-frame checking; any
+//!   deviation is a correctness bug, not a perf regression.
 //! * `k1-parity-permille` — a **band around 1000** with halfwidth 50
 //!   (±5%): k = 1 sharding must stay cost-comparable to the monolithic
 //!   path in *either* direction. The committed e9 baseline of 1007 means
 //!   k = 1 is 0.7% slower — well inside the band; exact parity is not the
 //!   contract, the band is.
+//! * `*frames-per-sec*` — higher is better with 50% relative slack: these
+//!   are absolute throughput records (frames·1000/s), so runner speed does
+//!   *not* cancel the way it does for ratios; the loose floor only catches
+//!   the batch path collapsing to per-frame work.
 //! * `*speedup*` — higher is better, 35% relative slack: these are timing
 //!   *ratios*, so runner-speed effects largely cancel, but shared CI
 //!   hardware still jitters them.
@@ -58,11 +65,29 @@ enum Gate {
 /// Per-metric rule table. Matches on the metric id (which includes the
 /// bench prefix, e.g. `e9/k1-parity-permille`).
 fn rule_for(id: &str) -> Gate {
-    if id.ends_with("k1-parity-permille") {
+    if id.ends_with("batch-parity-permille") {
+        // Bit-exactness is a correctness contract, not a measurement: the
+        // batched monitor sweep must agree with per-frame checking on every
+        // verdict, so the record is exactly 1000 or the gate fails.
+        Gate::Band {
+            centre: 1000,
+            halfwidth: 0,
+        }
+    } else if id.ends_with("k1-parity-permille") {
         // The documented ±5% parity band around exact parity (1000‰).
         Gate::Band {
             centre: 1000,
             halfwidth: 50,
+        }
+    } else if id.contains("frames-per-sec") {
+        // Absolute throughput (frames·1000/s) is machine-speed dependent in
+        // a way the timing *ratios* are not, so the floor is a loose 50% of
+        // the committed baseline — it catches order-of-magnitude collapses
+        // (e.g. the batch path silently falling back to per-frame work)
+        // without flaking on slower CI runners.
+        Gate::HigherIsBetter {
+            rel_permille: 500,
+            abs: 0,
         }
     } else if id.contains("speedup") {
         Gate::HigherIsBetter {
@@ -373,6 +398,48 @@ mod tests {
         assert_eq!(findings.len(), 1);
         assert!(!findings[0].passed);
         assert_eq!(findings[0].fresh, None);
+    }
+
+    #[test]
+    fn batch_parity_demands_exact_equality() {
+        let baseline = report(&[("e11/batch-parity-permille", 1000)]);
+        assert!(
+            gate(&baseline, &report(&[("e11/batch-parity-permille", 1000)])).unwrap()[0].passed
+        );
+        // Any deviation — even 1‰ — is a correctness failure, not noise.
+        assert!(
+            !gate(&baseline, &report(&[("e11/batch-parity-permille", 999)])).unwrap()[0].passed
+        );
+        assert!(
+            !gate(&baseline, &report(&[("e11/batch-parity-permille", 1001)])).unwrap()[0].passed
+        );
+        assert!(!gate(&baseline, &report(&[("e11/batch-parity-permille", 0)])).unwrap()[0].passed);
+    }
+
+    #[test]
+    fn frames_per_sec_floor_is_half_the_baseline() {
+        let baseline = report(&[("e11/monitor-batch-frames-per-sec-permille", 92_000_000)]);
+        // A slower runner at 60% of the committed throughput passes …
+        let fresh = report(&[("e11/monitor-batch-frames-per-sec-permille", 55_200_000)]);
+        assert!(gate(&baseline, &fresh).unwrap()[0].passed);
+        // … but dropping below half (the batch path collapsing) fails.
+        let fresh = report(&[("e11/monitor-batch-frames-per-sec-permille", 40_000_000)]);
+        assert!(!gate(&baseline, &fresh).unwrap()[0].passed);
+    }
+
+    #[test]
+    fn committed_e11_baseline_passes_against_itself() {
+        let baseline = report(&[
+            ("e11/batch-parity-permille", 1000),
+            ("e11/monitor-batch-speedup-permille", 3160),
+            ("e11/sharded-batch-speedup-permille", 3169),
+            ("e11/monitor-batch-frames-per-sec-permille", 129_712_061),
+            ("e11/sharded-batch-frames-per-sec-permille", 123_076_320),
+            ("e11/propagation-batch-speedup-permille", 1887),
+        ]);
+        let findings = gate(&baseline, &baseline).unwrap();
+        assert_eq!(findings.len(), 6);
+        assert!(findings.iter().all(|f| f.passed));
     }
 
     #[test]
