@@ -36,6 +36,7 @@ use dpv_absint::{AbstractDomain, BoxBatch, BoxDomain, Interval, OctagonLite};
 use dpv_lp::{encode_relu_big_m, ConstraintOp, MilpProblem, VarId};
 use dpv_nn::{Activation, Layer, Network};
 
+use crate::fingerprint::Fingerprint;
 use crate::{CoreError, OutputOp, RiskCondition};
 
 /// The set `S` of layer-`l` activations from which the verification starts.
@@ -96,11 +97,14 @@ pub struct EncodedProblem {
     pub stable_relus: usize,
     /// Identity of the [`EncodingTemplate`] this problem was instantiated
     /// from (`None` for one-shot encodings). [`EncodingTemplate::instantiate_into`]
-    /// refuses a scratch carrying a different template's id: two templates
-    /// can share variable/constraint *counts* while differing in frozen
-    /// coefficients (e.g. only a risk-row threshold apart), and re-tightening
-    /// the wrong skeleton would silently answer the wrong question.
-    pub(crate) template_id: Option<u64>,
+    /// refuses a scratch carrying a different template's fingerprint: two
+    /// templates can share variable/constraint *counts* while differing in
+    /// frozen coefficients (e.g. only a risk-row threshold apart), and
+    /// re-tightening the wrong skeleton would silently answer the wrong
+    /// question. The fingerprint is content-addressed
+    /// ([`crate::fingerprint::Fingerprint`]), so scratches *are* portable
+    /// between two templates built from identical inputs.
+    pub(crate) template_id: Option<Fingerprint>,
 }
 
 /// One encoded layer of a template chain: the variables holding the layer's
@@ -449,14 +453,12 @@ pub struct EncodingTemplate {
     root_box: BoxDomain,
     /// `true` when the root region carried octagon difference rows.
     octagonal: bool,
-    /// Process-unique identity stamped onto every instantiation, so
+    /// Content-addressed identity stamped onto every instantiation, so
     /// [`EncodingTemplate::instantiate_into`] can reject scratches built by
-    /// a *different* template.
-    id: u64,
+    /// a structurally *different* template. Also the key under which
+    /// templates are shared in [`crate::cache::TemplateCache`].
+    fingerprint: Fingerprint,
 }
-
-/// Source of process-unique [`EncodingTemplate`] ids.
-static TEMPLATE_IDS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl EncodingTemplate {
     /// Encodes the skeleton once from `root`. Every later
@@ -487,8 +489,15 @@ impl EncodingTemplate {
             diff_rows: plan.diff_rows,
             root_box: root.box_domain(),
             octagonal: matches!(root, StartRegion::Octagon(_)),
-            id: TEMPLATE_IDS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            fingerprint: Fingerprint::of_template(tail, characterizer, risk, root),
         })
+    }
+
+    /// Content-addressed identity of this template: the canonical
+    /// [`Fingerprint`] of its defining `(tail, characterizer, risk, root)`
+    /// tuple. Two templates built from identical inputs share a fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
     }
 
     /// The box enclosure of the root region the skeleton was built from.
@@ -549,7 +558,7 @@ impl EncodingTemplate {
     /// [`EncodingTemplate::supports`] rejects the region.
     pub fn instantiate(&self, region: &StartRegion) -> Result<EncodedProblem, CoreError> {
         let mut scratch = self.skeleton.clone();
-        scratch.template_id = Some(self.id);
+        scratch.template_id = Some(self.fingerprint);
         self.retighten(region, &mut scratch)?;
         Ok(scratch)
     }
@@ -571,7 +580,7 @@ impl EncodingTemplate {
         // variable/constraint counts while differing in frozen coefficients
         // (e.g. only a risk-row threshold apart), and re-tightening the
         // wrong skeleton would silently answer the wrong question.
-        if scratch.template_id != Some(self.id) {
+        if scratch.template_id != Some(self.fingerprint) {
             return Err(CoreError::Inconsistent(
                 "scratch problem does not derive from this template".into(),
             ));
@@ -644,7 +653,7 @@ impl EncodingTemplate {
             .map(|ch| propagate_chain_batch(ch, &batch));
         Ok((0..boxes.len())
             .map(|s| RegionBounds {
-                template_id: self.id,
+                template_id: self.fingerprint,
                 tail: tail[s].clone(),
                 characterizer: characterizer
                     .as_ref()
@@ -670,12 +679,12 @@ impl EncodingTemplate {
         bounds: &RegionBounds,
         scratch: &mut EncodedProblem,
     ) -> Result<(), CoreError> {
-        if scratch.template_id != Some(self.id) {
+        if scratch.template_id != Some(self.fingerprint) {
             return Err(CoreError::Inconsistent(
                 "scratch problem does not derive from this template".into(),
             ));
         }
-        if bounds.template_id != self.id {
+        if bounds.template_id != self.fingerprint {
             return Err(CoreError::Inconsistent(
                 "region bounds derive from a different template".into(),
             ));
@@ -700,7 +709,7 @@ impl EncodingTemplate {
         bounds: &RegionBounds,
     ) -> Result<EncodedProblem, CoreError> {
         let mut scratch = self.skeleton.clone();
-        scratch.template_id = Some(self.id);
+        scratch.template_id = Some(self.fingerprint);
         self.instantiate_into_with(region, bounds, &mut scratch)?;
         Ok(scratch)
     }
@@ -716,7 +725,7 @@ impl EncodingTemplate {
             }
         };
         RegionBounds {
-            template_id: self.id,
+            template_id: self.fingerprint,
             tail: propagate_chain_scalar(&self.tail, region_box),
             characterizer: self
                 .characterizer
@@ -796,7 +805,7 @@ impl EncodingTemplate {
 /// applied through the wrong skeleton.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegionBounds {
-    template_id: u64,
+    template_id: Fingerprint,
     tail: Vec<Vec<Interval>>,
     characterizer: Vec<Vec<Interval>>,
 }

@@ -1,0 +1,365 @@
+//! Canonical structural fingerprints for templates, regions, and cache keys.
+//!
+//! A [`Fingerprint`] is a 128-bit content hash over the *structure* of a
+//! verification object: layer kinds and parameters, risk inequalities,
+//! characterizer weights, and region geometry. It replaces the old
+//! process-local atomic template counter so that identity is a pure function
+//! of content — two templates built from the same `(tail, risk,
+//! characterizer, region)` tuple share a fingerprint even across threads,
+//! requests, or server restarts, which is what makes cross-run template and
+//! basis caches (`crate::cache`, `dpv-serve`) possible.
+//!
+//! The hash is two independent 64-bit FNV-1a lanes fed with discriminant
+//! tags, dimension counts, and the raw IEEE-754 bit patterns of every
+//! parameter. Floats are hashed by bit pattern (`f64::to_bits`), so `-0.0`
+//! and `0.0` differ and `NaN` payloads are stable. The two lanes use
+//! different offset bases and mix a lane index into every word, so a
+//! collision requires defeating both simultaneously; with ~10^2 distinct
+//! templates alive in a cache the collision probability is negligible
+//! (~2^-128 per pair), and the unit tests below pin pairwise distinctness on
+//! the bench-model family.
+
+use dpv_absint::{BoxDomain, Interval, OctagonLite};
+use dpv_nn::{Layer, Network};
+
+use crate::encode::StartRegion;
+use crate::spec::{OutputOp, RiskCondition};
+
+/// 128-bit structural content hash used as the canonical cache key.
+///
+/// Construct via [`Fingerprint::of_template`] (template identity) or
+/// [`Fingerprint::of_region`] / [`Fingerprint::of_box`] (obligation
+/// sub-region identity); combine the two for dedup keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprint of a template's defining tuple: tail layers, optional
+    /// characterizer network, risk condition, and root start region.
+    ///
+    /// This is the key under which `EncodingTemplate`s are cached and the
+    /// guard that scopes `RegionBounds`, scratch problems, and warm
+    /// `BasisSnapshot`s to the template they were derived from.
+    pub fn of_template(
+        tail: &[Layer],
+        characterizer: Option<&Network>,
+        risk: &RiskCondition,
+        root: &StartRegion,
+    ) -> Self {
+        let mut h = Hasher::new();
+        h.tag(0x01);
+        h.word(tail.len() as u64);
+        for layer in tail {
+            hash_layer(&mut h, layer);
+        }
+        match characterizer {
+            None => h.tag(0x02),
+            Some(net) => {
+                h.tag(0x03);
+                h.word(net.layers().len() as u64);
+                for layer in net.layers() {
+                    hash_layer(&mut h, layer);
+                }
+            }
+        }
+        hash_risk(&mut h, risk);
+        hash_region(&mut h, root);
+        h.finish()
+    }
+
+    /// Fingerprint of a start region (box or octagon).
+    pub fn of_region(region: &StartRegion) -> Self {
+        let mut h = Hasher::new();
+        hash_region(&mut h, region);
+        h.finish()
+    }
+
+    /// Fingerprint of a box sub-region (obligation identity within a
+    /// template).
+    pub fn of_box(sub: &BoxDomain) -> Self {
+        let mut h = Hasher::new();
+        h.tag(0x10);
+        hash_box(&mut h, sub);
+        h.finish()
+    }
+
+    /// Renders the fingerprint as 32 lowercase hex digits.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET_HI: u64 = 0xcbf2_9ce4_8422_2325;
+// Second lane starts from a different offset (FNV offset xor a golden-ratio
+// constant) so the lanes disagree on every input word.
+const FNV_OFFSET_LO: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Two-lane FNV-1a accumulator over 64-bit words.
+struct Hasher {
+    hi: u64,
+    lo: u64,
+}
+
+impl Hasher {
+    fn new() -> Self {
+        Self {
+            hi: FNV_OFFSET_HI,
+            lo: FNV_OFFSET_LO,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        for (lane, state) in [(0u64, &mut self.hi), (1u64, &mut self.lo)] {
+            let mut s = *state;
+            // Mix the lane index into each byte so the lanes are not related
+            // by a simple offset.
+            for byte in w.to_le_bytes() {
+                s ^= u64::from(byte) ^ (lane << 7);
+                s = s.wrapping_mul(FNV_PRIME);
+            }
+            *state = s;
+        }
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.word(0x7461_6700 | u64::from(t));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+
+    fn floats(&mut self, vs: &[f64]) {
+        self.word(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint {
+            hi: self.hi,
+            lo: self.lo,
+        }
+    }
+}
+
+fn hash_layer(h: &mut Hasher, layer: &Layer) {
+    match layer {
+        Layer::Dense(d) => {
+            h.tag(0x20);
+            h.word(d.input_dim() as u64);
+            h.word(d.output_dim() as u64);
+            h.floats(d.weights().as_slice());
+            h.floats(d.bias().as_slice());
+        }
+        Layer::Activation(a) => {
+            use dpv_nn::Activation::*;
+            match a {
+                Identity => h.tag(0x21),
+                ReLU => h.tag(0x22),
+                LeakyReLU(slope) => {
+                    h.tag(0x23);
+                    h.f64(*slope);
+                }
+                Sigmoid => h.tag(0x24),
+                Tanh => h.tag(0x25),
+            }
+        }
+        Layer::BatchNorm(bn) => {
+            h.tag(0x26);
+            h.word(bn.dim() as u64);
+            h.floats(bn.gamma().as_slice());
+            h.floats(bn.beta().as_slice());
+            h.floats(bn.running_mean().as_slice());
+            h.floats(bn.running_var().as_slice());
+            h.f64(bn.eps());
+        }
+        Layer::Conv2d(c) => {
+            h.tag(0x27);
+            let shape = c.input_shape();
+            h.word(shape.channels as u64);
+            h.word(shape.height as u64);
+            h.word(shape.width as u64);
+            h.word(c.kernel() as u64);
+            h.word(c.stride() as u64);
+            h.floats(c.weights().as_slice());
+            h.floats(c.bias().as_slice());
+        }
+        Layer::MaxPool2d(p) => {
+            h.tag(0x28);
+            let shape = p.input_shape();
+            h.word(shape.channels as u64);
+            h.word(shape.height as u64);
+            h.word(shape.width as u64);
+            h.word(p.pool() as u64);
+        }
+        Layer::Flatten(f) => {
+            h.tag(0x29);
+            let shape = f.shape();
+            h.word(shape.channels as u64);
+            h.word(shape.height as u64);
+            h.word(shape.width as u64);
+        }
+    }
+}
+
+fn hash_risk(h: &mut Hasher, risk: &RiskCondition) {
+    // The display name is cosmetic and deliberately excluded: two risks with
+    // identical inequalities describe the same property.
+    h.tag(0x30);
+    h.word(risk.inequalities().len() as u64);
+    for ineq in risk.inequalities() {
+        h.floats(&ineq.coeffs);
+        match ineq.op {
+            OutputOp::Le => h.tag(0x31),
+            OutputOp::Ge => h.tag(0x32),
+        }
+        h.f64(ineq.rhs);
+    }
+}
+
+fn hash_box(h: &mut Hasher, domain: &BoxDomain) {
+    hash_intervals(h, domain.bounds());
+}
+
+fn hash_intervals(h: &mut Hasher, bounds: &[Interval]) {
+    h.word(bounds.len() as u64);
+    for iv in bounds {
+        h.f64(iv.lo);
+        h.f64(iv.hi);
+    }
+}
+
+fn hash_octagon(h: &mut Hasher, oct: &OctagonLite) {
+    hash_intervals(h, oct.bounds());
+    hash_intervals(h, oct.diffs());
+}
+
+fn hash_region(h: &mut Hasher, region: &StartRegion) {
+    match region {
+        StartRegion::Box(b) => {
+            h.tag(0x40);
+            hash_box(h, b);
+        }
+        StartRegion::Octagon(o) => {
+            h.tag(0x41);
+            hash_octagon(h, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RiskCondition;
+    use dpv_absint::AbstractDomain;
+    use dpv_nn::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bench_tail(seed: u64) -> Vec<Layer> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = NetworkBuilder::new(4)
+            .dense(6, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(3, &mut rng)
+            .build();
+        net.layers().to_vec()
+    }
+
+    fn bench_characterizer(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(4)
+            .dense(5, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(1, &mut rng)
+            .build()
+    }
+
+    fn region(lo: f64, hi: f64) -> StartRegion {
+        StartRegion::Box(BoxDomain::uniform(4, lo, hi))
+    }
+
+    #[test]
+    fn identical_tuples_share_a_fingerprint() {
+        let tail = bench_tail(7);
+        let ch = bench_characterizer(9);
+        let risk = RiskCondition::new("r").output_ge(0, 0.5);
+        let a = Fingerprint::of_template(&tail, Some(&ch), &risk, &region(-1.0, 1.0));
+        let b = Fingerprint::of_template(&tail, Some(&ch), &risk, &region(-1.0, 1.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_tuples_never_collide_on_bench_models() {
+        // Vary each component of (tail, characterizer, risk, region)
+        // independently and require pairwise-distinct fingerprints.
+        let tails = [bench_tail(7), bench_tail(8)];
+        let chars = [
+            None,
+            Some(bench_characterizer(9)),
+            Some(bench_characterizer(10)),
+        ];
+        let risks = [
+            RiskCondition::new("a").output_ge(0, 0.25),
+            RiskCondition::new("a").output_ge(0, 5.0),
+            RiskCondition::new("a").output_ge(1, 0.25),
+        ];
+        let regions = [region(-1.0, 1.0), region(-1.0, 1.5), region(-0.5, 1.0)];
+
+        let mut fps = Vec::new();
+        for tail in &tails {
+            for ch in &chars {
+                for risk in &risks {
+                    for reg in &regions {
+                        fps.push(Fingerprint::of_template(tail, ch.as_ref(), risk, reg));
+                    }
+                }
+            }
+        }
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "collision between tuple {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn region_fingerprints_distinguish_box_from_octagon() {
+        let b = BoxDomain::uniform(3, -1.0, 1.0);
+        let oct = OctagonLite::from_parts(b.bounds().to_vec(), vec![Interval::new(-2.0, 2.0); 2]);
+        let fb = Fingerprint::of_region(&StartRegion::Box(b));
+        let fo = Fingerprint::of_region(&StartRegion::Octagon(oct));
+        assert_ne!(fb, fo);
+    }
+
+    #[test]
+    fn sub_box_fingerprints_are_sensitive_to_every_bound() {
+        let base = BoxDomain::uniform(3, -1.0, 1.0);
+        let fp = Fingerprint::of_box(&base);
+        for dim in 0..3 {
+            let mut bounds = base.bounds().to_vec();
+            bounds[dim] = Interval::new(bounds[dim].lo + 1e-9, bounds[dim].hi);
+            let shifted = BoxDomain::from_intervals(bounds);
+            assert_ne!(fp, Fingerprint::of_box(&shifted), "dim {dim} lo ignored");
+        }
+    }
+
+    #[test]
+    fn hex_rendering_is_stable() {
+        let fp = Fingerprint::of_box(&BoxDomain::uniform(2, 0.0, 1.0));
+        assert_eq!(fp.to_hex().len(), 32);
+        assert_eq!(fp.to_hex(), format!("{fp}"));
+    }
+}

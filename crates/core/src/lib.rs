@@ -39,9 +39,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod characterizer;
 mod encode;
 mod error;
+mod fingerprint;
 mod refine;
 mod shard_verify;
 mod spec;
@@ -49,12 +51,16 @@ mod statistical;
 mod verify;
 mod workflow;
 
+pub use cache::{CacheStats, SnapshotPool, SnapshotPoolStats, TemplateCache};
 pub use characterizer::{Characterizer, CharacterizerConfig};
 pub use encode::{
     encode_verification, EncodedProblem, EncodingTemplate, RegionBounds, StartRegion,
 };
 pub use error::CoreError;
-pub use refine::{ParallelRefinementConfig, RefinedVerdict, RefinementReport, RefinementVerifier};
+pub use fingerprint::Fingerprint;
+pub use refine::{
+    split_box, ParallelRefinementConfig, RefinedVerdict, RefinementReport, RefinementVerifier,
+};
 pub use shard_verify::{ShardObligation, ShardedVerificationConfig, ShardedVerificationReport};
 pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
 pub use statistical::{ConfusionTable, StatisticalAnalysis};

@@ -238,17 +238,62 @@ impl RefinementVerifier {
         references: &[Vector],
         backend: &dyn SolverBackend,
     ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
+        self.verify_dispatch(problem, region, references, backend, None)
+    }
+
+    /// [`RefinementVerifier::verify_with`] through an externally owned
+    /// [`ProblemTemplate`] — the cache seam for long-lived processes: a
+    /// template fetched from a [`crate::cache::TemplateCache`] is reused
+    /// across the whole sweep (and across *runs*) instead of being encoded
+    /// per call. Sub-boxes the template's root does not cover fall back to
+    /// one-shot encoding per box, so a mismatched template changes cost,
+    /// never verdicts.
+    ///
+    /// # Errors
+    /// Propagates encoding errors and solver-limit conditions from the
+    /// underlying verification.
+    pub fn verify_with_shared_template(
+        &self,
+        problem: &VerificationProblem,
+        region: &BoxDomain,
+        references: &[Vector],
+        template: &ProblemTemplate,
+        backend: &dyn SolverBackend,
+    ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
+        self.verify_dispatch(problem, region, references, backend, Some(template))
+    }
+
+    fn verify_dispatch(
+        &self,
+        problem: &VerificationProblem,
+        region: &BoxDomain,
+        references: &[Vector],
+        backend: &dyn SolverBackend,
+        external: Option<&ProblemTemplate>,
+    ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
         if let Some(config) = self.parallel {
             if config.workers > 1 {
-                return self.verify_parallel(problem, region, references, backend, config.workers);
+                return self.verify_parallel(
+                    problem,
+                    region,
+                    references,
+                    backend,
+                    config.workers,
+                    external,
+                );
             }
         }
-        // The layer skeleton is encoded once for the whole sweep; every
-        // sub-box below re-tightens the same scratch problem in place.
-        let template = self
-            .use_template
-            .then(|| problem.encoding_template(&StartRegion::Box(region.clone())))
-            .transpose()?;
+        // The layer skeleton is encoded once for the whole sweep (or adopted
+        // from the caller's cache); every sub-box below re-tightens the same
+        // scratch problem in place.
+        let built = match external {
+            Some(_) => None,
+            None => self
+                .use_template
+                .then(|| problem.encoding_template(&StartRegion::Box(region.clone())))
+                .transpose()?,
+        };
+        let template = external.or(built.as_ref());
         let mut scratch: Option<EncodedProblem> = None;
         let mut report = RefinementReport::default();
         let mut queue: Vec<BoxDomain> = vec![region.clone()];
@@ -264,14 +309,8 @@ impl RefinementVerifier {
                 continue;
             }
             report.verification_calls += 1;
-            let (verdict, solution) = solve_box(
-                problem,
-                template.as_ref(),
-                &mut scratch,
-                &current,
-                None,
-                backend,
-            )?;
+            let (verdict, solution) =
+                solve_box(problem, template, &mut scratch, &current, None, backend)?;
             report.solver_stats += solution.stats;
             match verdict {
                 Verdict::Safe => {
@@ -351,25 +390,25 @@ impl RefinementVerifier {
         references: &[Vector],
         backend: &dyn SolverBackend,
         workers: usize,
+        external: Option<&ProblemTemplate>,
     ) -> Result<(RefinedVerdict, RefinementReport), CoreError> {
-        // One skeleton for the whole sweep, shared read-only across the
-        // worker threads; each worker re-tightens its own scratch problem.
-        let template = self
-            .use_template
-            .then(|| problem.encoding_template(&StartRegion::Box(region.clone())))
-            .transpose()?;
+        // One skeleton for the whole sweep (or the caller's cached one),
+        // shared read-only across the worker threads; each worker
+        // re-tightens its own scratch problem.
+        let built = match external {
+            Some(_) => None,
+            None => self
+                .use_template
+                .then(|| problem.encoding_template(&StartRegion::Box(region.clone())))
+                .transpose()?,
+        };
+        let template = external.or(built.as_ref());
         let mut report = RefinementReport::default();
         let mut generation: Vec<BoxDomain> = vec![region.clone()];
 
         while !generation.is_empty() {
-            let outcomes = solve_generation(
-                problem,
-                template.as_ref(),
-                &generation,
-                references,
-                backend,
-                workers,
-            );
+            let outcomes =
+                solve_generation(problem, template, &generation, references, backend, workers);
             let mut next = Vec::new();
             for (index, outcome) in outcomes.into_iter().enumerate() {
                 match outcome? {
@@ -574,7 +613,10 @@ fn batch_region_bounds(
 
 /// Splits a box along its widest dimension at the midpoint. The two halves
 /// cover the original box exactly (they share the splitting hyperplane).
-fn split_box(region: &BoxDomain) -> (BoxDomain, BoxDomain) {
+/// Public because the refinement loop and the obligation server's sub-box
+/// decomposition (`dpv-serve`) must bisect identically for their obligations
+/// to dedup against each other.
+pub fn split_box(region: &BoxDomain) -> (BoxDomain, BoxDomain) {
     let bounds = region.bounds();
     let widest = bounds
         .iter()

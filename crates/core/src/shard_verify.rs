@@ -170,23 +170,10 @@ impl VerificationProblem {
         config: &ShardedVerificationConfig,
         backend: &dyn SolverBackend,
     ) -> Result<ShardedVerificationReport, CoreError> {
-        if envelope.layer() != self.cut_layer() {
-            return Err(CoreError::Inconsistent(format!(
-                "sharded envelope was built at layer {} but the problem cuts at {}",
-                envelope.layer(),
-                self.cut_layer()
-            )));
-        }
-        let dim = self.perception().layer_output_dim(self.cut_layer());
-        if envelope.dim() != dim {
-            return Err(CoreError::Inconsistent(format!(
-                "sharded envelope dimension {} does not match cut-layer width {dim}",
-                envelope.dim()
-            )));
-        }
+        let regions = self.shard_regions(envelope, config.use_difference_constraints)?;
 
         let start_time = Instant::now();
-        let outcomes = self.solve_obligations(envelope, config, backend);
+        let outcomes = self.solve_obligations(envelope, &regions, config, backend);
         let mut shards = Vec::with_capacity(outcomes.len());
         for outcome in outcomes {
             shards.push(outcome?);
@@ -213,12 +200,55 @@ impl VerificationProblem {
         })
     }
 
+    /// Validates `envelope` against the problem (layer and dimension must
+    /// match) and returns the per-shard start regions in shard-index order —
+    /// the octagon of each shard when `use_difference_constraints` is set,
+    /// its box part otherwise. This is the decomposition step shared by
+    /// [`VerificationProblem::verify_sharded_with`] and the obligation
+    /// server (`dpv-serve`), so both derive *identical* obligations from
+    /// one envelope.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when the envelope's layer or
+    /// dimension does not match the problem.
+    pub fn shard_regions(
+        &self,
+        envelope: &ShardedEnvelope,
+        use_difference_constraints: bool,
+    ) -> Result<Vec<StartRegion>, CoreError> {
+        if envelope.layer() != self.cut_layer() {
+            return Err(CoreError::Inconsistent(format!(
+                "sharded envelope was built at layer {} but the problem cuts at {}",
+                envelope.layer(),
+                self.cut_layer()
+            )));
+        }
+        let dim = self.perception().layer_output_dim(self.cut_layer());
+        if envelope.dim() != dim {
+            return Err(CoreError::Inconsistent(format!(
+                "sharded envelope dimension {} does not match cut-layer width {dim}",
+                envelope.dim()
+            )));
+        }
+        Ok((0..envelope.shard_count())
+            .map(|index| {
+                let shard = envelope.shard(index);
+                if use_difference_constraints {
+                    StartRegion::Octagon(shard.octagon().clone())
+                } else {
+                    StartRegion::Box(shard.box_only())
+                }
+            })
+            .collect())
+    }
+
     /// Solves every shard obligation, pulling shard indices from a shared
     /// cursor across `config.workers` scoped threads (the PR-2 work-list
     /// pattern), and returns the outcomes indexed like the shards.
     fn solve_obligations(
         &self,
         envelope: &ShardedEnvelope,
+        regions: &[StartRegion],
         config: &ShardedVerificationConfig,
         backend: &dyn SolverBackend,
     ) -> Vec<Result<ShardObligation, CoreError>> {
@@ -226,16 +256,12 @@ impl VerificationProblem {
         let solve_one = |index: usize| -> Result<ShardObligation, CoreError> {
             let shard_start = Instant::now();
             let shard = envelope.shard(index);
-            let region = if config.use_difference_constraints {
-                StartRegion::Octagon(shard.octagon().clone())
-            } else {
-                StartRegion::Box(shard.box_only())
-            };
+            let region = &regions[index];
             // One encoding template per shard, solved at its own root (no
             // clone-and-retighten: the skeleton *is* the root encoding).
             // The template is what a later per-shard refinement would keep
             // re-instantiating for sub-boxes of the shard.
-            let template = self.encoding_template(&region)?;
+            let template = self.encoding_template(region)?;
             let (verdict, solution, num_binaries, stable_relus) =
                 self.run_solver_on_template_root(&template, backend);
             Ok(ShardObligation {

@@ -5,14 +5,14 @@
 use std::time::Instant;
 
 use dpv_absint::{AbstractDomain, BoxDomain, Zonotope};
-use dpv_lp::{default_backend, MilpSolution, MilpStatus, SolverBackend};
+use dpv_lp::{default_backend, BasisSnapshot, MilpSolution, MilpStatus, SolverBackend};
 use dpv_monitor::ActivationEnvelope;
 use dpv_nn::Network;
 use dpv_tensor::Vector;
 
 use crate::{
-    encode_verification, Characterizer, CoreError, EncodedProblem, EncodingTemplate, RegionBounds,
-    RiskCondition, StartRegion,
+    encode_verification, Characterizer, CoreError, EncodedProblem, EncodingTemplate, Fingerprint,
+    RegionBounds, RiskCondition, StartRegion,
 };
 
 /// Which abstract domain computes the Lemma-2 set from the input domain.
@@ -189,6 +189,14 @@ impl ProblemTemplate {
     /// The underlying MILP skeleton template.
     pub fn encoding(&self) -> &EncodingTemplate {
         &self.encoding
+    }
+
+    /// Content-addressed identity of the underlying encoding template — the
+    /// key under which this template is shared in a
+    /// [`crate::cache::TemplateCache`] and under which its warm bases pool
+    /// in a [`crate::cache::SnapshotPool`].
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.encoding.fingerprint()
     }
 }
 
@@ -397,6 +405,28 @@ impl VerificationProblem {
         Ok(ProblemTemplate { encoding, tail })
     }
 
+    /// The canonical [`Fingerprint`] the template built by
+    /// [`VerificationProblem::encoding_template`] over `root` *would* carry —
+    /// computed without encoding anything, so cache lookups
+    /// ([`crate::cache::TemplateCache::get_or_build`]) can probe before
+    /// paying for a build.
+    ///
+    /// # Errors
+    /// Returns [`CoreError::Inconsistent`] when the cut layer cannot split
+    /// the network.
+    pub fn template_fingerprint(&self, root: &StartRegion) -> Result<Fingerprint, CoreError> {
+        let (_, tail) = self
+            .perception
+            .split_at(self.cut_layer)
+            .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+        Ok(Fingerprint::of_template(
+            tail.layers(),
+            Some(self.characterizer.network()),
+            &self.risk,
+            root,
+        ))
+    }
+
     /// Solves the template's **root** obligation directly on the cached
     /// skeleton — instantiating a template at its own root is a semantic
     /// no-op, so this skips the clone-and-retighten entirely. Returns the
@@ -434,6 +464,35 @@ impl VerificationProblem {
         scratch: &mut Option<EncodedProblem>,
         backend: &dyn SolverBackend,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_with_template_seeded(template, region, bounds, scratch, &mut None, backend)
+    }
+
+    /// Solves one obligation (`region` under `template`) with every reuse
+    /// lever exposed: the skeleton is re-tightened into `scratch` instead of
+    /// re-encoded, precomputed `bounds` (one lane of a batched
+    /// [`crate::EncodingTemplate::region_bounds_batch`] sweep) skip the
+    /// propagate half, and `seed` primes the backend's warm-start state
+    /// ([`SolverBackend::solve_seeded`]) and receives the final basis back —
+    /// the cross-request seam the obligation server's snapshot pool plugs
+    /// into. Falls back to one-shot encoding (seed untouched) when the
+    /// template does not support `region`.
+    ///
+    /// Reuse never changes verdicts, only cost: a stale or foreign seed is
+    /// rejected inside the LP layer and the node solves cold.
+    ///
+    /// # Errors
+    /// Propagates encoding errors; template-scoped inputs (`bounds` or
+    /// `scratch` from a different template) yield
+    /// [`CoreError::Inconsistent`].
+    pub fn solve_with_template_seeded(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        seed: &mut Option<BasisSnapshot>,
+        backend: &dyn SolverBackend,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
         if !template.encoding.supports(region) {
             let (verdict, _, solution) = self.run_solver(region, backend)?;
             return Ok((verdict, solution));
@@ -449,7 +508,7 @@ impl VerificationProblem {
             (None, None) => *scratch = Some(template.encoding.instantiate(region)?),
         }
         let encoded = scratch.as_ref().expect("scratch populated above");
-        let solution = backend.solve(&encoded.milp);
+        let solution = backend.solve_seeded(&encoded.milp, seed);
         let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);
         Ok((verdict, solution))
     }

@@ -5,7 +5,9 @@
 
 use std::fmt;
 
-use crate::{LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats, SOLVER_EPS};
+use crate::{
+    BasisSnapshot, LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats, SOLVER_EPS,
+};
 
 /// A MILP solving engine.
 ///
@@ -22,6 +24,25 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
     /// Solves `problem`. For feasibility problems (all-zero objective) the
     /// backend may stop at the first integer-feasible point.
     fn solve(&self, problem: &MilpProblem) -> MilpSolution;
+
+    /// Solves `problem`, optionally priming the engine's warm-start state
+    /// from `seed` and handing the final state back through it, so callers
+    /// holding a pool of [`BasisSnapshot`]s (e.g. the obligation server's
+    /// per-template snapshot pool) can chain repairs across problems.
+    ///
+    /// The default ignores the seed and leaves it untouched — engines
+    /// without warm-start state (cold, exhaustive, external solvers) stay
+    /// correct for free. Seeding is a pure performance hint: a stale or
+    /// foreign snapshot fails the LP layer's structure/validation guards and
+    /// the solve degrades to cold, never to a wrong verdict.
+    fn solve_seeded(
+        &self,
+        problem: &MilpProblem,
+        seed: &mut Option<BasisSnapshot>,
+    ) -> MilpSolution {
+        let _ = seed;
+        self.solve(problem)
+    }
 }
 
 /// The crate's default engine: the depth-first branch-and-bound solver of
@@ -36,6 +57,14 @@ impl SolverBackend for BranchAndBoundBackend {
 
     fn solve(&self, problem: &MilpProblem) -> MilpSolution {
         problem.solve()
+    }
+
+    fn solve_seeded(
+        &self,
+        problem: &MilpProblem,
+        seed: &mut Option<BasisSnapshot>,
+    ) -> MilpSolution {
+        problem.solve_seeded(seed)
     }
 }
 

@@ -298,17 +298,33 @@ impl MilpProblem {
     /// nodes differ only in binary bounds, so a dual-simplex repair replaces
     /// the two cold phases; [`SolveStats`] records the warm/cold split.
     pub fn solve(&self) -> MilpSolution {
-        self.solve_impl(true)
+        self.solve_impl(true, &mut None)
     }
 
     /// [`MilpProblem::solve`] with warm starting disabled: every node pays a
     /// cold two-phase solve. Kept as the PR-2 reference path for benchmarks
     /// and equivalence tests ([`crate::ColdBranchAndBoundBackend`]).
     pub fn solve_cold(&self) -> MilpSolution {
-        self.solve_impl(false)
+        self.solve_impl(false, &mut None)
     }
 
-    fn solve_impl(&self, warm_enabled: bool) -> MilpSolution {
+    /// [`MilpProblem::solve`] with an externally owned rolling basis.
+    ///
+    /// The caller's `seed` primes the first node's warm start (when `Some`)
+    /// and on return holds the last solved basis, so consecutive MILPs that
+    /// share a structure — e.g. instantiations of one `EncodingTemplate`
+    /// across obligations or requests — can chain their dual-simplex repairs
+    /// across *problem* boundaries, not just across nodes of one search tree.
+    ///
+    /// Soundness does not depend on the seed matching: a stale or foreign
+    /// basis fails [`LinearProgram::solve_from_basis`]'s structure check or
+    /// its primal/Farkas validation and the node silently falls back to a
+    /// cold two-phase solve (counted in [`SolveStats::cold_solves`]).
+    pub fn solve_seeded(&self, seed: &mut Option<BasisSnapshot>) -> MilpSolution {
+        self.solve_impl(true, seed)
+    }
+
+    fn solve_impl(&self, warm_enabled: bool, warm: &mut Option<BasisSnapshot>) -> MilpSolution {
         let feasibility_only = self.lp.objective().iter().all(|&c| c == 0.0);
         let mut stats = SolveStats::default();
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
@@ -319,7 +335,6 @@ impl MilpProblem {
         // pristine binary bounds to restore between nodes, plus the rolling
         // warm-start basis refreshed after every solved relaxation.
         let mut scratch = self.lp.clone();
-        let mut warm: Option<BasisSnapshot> = None;
         let saved_bounds: Vec<(VarId, f64, f64)> = self
             .binaries
             .iter()
@@ -354,7 +369,7 @@ impl MilpProblem {
             if conflict {
                 continue;
             }
-            let solution = solve_node_lp(&scratch, &mut warm, warm_enabled, &mut stats);
+            let solution = solve_node_lp(&scratch, warm, warm_enabled, &mut stats);
             match solution.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::IterationLimit => {
@@ -675,6 +690,67 @@ mod tests {
             sol.stats
         );
         assert!(sol.stats.simplex_iterations > 0);
+    }
+
+    #[test]
+    fn seeded_solve_reuses_the_callers_basis_across_problems() {
+        // Two problems sharing a structure (same binaries, same rows, only a
+        // rhs apart): the basis handed out by the first solve must prime the
+        // second one, replacing its cold root solve with a warm repair.
+        let build = |rhs: f64| {
+            let mut milp = MilpProblem::new();
+            for _ in 0..4 {
+                let _ = milp.add_binary();
+            }
+            let vars: Vec<_> = milp.binaries().to_vec();
+            let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+            milp.lp_mut().add_constraint(&coeffs, ConstraintOp::Ge, rhs);
+            milp
+        };
+        let mut seed = None;
+        let first = build(2.0).solve_seeded(&mut seed);
+        assert_eq!(first.status, MilpStatus::Optimal);
+        assert!(seed.is_some(), "seeded solve must hand the basis back");
+        let second = build(3.0).solve_seeded(&mut seed);
+        assert_eq!(second.status, MilpStatus::Optimal);
+        assert_eq!(
+            second.stats.cold_solves, 0,
+            "structurally identical follow-up should be fully warm: {:?}",
+            second.stats
+        );
+        // And the seeded result must agree with an unseeded solve.
+        let reference = build(3.0).solve();
+        assert_eq!(second.status, reference.status);
+    }
+
+    #[test]
+    fn foreign_seed_degrades_to_cold_without_changing_the_verdict() {
+        // A basis from a structurally different problem (different variable
+        // count) must be rejected by the structure guard: the solve falls
+        // back to cold and still returns the reference verdict.
+        let mut donor = MilpProblem::new();
+        for _ in 0..6 {
+            let _ = donor.add_binary();
+        }
+        let vars: Vec<_> = donor.binaries().to_vec();
+        let coeffs: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        donor
+            .lp_mut()
+            .add_constraint(&coeffs, ConstraintOp::Ge, 1.0);
+        let mut seed = None;
+        let _ = donor.solve_seeded(&mut seed);
+        assert!(seed.is_some());
+
+        let mut other = MilpProblem::new();
+        let x = other.add_binary();
+        let y = other.add_binary();
+        other
+            .lp_mut()
+            .add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 3.0);
+        let seeded = other.solve_seeded(&mut seed);
+        let reference = other.solve();
+        assert_eq!(seeded.status, reference.status);
+        assert_eq!(seeded.status, MilpStatus::Infeasible);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! # dpv-serve
+//!
+//! A **resident obligation server** for tail-network verification: a
+//! long-lived process component that accepts verification requests (tail
+//! network × risk-property family × characterizer × region, optionally
+//! sharded), decomposes each request into proof obligations
+//! (shard × property-family member × sub-box), and drains the obligations
+//! through a persistent work-stealing pool that survives across requests.
+//! What makes residency pay is the shared state *between* requests:
+//!
+//! * a [`dpv_core::TemplateCache`] of [`dpv_core::ProblemTemplate`]s keyed
+//!   by canonical structural [`dpv_core::Fingerprint`]s, so a repeat
+//!   request re-tightens a cached MILP skeleton instead of re-encoding it;
+//! * a [`dpv_core::SnapshotPool`] of rolling
+//!   [`dpv_lp::BasisSnapshot`]s, keyed by the same fingerprints, so the
+//!   branch-and-bound root LP of a new obligation starts from a basis an
+//!   earlier obligation of the *same* template finished with;
+//! * a verdict cache for **deduplication**: an obligation whose
+//!   `(template, sub-region)` fingerprint pair was already solved returns
+//!   the recorded verdict without touching the solver.
+//!
+//! ## Cache-key scheme
+//!
+//! Every key is built from [`dpv_core::Fingerprint`], the 128-bit
+//! content hash of the encoding inputs (tail layers, characterizer
+//! network, risk inequalities, root region geometry — cosmetic names
+//! excluded):
+//!
+//! | cache             | key                                               |
+//! |-------------------|---------------------------------------------------|
+//! | template cache    | `Fingerprint::of_template(tail, char, risk, root)` |
+//! | snapshot pool     | the owning template's fingerprint                  |
+//! | verdict (dedup)   | `(template fingerprint, Fingerprint::of_region)`   |
+//!
+//! Keying the snapshot pool by the *template* fingerprint is load-bearing
+//! for soundness hygiene: the LP layer's structural check cannot tell two
+//! feasibility problems apart when they differ only in a constraint
+//! right-hand side (all-zero objective), so the pool never offers a basis
+//! across template boundaries in the first place — the LP layer's
+//! primal/Farkas validation remains the backstop, degrading a stale seed
+//! to a cold solve rather than a wrong verdict.
+//!
+//! ## Eviction policy
+//!
+//! The template cache evicts least-recently-used whole templates once
+//! `template_capacity` is exceeded. The snapshot pool keeps at most
+//! `snapshot_per_key` bases per template and discards surplus check-ins.
+//! The verdict cache evicts in FIFO (insertion) order past
+//! `verdict_capacity` entries. All three are bounded so a resident server
+//! cannot grow without limit across requests.
+//!
+//! ## Backpressure contract
+//!
+//! At most `queue_capacity` obligations are in flight (admitted to the
+//! pool and not yet completed) at any moment.
+//! [`ObligationServer::serve`] **blocks** while the queue is full and
+//! admits the next obligation only when a worker completes one — a
+//! bounded queue, not load shedding: no obligation is ever dropped, and a
+//! burst of requests slows the submitters down instead of exhausting
+//! memory.
+//!
+//! ## Determinism
+//!
+//! Workers race, caches warm up, seeds come and go — yet the *verdicts*
+//! of a request are a pure function of the request: results are folded in
+//! obligation-index order (lowest-index counterexample beats lowest-index
+//! give-up, as in [`dpv_core::VerificationProblem::verify_sharded_with`]),
+//! and any obligation whose seeded solve finds a counterexample is
+//! re-solved unseeded so the reported point never depends on pool state
+//! (see [`ServeStats::canonical_resolves`]). Timings and solver statistics
+//! are explicitly *not* part of the deterministic surface.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod request;
+mod server;
+mod stats;
+
+pub use request::{RegionSpec, VerificationRequest};
+pub use server::{
+    FamilyVerdict, ObligationOutcome, ObligationServer, RequestReport, ServeConfig, ServeError,
+};
+pub use stats::ServeStats;

@@ -1,0 +1,172 @@
+//! Request description and its decomposition into proof obligations.
+
+use std::sync::Arc;
+
+use dpv_absint::{AbstractDomain, BoxDomain};
+use dpv_core::{
+    split_box, Characterizer, CoreError, RiskCondition, StartRegion, VerificationProblem,
+};
+use dpv_nn::Network;
+use dpv_shard::ShardedEnvelope;
+
+/// Where a request's proof obligations live at the cut layer.
+#[derive(Debug, Clone)]
+pub enum RegionSpec {
+    /// One start region — the monolithic assume-guarantee shape (or a
+    /// Lemma-2 abstraction box). Box regions may be subdivided; an
+    /// octagon is solved as a single root obligation.
+    Single(StartRegion),
+    /// A cluster-partitioned envelope: one obligation root per shard.
+    Sharded {
+        /// The sharded activation envelope (built at the request's cut
+        /// layer, with the cut layer's dimension).
+        envelope: ShardedEnvelope,
+        /// Encode each shard's adjacent-difference constraints (`true`,
+        /// octagon regions) or only its box part (`false`).
+        use_difference_constraints: bool,
+    },
+}
+
+/// A verification request: the things a client would ship to a resident
+/// verifier — perception network, cut layer, characterizer, a *family* of
+/// risk conditions to check under the same region, and the region itself.
+///
+/// The server decomposes a request into
+/// `families × shards × sub-boxes` proof obligations. `subdivision`
+/// bisects every **box** obligation root `subdivision` times along its
+/// widest dimension (via [`dpv_core::split_box`], the same deterministic
+/// rule the refinement work-list uses), yielding `2^subdivision` sub-box
+/// obligations per root; octagon roots are never subdivided.
+#[derive(Debug, Clone)]
+pub struct VerificationRequest {
+    /// The full perception network (split at `cut_layer` server-side).
+    pub perception: Network,
+    /// The cut layer (zero-based) the characterizer and regions live at.
+    pub cut_layer: usize,
+    /// The input-property characterizer `h_φ`.
+    pub characterizer: Characterizer,
+    /// The risk-property family: every condition is verified over the
+    /// same region set. Must be non-empty.
+    pub risks: Vec<RiskCondition>,
+    /// The start region(s) at the cut layer.
+    pub region: RegionSpec,
+    /// Bisection levels applied to each box obligation root.
+    pub subdivision: u32,
+}
+
+/// One proof obligation: a `(problem, template root, sub-region)` triple
+/// plus its deterministic coordinates in the request.
+#[derive(Debug, Clone)]
+pub(crate) struct Obligation {
+    /// Position in the request's global obligation order (family-major,
+    /// then shard, then sub-box) — the fold order.
+    pub index: usize,
+    /// Index into [`VerificationRequest::risks`].
+    pub family: usize,
+    /// Shard index (0 for [`RegionSpec::Single`]).
+    pub shard: usize,
+    /// Sub-box index within the shard (0 for unsubdivided roots).
+    pub sub_box: usize,
+    /// The verification problem for this family member.
+    pub problem: Arc<VerificationProblem>,
+    /// The region to solve.
+    pub region: StartRegion,
+}
+
+/// All obligations of one `(family, shard)` pair — they share one
+/// encoding template rooted at `root`, which is what makes admission
+/// batchable.
+#[derive(Debug, Clone)]
+pub(crate) struct ObligationGroup {
+    pub problem: Arc<VerificationProblem>,
+    pub root: StartRegion,
+    pub obligations: Vec<Obligation>,
+}
+
+/// Deterministically enumerates the sub-boxes of `root` after `levels`
+/// widest-dimension bisections, left child before right child.
+fn bisect(root: &BoxDomain, levels: u32, out: &mut Vec<BoxDomain>) {
+    if levels == 0 {
+        out.push(root.clone());
+        return;
+    }
+    let (left, right) = split_box(root);
+    bisect(&left, levels - 1, out);
+    bisect(&right, levels - 1, out);
+}
+
+impl VerificationRequest {
+    /// The shard roots of the request, in shard-index order.
+    fn shard_roots(&self, problem: &VerificationProblem) -> Result<Vec<StartRegion>, CoreError> {
+        match &self.region {
+            RegionSpec::Single(region) => {
+                if region.box_domain().dim()
+                    != problem.perception().layer_output_dim(problem.cut_layer())
+                {
+                    return Err(CoreError::Inconsistent(
+                        "request region dimension does not match the cut-layer width".into(),
+                    ));
+                }
+                Ok(vec![region.clone()])
+            }
+            RegionSpec::Sharded {
+                envelope,
+                use_difference_constraints,
+            } => problem.shard_regions(envelope, *use_difference_constraints),
+        }
+    }
+
+    /// Decomposes the request into obligation groups in deterministic
+    /// order: family-major, then shard, then sub-box. Obligation indices
+    /// are assigned in exactly this order, which is also the fold order.
+    pub(crate) fn decompose(&self) -> Result<Vec<ObligationGroup>, CoreError> {
+        if self.risks.is_empty() {
+            return Err(CoreError::Inconsistent(
+                "a verification request needs at least one risk condition".into(),
+            ));
+        }
+        let mut groups = Vec::new();
+        let mut index = 0usize;
+        for (family, risk) in self.risks.iter().enumerate() {
+            let problem = Arc::new(VerificationProblem::new(
+                self.perception.clone(),
+                self.cut_layer,
+                self.characterizer.clone(),
+                risk.clone(),
+            )?);
+            let roots = self.shard_roots(&problem)?;
+            for (shard, root) in roots.into_iter().enumerate() {
+                let sub_regions: Vec<StartRegion> = match &root {
+                    StartRegion::Box(b) => {
+                        let mut leaves = Vec::new();
+                        bisect(b, self.subdivision, &mut leaves);
+                        leaves.into_iter().map(StartRegion::Box).collect()
+                    }
+                    octagon => vec![octagon.clone()],
+                };
+                let obligations = sub_regions
+                    .into_iter()
+                    .enumerate()
+                    .map(|(sub_box, region)| {
+                        let obligation = Obligation {
+                            index,
+                            family,
+                            shard,
+                            sub_box,
+                            problem: Arc::clone(&problem),
+                            region,
+                        };
+                        index += 1;
+                        obligation
+                    })
+                    .collect();
+                groups.push(ObligationGroup {
+                    problem: Arc::clone(&problem),
+                    root,
+                    obligations,
+                });
+            }
+        }
+        Ok(groups)
+    }
+}

@@ -1,0 +1,760 @@
+//! The resident obligation server: a persistent work-stealing pool
+//! draining proof obligations through shared template/basis caches.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use dpv_absint::BoxDomain;
+use dpv_core::{
+    CoreError, EncodedProblem, Fingerprint, ProblemTemplate, RegionBounds, SnapshotPool,
+    StartRegion, TemplateCache, Verdict, VerificationProblem,
+};
+use dpv_lp::{BranchAndBoundBackend, SolveStats};
+
+use crate::request::{Obligation, ObligationGroup, VerificationRequest};
+use crate::stats::ServeStats;
+
+/// Sizing of a resident [`ObligationServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Persistent worker threads (clamped to at least 1). Workers solve
+    /// with the serial warm-started branch-and-bound backend, so the
+    /// server's parallelism is exactly this count — never multiply it by
+    /// a parallel backend underneath.
+    pub workers: usize,
+    /// Bound on obligations in flight; [`ObligationServer::serve`] blocks
+    /// once this many are admitted and unfinished (clamped to at least 1).
+    pub queue_capacity: usize,
+    /// LRU capacity of the shared template cache.
+    pub template_capacity: usize,
+    /// Pooled bases kept per template fingerprint (0 disables basis
+    /// reuse — the cheapest fully-cold configuration).
+    pub snapshot_per_key: usize,
+    /// FIFO capacity of the verdict (dedup) cache (0 disables dedup).
+    pub verdict_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            queue_capacity: 64,
+            template_capacity: 32,
+            snapshot_per_key: 2,
+            verdict_capacity: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Default sizing with `workers` worker threads.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+/// Errors surfaced by [`ObligationServer::serve`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Request decomposition or encoding failed.
+    Core(CoreError),
+    /// The request decomposed into zero obligations.
+    EmptyRequest,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "core error: {e}"),
+            ServeError::EmptyRequest => write!(f, "request decomposed into zero obligations"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+/// Per-family aggregate verdict of a request, folded in obligation-index
+/// order: `Safe` iff every obligation of the family is safe, otherwise
+/// the lowest-index counterexample, otherwise the lowest-index give-up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilyVerdict {
+    /// Index into [`VerificationRequest::risks`].
+    pub family: usize,
+    /// The risk condition's name.
+    pub risk: String,
+    /// The folded verdict.
+    pub verdict: Verdict,
+}
+
+/// The outcome of one proof obligation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObligationOutcome {
+    /// Global obligation index (the fold order).
+    pub index: usize,
+    /// Family (risk) index.
+    pub family: usize,
+    /// Shard index.
+    pub shard: usize,
+    /// Sub-box index within the shard.
+    pub sub_box: usize,
+    /// The verdict (canonical: independent of cache and pool state).
+    pub verdict: Verdict,
+    /// Whether the verdict came from the dedup cache without solving.
+    pub deduped: bool,
+    /// Wall-clock nanoseconds spent solving (0 when deduped). Cost
+    /// telemetry only — scheduling-dependent.
+    pub solve_ns: u128,
+    /// Solver statistics (zeroed when deduped). Cost telemetry only.
+    pub stats: SolveStats,
+}
+
+/// The result of one served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestReport {
+    /// One folded verdict per risk condition, in family order. This (and
+    /// the per-obligation verdicts) is the deterministic surface: equal
+    /// run-to-run regardless of worker scheduling or cache state.
+    pub verdicts: Vec<FamilyVerdict>,
+    /// Per-obligation outcomes, in obligation-index order.
+    pub obligations: Vec<ObligationOutcome>,
+    /// End-to-end wall-clock seconds for the request.
+    pub seconds: f64,
+    /// Server statistics snapshot taken after the request completed.
+    pub stats: ServeStats,
+}
+
+impl RequestReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let safe = self.verdicts.iter().filter(|v| v.verdict.is_safe()).count();
+        let deduped = self.obligations.iter().filter(|o| o.deduped).count();
+        format!(
+            "{}/{} families safe | {} obligations ({} deduped) | {:.3}s",
+            safe,
+            self.verdicts.len(),
+            self.obligations.len(),
+            deduped,
+            self.seconds
+        )
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// FIFO-bounded verdict cache: `(template, sub-region)` fingerprints →
+/// canonical verdict.
+#[derive(Debug, Default)]
+struct VerdictCache {
+    map: HashMap<(Fingerprint, Fingerprint), Verdict>,
+    order: VecDeque<(Fingerprint, Fingerprint)>,
+}
+
+impl VerdictCache {
+    fn get(&self, key: &(Fingerprint, Fingerprint)) -> Option<Verdict> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, capacity: usize, key: (Fingerprint, Fingerprint), verdict: Verdict) {
+        if capacity == 0 {
+            return;
+        }
+        if self.map.insert(key, verdict).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// Obligation-pool state guarded by one mutex: the in-flight count (the
+/// backpressure bound) and the shutdown flag. Every queue push happens
+/// while holding this lock, so a worker that observes "no work" under
+/// the lock cannot miss a wake-up.
+#[derive(Debug, Default)]
+struct PoolState {
+    in_flight: usize,
+    max_in_flight: usize,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    requests: u64,
+    obligations: u64,
+    solved: u64,
+    dedup_hits: u64,
+    canonical_resolves: u64,
+    total_solve_ns: u128,
+}
+
+/// What a worker hands back for one solved obligation.
+#[derive(Debug)]
+struct WorkerOutcome {
+    verdict: Verdict,
+    solve_ns: u128,
+    stats: SolveStats,
+}
+
+/// Per-request completion state shared between the submitting thread and
+/// the workers.
+#[derive(Debug)]
+struct RequestState {
+    outcomes: Mutex<Vec<Option<WorkerOutcome>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// One unit of pool work.
+struct Job {
+    index: usize,
+    template: Arc<ProblemTemplate>,
+    problem: Arc<VerificationProblem>,
+    region: StartRegion,
+    bounds: Option<RegionBounds>,
+    dedup_key: (Fingerprint, Fingerprint),
+    request: Arc<RequestState>,
+}
+
+struct Inner {
+    config: ServeConfig,
+    templates: TemplateCache,
+    snapshots: SnapshotPool,
+    verdicts: Mutex<VerdictCache>,
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    state: Mutex<PoolState>,
+    work: Condvar,
+    space: Condvar,
+    counters: Mutex<Counters>,
+    shutting_down: AtomicBool,
+}
+
+/// A resident verification server: persistent workers, cross-request
+/// caches, bounded admission. See the crate docs for the cache-key
+/// scheme, eviction policy and backpressure contract.
+///
+/// Dropping the server shuts the pool down and joins every worker.
+pub struct ObligationServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for ObligationServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObligationServer")
+            .field("config", &self.inner.config)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl ObligationServer {
+    /// Starts a server with `config.workers` persistent worker threads.
+    pub fn new(config: ServeConfig) -> Self {
+        let config = ServeConfig {
+            workers: config.workers.max(1),
+            queue_capacity: config.queue_capacity.max(1),
+            ..config
+        };
+        let deques: Vec<Worker<Job>> = (0..config.workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = deques.iter().map(Worker::stealer).collect();
+        let inner = Arc::new(Inner {
+            config,
+            templates: TemplateCache::new(config.template_capacity),
+            snapshots: SnapshotPool::new(config.snapshot_per_key),
+            verdicts: Mutex::new(VerdictCache::default()),
+            injector: Injector::new(),
+            stealers,
+            state: Mutex::new(PoolState::default()),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            counters: Mutex::new(Counters::default()),
+            shutting_down: AtomicBool::new(false),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, &local, me))
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Serves one request to completion: decomposes it into obligations,
+    /// answers duplicates from the verdict cache, batches the remaining
+    /// admissions per template, drains them through the pool (blocking on
+    /// the queue bound), and folds the verdicts in obligation-index
+    /// order.
+    ///
+    /// # Errors
+    /// [`ServeError::Core`] when decomposition or encoding fails;
+    /// [`ServeError::EmptyRequest`] when the request holds no risk
+    /// conditions or regions.
+    pub fn serve(&self, request: &VerificationRequest) -> Result<RequestReport, ServeError> {
+        let started = Instant::now();
+        let groups = request.decompose()?;
+        let total: usize = groups.iter().map(|g| g.obligations.len()).sum();
+        if total == 0 {
+            return Err(ServeError::EmptyRequest);
+        }
+
+        let state = Arc::new(RequestState {
+            outcomes: Mutex::new((0..total).map(|_| None).collect()),
+            remaining: Mutex::new(0),
+            done: Condvar::new(),
+        });
+
+        // Admission: per template group, dedup first, then one batched
+        // bound sweep over the surviving sibling boxes, then enqueue.
+        let mut coordinates = Vec::with_capacity(total);
+        let mut deduped = vec![false; total];
+        let mut jobs = Vec::new();
+        let mut dedup_hits = 0u64;
+        for group in &groups {
+            let (group_jobs, group_dedups) = self.admit_group(group, &state)?;
+            dedup_hits += group_dedups;
+            jobs.extend(group_jobs);
+            for obligation in &group.obligations {
+                coordinates.push((obligation.family, obligation.shard, obligation.sub_box));
+            }
+        }
+        {
+            // Dedup answers were written straight into `outcomes`; mark
+            // which indices they were.
+            let outcomes = lock(&state.outcomes);
+            for (index, slot) in outcomes.iter().enumerate() {
+                if slot.is_some() {
+                    deduped[index] = true;
+                }
+            }
+        }
+        *lock(&state.remaining) = jobs.len();
+
+        self.enqueue_with_backpressure(jobs);
+
+        // Wait for the pool to drain this request.
+        {
+            let mut remaining = lock(&state.remaining);
+            while *remaining > 0 {
+                remaining = wait(&state.done, remaining);
+            }
+        }
+
+        let mut outcomes = Vec::with_capacity(total);
+        {
+            let mut slots = lock(&state.outcomes);
+            for (index, slot) in slots.iter_mut().enumerate() {
+                let outcome = slot.take().expect("every obligation completes");
+                let (family, shard, sub_box) = coordinates[index];
+                outcomes.push(ObligationOutcome {
+                    index,
+                    family,
+                    shard,
+                    sub_box,
+                    verdict: outcome.verdict,
+                    deduped: deduped[index],
+                    solve_ns: outcome.solve_ns,
+                    stats: outcome.stats,
+                });
+            }
+        }
+
+        let verdicts = fold_families(request, &outcomes);
+        {
+            let mut counters = lock(&self.inner.counters);
+            counters.requests += 1;
+            counters.obligations += total as u64;
+            counters.dedup_hits += dedup_hits;
+        }
+        Ok(RequestReport {
+            verdicts,
+            obligations: outcomes,
+            seconds: started.elapsed().as_secs_f64(),
+            stats: self.stats(),
+        })
+    }
+
+    /// Dedup + batched admission for one `(family, shard)` group. Cached
+    /// verdicts are written straight into the request state; the
+    /// remaining obligations come back as enqueueable jobs, box siblings
+    /// carrying bounds from a single [`dpv_core::EncodingTemplate::region_bounds_batch`]
+    /// sweep.
+    fn admit_group(
+        &self,
+        group: &ObligationGroup,
+        state: &Arc<RequestState>,
+    ) -> Result<(Vec<Job>, u64), ServeError> {
+        let template = self
+            .inner
+            .templates
+            .get_or_build(&group.problem, &group.root)?;
+        let template_fp = template.fingerprint();
+
+        let mut pending: Vec<(&Obligation, (Fingerprint, Fingerprint))> = Vec::new();
+        let mut dedup_hits = 0u64;
+        {
+            let verdicts = lock(&self.inner.verdicts);
+            let mut outcomes = lock(&state.outcomes);
+            for obligation in &group.obligations {
+                let key = (template_fp, Fingerprint::of_region(&obligation.region));
+                match verdicts.get(&key) {
+                    Some(verdict) => {
+                        dedup_hits += 1;
+                        outcomes[obligation.index] = Some(WorkerOutcome {
+                            verdict,
+                            solve_ns: 0,
+                            stats: SolveStats::default(),
+                        });
+                    }
+                    None => pending.push((obligation, key)),
+                }
+            }
+        }
+
+        // One SoA sweep for every surviving box sibling of the group
+        // (bit-identical to per-region propagation, so instantiation is
+        // unchanged — only cheaper).
+        let boxes: Vec<&BoxDomain> = pending
+            .iter()
+            .filter_map(|(o, _)| match &o.region {
+                StartRegion::Box(b) if template.encoding().supports_box(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        let mut batched: VecDeque<RegionBounds> = if boxes.len() > 1 {
+            template.encoding().region_bounds_batch(&boxes)?.into()
+        } else {
+            VecDeque::new()
+        };
+
+        let jobs = pending
+            .into_iter()
+            .map(|(obligation, dedup_key)| {
+                let bounds = match &obligation.region {
+                    StartRegion::Box(b)
+                        if !batched.is_empty() && template.encoding().supports_box(b) =>
+                    {
+                        batched.pop_front()
+                    }
+                    _ => None,
+                };
+                Job {
+                    index: obligation.index,
+                    template: Arc::clone(&template),
+                    problem: Arc::clone(&obligation.problem),
+                    region: obligation.region.clone(),
+                    bounds,
+                    dedup_key,
+                    request: Arc::clone(state),
+                }
+            })
+            .collect();
+        Ok((jobs, dedup_hits))
+    }
+
+    /// Pushes jobs into the pool, blocking whenever `queue_capacity`
+    /// obligations are already in flight — the backpressure contract.
+    fn enqueue_with_backpressure(&self, jobs: Vec<Job>) {
+        for job in jobs {
+            let mut state = lock(&self.inner.state);
+            while state.in_flight >= self.inner.config.queue_capacity {
+                state = wait(&self.inner.space, state);
+            }
+            state.in_flight += 1;
+            state.max_in_flight = state.max_in_flight.max(state.in_flight);
+            // Push under the lock so sleeping workers cannot miss it.
+            self.inner.injector.push(job);
+            self.inner.work.notify_one();
+        }
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let counters = lock(&self.inner.counters);
+        let state = lock(&self.inner.state);
+        ServeStats {
+            requests: counters.requests,
+            obligations: counters.obligations,
+            solved: counters.solved,
+            dedup_hits: counters.dedup_hits,
+            canonical_resolves: counters.canonical_resolves,
+            queue_depth: state.in_flight,
+            max_queue_depth: state.max_in_flight,
+            total_solve_ns: counters.total_solve_ns,
+            templates: self.inner.templates.stats(),
+            snapshots: self.inner.snapshots.stats(),
+        }
+    }
+
+    /// The configuration the server was started with.
+    pub fn config(&self) -> ServeConfig {
+        self.inner.config
+    }
+}
+
+impl Drop for ObligationServer {
+    fn drop(&mut self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        {
+            let mut state = lock(&self.inner.state);
+            state.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        self.inner.space.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Folds per-obligation verdicts into per-family verdicts in
+/// obligation-index order: `Safe` only if every obligation is safe, a
+/// counterexample beats a give-up, lowest index wins within each class.
+fn fold_families(
+    request: &VerificationRequest,
+    outcomes: &[ObligationOutcome],
+) -> Vec<FamilyVerdict> {
+    request
+        .risks
+        .iter()
+        .enumerate()
+        .map(|(family, risk)| {
+            let mut verdict = Verdict::Safe;
+            for outcome in outcomes.iter().filter(|o| o.family == family) {
+                match (&verdict, &outcome.verdict) {
+                    (_, Verdict::Safe) => {}
+                    (Verdict::Safe, other) => verdict = other.clone(),
+                    (Verdict::Unknown(_), Verdict::Unsafe(_)) => {
+                        verdict = outcome.verdict.clone();
+                    }
+                    _ => {}
+                }
+            }
+            FamilyVerdict {
+                family,
+                risk: risk.name().to_string(),
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// How many extra jobs a worker pulls from the injector into its local
+/// deque per refill, leaving the surplus stealable by idle peers.
+const REFILL_BATCH: usize = 4;
+
+fn worker_loop(inner: &Arc<Inner>, local: &Worker<Job>, me: usize) {
+    let backend = BranchAndBoundBackend;
+    // The instantiation scratch is reusable only within one template
+    // (content-addressed, so "one template" means one fingerprint).
+    let mut scratch: Option<EncodedProblem> = None;
+    let mut scratch_fp: Option<Fingerprint> = None;
+    while let Some(job) = next_job(inner, local, me) {
+        if scratch_fp != Some(job.template.fingerprint()) {
+            scratch = None;
+            scratch_fp = Some(job.template.fingerprint());
+        }
+        let outcome = run_job(inner, &job, &mut scratch, &backend);
+        complete_job(inner, job, outcome);
+    }
+}
+
+/// Pops the next job: own deque first (depth-first), then a batched
+/// refill from the injector (surplus lands in the local deque where
+/// peers can steal it), then a steal from a peer; otherwise sleeps on
+/// the work condvar until a push or shutdown.
+fn next_job(inner: &Arc<Inner>, local: &Worker<Job>, me: usize) -> Option<Job> {
+    loop {
+        if let Some(job) = local.pop() {
+            return Some(job);
+        }
+        let mut refilled = false;
+        for _ in 0..REFILL_BATCH {
+            match inner.injector.steal().success() {
+                Some(job) => {
+                    local.push(job);
+                    refilled = true;
+                }
+                None => break,
+            }
+        }
+        if refilled {
+            // Peers may be sleeping while stealable work sits in our
+            // deque; wake them to contend for it.
+            inner.work.notify_all();
+            continue;
+        }
+        for (peer, stealer) in inner.stealers.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            if let Some(job) = stealer.steal().success() {
+                return Some(job);
+            }
+        }
+        let state = lock(&inner.state);
+        if state.shutdown {
+            return None;
+        }
+        // Re-check under the lock: every push happens while holding it,
+        // so "still empty here" cannot race a missed notification.
+        if inner.injector.is_empty() && inner.stealers.iter().all(Stealer::is_empty) {
+            drop(wait(&inner.work, state));
+        }
+    }
+}
+
+/// Solves one obligation with every reuse lever, then canonicalises:
+/// counterexamples found by a *seeded* solve are re-solved unseeded so
+/// the reported verdict is a pure function of the obligation, not of the
+/// pool's warm-start state (statuses are already path-invariant; vertex
+/// coordinates are not).
+fn run_job(
+    inner: &Arc<Inner>,
+    job: &Job,
+    scratch: &mut Option<EncodedProblem>,
+    backend: &BranchAndBoundBackend,
+) -> WorkerOutcome {
+    let started = Instant::now();
+    let template_fp = job.template.fingerprint();
+    let mut seed = inner.snapshots.check_out(template_fp);
+    let was_seeded = seed.is_some();
+    let solved = job.problem.solve_with_template_seeded(
+        &job.template,
+        &job.region,
+        job.bounds.as_ref(),
+        scratch,
+        &mut seed,
+        backend,
+    );
+    let (mut verdict, mut solution) = match solved {
+        Ok(pair) => pair,
+        Err(e) => {
+            return WorkerOutcome {
+                verdict: Verdict::Unknown(format!("obligation failed: {e}")),
+                solve_ns: started.elapsed().as_nanos(),
+                stats: SolveStats::default(),
+            }
+        }
+    };
+    if let Some(basis) = seed.take() {
+        inner.snapshots.check_in(template_fp, basis);
+    }
+    if was_seeded && verdict.is_unsafe() {
+        if let Ok((canonical_verdict, canonical_solution)) = job.problem.solve_with_template_seeded(
+            &job.template,
+            &job.region,
+            job.bounds.as_ref(),
+            scratch,
+            &mut None,
+            backend,
+        ) {
+            verdict = canonical_verdict;
+            solution = canonical_solution;
+            lock(&inner.counters).canonical_resolves += 1;
+        }
+    }
+    lock(&inner.verdicts).insert(
+        inner.config.verdict_capacity,
+        job.dedup_key,
+        verdict.clone(),
+    );
+    WorkerOutcome {
+        verdict,
+        solve_ns: started.elapsed().as_nanos(),
+        stats: solution.stats,
+    }
+}
+
+/// Completion bookkeeping: writes the outcome, releases one unit of
+/// queue capacity, and wakes the submitter when its request drained.
+fn complete_job(inner: &Arc<Inner>, job: Job, outcome: WorkerOutcome) {
+    {
+        let mut counters = lock(&inner.counters);
+        counters.solved += 1;
+        counters.total_solve_ns += outcome.solve_ns;
+    }
+    lock(&job.request.outcomes)[job.index] = Some(outcome);
+    // Release the queue slot before marking the request drained, so a
+    // submitter woken by `done` observes the freed capacity.
+    {
+        let mut state = lock(&inner.state);
+        state.in_flight -= 1;
+    }
+    inner.space.notify_one();
+    {
+        let mut remaining = lock(&job.request.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            job.request.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_plumbing_is_send_and_sync() {
+        assert_send_sync::<ProblemTemplate>();
+        assert_send_sync::<TemplateCache>();
+        assert_send_sync::<SnapshotPool>();
+        assert_send_sync::<Fingerprint>();
+        assert_send_sync::<Job>();
+        assert_send_sync::<Inner>();
+        assert_send_sync::<ObligationServer>();
+    }
+
+    #[test]
+    fn verdict_cache_is_fifo_bounded() {
+        let mut cache = VerdictCache::default();
+        let keys: Vec<_> = (0..4u64)
+            .map(|i| {
+                let fp = Fingerprint::of_region(&StartRegion::Box(BoxDomain::uniform(
+                    2,
+                    -(i as f64) - 1.0,
+                    i as f64 + 1.0,
+                )));
+                (fp, fp)
+            })
+            .collect();
+        for key in &keys {
+            cache.insert(2, *key, Verdict::Safe);
+        }
+        assert!(cache.get(&keys[0]).is_none(), "oldest entries evicted");
+        assert!(cache.get(&keys[1]).is_none());
+        assert!(cache.get(&keys[2]).is_some());
+        assert!(cache.get(&keys[3]).is_some());
+        cache.insert(0, keys[0], Verdict::Safe);
+        assert!(cache.get(&keys[0]).is_none(), "capacity 0 disables dedup");
+    }
+}

@@ -1,0 +1,79 @@
+//! Aggregate statistics of a resident obligation server.
+
+use dpv_core::{CacheStats, SnapshotPoolStats};
+
+/// A point-in-time snapshot of everything a resident server has done:
+/// cache effectiveness, dedup rate, queue pressure and per-obligation
+/// latency. Returned by [`crate::ObligationServer::stats`] and attached
+/// to every [`crate::RequestReport`].
+///
+/// Counters are cumulative since the server was created. Latency and
+/// queue-depth figures are *cost* telemetry and deliberately not part of
+/// the deterministic report surface (verdicts are; see the crate docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests served to completion.
+    pub requests: u64,
+    /// Obligations decomposed across all requests (solved + deduplicated).
+    pub obligations: u64,
+    /// Obligations actually handed to the solver pool.
+    pub solved: u64,
+    /// Obligations answered from the verdict cache without solving.
+    pub dedup_hits: u64,
+    /// Seeded solves that found a counterexample and were re-solved
+    /// unseeded so the reported point is independent of pool state.
+    pub canonical_resolves: u64,
+    /// Obligations in flight when the snapshot was taken.
+    pub queue_depth: usize,
+    /// High-water mark of obligations in flight.
+    pub max_queue_depth: usize,
+    /// Wall-clock nanoseconds spent solving obligations (sum over the
+    /// pool's workers, so it can exceed elapsed time).
+    pub total_solve_ns: u128,
+    /// Template-cache effectiveness (hits, misses, evictions, entries).
+    pub templates: CacheStats,
+    /// Snapshot-pool effectiveness (hits, misses, discards, pooled).
+    pub snapshots: SnapshotPoolStats,
+}
+
+impl ServeStats {
+    /// Deduplicated obligations per thousand decomposed, in `0..=1000`.
+    pub fn dedup_rate_permille(&self) -> u64 {
+        (self.dedup_hits * 1000)
+            .checked_div(self.obligations)
+            .unwrap_or(0)
+    }
+
+    /// Template-cache hits per thousand lookups, in `0..=1000`.
+    pub fn template_hit_rate_permille(&self) -> u64 {
+        self.templates.hit_rate_permille()
+    }
+
+    /// Mean wall-clock nanoseconds per solved obligation.
+    pub fn mean_obligation_latency_ns(&self) -> u128 {
+        self.total_solve_ns
+            .checked_div(u128::from(self.solved))
+            .unwrap_or(0)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests | {} obligations ({} solved, {} deduped, {}‰ dedup) | \
+             templates {}/{} hit/miss | bases {}/{} hit/miss | queue {} (max {}) | \
+             {} ns/obligation",
+            self.requests,
+            self.obligations,
+            self.solved,
+            self.dedup_hits,
+            self.dedup_rate_permille(),
+            self.templates.hits,
+            self.templates.misses,
+            self.snapshots.hits,
+            self.snapshots.misses,
+            self.queue_depth,
+            self.max_queue_depth,
+            self.mean_obligation_latency_ns()
+        )
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end behaviour of the resident obligation server: decomposition
+//! order, verdict parity with the direct dpv-core paths, deduplication,
+//! backpressure, and determinism across worker counts and cache states.
+
+use dpv_absint::BoxDomain;
+use dpv_core::{
+    Characterizer, InputProperty, RiskCondition, StartRegion, Verdict, VerificationProblem,
+};
+use dpv_lp::BranchAndBoundBackend;
+use dpv_nn::{Activation, Network, NetworkBuilder};
+use dpv_serve::{ObligationServer, RegionSpec, RequestReport, ServeConfig, VerificationRequest};
+use dpv_shard::{ShardConfig, ShardedEnvelope};
+use dpv_tensor::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CUT: usize = 2;
+const CUT_WIDTH: usize = 4;
+
+fn perception(seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    NetworkBuilder::new(3)
+        .dense(6, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(CUT_WIDTH, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(2, &mut rng)
+        .build()
+}
+
+fn characterizer(seed: u64) -> Characterizer {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a2);
+    let head = NetworkBuilder::new(CUT_WIDTH)
+        .dense(3, &mut rng)
+        .activation(Activation::ReLU)
+        .dense(1, &mut rng)
+        .build();
+    Characterizer::from_network(
+        InputProperty::new("p", "synthetic property"),
+        CUT,
+        head,
+        0.9,
+    )
+    .unwrap()
+}
+
+/// One provably-safe and one trivially-reachable risk condition: the
+/// family exercises both the Infeasible→Safe and Optimal→Unsafe paths.
+fn risk_family() -> Vec<RiskCondition> {
+    vec![
+        RiskCondition::new("unreachable").output_ge(0, 500.0),
+        RiskCondition::new("reachable").output_ge(0, -500.0),
+    ]
+}
+
+fn box_request(seed: u64, subdivision: u32) -> VerificationRequest {
+    VerificationRequest {
+        perception: perception(seed),
+        cut_layer: CUT,
+        characterizer: characterizer(seed),
+        risks: risk_family(),
+        region: RegionSpec::Single(StartRegion::Box(BoxDomain::uniform(CUT_WIDTH, -1.0, 1.0))),
+        subdivision,
+    }
+}
+
+/// The deterministic surface of a report: everything except timings and
+/// solver statistics.
+fn deterministic_view(report: &RequestReport) -> Vec<(usize, usize, usize, usize, Verdict)> {
+    report
+        .obligations
+        .iter()
+        .map(|o| (o.index, o.family, o.shard, o.sub_box, o.verdict.clone()))
+        .collect()
+}
+
+#[test]
+fn decomposition_order_is_family_major_and_indices_are_dense() {
+    let server = ObligationServer::new(ServeConfig::default());
+    let report = server.serve(&box_request(1, 2)).unwrap();
+    // 2 families × 1 shard × 2^2 sub-boxes.
+    assert_eq!(report.obligations.len(), 8);
+    for (position, outcome) in report.obligations.iter().enumerate() {
+        assert_eq!(outcome.index, position);
+        assert_eq!(outcome.family, position / 4);
+        assert_eq!(outcome.shard, 0);
+        assert_eq!(outcome.sub_box, position % 4);
+    }
+    assert_eq!(report.verdicts.len(), 2);
+    assert_eq!(report.verdicts[0].risk, "unreachable");
+    assert!(report.verdicts[0].verdict.is_safe());
+    assert!(report.verdicts[1].verdict.is_unsafe());
+}
+
+#[test]
+fn served_verdicts_match_the_direct_core_path() {
+    let request = box_request(2, 1);
+    let server = ObligationServer::new(ServeConfig::default());
+    let report = server.serve(&request).unwrap();
+
+    // Reference: solve each obligation directly through dpv-core with a
+    // fresh template and no reuse state — the canonical verdict.
+    let backend = BranchAndBoundBackend;
+    for outcome in &report.obligations {
+        let problem = VerificationProblem::new(
+            request.perception.clone(),
+            request.cut_layer,
+            request.characterizer.clone(),
+            request.risks[outcome.family].clone(),
+        )
+        .unwrap();
+        let root = StartRegion::Box(BoxDomain::uniform(CUT_WIDTH, -1.0, 1.0));
+        let template = problem.encoding_template(&root).unwrap();
+        let (left, right) = dpv_core::split_box(&BoxDomain::uniform(CUT_WIDTH, -1.0, 1.0));
+        let sub = StartRegion::Box(if outcome.sub_box == 0 { left } else { right });
+        let (reference, _) = problem
+            .solve_with_template_seeded(&template, &sub, None, &mut None, &mut None, &backend)
+            .unwrap();
+        assert_eq!(
+            outcome.verdict, reference,
+            "obligation {} diverged from the direct path",
+            outcome.index
+        );
+    }
+}
+
+#[test]
+fn identical_request_is_fully_deduplicated_with_identical_verdicts() {
+    let request = box_request(3, 2);
+    let server = ObligationServer::new(ServeConfig::default());
+    let cold = server.serve(&request).unwrap();
+    let warm = server.serve(&request).unwrap();
+
+    assert!(cold.obligations.iter().all(|o| !o.deduped));
+    assert!(warm.obligations.iter().all(|o| o.deduped));
+    assert_eq!(deterministic_view(&cold), deterministic_view(&warm));
+    assert_eq!(cold.verdicts, warm.verdicts);
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.obligations, 16);
+    assert_eq!(stats.solved, 8);
+    assert_eq!(stats.dedup_hits, 8);
+    assert_eq!(stats.dedup_rate_permille(), 500);
+    // The second request also hit the template cache once per group.
+    assert!(stats.templates.hits >= 2);
+}
+
+#[test]
+fn sharded_requests_agree_with_verify_sharded() {
+    let perception = perception(4);
+    let mut rng = StdRng::seed_from_u64(40);
+    let inputs: Vec<Vector> = (0..60)
+        .map(|_| Vector::from_vec((0..3).map(|_| rng.gen_range(0.0..1.0)).collect()))
+        .collect();
+    let envelope =
+        ShardedEnvelope::from_inputs(&perception, CUT, &inputs, 0.05, &ShardConfig::fixed(3))
+            .unwrap();
+
+    let request = VerificationRequest {
+        perception: perception.clone(),
+        cut_layer: CUT,
+        characterizer: characterizer(4),
+        risks: risk_family(),
+        region: RegionSpec::Sharded {
+            envelope: envelope.clone(),
+            use_difference_constraints: true,
+        },
+        subdivision: 0,
+    };
+    let server = ObligationServer::new(ServeConfig::default());
+    let report = server.serve(&request).unwrap();
+    assert_eq!(report.obligations.len(), 2 * envelope.shard_count());
+
+    for (family, risk) in request.risks.iter().enumerate() {
+        let problem = VerificationProblem::new(
+            perception.clone(),
+            CUT,
+            request.characterizer.clone(),
+            risk.clone(),
+        )
+        .unwrap();
+        let direct = problem
+            .verify_sharded_with(
+                &envelope,
+                &dpv_core::ShardedVerificationConfig::default(),
+                &BranchAndBoundBackend,
+            )
+            .unwrap();
+        assert_eq!(
+            report.verdicts[family].verdict, direct.verdict,
+            "family {family} diverged from verify_sharded"
+        );
+        for (shard, obligation) in report
+            .obligations
+            .iter()
+            .filter(|o| o.family == family)
+            .enumerate()
+        {
+            assert_eq!(obligation.verdict, direct.shards[shard].verdict);
+        }
+    }
+}
+
+#[test]
+fn backpressure_bounds_the_obligations_in_flight() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let server = ObligationServer::new(config);
+    let report = server.serve(&box_request(5, 3)).unwrap();
+    assert_eq!(report.obligations.len(), 16);
+    let stats = server.stats();
+    assert_eq!(stats.max_queue_depth, 1, "admission exceeded the bound");
+    assert_eq!(stats.queue_depth, 0, "the pool drained");
+}
+
+#[test]
+fn reports_are_deterministic_across_workers_and_cache_state() {
+    let request = box_request(6, 2);
+
+    // A deliberately cache-hostile server: no basis pooling, no dedup,
+    // one worker.
+    let bare = ObligationServer::new(ServeConfig {
+        workers: 1,
+        snapshot_per_key: 0,
+        verdict_capacity: 0,
+        ..ServeConfig::default()
+    });
+    // A cache-rich server with a racing pool.
+    let rich = ObligationServer::new(ServeConfig {
+        workers: 3,
+        snapshot_per_key: 4,
+        ..ServeConfig::default()
+    });
+
+    let reference = bare.serve(&request).unwrap();
+    for round in 0..3 {
+        let report = rich.serve(&request).unwrap();
+        assert_eq!(
+            deterministic_view(&reference),
+            deterministic_view(&report),
+            "round {round} diverged"
+        );
+        assert_eq!(reference.verdicts, report.verdicts);
+    }
+    // The bare server saw no dedup; the rich one answered rounds 1-2 from
+    // the verdict cache — with verdicts still identical.
+    assert_eq!(bare.stats().dedup_hits, 0);
+    assert_eq!(rich.stats().dedup_hits, 16);
+}
+
+#[test]
+fn empty_risk_family_is_rejected() {
+    let mut request = box_request(7, 0);
+    request.risks.clear();
+    let server = ObligationServer::new(ServeConfig::default());
+    assert!(server.serve(&request).is_err());
+}

@@ -29,6 +29,9 @@
 //! * [`core`] — the paper's contribution: input property characterizers,
 //!   risk conditions, the layer-abstraction / assume-guarantee verification
 //!   strategies, and the statistical (Table I) reasoning.
+//! * [`serve`] — resident obligation server: a long-lived verification
+//!   service with a persistent work-stealing pool, cross-request template
+//!   and basis caches, batched admission and verdict deduplication.
 //!
 //! ## Quickstart
 //!
@@ -53,6 +56,7 @@ pub use dpv_lp as lp;
 pub use dpv_monitor as monitor;
 pub use dpv_nn as nn;
 pub use dpv_scenegen as scenegen;
+pub use dpv_serve as serve;
 pub use dpv_shard as shard;
 pub use dpv_tensor as tensor;
 
@@ -68,6 +72,7 @@ pub mod prelude {
     pub use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};
     pub use dpv_nn::{Activation, Dataset, Layer, Network, NetworkBuilder, TrainConfig};
     pub use dpv_scenegen::{OddSampler, OddViolation, PropertyKind, SceneConfig, SceneParams};
+    pub use dpv_serve::{ObligationServer, RegionSpec, ServeConfig, VerificationRequest};
     pub use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
     pub use dpv_tensor::{Matrix, Vector};
 }

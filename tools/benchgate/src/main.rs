@@ -32,9 +32,21 @@
 //!   are absolute throughput records (frames·1000/s), so runner speed does
 //!   *not* cancel the way it does for ratios; the loose floor only catches
 //!   the batch path collapsing to per-frame work.
-//! * `*speedup*` — higher is better, 35% relative slack: these are timing
-//!   *ratios*, so runner-speed effects largely cancel, but shared CI
-//!   hardware still jitters them.
+//! * `dedup-parity-permille` — a **zero-width band at 1000**: a verdict
+//!   served from the dedup cache must equal the solved one exactly.
+//! * `*hit-rate*`, `*dedup-rate*` — higher is better with absolute slack
+//!   25‰: cache-effectiveness ratios of seeded workloads are
+//!   deterministic, like the detection rates.
+//! * `*warm-request-speedup*` — higher is better with an absolute floor
+//!   of 5000‰ (the bench caps the record at 10000): the "warm repeat is
+//!   ≥5× cheaper" server contract is gated directly, independent of how
+//!   far above 5× the committed baseline happens to sit.
+//! * `*parallel-speedup*` — higher is better, 50% relative slack: the
+//!   committed single-core baselines are 1000‰ floors; multi-core runners
+//!   gate real scaling against them.
+//! * `*speedup*` (anything else) — higher is better, 35% relative slack:
+//!   these are timing *ratios*, so runner-speed effects largely cancel,
+//!   but shared CI hardware still jitters them.
 //! * `warm-hit`, `detection-*`, `families-safe` — higher is better with a
 //!   small absolute slack (these are deterministic permille rates from
 //!   seeded workloads; the slack absorbs platform float differences).
@@ -85,6 +97,40 @@ fn rule_for(id: &str) -> Gate {
         // the committed baseline — it catches order-of-magnitude collapses
         // (e.g. the batch path silently falling back to per-frame work)
         // without flaking on slower CI runners.
+        Gate::HigherIsBetter {
+            rel_permille: 500,
+            abs: 0,
+        }
+    } else if id.ends_with("dedup-parity-permille") {
+        // Serving a deduplicated obligation from the verdict cache must be
+        // verdict-identical to solving it — a correctness contract like
+        // batch parity, so the band has zero width.
+        Gate::Band {
+            centre: 1000,
+            halfwidth: 0,
+        }
+    } else if id.contains("hit-rate") || id.contains("dedup-rate") {
+        // Cache and dedup rates are deterministic permille ratios of
+        // seeded workloads (like the detection rates), so they get a small
+        // absolute slack rather than a relative one.
+        Gate::HigherIsBetter {
+            rel_permille: 0,
+            abs: 25,
+        }
+    } else if id.contains("warm-request-speedup") {
+        // The resident-server contract: a warm repeat request must stay at
+        // least 5× cheaper than the cold first request. The bench caps the
+        // record at 10000 (10×), so the absolute floor of 5000 *is* the
+        // acceptance criterion rather than a drifting baseline fraction.
+        Gate::HigherIsBetter {
+            rel_permille: 0,
+            abs: 5000,
+        }
+    } else if id.contains("parallel-speedup") {
+        // Multi-core scaling records: committed as 1000-permille floors
+        // from a single-core runner (where parallel == serial), gated only
+        // on hosts with more cores; 50% relative slack absorbs scheduler
+        // noise on shared CI runners.
         Gate::HigherIsBetter {
             rel_permille: 500,
             abs: 0,
@@ -440,6 +486,116 @@ mod tests {
         let findings = gate(&baseline, &baseline).unwrap();
         assert_eq!(findings.len(), 6);
         assert!(findings.iter().all(|f| f.passed));
+    }
+
+    #[test]
+    fn dedup_parity_demands_exact_equality() {
+        let baseline = report(&[("serve/dedup-parity-permille", 1000)]);
+        assert!(
+            gate(&baseline, &report(&[("serve/dedup-parity-permille", 1000)])).unwrap()[0].passed
+        );
+        assert!(
+            !gate(&baseline, &report(&[("serve/dedup-parity-permille", 999)])).unwrap()[0].passed
+        );
+        assert!(
+            !gate(&baseline, &report(&[("serve/dedup-parity-permille", 0)])).unwrap()[0].passed
+        );
+    }
+
+    #[test]
+    fn cache_rates_get_the_deterministic_absolute_slack() {
+        for id in [
+            "serve/template-hit-rate-permille",
+            "serve/dedup-rate-permille",
+        ] {
+            let baseline = report(&[(id, 400)]);
+            // Within the 25‰ absolute slack …
+            assert!(
+                gate(&baseline, &report(&[(id, 380)])).unwrap()[0].passed,
+                "{id}"
+            );
+            // … improvements always pass …
+            assert!(
+                gate(&baseline, &report(&[(id, 600)])).unwrap()[0].passed,
+                "{id}"
+            );
+            // … but a real drop fails (a 10% relative rule would let
+            // 360 through; the deterministic class must not).
+            assert!(
+                !gate(&baseline, &report(&[(id, 360)])).unwrap()[0].passed,
+                "{id}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_request_speedup_floor_is_the_five_x_contract() {
+        // Committed baseline at the 10000 cap: the floor must stay 5000,
+        // not a fraction of the cap.
+        let baseline = report(&[("serve/warm-request-speedup-permille", 10000)]);
+        let gate_at = |fresh| {
+            gate(
+                &baseline,
+                &report(&[("serve/warm-request-speedup-permille", fresh)]),
+            )
+            .unwrap()[0]
+                .passed
+        };
+        assert!(gate_at(10000));
+        assert!(gate_at(5000), "exactly 5× is still within contract");
+        assert!(
+            !gate_at(4999),
+            "below 5× breaks the resident-server contract"
+        );
+    }
+
+    #[test]
+    fn parallel_speedup_floors_gate_multicore_scaling() {
+        // Single-core floor: parallel == serial == 1000‰.
+        let baseline = report(&[("e7/parallel-speedup-4-permille", 1000)]);
+        assert!(
+            gate(
+                &baseline,
+                &report(&[("e7/parallel-speedup-4-permille", 2600)])
+            )
+            .unwrap()[0]
+                .passed
+        );
+        assert!(
+            gate(
+                &baseline,
+                &report(&[("e7/parallel-speedup-4-permille", 500)])
+            )
+            .unwrap()[0]
+                .passed,
+            "50% relative slack on the floor itself"
+        );
+        assert!(
+            !gate(
+                &baseline,
+                &report(&[("e7/parallel-speedup-4-permille", 499)])
+            )
+            .unwrap()[0]
+                .passed
+        );
+        // A multi-core committed baseline gates real scaling.
+        let baseline = report(&[("e7/parallel-speedup-4-permille", 2600)]);
+        assert!(
+            gate(
+                &baseline,
+                &report(&[("e7/parallel-speedup-4-permille", 1400)])
+            )
+            .unwrap()[0]
+                .passed
+        );
+        assert!(
+            !gate(
+                &baseline,
+                &report(&[("e7/parallel-speedup-4-permille", 1200)])
+            )
+            .unwrap()[0]
+                .passed
+        );
     }
 
     #[test]
