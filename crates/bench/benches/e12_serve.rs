@@ -78,6 +78,7 @@ fn request(subdivision: u32) -> VerificationRequest {
         ],
         region: RegionSpec::Single(StartRegion::Box(BoxDomain::uniform(CUT_WIDTH, -1.0, 1.0))),
         subdivision,
+        deadline: None,
     }
 }
 

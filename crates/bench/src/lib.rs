@@ -110,7 +110,9 @@ impl SolverBackend for CloningBranchAndBoundBackend {
             let solution = relaxation.solve();
             match solution.status {
                 LpStatus::Infeasible => continue,
-                LpStatus::IterationLimit => {
+                // This reference backend never passes a cancel token, so
+                // Cancelled is unreachable; fold it with IterationLimit.
+                LpStatus::IterationLimit | LpStatus::Cancelled => {
                     return MilpSolution {
                         status: MilpStatus::IterationLimit,
                         values: Vec::new(),

@@ -5,7 +5,9 @@
 use std::time::Instant;
 
 use dpv_absint::{AbstractDomain, BoxDomain, Zonotope};
-use dpv_lp::{default_backend, BasisSnapshot, MilpSolution, MilpStatus, SolverBackend};
+use dpv_lp::{
+    default_backend, BasisSnapshot, CancelToken, MilpSolution, MilpStatus, SolverBackend,
+};
 use dpv_monitor::ActivationEnvelope;
 use dpv_nn::Network;
 use dpv_tensor::Vector;
@@ -200,6 +202,21 @@ impl ProblemTemplate {
     }
 }
 
+/// Raises both branch-and-bound search budgets of `milp` by `scale` for an
+/// escalated retry: the node limit multiplicatively, and the simplex pivot
+/// budget from its current value (or the size-derived estimate when none is
+/// set) multiplicatively. Saturating, so absurd scales clamp instead of
+/// wrapping.
+fn raise_budgets(milp: &mut dpv_lp::MilpProblem, scale: usize) {
+    milp.set_node_limit(milp.node_limit().saturating_mul(scale.max(1)));
+    let base = milp
+        .lp()
+        .iteration_limit()
+        .unwrap_or_else(|| milp.lp().estimated_iteration_budget());
+    milp.lp_mut()
+        .set_iteration_limit(Some(base.saturating_mul(scale.max(1))));
+}
+
 /// A complete verification problem: the perception network, the cut layer,
 /// the characterizer for φ, and the risk condition ψ.
 #[derive(Debug, Clone, PartialEq)]
@@ -356,6 +373,13 @@ impl VerificationProblem {
             MilpStatus::Unbounded => {
                 Verdict::Unknown("relaxation unbounded (missing bounds)".to_string())
             }
+            // Callers that thread a deadline (the obligation server) key off
+            // `solution.status == Cancelled` for their machine-readable
+            // failure code; this string is the human-facing rendition.
+            MilpStatus::Cancelled => Verdict::Unknown(format!(
+                "{} cancelled (deadline or explicit cancellation)",
+                backend.name()
+            )),
         }
     }
 
@@ -368,6 +392,18 @@ impl VerificationProblem {
         region: &StartRegion,
         backend: &dyn SolverBackend,
     ) -> Result<(Verdict, EncodedProblem, MilpSolution), CoreError> {
+        self.run_solver_cancellable(region, backend, None)
+    }
+
+    /// [`VerificationProblem::run_solver`] polling a [`CancelToken`]: a
+    /// tripped token surfaces as [`MilpStatus::Cancelled`] →
+    /// [`Verdict::Unknown`], never as a wrong verdict.
+    pub(crate) fn run_solver_cancellable(
+        &self,
+        region: &StartRegion,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Verdict, EncodedProblem, MilpSolution), CoreError> {
         let (_, tail) = self
             .perception
             .split_at(self.cut_layer)
@@ -378,7 +414,7 @@ impl VerificationProblem {
             &self.risk,
             region,
         )?;
-        let solution = backend.solve(&encoded.milp);
+        let solution = backend.solve_cancellable(&encoded.milp, &mut None, cancel);
         let verdict = self.interpret_solution(&encoded, &solution, &tail, backend);
         Ok((verdict, encoded, solution))
     }
@@ -493,8 +529,27 @@ impl VerificationProblem {
         seed: &mut Option<BasisSnapshot>,
         backend: &dyn SolverBackend,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_with_template_cancellable(template, region, bounds, scratch, seed, backend, None)
+    }
+
+    /// [`VerificationProblem::solve_with_template_seeded`] polling a
+    /// [`CancelToken`] inside the solver loops. A tripped token (an expired
+    /// request deadline, say) returns [`MilpStatus::Cancelled`] →
+    /// [`Verdict::Unknown`] promptly — cancellation can only withhold a
+    /// verdict, never fabricate one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_template_cancellable(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        seed: &mut Option<BasisSnapshot>,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
         if !template.encoding.supports(region) {
-            let (verdict, _, solution) = self.run_solver(region, backend)?;
+            let (verdict, _, solution) = self.run_solver_cancellable(region, backend, cancel)?;
             return Ok((verdict, solution));
         }
         match (scratch.as_mut(), bounds) {
@@ -508,7 +563,72 @@ impl VerificationProblem {
             (None, None) => *scratch = Some(template.encoding.instantiate(region)?),
         }
         let encoded = scratch.as_ref().expect("scratch populated above");
-        let solution = backend.solve_seeded(&encoded.milp, seed);
+        let solution = backend.solve_cancellable(&encoded.milp, seed, cancel);
+        let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);
+        Ok((verdict, solution))
+    }
+
+    /// The escalated retry for `IterationLimit`/`NodeLimit` outcomes: solves
+    /// the obligation again **cold** (no warm-basis seed — numerical trouble
+    /// inherited through a basis is the suspected cause) with both search
+    /// budgets raised by `budget_scale` (node limit, and the simplex pivot
+    /// budget via [`dpv_lp::LinearProgram::estimated_iteration_budget`]).
+    /// The raised limits are applied to the instantiated scratch problem for
+    /// this solve only and restored afterwards, so later obligations reusing
+    /// `scratch` see the stock budgets — retries cannot leak budget into
+    /// sibling obligations and break report determinism.
+    ///
+    /// Because the solve runs against the same template instantiation as the
+    /// canonical (unseeded) path, a successful retry returns the bit-identical
+    /// verdict that a fault-free solve of the obligation would have produced.
+    ///
+    /// # Errors
+    /// Same conditions as
+    /// [`VerificationProblem::solve_with_template_seeded`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_template_escalated(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        budget_scale: usize,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
+        if !template.encoding.supports(region) {
+            let (_, tail) = self
+                .perception
+                .split_at(self.cut_layer)
+                .map_err(|e| CoreError::Inconsistent(e.to_string()))?;
+            let mut encoded = encode_verification(
+                tail.layers(),
+                Some(self.characterizer.network()),
+                &self.risk,
+                region,
+            )?;
+            raise_budgets(&mut encoded.milp, budget_scale);
+            let solution = backend.solve_cancellable(&encoded.milp, &mut None, cancel);
+            let verdict = self.interpret_solution(&encoded, &solution, &tail, backend);
+            return Ok((verdict, solution));
+        }
+        match (scratch.as_mut(), bounds) {
+            (Some(existing), Some(bounds)) => template
+                .encoding
+                .instantiate_into_with(region, bounds, existing)?,
+            (Some(existing), None) => template.encoding.instantiate_into(region, existing)?,
+            (None, Some(bounds)) => {
+                *scratch = Some(template.encoding.instantiate_with(region, bounds)?)
+            }
+            (None, None) => *scratch = Some(template.encoding.instantiate(region)?),
+        }
+        let encoded = scratch.as_mut().expect("scratch populated above");
+        let saved_nodes = encoded.milp.node_limit();
+        let saved_pivots = encoded.milp.lp().iteration_limit();
+        raise_budgets(&mut encoded.milp, budget_scale);
+        let solution = backend.solve_cancellable(&encoded.milp, &mut None, cancel);
+        encoded.milp.set_node_limit(saved_nodes);
+        encoded.milp.lp_mut().set_iteration_limit(saved_pivots);
         let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);
         Ok((verdict, solution))
     }

@@ -6,7 +6,8 @@
 use std::fmt;
 
 use crate::{
-    BasisSnapshot, LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats, SOLVER_EPS,
+    BasisSnapshot, CancelToken, LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats,
+    SOLVER_EPS,
 };
 
 /// A MILP solving engine.
@@ -43,6 +44,24 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
         let _ = seed;
         self.solve(problem)
     }
+
+    /// [`SolverBackend::solve_seeded`] with cooperative cancellation: engines
+    /// that can poll a [`CancelToken`] return [`MilpStatus::Cancelled`]
+    /// promptly once it trips (e.g. a request deadline expired).
+    ///
+    /// The default ignores the token and runs [`SolverBackend::solve_seeded`]
+    /// to completion — cancellation support is an engine capability, not a
+    /// correctness requirement, so engines without it stay correct (merely
+    /// less responsive to deadlines).
+    fn solve_cancellable(
+        &self,
+        problem: &MilpProblem,
+        seed: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+    ) -> MilpSolution {
+        let _ = cancel;
+        self.solve_seeded(problem, seed)
+    }
 }
 
 /// The crate's default engine: the depth-first branch-and-bound solver of
@@ -65,6 +84,15 @@ impl SolverBackend for BranchAndBoundBackend {
         seed: &mut Option<BasisSnapshot>,
     ) -> MilpSolution {
         problem.solve_seeded(seed)
+    }
+
+    fn solve_cancellable(
+        &self,
+        problem: &MilpProblem,
+        seed: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+    ) -> MilpSolution {
+        problem.solve_seeded_cancellable(seed, cancel)
     }
 }
 
@@ -166,7 +194,9 @@ impl SolverBackend for ExhaustiveBackend {
                     stats.nodes_pruned += 1;
                     continue;
                 }
-                LpStatus::IterationLimit => {
+                // `Cancelled` is unreachable here (the oracle solves without
+                // a token) but folds into the same conservative stop.
+                LpStatus::IterationLimit | LpStatus::Cancelled => {
                     return MilpSolution {
                         status: MilpStatus::IterationLimit,
                         values: Vec::new(),

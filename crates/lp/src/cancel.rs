@@ -1,0 +1,118 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheaply clonable handle (an `Arc` around an atomic
+//! flag plus an optional monotonic deadline) that callers thread into the
+//! simplex and branch-and-bound inner loops. The loops poll it every few
+//! dozen pivots/nodes; once it trips, the solve winds down promptly and
+//! reports [`crate::LpStatus::Cancelled`] / [`crate::MilpStatus::Cancelled`]
+//! instead of a verdict-bearing status. Cancellation is purely *cooperative*:
+//! it never corrupts solver state, it only makes the engine return early with
+//! an honest "no result" status, so a request-level deadline can drain to a
+//! complete report instead of hanging on one degenerate obligation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct CancelInner {
+    flag: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cooperative cancellation handle shared between a solve's requester and
+/// the solver inner loops.
+///
+/// Clones share the same underlying state: cancelling any clone cancels them
+/// all. A token trips either explicitly ([`CancelToken::cancel`]) or
+/// implicitly once its monotonic deadline (if any) passes.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; it trips only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that additionally trips once `budget` has elapsed from now
+    /// (measured on the monotonic clock).
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self {
+            inner: Arc::new(CancelInner {
+                flag: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Trips the token; every holder observes it on the next poll.
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has tripped (explicitly or by deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.flag.load(Ordering::Acquire)
+            || self
+                .inner
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+
+    /// Time left until the deadline trips, when one was set. `None` for
+    /// deadline-free tokens; zero once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_not_cancelled() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        assert!(token.remaining().is_none());
+    }
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+        assert!(clone.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_is_immediately_cancelled() {
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        assert!(token.is_cancelled());
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_deadline_is_not_cancelled_yet() {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.remaining().is_some_and(|r| r > Duration::ZERO));
+    }
+}

@@ -34,6 +34,11 @@
 //!   is a brute-force cross-check oracle for tests; and
 //!   [`ParallelBranchAndBoundBackend`] explores branch-and-bound subtrees on
 //!   work-stealing worker threads with a shared incumbent bound.
+//! * [`CancelToken`] — a cooperative cancellation handle polled inside the
+//!   simplex pivot loop and the branch-and-bound node loop. A tripped token
+//!   (explicit or deadline-based) makes the solve return promptly with
+//!   [`LpStatus::Cancelled`] / [`MilpStatus::Cancelled`] instead of hanging,
+//!   which is what request-level deadline budgets in `dpv-serve` build on.
 //!
 //! Scale expectations: the paper's approach verifies only the close-to-output
 //! tail of the perception network, so instances stay in the hundreds of
@@ -64,6 +69,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod cancel;
 mod milp;
 mod model;
 mod parallel;
@@ -74,6 +80,7 @@ pub use backend::{
     default_backend, BranchAndBoundBackend, ColdBranchAndBoundBackend, ExhaustiveBackend,
     SolverBackend,
 };
+pub use cancel::CancelToken;
 pub use milp::{MilpProblem, MilpSolution, MilpStatus, SolveStats};
 pub use model::{Constraint, ConstraintOp, LinearProgram, LpSolution, LpStatus, VarId};
 pub use parallel::ParallelBranchAndBoundBackend;

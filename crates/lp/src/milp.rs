@@ -1,6 +1,6 @@
 //! Branch-and-bound mixed-integer linear programming over binary variables.
 
-use crate::{BasisSnapshot, LinearProgram, LpSolution, LpStatus, VarId, SOLVER_EPS};
+use crate::{BasisSnapshot, CancelToken, LinearProgram, LpSolution, LpStatus, VarId, SOLVER_EPS};
 
 /// Status of a MILP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +22,11 @@ pub enum MilpStatus {
     /// "unknown", never a verdict, so a degenerate model cannot abort the
     /// verification process.
     IterationLimit,
+    /// A [`CancelToken`] tripped (explicit cancellation or an expired
+    /// deadline) before the search completed. The incumbent (if any) is
+    /// returned; like [`MilpStatus::NodeLimit`] this is "unknown", never a
+    /// verdict.
+    Cancelled,
 }
 
 /// Search statistics of a branch-and-bound run.
@@ -117,6 +122,7 @@ pub(crate) fn solve_node_lp(
     warm: &mut Option<BasisSnapshot>,
     warm_enabled: bool,
     stats: &mut SolveStats,
+    cancel: Option<&CancelToken>,
 ) -> LpSolution {
     /// Warm re-solves per snapshot before a forced cold refactorisation.
     /// The identity block accumulates floating-point drift with every pivot;
@@ -133,21 +139,21 @@ pub(crate) fn solve_node_lp(
     let solution = if warm_enabled {
         match warm
             .as_mut()
-            .and_then(|snap| scratch.solve_from_basis(snap))
+            .and_then(|snap| scratch.solve_from_basis_cancellable(snap, cancel))
         {
             Some(solution) => {
                 stats.warm_solves += 1;
                 solution
             }
             None => {
-                let (solution, snapshot) = scratch.solve_with_snapshot();
+                let (solution, snapshot) = scratch.solve_with_snapshot_cancellable(cancel);
                 stats.cold_solves += 1;
                 *warm = snapshot;
                 solution
             }
         }
     } else {
-        let solution = scratch.solve();
+        let solution = scratch.solve_cancellable(cancel);
         stats.cold_solves += 1;
         solution
     };
@@ -172,7 +178,10 @@ pub(crate) fn select_branching_variable(
                 (b, (v - v.round()).abs())
             })
             .filter(|&(_, frac)| frac > 1e-6)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fractionality"))
+            // Fractionalities are differences of finite relaxation values, so
+            // a NaN here would indicate solver trouble; an arbitrary-but-total
+            // tie-break keeps branching deterministic instead of panicking.
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(b, _)| b)
     } else {
         unfixed.find(|&b| (values[b] - values[b].round()).abs() > 1e-6)
@@ -298,14 +307,22 @@ impl MilpProblem {
     /// nodes differ only in binary bounds, so a dual-simplex repair replaces
     /// the two cold phases; [`SolveStats`] records the warm/cold split.
     pub fn solve(&self) -> MilpSolution {
-        self.solve_impl(true, &mut None)
+        self.solve_impl(true, &mut None, None)
+    }
+
+    /// [`MilpProblem::solve`] polling a [`CancelToken`] in the node loop and
+    /// inside every LP relaxation; a tripped token returns
+    /// [`MilpStatus::Cancelled`] (with the incumbent found so far) promptly
+    /// instead of searching on.
+    pub fn solve_cancellable(&self, cancel: Option<&CancelToken>) -> MilpSolution {
+        self.solve_impl(true, &mut None, cancel)
     }
 
     /// [`MilpProblem::solve`] with warm starting disabled: every node pays a
     /// cold two-phase solve. Kept as the PR-2 reference path for benchmarks
     /// and equivalence tests ([`crate::ColdBranchAndBoundBackend`]).
     pub fn solve_cold(&self) -> MilpSolution {
-        self.solve_impl(false, &mut None)
+        self.solve_impl(false, &mut None, None)
     }
 
     /// [`MilpProblem::solve`] with an externally owned rolling basis.
@@ -321,10 +338,25 @@ impl MilpProblem {
     /// its primal/Farkas validation and the node silently falls back to a
     /// cold two-phase solve (counted in [`SolveStats::cold_solves`]).
     pub fn solve_seeded(&self, seed: &mut Option<BasisSnapshot>) -> MilpSolution {
-        self.solve_impl(true, seed)
+        self.solve_impl(true, seed, None)
     }
 
-    fn solve_impl(&self, warm_enabled: bool, warm: &mut Option<BasisSnapshot>) -> MilpSolution {
+    /// [`MilpProblem::solve_seeded`] with cooperative cancellation (see
+    /// [`MilpProblem::solve_cancellable`]).
+    pub fn solve_seeded_cancellable(
+        &self,
+        seed: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+    ) -> MilpSolution {
+        self.solve_impl(true, seed, cancel)
+    }
+
+    fn solve_impl(
+        &self,
+        warm_enabled: bool,
+        warm: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+    ) -> MilpSolution {
         let feasibility_only = self.lp.objective().iter().all(|&c| c == 0.0);
         let mut stats = SolveStats::default();
         let mut incumbent: Option<(Vec<f64>, f64)> = None;
@@ -345,6 +377,18 @@ impl MilpProblem {
             .collect();
 
         while let Some(fixings) = stack.pop() {
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                let (values, objective) = match incumbent {
+                    Some((values, objective)) => (values, objective),
+                    None => (Vec::new(), 0.0),
+                };
+                return MilpSolution {
+                    status: MilpStatus::Cancelled,
+                    values,
+                    objective,
+                    stats,
+                };
+            }
             if stats.nodes_explored >= self.node_limit {
                 hit_limit = true;
                 break;
@@ -369,18 +413,23 @@ impl MilpProblem {
             if conflict {
                 continue;
             }
-            let solution = solve_node_lp(&scratch, warm, warm_enabled, &mut stats);
+            let solution = solve_node_lp(&scratch, warm, warm_enabled, &mut stats, cancel);
             match solution.status {
                 LpStatus::Infeasible => continue,
-                LpStatus::IterationLimit => {
-                    // The relaxation could not be solved; neither pruning nor
-                    // branching is justified. Stop conservatively.
+                LpStatus::IterationLimit | LpStatus::Cancelled => {
+                    // The relaxation could not be solved (budget exhausted or
+                    // cancellation); neither pruning nor branching is
+                    // justified. Stop conservatively.
                     let (values, objective) = match incumbent {
                         Some((values, objective)) => (values, objective),
                         None => (Vec::new(), 0.0),
                     };
                     return MilpSolution {
-                        status: MilpStatus::IterationLimit,
+                        status: if solution.status == LpStatus::Cancelled {
+                            MilpStatus::Cancelled
+                        } else {
+                            MilpStatus::IterationLimit
+                        },
                         values,
                         objective,
                         stats,

@@ -54,6 +54,11 @@ pub enum LpStatus {
     /// optimality nor infeasibility was established; callers must treat the
     /// outcome as "unknown" rather than aborting.
     IterationLimit,
+    /// A [`crate::CancelToken`] tripped (explicit cancellation or an expired
+    /// deadline) before the solve finished. Like
+    /// [`LpStatus::IterationLimit`] this establishes neither optimality nor
+    /// infeasibility — the solve simply stopped cooperating early.
+    Cancelled,
 }
 
 /// Result of an LP solve.
@@ -316,16 +321,42 @@ impl LinearProgram {
         })
     }
 
+    /// A conservative overestimate of the size-derived default simplex pivot
+    /// budget this program receives when no explicit limit is set (the
+    /// internal default depends on the standard-form dimensions, which are
+    /// bounded by this expression). Escalated retries use it to raise the
+    /// budget by a known factor without reverse-engineering the
+    /// standardisation.
+    pub fn estimated_iteration_budget(&self) -> usize {
+        50_000 + 200 * (5 * self.num_variables() + 3 * self.num_constraints())
+    }
+
     /// Solves the LP with the two-phase primal simplex method.
     pub fn solve(&self) -> LpSolution {
-        simplex::solve(self)
+        simplex::solve(self, None)
+    }
+
+    /// Like [`LinearProgram::solve`], polling `cancel` between pivots; a
+    /// tripped token yields [`LpStatus::Cancelled`].
+    pub fn solve_cancellable(&self, cancel: Option<&crate::CancelToken>) -> LpSolution {
+        simplex::solve(self, cancel)
     }
 
     /// Solves cold and, when the final basis supports it, additionally
     /// returns a [`crate::BasisSnapshot`] that [`LinearProgram::solve_from_basis`]
     /// can re-solve from after bound-only changes.
     pub fn solve_with_snapshot(&self) -> (LpSolution, Option<crate::BasisSnapshot>) {
-        simplex::solve_with_snapshot(self)
+        simplex::solve_with_snapshot(self, None)
+    }
+
+    /// Like [`LinearProgram::solve_with_snapshot`], polling `cancel` between
+    /// pivots; a tripped token yields [`LpStatus::Cancelled`] (and no
+    /// snapshot).
+    pub fn solve_with_snapshot_cancellable(
+        &self,
+        cancel: Option<&crate::CancelToken>,
+    ) -> (LpSolution, Option<crate::BasisSnapshot>) {
+        simplex::solve_with_snapshot(self, cancel)
     }
 
     /// Warm re-solve from a previous solve's basis.
@@ -342,7 +373,19 @@ impl LinearProgram {
     /// [`LinearProgram::solve_with_snapshot`]. On success the snapshot is
     /// updated in place to the new final basis, ready for the next re-solve.
     pub fn solve_from_basis(&self, snapshot: &mut crate::BasisSnapshot) -> Option<LpSolution> {
-        simplex::solve_from_basis(self, snapshot)
+        simplex::solve_from_basis(self, snapshot, None)
+    }
+
+    /// Like [`LinearProgram::solve_from_basis`], polling `cancel` between
+    /// pivots. A tripped token makes the warm solve *decline* (`None`) —
+    /// callers fall back to the cold path, which then reports
+    /// [`LpStatus::Cancelled`] immediately.
+    pub fn solve_from_basis_cancellable(
+        &self,
+        snapshot: &mut crate::BasisSnapshot,
+        cancel: Option<&crate::CancelToken>,
+    ) -> Option<LpSolution> {
+        simplex::solve_from_basis(self, snapshot, cancel)
     }
 }
 

@@ -257,15 +257,29 @@ impl SolverBackend for ParallelBranchAndBoundBackend {
                 })
                 .collect();
             let mut total = SolveStats::default();
+            let mut panicked = false;
             for handle in handles {
-                total += handle.join().expect("branch-and-bound worker panicked");
+                // A panicking worker loses its per-worker statistics but must
+                // not take down the solve: siblings keep draining the tree,
+                // and the search is marked incomplete below so the result
+                // degrades to "unknown" rather than claiming a proof the dead
+                // worker never finished.
+                match handle.join() {
+                    Ok(stats) => total += stats,
+                    Err(_) => panicked = true,
+                }
             }
-            total
-        })
-        .expect("scoped worker threads");
+            (total, panicked)
+        });
+        // `scope` itself only errs when a spawned thread panicked; all joins
+        // above already swallow that, but stay defensive rather than unwrap.
+        let (stats, worker_panicked) = stats.unwrap_or((SolveStats::default(), true));
 
         let incumbent = state.incumbent.lock().take();
-        let hit_limit = state.hit_limit.load(Ordering::Acquire);
+        // A dead worker may have dropped queued subtrees on the floor; treat
+        // the search as truncated (NodeLimit-class "unknown") unless it is a
+        // feasibility problem that already found its witness.
+        let hit_limit = state.hit_limit.load(Ordering::Acquire) || worker_panicked;
         let iter_limited = state.iter_limited.load(Ordering::Acquire);
         if state.unbounded.load(Ordering::Acquire) {
             return MilpSolution {
@@ -340,11 +354,13 @@ fn process_node(
         }
         scratch.set_bounds(var, value, value);
     }
-    let solution = crate::milp::solve_node_lp(scratch, warm, true, stats);
+    let solution = crate::milp::solve_node_lp(scratch, warm, true, stats, None);
     let binaries = state.problem.binaries();
     match solution.status {
         LpStatus::Infeasible => return,
-        LpStatus::IterationLimit => {
+        // `Cancelled` is unreachable (no token is threaded into the parallel
+        // engine yet) but degrades identically if it ever appears.
+        LpStatus::IterationLimit | LpStatus::Cancelled => {
             state.iter_limited.store(true, Ordering::Release);
             state.stop.store(true, Ordering::Release);
             return;

@@ -30,7 +30,7 @@
 //! and the caller falls back to a cold solve, so warm starting is purely an
 //! optimisation and never changes results.
 
-use crate::{ConstraintOp, LinearProgram, LpSolution, LpStatus, SOLVER_EPS};
+use crate::{CancelToken, ConstraintOp, LinearProgram, LpSolution, LpStatus, SOLVER_EPS};
 
 /// A sparse constraint row `coeffs (op) rhs` over standard-form variables.
 type SparseRow = (Vec<(usize, f64)>, ConstraintOp, f64);
@@ -299,6 +299,8 @@ enum PhaseOutcome {
     Unbounded,
     /// The iteration budget ran out (numerical trouble / adversarial model).
     IterationLimit,
+    /// The caller's [`CancelToken`] tripped mid-phase.
+    Cancelled,
 }
 
 /// Outcome of a dual-simplex run.
@@ -312,6 +314,8 @@ enum DualOutcome {
     Infeasible { row: usize },
     /// The iteration budget ran out.
     IterationLimit,
+    /// The caller's [`CancelToken`] tripped mid-phase.
+    Cancelled,
 }
 
 /// Dense simplex tableau with an explicit basis.
@@ -329,11 +333,27 @@ struct Tableau {
     iterations: usize,
     /// Remaining pivot budget.
     budget: usize,
+    /// Cooperative cancellation handle, polled every [`CANCEL_POLL_MASK`]+1
+    /// pivots.
+    cancel: Option<CancelToken>,
 }
+
+/// Poll the cancel token when `iterations & CANCEL_POLL_MASK == 0` — every
+/// 64 pivots, cheap enough to disappear in the pivot cost while keeping the
+/// reaction latency to an expired deadline well below a millisecond.
+const CANCEL_POLL_MASK: usize = 63;
 
 impl Tableau {
     fn rhs(&self, row: usize) -> f64 {
         self.rows[row][self.n_total]
+    }
+
+    /// True when the caller's token tripped; only polled at the
+    /// [`CANCEL_POLL_MASK`] stride so the atomic/clock reads stay off the
+    /// per-pivot hot path.
+    fn cancelled(&self) -> bool {
+        self.iterations & CANCEL_POLL_MASK == 0
+            && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Performs one pivot on (`row`, `col`).
@@ -386,6 +406,9 @@ impl Tableau {
     fn optimize(&mut self, cost: &[f64]) -> PhaseOutcome {
         let mut reduced = self.reduced_costs(cost);
         loop {
+            if self.cancelled() {
+                return PhaseOutcome::Cancelled;
+            }
             // Bland's rule: entering column is the smallest index with a
             // negative reduced cost.
             let entering = (0..self.artificial_base).find(|&j| reduced[j] < -SOLVER_EPS);
@@ -451,6 +474,9 @@ impl Tableau {
         let heuristic_budget = 2 * self.rows.len() + 32;
         let mut pivots = 0usize;
         loop {
+            if self.cancelled() {
+                return DualOutcome::Cancelled;
+            }
             let blands = pivots >= heuristic_budget;
             // Leaving row: most-negative rhs (fast phase), or the smallest
             // basic index among violated rows (Bland phase).
@@ -644,15 +670,22 @@ fn iteration_budget(lp: &LinearProgram, n_total: usize, rows: usize) -> usize {
 /// Solves a [`LinearProgram`] with the two-phase primal simplex method and,
 /// when the final basis supports it, returns a [`BasisSnapshot`] for warm
 /// re-solves.
-pub(crate) fn solve_with_snapshot(lp: &LinearProgram) -> (LpSolution, Option<BasisSnapshot>) {
-    solve_cold(lp, true)
+pub(crate) fn solve_with_snapshot(
+    lp: &LinearProgram,
+    cancel: Option<&CancelToken>,
+) -> (LpSolution, Option<BasisSnapshot>) {
+    solve_cold(lp, true, cancel)
 }
 
 /// Two-phase cold solve. With `want_snapshot` false the snapshot (and its
 /// fingerprint allocations) is skipped entirely — the cheap path for
 /// callers that immediately discard it, like the exhaustive oracle and the
 /// warm-start-free reference engine.
-fn solve_cold(lp: &LinearProgram, want_snapshot: bool) -> (LpSolution, Option<BasisSnapshot>) {
+fn solve_cold(
+    lp: &LinearProgram,
+    want_snapshot: bool,
+    cancel: Option<&CancelToken>,
+) -> (LpSolution, Option<BasisSnapshot>) {
     if lp.num_variables() == 0 {
         // Vacuous program: feasible iff every constraint holds for the empty
         // assignment (only constant constraints are possible).
@@ -746,6 +779,7 @@ fn solve_cold(lp: &LinearProgram, want_snapshot: bool) -> (LpSolution, Option<Ba
         artificial_base,
         iterations: 0,
         budget: iteration_budget(lp, n_total, m),
+        cancel: cancel.cloned(),
     };
 
     // Phase 1: minimise the sum of basic artificial variables.
@@ -772,6 +806,11 @@ fn solve_cold(lp: &LinearProgram, want_snapshot: bool) -> (LpSolution, Option<Ba
             }
             PhaseOutcome::IterationLimit => {
                 let mut solution = LpSolution::non_optimal(LpStatus::IterationLimit);
+                solution.iterations = tableau.iterations;
+                return (solution, None);
+            }
+            PhaseOutcome::Cancelled => {
+                let mut solution = LpSolution::non_optimal(LpStatus::Cancelled);
                 solution.iterations = tableau.iterations;
                 return (solution, None);
             }
@@ -809,6 +848,11 @@ fn solve_cold(lp: &LinearProgram, want_snapshot: bool) -> (LpSolution, Option<Ba
             solution.iterations = tableau.iterations;
             return (solution, None);
         }
+        PhaseOutcome::Cancelled => {
+            let mut solution = LpSolution::non_optimal(LpStatus::Cancelled);
+            solution.iterations = tableau.iterations;
+            return (solution, None);
+        }
     };
 
     let values = extract_values(lp, &std_form.mapping, &tableau);
@@ -842,8 +886,8 @@ fn solve_cold(lp: &LinearProgram, want_snapshot: bool) -> (LpSolution, Option<Ba
 }
 
 /// Backwards-compatible cold solve.
-pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
-    solve_cold(lp, false).0
+pub(crate) fn solve(lp: &LinearProgram, cancel: Option<&CancelToken>) -> LpSolution {
+    solve_cold(lp, false, cancel).0
 }
 
 /// Warm re-solve from a previous basis after bound-only (and constraint-rhs)
@@ -853,6 +897,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> LpSolution {
 pub(crate) fn solve_from_basis(
     lp: &LinearProgram,
     snapshot: &mut BasisSnapshot,
+    cancel: Option<&CancelToken>,
 ) -> Option<LpSolution> {
     if lp.num_variables() == 0 {
         return None;
@@ -901,6 +946,7 @@ pub(crate) fn solve_from_basis(
         artificial_base: snapshot.artificial_base,
         iterations: 0,
         budget: iteration_budget(lp, snapshot.n_total, m),
+        cancel: cancel.cloned(),
     };
     let mut phase_cost = vec![0.0; snapshot.n_total];
     phase_cost[..num_vars].copy_from_slice(&cost);
@@ -942,13 +988,19 @@ pub(crate) fn solve_from_basis(
             solution.warm_started = true;
             return Some(solution);
         }
-        DualOutcome::IterationLimit => return None,
+        // A tripped cancel token also declines the warm solve: the cold
+        // fallback polls the same token on entry and reports `Cancelled`
+        // immediately, which keeps the decline/fallback contract uniform.
+        DualOutcome::IterationLimit | DualOutcome::Cancelled => return None,
     }
     let optimum = match tableau.optimize(&phase_cost) {
         PhaseOutcome::Optimal(optimum) => optimum,
         // A dual-feasible start precludes an unbounded primal; reaching
         // either arm means numerical trouble — fall back to a cold solve.
-        PhaseOutcome::Unbounded | PhaseOutcome::IterationLimit => return None,
+        // Cancellation likewise declines to the cold path.
+        PhaseOutcome::Unbounded | PhaseOutcome::IterationLimit | PhaseOutcome::Cancelled => {
+            return None
+        }
     };
 
     let values = extract_values(lp, &mapping, &tableau);

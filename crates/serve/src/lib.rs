@@ -69,13 +69,69 @@
 //! re-solved unseeded so the reported point never depends on pool state
 //! (see [`ServeStats::canonical_resolves`]). Timings and solver statistics
 //! are explicitly *not* part of the deterministic surface.
+//!
+//! ## Failure-reason taxonomy
+//!
+//! An obligation the server could not answer definitively reports
+//! [`dpv_core::Verdict::Unknown`] whose payload is one of the stable
+//! machine-readable codes of [`FailureReason`]:
+//!
+//! | code                 | meaning                                            |
+//! |----------------------|----------------------------------------------------|
+//! | `deadline-exceeded`  | the request deadline expired before/during a solve |
+//! | `worker-panic`       | the obligation panicked twice and was quarantined  |
+//! | `iteration-limit`    | simplex budget exhausted, even after escalation    |
+//! | `node-limit`         | branch-and-bound budget exhausted after escalation |
+//! | `slot-lost`          | internal accounting bug (reported, never a crash)  |
+//!
+//! Match on the code, not on prose: codes are exact `Unknown` payloads
+//! and parseable back via [`FailureReason::of`]. Degraded outcomes are
+//! **never** written to the verdict cache, so a later identical
+//! obligation gets a fresh chance at a definitive verdict.
+//!
+//! ## Retry and quarantine policy
+//!
+//! * A solve that exhausts its node or iteration budget is retried
+//!   **once**, on a cold unseeded solver with budgets raised 4× (and
+//!   restored afterwards), before degrading — so a transient exhaustion
+//!   caused by a stale warm-start cannot produce a spurious give-up, and
+//!   a successful retry is bit-identical to the canonical fault-free
+//!   verdict ([`ServeStats::retries`], [`ServeStats::retry_successes`]).
+//! * A worker panic while solving is caught; the obligation is retried
+//!   **once** in place with fresh scratch, and a second panic
+//!   quarantines it: verdict `Unknown("worker-panic")`, never cached,
+//!   never retried again. The worker thread and every sibling obligation
+//!   survive ([`ServeStats::worker_panics`], [`ServeStats::quarantined`]).
+//!
+//! ## Cancellation guarantees
+//!
+//! A request's optional [`VerificationRequest::deadline`] becomes a
+//! [`dpv_lp::CancelToken`] polled cooperatively between simplex pivots
+//! and branch-and-bound nodes. On expiry: an un-started obligation is
+//! skipped without touching the solver; an in-flight solve returns
+//! promptly with its incumbent discarded into `deadline-exceeded`;
+//! **already-computed verdicts are never lost** — the report is always
+//! complete, with every obligation either definitively answered or
+//! carrying a degraded code. A request whose deadline has already
+//! expired on arrival returns immediately with zero solver invocations.
+//!
+//! ## Fault injection
+//!
+//! [`ObligationServer::set_fault_plan`] installs a deterministic
+//! [`FaultPlan`] (obligation index → [`FaultKind`]) used by the
+//! resilience tests and benches; reports are pure functions of
+//! `(request, plan)`, and obligations a plan does not touch are
+//! bit-identical to the fault-free run.
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
+mod fault;
 mod request;
 mod server;
 mod stats;
 
+pub use fault::{FailureReason, FaultKind, FaultPlan};
 pub use request::{RegionSpec, VerificationRequest};
 pub use server::{
     FamilyVerdict, ObligationOutcome, ObligationServer, RequestReport, ServeConfig, ServeError,

@@ -1,6 +1,7 @@
 //! Request description and its decomposition into proof obligations.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use dpv_absint::{AbstractDomain, BoxDomain};
 use dpv_core::{
@@ -52,6 +53,14 @@ pub struct VerificationRequest {
     pub region: RegionSpec,
     /// Bisection levels applied to each box obligation root.
     pub subdivision: u32,
+    /// Optional wall-clock budget for the whole request, measured on the
+    /// monotonic clock from the moment [`crate::ObligationServer::serve`]
+    /// is entered. When it expires, in-flight solves are cancelled
+    /// cooperatively and unsolved obligations are skipped; every affected
+    /// obligation reports `Unknown("deadline-exceeded")` (see
+    /// [`crate::FailureReason`]) and already-computed verdicts are never
+    /// lost. `None` means no deadline.
+    pub deadline: Option<Duration>,
 }
 
 /// One proof obligation: a `(problem, template root, sub-region)` triple

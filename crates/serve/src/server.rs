@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -14,10 +15,19 @@ use dpv_core::{
     CoreError, EncodedProblem, Fingerprint, ProblemTemplate, RegionBounds, SnapshotPool,
     StartRegion, TemplateCache, Verdict, VerificationProblem,
 };
-use dpv_lp::{BranchAndBoundBackend, SolveStats};
+use dpv_lp::{
+    BranchAndBoundBackend, CancelToken, ConstraintOp, LinearProgram, MilpSolution, MilpStatus,
+    SolveStats,
+};
 
+use crate::fault::{FailureReason, FaultKind, FaultPlan};
 use crate::request::{Obligation, ObligationGroup, VerificationRequest};
 use crate::stats::ServeStats;
+
+/// Budget multiplier applied to the single escalated retry of a
+/// node-limit / iteration-limit solve (cold, unseeded, limits restored
+/// afterwards — see [`dpv_core::VerificationProblem::solve_with_template_escalated`]).
+const ESCALATION_SCALE: usize = 4;
 
 /// Sizing of a resident [`ObligationServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -208,6 +218,11 @@ struct Counters {
     solved: u64,
     dedup_hits: u64,
     canonical_resolves: u64,
+    retries: u64,
+    retry_successes: u64,
+    worker_panics: u64,
+    quarantined: u64,
+    deadline_skipped: u64,
     total_solve_ns: u128,
 }
 
@@ -237,6 +252,9 @@ struct Job {
     bounds: Option<RegionBounds>,
     dedup_key: (Fingerprint, Fingerprint),
     request: Arc<RequestState>,
+    /// The owning request's deadline token (`None` for unbounded
+    /// requests): checked before solving and polled inside the solver.
+    cancel: Option<CancelToken>,
 }
 
 struct Inner {
@@ -250,6 +268,9 @@ struct Inner {
     work: Condvar,
     space: Condvar,
     counters: Mutex<Counters>,
+    /// The deterministic fault-injection seam (test/bench only; empty in
+    /// production). Consulted once per obligation solve by index.
+    fault_plan: Mutex<FaultPlan>,
     shutting_down: AtomicBool,
 }
 
@@ -293,6 +314,7 @@ impl ObligationServer {
             work: Condvar::new(),
             space: Condvar::new(),
             counters: Mutex::new(Counters::default()),
+            fault_plan: Mutex::new(FaultPlan::default()),
             shutting_down: AtomicBool::new(false),
         });
         let workers = deques
@@ -318,10 +340,19 @@ impl ObligationServer {
     /// conditions or regions.
     pub fn serve(&self, request: &VerificationRequest) -> Result<RequestReport, ServeError> {
         let started = Instant::now();
+        // The deadline budget covers the whole request, decomposition
+        // included, measured on the monotonic clock from entry.
+        let cancel = request.deadline.map(CancelToken::with_deadline);
         let groups = request.decompose()?;
         let total: usize = groups.iter().map(|g| g.obligations.len()).sum();
         if total == 0 {
             return Err(ServeError::EmptyRequest);
+        }
+
+        // Already expired: degrade every obligation without a single
+        // solver invocation — a complete report, not an error.
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Ok(self.serve_expired(request, &groups, total, started));
         }
 
         let state = Arc::new(RequestState {
@@ -337,7 +368,7 @@ impl ObligationServer {
         let mut jobs = Vec::new();
         let mut dedup_hits = 0u64;
         for group in &groups {
-            let (group_jobs, group_dedups) = self.admit_group(group, &state)?;
+            let (group_jobs, group_dedups) = self.admit_group(group, &state, cancel.as_ref())?;
             dedup_hits += group_dedups;
             jobs.extend(group_jobs);
             for obligation in &group.obligations {
@@ -370,7 +401,14 @@ impl ObligationServer {
         {
             let mut slots = lock(&state.outcomes);
             for (index, slot) in slots.iter_mut().enumerate() {
-                let outcome = slot.take().expect("every obligation completes");
+                // A lost slot is an accounting bug, not a reason to crash
+                // the submitter: report it as a degraded outcome with a
+                // stable code and let the siblings' verdicts stand.
+                let outcome = slot.take().unwrap_or_else(|| WorkerOutcome {
+                    verdict: Verdict::Unknown(FailureReason::SlotLost.code().to_string()),
+                    solve_ns: 0,
+                    stats: SolveStats::default(),
+                });
                 let (family, shard, sub_box) = coordinates[index];
                 outcomes.push(ObligationOutcome {
                     index,
@@ -400,6 +438,57 @@ impl ObligationServer {
         })
     }
 
+    /// The degraded fast path for a request whose deadline expired before
+    /// admission: every obligation reports
+    /// `Unknown("deadline-exceeded")`, the solver pool is never touched
+    /// (`solved` does not move), and the report is still complete —
+    /// every obligation accounted for, folded in index order.
+    fn serve_expired(
+        &self,
+        request: &VerificationRequest,
+        groups: &[ObligationGroup],
+        total: usize,
+        started: Instant,
+    ) -> RequestReport {
+        let mut outcomes = Vec::with_capacity(total);
+        for group in groups {
+            for obligation in &group.obligations {
+                outcomes.push(ObligationOutcome {
+                    index: obligation.index,
+                    family: obligation.family,
+                    shard: obligation.shard,
+                    sub_box: obligation.sub_box,
+                    verdict: Verdict::Unknown(FailureReason::DeadlineExceeded.code().to_string()),
+                    deduped: false,
+                    solve_ns: 0,
+                    stats: SolveStats::default(),
+                });
+            }
+        }
+        let verdicts = fold_families(request, &outcomes);
+        {
+            let mut counters = lock(&self.inner.counters);
+            counters.requests += 1;
+            counters.obligations += total as u64;
+            counters.deadline_skipped += total as u64;
+        }
+        RequestReport {
+            verdicts,
+            obligations: outcomes,
+            seconds: started.elapsed().as_secs_f64(),
+            stats: self.stats(),
+        }
+    }
+
+    /// Installs the deterministic fault-injection plan consulted (by
+    /// global obligation index) on every subsequent solve. A test/bench
+    /// seam: the default plan is empty and production callers never need
+    /// this. Pass [`FaultPlan::new`] to clear. See [`crate::FaultKind`]
+    /// for what each fault does.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *lock(&self.inner.fault_plan) = plan;
+    }
+
     /// Dedup + batched admission for one `(family, shard)` group. Cached
     /// verdicts are written straight into the request state; the
     /// remaining obligations come back as enqueueable jobs, box siblings
@@ -409,6 +498,7 @@ impl ObligationServer {
         &self,
         group: &ObligationGroup,
         state: &Arc<RequestState>,
+        cancel: Option<&CancelToken>,
     ) -> Result<(Vec<Job>, u64), ServeError> {
         let template = self
             .inner
@@ -472,6 +562,7 @@ impl ObligationServer {
                     bounds,
                     dedup_key,
                     request: Arc::clone(state),
+                    cancel: cancel.cloned(),
                 }
             })
             .collect();
@@ -504,6 +595,11 @@ impl ObligationServer {
             solved: counters.solved,
             dedup_hits: counters.dedup_hits,
             canonical_resolves: counters.canonical_resolves,
+            retries: counters.retries,
+            retry_successes: counters.retry_successes,
+            worker_panics: counters.worker_panics,
+            quarantined: counters.quarantined,
+            deadline_skipped: counters.deadline_skipped,
             queue_depth: state.in_flight,
             max_queue_depth: state.max_in_flight,
             total_solve_ns: counters.total_solve_ns,
@@ -580,8 +676,40 @@ fn worker_loop(inner: &Arc<Inner>, local: &Worker<Job>, me: usize) {
             scratch = None;
             scratch_fp = Some(job.template.fingerprint());
         }
-        let outcome = run_job(inner, &job, &mut scratch, &backend);
+        let outcome = run_job_isolated(inner, &job, &mut scratch, &backend);
         complete_job(inner, job, outcome);
+    }
+}
+
+/// Runs one obligation with panic isolation: a panic anywhere in the
+/// solve is caught, the obligation is retried once in place with fresh
+/// scratch, and a second panic quarantines it — the obligation reports
+/// `Unknown("worker-panic")`, is never written to the verdict cache, and
+/// the worker (and every sibling obligation) carries on.
+fn run_job_isolated(
+    inner: &Arc<Inner>,
+    job: &Job,
+    scratch: &mut Option<EncodedProblem>,
+    backend: &BranchAndBoundBackend,
+) -> WorkerOutcome {
+    for attempt in 0..2 {
+        match catch_unwind(AssertUnwindSafe(|| run_job(inner, job, scratch, backend))) {
+            Ok(outcome) => return outcome,
+            Err(_) => {
+                lock(&inner.counters).worker_panics += 1;
+                // The panic may have unwound mid-instantiation; the
+                // scratch is suspect, so the retry starts cold.
+                *scratch = None;
+                if attempt == 1 {
+                    lock(&inner.counters).quarantined += 1;
+                }
+            }
+        }
+    }
+    WorkerOutcome {
+        verdict: Verdict::Unknown(FailureReason::WorkerPanic.code().to_string()),
+        solve_ns: 0,
+        stats: SolveStats::default(),
     }
 }
 
@@ -630,11 +758,49 @@ fn next_job(inner: &Arc<Inner>, local: &Worker<Job>, me: usize) -> Option<Job> {
     }
 }
 
-/// Solves one obligation with every reuse lever, then canonicalises:
-/// counterexamples found by a *seeded* solve are re-solved unseeded so
-/// the reported verdict is a pure function of the obligation, not of the
-/// pool's warm-start state (statuses are already path-invariant; vertex
-/// coordinates are not).
+/// The deterministic [`MilpSolution`] an injected iteration-budget
+/// exhaustion reports, independent of the real solver's state.
+fn exhausted_solution() -> MilpSolution {
+    MilpSolution {
+        status: MilpStatus::IterationLimit,
+        values: Vec::new(),
+        objective: 0.0,
+        stats: SolveStats::default(),
+    }
+}
+
+/// A basis snapshot from a foreign, tiny LP — structurally unrelated to
+/// any obligation encoding, so the LP layer's guard must reject it and
+/// degrade the solve to cold rather than produce a wrong verdict.
+fn foreign_snapshot() -> Option<dpv_lp::BasisSnapshot> {
+    let mut lp = LinearProgram::new();
+    let x = lp.add_variable(0.0, 5.0);
+    let y = lp.add_variable(0.0, 5.0);
+    lp.set_objective(&[(x, 1.0), (y, 1.0)], true);
+    lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Le, 4.0);
+    let (_, snapshot) = lp.solve_with_snapshot();
+    snapshot
+}
+
+/// Solves one obligation with every reuse lever plus the resilience
+/// policy, in this order:
+///
+/// 1. **deadline gate** — an expired request deadline skips the solve
+///    outright (`Unknown("deadline-exceeded")`, no solver invocation);
+/// 2. **fault injection** — the obligation's planned fault (if any)
+///    fires: panic, delay, injected exhaustion, or snapshot poisoning;
+/// 3. **seeded solve** — with the request's cancel token polled between
+///    simplex pivots and branch-and-bound nodes;
+/// 4. **escalated retry** — a node-/iteration-limit outcome is retried
+///    once on a cold solver with `ESCALATION_SCALE`× budgets before
+///    degrading;
+/// 5. **canonicalisation** — counterexamples found by a *seeded* solve
+///    are re-solved unseeded so the reported verdict is a pure function
+///    of the obligation, not of the pool's warm-start state (statuses
+///    are already path-invariant; vertex coordinates are not);
+/// 6. **degraded rewrite** — leftover Cancelled/NodeLimit/IterationLimit
+///    statuses become stable [`FailureReason`] codes, and degraded
+///    outcomes are *never* written to the verdict cache.
 fn run_job(
     inner: &Arc<Inner>,
     job: &Job,
@@ -642,49 +808,149 @@ fn run_job(
     backend: &BranchAndBoundBackend,
 ) -> WorkerOutcome {
     let started = Instant::now();
-    let template_fp = job.template.fingerprint();
-    let mut seed = inner.snapshots.check_out(template_fp);
-    let was_seeded = seed.is_some();
-    let solved = job.problem.solve_with_template_seeded(
-        &job.template,
-        &job.region,
-        job.bounds.as_ref(),
-        scratch,
-        &mut seed,
-        backend,
-    );
-    let (mut verdict, mut solution) = match solved {
-        Ok(pair) => pair,
-        Err(e) => {
-            return WorkerOutcome {
-                verdict: Verdict::Unknown(format!("obligation failed: {e}")),
-                solve_ns: started.elapsed().as_nanos(),
-                stats: SolveStats::default(),
+    if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+        lock(&inner.counters).deadline_skipped += 1;
+        return WorkerOutcome {
+            verdict: Verdict::Unknown(FailureReason::DeadlineExceeded.code().to_string()),
+            solve_ns: 0,
+            stats: SolveStats::default(),
+        };
+    }
+    let fault = lock(&inner.fault_plan).fault_at(job.index);
+    match fault {
+        // Injected before the snapshot checkout, so a panicking
+        // obligation can never leak a checked-out basis.
+        Some(FaultKind::Panic) => panic!("injected fault: panic at obligation {}", job.index),
+        Some(FaultKind::Delay { millis }) => {
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                lock(&inner.counters).deadline_skipped += 1;
+                return WorkerOutcome {
+                    verdict: Verdict::Unknown(FailureReason::DeadlineExceeded.code().to_string()),
+                    solve_ns: started.elapsed().as_nanos(),
+                    stats: SolveStats::default(),
+                };
             }
         }
-    };
-    if let Some(basis) = seed.take() {
-        inner.snapshots.check_in(template_fp, basis);
+        _ => {}
     }
-    if was_seeded && verdict.is_unsafe() {
-        if let Ok((canonical_verdict, canonical_solution)) = job.problem.solve_with_template_seeded(
+    let template_fp = job.template.fingerprint();
+    let cancel = job.cancel.as_ref();
+
+    // Injected exhaustion replaces the real solve (and the seed checkout
+    // with it) by a deterministic IterationLimit outcome.
+    let injected_exhaust = matches!(
+        fault,
+        Some(FaultKind::ExhaustIterations | FaultKind::TransientExhaust)
+    );
+    let (mut verdict, mut solution, was_seeded) = if injected_exhaust {
+        (
+            Verdict::Unknown(FailureReason::IterationLimit.code().to_string()),
+            exhausted_solution(),
+            false,
+        )
+    } else {
+        let mut seed = inner.snapshots.check_out(template_fp);
+        if matches!(fault, Some(FaultKind::PoisonSnapshot)) {
+            seed = foreign_snapshot();
+        }
+        let was_seeded = seed.is_some();
+        let solved = job.problem.solve_with_template_cancellable(
             &job.template,
             &job.region,
             job.bounds.as_ref(),
             scratch,
-            &mut None,
+            &mut seed,
             backend,
-        ) {
+            cancel,
+        );
+        let (verdict, solution) = match solved {
+            Ok(pair) => pair,
+            Err(e) => {
+                return WorkerOutcome {
+                    verdict: Verdict::Unknown(format!("obligation failed: {e}")),
+                    solve_ns: started.elapsed().as_nanos(),
+                    stats: SolveStats::default(),
+                }
+            }
+        };
+        if let Some(basis) = seed.take() {
+            inner.snapshots.check_in(template_fp, basis);
+        }
+        (verdict, solution, was_seeded)
+    };
+
+    // One escalated retry for budget-exhausted solves: cold, unseeded,
+    // raised budgets (restored afterwards), so a successful retry is
+    // bit-identical to the canonical fault-free verdict. A persistent
+    // injected exhaustion (`ExhaustIterations`) exhausts the retry too.
+    let mut retry_adopted = false;
+    if matches!(
+        solution.status,
+        MilpStatus::NodeLimit | MilpStatus::IterationLimit
+    ) {
+        lock(&inner.counters).retries += 1;
+        if !matches!(fault, Some(FaultKind::ExhaustIterations)) {
+            if let Ok((retry_verdict, retry_solution)) = job.problem.solve_with_template_escalated(
+                &job.template,
+                &job.region,
+                job.bounds.as_ref(),
+                scratch,
+                ESCALATION_SCALE,
+                backend,
+                cancel,
+            ) {
+                if matches!(
+                    retry_solution.status,
+                    MilpStatus::Optimal | MilpStatus::Infeasible | MilpStatus::Unbounded
+                ) {
+                    lock(&inner.counters).retry_successes += 1;
+                    verdict = retry_verdict;
+                    solution = retry_solution;
+                    retry_adopted = true;
+                }
+            }
+        }
+    }
+
+    // The escalated retry is already cold and unseeded, hence canonical.
+    if was_seeded && !retry_adopted && verdict.is_unsafe() {
+        if let Ok((canonical_verdict, canonical_solution)) =
+            job.problem.solve_with_template_cancellable(
+                &job.template,
+                &job.region,
+                job.bounds.as_ref(),
+                scratch,
+                &mut None,
+                backend,
+                cancel,
+            )
+        {
             verdict = canonical_verdict;
             solution = canonical_solution;
             lock(&inner.counters).canonical_resolves += 1;
         }
     }
-    lock(&inner.verdicts).insert(
-        inner.config.verdict_capacity,
-        job.dedup_key,
-        verdict.clone(),
-    );
+
+    // Rewrite leftover degraded statuses to stable machine-readable
+    // codes (in this server, cancellation only ever means a request
+    // deadline), and keep degraded outcomes out of the dedup cache so
+    // they can never shadow a future clean solve.
+    let degraded = match solution.status {
+        MilpStatus::Cancelled => Some(FailureReason::DeadlineExceeded),
+        MilpStatus::NodeLimit => Some(FailureReason::NodeLimit),
+        MilpStatus::IterationLimit => Some(FailureReason::IterationLimit),
+        _ => None,
+    };
+    if let Some(reason) = degraded {
+        verdict = Verdict::Unknown(reason.code().to_string());
+    } else {
+        lock(&inner.verdicts).insert(
+            inner.config.verdict_capacity,
+            job.dedup_key,
+            verdict.clone(),
+        );
+    }
     WorkerOutcome {
         verdict,
         solve_ns: started.elapsed().as_nanos(),

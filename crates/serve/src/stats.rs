@@ -23,6 +23,21 @@ pub struct ServeStats {
     /// Seeded solves that found a counterexample and were re-solved
     /// unseeded so the reported point is independent of pool state.
     pub canonical_resolves: u64,
+    /// Budget-exhausted solves (node or iteration limit) retried once on
+    /// a cold solver with escalated budgets before degrading.
+    pub retries: u64,
+    /// Escalated retries that produced a definitive verdict, rescuing an
+    /// obligation that would otherwise have degraded.
+    pub retry_successes: u64,
+    /// Worker panics caught and contained (an obligation may contribute
+    /// two: the original attempt and the single in-place retry).
+    pub worker_panics: u64,
+    /// Obligations quarantined after panicking on both attempts; they
+    /// report `Unknown("worker-panic")` and are never cached.
+    pub quarantined: u64,
+    /// Obligations skipped without touching the solver because their
+    /// request's deadline had already expired.
+    pub deadline_skipped: u64,
     /// Obligations in flight when the snapshot was taken.
     pub queue_depth: usize,
     /// High-water mark of obligations in flight.
@@ -61,7 +76,8 @@ impl ServeStats {
         format!(
             "{} requests | {} obligations ({} solved, {} deduped, {}‰ dedup) | \
              templates {}/{} hit/miss | bases {}/{} hit/miss | queue {} (max {}) | \
-             {} ns/obligation",
+             {} ns/obligation | {} retries ({} rescued) | {} panics ({} quarantined) | \
+             {} deadline-skipped",
             self.requests,
             self.obligations,
             self.solved,
@@ -73,7 +89,12 @@ impl ServeStats {
             self.snapshots.misses,
             self.queue_depth,
             self.max_queue_depth,
-            self.mean_obligation_latency_ns()
+            self.mean_obligation_latency_ns(),
+            self.retries,
+            self.retry_successes,
+            self.worker_panics,
+            self.quarantined,
+            self.deadline_skipped
         )
     }
 }

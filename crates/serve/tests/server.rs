@@ -61,6 +61,7 @@ fn box_request(seed: u64, subdivision: u32) -> VerificationRequest {
         risks: risk_family(),
         region: RegionSpec::Single(StartRegion::Box(BoxDomain::uniform(CUT_WIDTH, -1.0, 1.0))),
         subdivision,
+        deadline: None,
     }
 }
 
@@ -167,6 +168,7 @@ fn sharded_requests_agree_with_verify_sharded() {
             use_difference_constraints: true,
         },
         subdivision: 0,
+        deadline: None,
     };
     let server = ObligationServer::new(ServeConfig::default());
     let report = server.serve(&request).unwrap();

@@ -109,6 +109,25 @@ fn rule_for(id: &str) -> Gate {
             centre: 1000,
             halfwidth: 0,
         }
+    } else if id.ends_with("fault-isolation-parity-permille") {
+        // Obligations a fault plan does not touch must be bit-identical
+        // to the fault-free run, and the faulted report itself must be
+        // run-to-run deterministic — a correctness contract like batch
+        // parity, so the band has zero width.
+        Gate::Band {
+            centre: 1000,
+            halfwidth: 0,
+        }
+    } else if id.contains("deadline-overrun") {
+        // How much of a full solve an already-expired request still
+        // costs (expired-serve time / full-solve time, in permille).
+        // Lower is better; the generous slack absorbs timer jitter on
+        // shared runners while still catching the fast path regressing
+        // into real solving.
+        Gate::LowerIsBetter {
+            rel_permille: 1000,
+            abs: 50,
+        }
     } else if id.contains("hit-rate") || id.contains("dedup-rate") {
         // Cache and dedup rates are deterministic permille ratios of
         // seeded workloads (like the detection rates), so they get a small
@@ -500,6 +519,46 @@ mod tests {
         assert!(
             !gate(&baseline, &report(&[("serve/dedup-parity-permille", 0)])).unwrap()[0].passed
         );
+    }
+
+    #[test]
+    fn fault_isolation_parity_demands_exact_equality() {
+        let baseline = report(&[("serve/fault-isolation-parity-permille", 1000)]);
+        let gate_at = |fresh| {
+            gate(
+                &baseline,
+                &report(&[("serve/fault-isolation-parity-permille", fresh)]),
+            )
+            .unwrap()[0]
+                .passed
+        };
+        assert!(gate_at(1000));
+        // Any deviation — a healthy obligation diverging under faults —
+        // is a correctness failure, not noise.
+        assert!(!gate_at(999));
+        assert!(!gate_at(1001));
+        assert!(!gate_at(0));
+    }
+
+    #[test]
+    fn deadline_overrun_gates_increases_only() {
+        let baseline = report(&[("serve/deadline-overrun-permille", 10)]);
+        let gate_at = |fresh| {
+            gate(
+                &baseline,
+                &report(&[("serve/deadline-overrun-permille", fresh)]),
+            )
+            .unwrap()[0]
+                .passed
+        };
+        // Improvements and jitter inside baseline + max(100%, 50) pass …
+        assert!(gate_at(0));
+        assert!(gate_at(10));
+        assert!(gate_at(60));
+        // … but the expired fast path degenerating into a meaningful
+        // fraction of a real solve fails.
+        assert!(!gate_at(61));
+        assert!(!gate_at(1000));
     }
 
     #[test]
