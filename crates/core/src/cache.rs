@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 
 use dpv_lp::BasisSnapshot;
+use dpv_trace::{CounterId, TraceHandle, Tracer};
 
 use crate::fingerprint::Fingerprint;
 use crate::verify::ProblemTemplate;
@@ -75,6 +76,7 @@ impl CacheStats {
 pub struct TemplateCache {
     capacity: usize,
     inner: Mutex<TemplateCacheInner>,
+    trace: TraceHandle,
 }
 
 #[derive(Debug, Default)]
@@ -99,9 +101,18 @@ impl TemplateCacheInner {
 impl TemplateCache {
     /// Creates a cache holding at most `capacity` templates (minimum 1).
     pub fn new(capacity: usize) -> Self {
+        Self::with_tracer(capacity, &Tracer::disabled())
+    }
+
+    /// [`TemplateCache::new`] additionally mirroring hit/miss/eviction
+    /// counters into `tracer` (`template-hits`/`-misses`/`-evictions`).
+    /// Tracing is observational: a disabled tracer makes this exactly
+    /// [`TemplateCache::new`].
+    pub fn with_tracer(capacity: usize, tracer: &Tracer) -> Self {
         Self {
             capacity: capacity.max(1),
             inner: Mutex::new(TemplateCacheInner::default()),
+            trace: tracer.metrics_handle(),
         }
     }
 
@@ -125,19 +136,28 @@ impl TemplateCache {
             if let Some(template) = inner.map.get(&fp).cloned() {
                 inner.hits += 1;
                 inner.touch(fp);
+                drop(inner);
+                self.trace.add(CounterId::TemplateHits, 1);
                 return Ok(template);
             }
             inner.misses += 1;
         }
+        self.trace.add(CounterId::TemplateMisses, 1);
         let built = Arc::new(problem.encoding_template(root)?);
         debug_assert_eq!(built.fingerprint(), fp, "fingerprint must be content-true");
         let mut inner = self.inner.lock().expect("template cache poisoned");
         let template = inner.map.entry(fp).or_insert_with(|| built).clone();
         inner.touch(fp);
+        let mut evicted = 0;
         while inner.map.len() > self.capacity {
             let stale = inner.order.remove(0);
             inner.map.remove(&stale);
             inner.evictions += 1;
+            evicted += 1;
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.trace.add(CounterId::TemplateEvictions, evicted);
         }
         Ok(template)
     }
@@ -210,6 +230,7 @@ impl SnapshotPoolStats {
 pub struct SnapshotPool {
     per_key: usize,
     inner: Mutex<SnapshotPoolInner>,
+    trace: TraceHandle,
 }
 
 #[derive(Debug, Default)]
@@ -223,9 +244,16 @@ struct SnapshotPoolInner {
 impl SnapshotPool {
     /// Creates a pool keeping at most `per_key` bases per template.
     pub fn new(per_key: usize) -> Self {
+        Self::with_tracer(per_key, &Tracer::disabled())
+    }
+
+    /// [`SnapshotPool::new`] additionally mirroring hit/miss/discard
+    /// counters into `tracer` (`snapshot-hits`/`-misses`/`-discards`).
+    pub fn with_tracer(per_key: usize, tracer: &Tracer) -> Self {
         Self {
             per_key,
             inner: Mutex::new(SnapshotPoolInner::default()),
+            trace: tracer.metrics_handle(),
         }
     }
 
@@ -236,10 +264,14 @@ impl SnapshotPool {
         match snapshot {
             Some(s) => {
                 inner.hits += 1;
+                drop(inner);
+                self.trace.add(CounterId::SnapshotHits, 1);
                 Some(s)
             }
             None => {
                 inner.misses += 1;
+                drop(inner);
+                self.trace.add(CounterId::SnapshotMisses, 1);
                 None
             }
         }
@@ -254,6 +286,8 @@ impl SnapshotPool {
             pool.push(snapshot);
         } else {
             inner.discarded += 1;
+            drop(inner);
+            self.trace.add(CounterId::SnapshotDiscards, 1);
         }
     }
 

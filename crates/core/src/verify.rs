@@ -11,6 +11,7 @@ use dpv_lp::{
 use dpv_monitor::ActivationEnvelope;
 use dpv_nn::Network;
 use dpv_tensor::Vector;
+use dpv_trace::{TraceEvent, TraceHandle};
 
 use crate::{
     encode_verification, Characterizer, CoreError, EncodedProblem, EncodingTemplate, Fingerprint,
@@ -548,10 +549,42 @@ impl VerificationProblem {
         backend: &dyn SolverBackend,
         cancel: Option<&CancelToken>,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_with_template_traced(
+            template,
+            region,
+            bounds,
+            scratch,
+            seed,
+            backend,
+            cancel,
+            &TraceHandle::disabled(),
+        )
+    }
+
+    /// [`VerificationProblem::solve_with_template_cancellable`] recording
+    /// an [`dpv_trace::EventKind::Instantiate`] span for the template
+    /// re-tightening plus the backend's per-node telemetry through a
+    /// [`TraceHandle`]. Tracing is observational only: with a disabled
+    /// handle this is exactly
+    /// [`VerificationProblem::solve_with_template_cancellable`], and
+    /// enabling it changes no verdict and no cached byte.
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_template_traced(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        seed: &mut Option<BasisSnapshot>,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
         if !template.encoding.supports(region) {
             let (verdict, _, solution) = self.run_solver_cancellable(region, backend, cancel)?;
             return Ok((verdict, solution));
         }
+        let instantiate_started = trace.now_ns();
         match (scratch.as_mut(), bounds) {
             (Some(existing), Some(bounds)) => template
                 .encoding
@@ -562,8 +595,16 @@ impl VerificationProblem {
             }
             (None, None) => *scratch = Some(template.encoding.instantiate(region)?),
         }
+        if trace.is_enabled() {
+            trace.event(TraceEvent::span(
+                dpv_trace::EventKind::Instantiate,
+                instantiate_started,
+                trace.now_ns().saturating_sub(instantiate_started),
+                u64::from(bounds.is_some()),
+            ));
+        }
         let encoded = scratch.as_ref().expect("scratch populated above");
-        let solution = backend.solve_cancellable(&encoded.milp, seed, cancel);
+        let solution = backend.solve_traced(&encoded.milp, seed, cancel, trace);
         let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);
         Ok((verdict, solution))
     }
@@ -596,6 +637,33 @@ impl VerificationProblem {
         backend: &dyn SolverBackend,
         cancel: Option<&CancelToken>,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_with_template_escalated_traced(
+            template,
+            region,
+            bounds,
+            scratch,
+            budget_scale,
+            backend,
+            cancel,
+            &TraceHandle::disabled(),
+        )
+    }
+
+    /// [`VerificationProblem::solve_with_template_escalated`] recording the
+    /// backend's per-node telemetry through a [`TraceHandle`] (disabled →
+    /// literally the untraced method).
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_template_escalated_traced(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        budget_scale: usize,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
         if !template.encoding.supports(region) {
             let (_, tail) = self
                 .perception
@@ -626,7 +694,7 @@ impl VerificationProblem {
         let saved_nodes = encoded.milp.node_limit();
         let saved_pivots = encoded.milp.lp().iteration_limit();
         raise_budgets(&mut encoded.milp, budget_scale);
-        let solution = backend.solve_cancellable(&encoded.milp, &mut None, cancel);
+        let solution = backend.solve_traced(&encoded.milp, &mut None, cancel, trace);
         encoded.milp.set_node_limit(saved_nodes);
         encoded.milp.lp_mut().set_iteration_limit(saved_pivots);
         let verdict = self.interpret_solution(encoded, &solution, &template.tail, backend);

@@ -5,6 +5,8 @@
 
 use std::fmt;
 
+use dpv_trace::TraceHandle;
+
 use crate::{
     BasisSnapshot, CancelToken, LpStatus, MilpProblem, MilpSolution, MilpStatus, SolveStats,
     SOLVER_EPS,
@@ -62,6 +64,24 @@ pub trait SolverBackend: fmt::Debug + Send + Sync {
         let _ = cancel;
         self.solve_seeded(problem, seed)
     }
+
+    /// [`SolverBackend::solve_cancellable`] recording per-node solver
+    /// telemetry through a [`TraceHandle`].
+    ///
+    /// The default ignores the handle and runs
+    /// [`SolverBackend::solve_cancellable`] — telemetry is an engine
+    /// capability, never a correctness requirement, and a disabled handle
+    /// must make the two entry points literally identical.
+    fn solve_traced(
+        &self,
+        problem: &MilpProblem,
+        seed: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> MilpSolution {
+        let _ = trace;
+        self.solve_cancellable(problem, seed, cancel)
+    }
 }
 
 /// The crate's default engine: the depth-first branch-and-bound solver of
@@ -93,6 +113,16 @@ impl SolverBackend for BranchAndBoundBackend {
         cancel: Option<&CancelToken>,
     ) -> MilpSolution {
         problem.solve_seeded_cancellable(seed, cancel)
+    }
+
+    fn solve_traced(
+        &self,
+        problem: &MilpProblem,
+        seed: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> MilpSolution {
+        problem.solve_traced(seed, cancel, trace)
     }
 }
 

@@ -1,5 +1,7 @@
 //! Branch-and-bound mixed-integer linear programming over binary variables.
 
+use dpv_trace::{CounterId, TraceHandle};
+
 use crate::{BasisSnapshot, CancelToken, LinearProgram, LpSolution, LpStatus, VarId, SOLVER_EPS};
 
 /// Status of a MILP solve.
@@ -123,6 +125,7 @@ pub(crate) fn solve_node_lp(
     warm_enabled: bool,
     stats: &mut SolveStats,
     cancel: Option<&CancelToken>,
+    trace: &TraceHandle,
 ) -> LpSolution {
     /// Warm re-solves per snapshot before a forced cold refactorisation.
     /// The identity block accumulates floating-point drift with every pivot;
@@ -135,7 +138,9 @@ pub(crate) fn solve_node_lp(
         .is_some_and(|snapshot| snapshot.warm_uses() >= REFACTOR_INTERVAL)
     {
         *warm = None;
+        trace.add(CounterId::Refactorisations, 1);
     }
+    let mut warm_used = false;
     let solution = if warm_enabled {
         match warm
             .as_mut()
@@ -143,6 +148,7 @@ pub(crate) fn solve_node_lp(
         {
             Some(solution) => {
                 stats.warm_solves += 1;
+                warm_used = true;
                 solution
             }
             None => {
@@ -158,6 +164,7 @@ pub(crate) fn solve_node_lp(
         solution
     };
     stats.simplex_iterations += solution.iterations;
+    trace.lp_node(warm_used, solution.iterations as u64);
     solution
 }
 
@@ -307,7 +314,7 @@ impl MilpProblem {
     /// nodes differ only in binary bounds, so a dual-simplex repair replaces
     /// the two cold phases; [`SolveStats`] records the warm/cold split.
     pub fn solve(&self) -> MilpSolution {
-        self.solve_impl(true, &mut None, None)
+        self.solve_impl(true, &mut None, None, &TraceHandle::disabled())
     }
 
     /// [`MilpProblem::solve`] polling a [`CancelToken`] in the node loop and
@@ -315,14 +322,14 @@ impl MilpProblem {
     /// [`MilpStatus::Cancelled`] (with the incumbent found so far) promptly
     /// instead of searching on.
     pub fn solve_cancellable(&self, cancel: Option<&CancelToken>) -> MilpSolution {
-        self.solve_impl(true, &mut None, cancel)
+        self.solve_impl(true, &mut None, cancel, &TraceHandle::disabled())
     }
 
     /// [`MilpProblem::solve`] with warm starting disabled: every node pays a
     /// cold two-phase solve. Kept as the PR-2 reference path for benchmarks
     /// and equivalence tests ([`crate::ColdBranchAndBoundBackend`]).
     pub fn solve_cold(&self) -> MilpSolution {
-        self.solve_impl(false, &mut None, None)
+        self.solve_impl(false, &mut None, None, &TraceHandle::disabled())
     }
 
     /// [`MilpProblem::solve`] with an externally owned rolling basis.
@@ -338,7 +345,7 @@ impl MilpProblem {
     /// its primal/Farkas validation and the node silently falls back to a
     /// cold two-phase solve (counted in [`SolveStats::cold_solves`]).
     pub fn solve_seeded(&self, seed: &mut Option<BasisSnapshot>) -> MilpSolution {
-        self.solve_impl(true, seed, None)
+        self.solve_impl(true, seed, None, &TraceHandle::disabled())
     }
 
     /// [`MilpProblem::solve_seeded`] with cooperative cancellation (see
@@ -348,7 +355,22 @@ impl MilpProblem {
         seed: &mut Option<BasisSnapshot>,
         cancel: Option<&CancelToken>,
     ) -> MilpSolution {
-        self.solve_impl(true, seed, cancel)
+        self.solve_impl(true, seed, cancel, &TraceHandle::disabled())
+    }
+
+    /// [`MilpProblem::solve_seeded_cancellable`] recording per-node solver
+    /// telemetry (branch-and-bound nodes, warm/cold LP split, simplex
+    /// pivots, refactorisations, sampled progress events) through a
+    /// [`TraceHandle`]. With a disabled handle — the default everywhere
+    /// else — this is exactly `solve_seeded_cancellable`: tracing is
+    /// observational and never alters the search.
+    pub fn solve_traced(
+        &self,
+        seed: &mut Option<BasisSnapshot>,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> MilpSolution {
+        self.solve_impl(true, seed, cancel, trace)
     }
 
     fn solve_impl(
@@ -356,6 +378,7 @@ impl MilpProblem {
         warm_enabled: bool,
         warm: &mut Option<BasisSnapshot>,
         cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
     ) -> MilpSolution {
         let feasibility_only = self.lp.objective().iter().all(|&c| c == 0.0);
         let mut stats = SolveStats::default();
@@ -413,7 +436,7 @@ impl MilpProblem {
             if conflict {
                 continue;
             }
-            let solution = solve_node_lp(&scratch, warm, warm_enabled, &mut stats, cancel);
+            let solution = solve_node_lp(&scratch, warm, warm_enabled, &mut stats, cancel, trace);
             match solution.status {
                 LpStatus::Infeasible => continue,
                 LpStatus::IterationLimit | LpStatus::Cancelled => {

@@ -354,7 +354,14 @@ fn process_node(
         }
         scratch.set_bounds(var, value, value);
     }
-    let solution = crate::milp::solve_node_lp(scratch, warm, true, stats, None);
+    let solution = crate::milp::solve_node_lp(
+        scratch,
+        warm,
+        true,
+        stats,
+        None,
+        &dpv_trace::TraceHandle::disabled(),
+    );
     let binaries = state.problem.binaries();
     match solution.status {
         LpStatus::Infeasible => return,

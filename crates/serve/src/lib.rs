@@ -122,6 +122,19 @@
 //! resilience tests and benches; reports are pure functions of
 //! `(request, plan)`, and obligations a plan does not touch are
 //! bit-identical to the fault-free run.
+//!
+//! ## Observability
+//!
+//! A server built with [`ObligationServer::new_traced`] over an enabled
+//! [`dpv_trace::Tracer`] records per-obligation timelines
+//! (enqueue → dequeue → solve attempts → verdict), typed counters and
+//! latency histograms into lock-free per-thread ring buffers;
+//! [`ObligationServer::trace_snapshot`] exports everything and each
+//! [`RequestReport`] carries a [`RequestTimeline`]. The default
+//! [`ObligationServer::new`] serves with tracing disabled, where every
+//! recording call is a single branch on an absent `Option`. Tracing is
+//! strictly observational — enabling it changes no verdict, fold order
+//! or cached byte (the `trace_parity` proptest pins this).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
@@ -130,6 +143,7 @@ mod fault;
 mod request;
 mod server;
 mod stats;
+mod timeline;
 
 pub use fault::{FailureReason, FaultKind, FaultPlan};
 pub use request::{RegionSpec, VerificationRequest};
@@ -137,3 +151,4 @@ pub use server::{
     FamilyVerdict, ObligationOutcome, ObligationServer, RequestReport, ServeConfig, ServeError,
 };
 pub use stats::ServeStats;
+pub use timeline::{AttemptSpan, ObligationTimeline, RequestTimeline};

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -19,10 +19,15 @@ use dpv_lp::{
     BranchAndBoundBackend, CancelToken, ConstraintOp, LinearProgram, MilpSolution, MilpStatus,
     SolveStats,
 };
+use dpv_trace::{
+    CounterId, EventKind, GaugeId, HistogramId, TraceEvent, TraceHandle, TraceSnapshot, Tracer,
+    NO_OBLIGATION,
+};
 
 use crate::fault::{FailureReason, FaultKind, FaultPlan};
 use crate::request::{Obligation, ObligationGroup, VerificationRequest};
 use crate::stats::ServeStats;
+use crate::timeline::RequestTimeline;
 
 /// Budget multiplier applied to the single escalated retry of a
 /// node-limit / iteration-limit solve (cold, unseeded, limits restored
@@ -145,6 +150,11 @@ pub struct RequestReport {
     pub seconds: f64,
     /// Server statistics snapshot taken after the request completed.
     pub stats: ServeStats,
+    /// The trace-derived per-obligation timeline. Present only when the
+    /// server was built with [`ObligationServer::new_traced`] over an
+    /// enabled tracer; like `seconds` and `stats`, cost telemetry — not
+    /// part of the deterministic report surface.
+    pub timeline: Option<RequestTimeline>,
 }
 
 impl RequestReport {
@@ -211,19 +221,12 @@ struct PoolState {
     shutdown: bool,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    requests: u64,
-    obligations: u64,
-    solved: u64,
-    dedup_hits: u64,
-    canonical_resolves: u64,
-    retries: u64,
-    retry_successes: u64,
-    worker_panics: u64,
-    quarantined: u64,
-    deadline_skipped: u64,
-    total_solve_ns: u128,
+/// Merges a sparse [`ServeStats`] delta into the server accumulator.
+/// Every counter bump in the server goes through this one path (see
+/// [`ServeStats::merge`]), so a new counter cannot be accumulated in one
+/// call site and forgotten in another.
+fn bump(stats: &Mutex<ServeStats>, delta: &ServeStats) {
+    lock(stats).merge(delta);
 }
 
 /// What a worker hands back for one solved obligation.
@@ -255,6 +258,11 @@ struct Job {
     /// The owning request's deadline token (`None` for unbounded
     /// requests): checked before solving and polled inside the solver.
     cancel: Option<CancelToken>,
+    /// The owning request's trace tag (serves as the timeline key).
+    request_seq: u64,
+    /// When the job entered the queue, on the tracer's clock (0 when
+    /// tracing is disabled).
+    enqueued_at_ns: u64,
 }
 
 struct Inner {
@@ -267,11 +275,20 @@ struct Inner {
     state: Mutex<PoolState>,
     work: Condvar,
     space: Condvar,
-    counters: Mutex<Counters>,
+    stats: Mutex<ServeStats>,
     /// The deterministic fault-injection seam (test/bench only; empty in
     /// production). Consulted once per obligation solve by index.
     fault_plan: Mutex<FaultPlan>,
     shutting_down: AtomicBool,
+    /// The trace sink shared by admission, workers and both caches.
+    /// Disabled by default ([`ObligationServer::new`]); recording through
+    /// a disabled tracer is a branch on an absent `Option`.
+    tracer: Tracer,
+    /// The admission thread's recording handle (workers register their
+    /// own per-thread handles in [`worker_loop`]).
+    admission: TraceHandle,
+    /// Request tags start at 1; 0 is [`dpv_trace::NO_REQUEST`].
+    request_seq: AtomicU64,
 }
 
 /// A resident verification server: persistent workers, cross-request
@@ -294,8 +311,19 @@ impl fmt::Debug for ObligationServer {
 }
 
 impl ObligationServer {
-    /// Starts a server with `config.workers` persistent worker threads.
+    /// Starts a server with `config.workers` persistent worker threads
+    /// and tracing disabled (the zero-overhead default).
     pub fn new(config: ServeConfig) -> Self {
+        Self::new_traced(config, Tracer::disabled())
+    }
+
+    /// Starts a server recording into `tracer`: admission and worker
+    /// events land in per-thread ring buffers, the template cache and
+    /// snapshot pool record their hit/miss counters, and every report
+    /// carries a [`RequestTimeline`]. Tracing is strictly observational:
+    /// verdicts, fold order and cached bytes are bit-identical to an
+    /// untraced server (pinned by the `trace_parity` proptest).
+    pub fn new_traced(config: ServeConfig, tracer: Tracer) -> Self {
         let config = ServeConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -303,19 +331,23 @@ impl ObligationServer {
         };
         let deques: Vec<Worker<Job>> = (0..config.workers).map(|_| Worker::new_lifo()).collect();
         let stealers = deques.iter().map(Worker::stealer).collect();
+        let admission = tracer.register();
         let inner = Arc::new(Inner {
             config,
-            templates: TemplateCache::new(config.template_capacity),
-            snapshots: SnapshotPool::new(config.snapshot_per_key),
+            templates: TemplateCache::with_tracer(config.template_capacity, &tracer),
+            snapshots: SnapshotPool::with_tracer(config.snapshot_per_key, &tracer),
             verdicts: Mutex::new(VerdictCache::default()),
             injector: Injector::new(),
             stealers,
             state: Mutex::new(PoolState::default()),
             work: Condvar::new(),
             space: Condvar::new(),
-            counters: Mutex::new(Counters::default()),
+            stats: Mutex::new(ServeStats::default()),
             fault_plan: Mutex::new(FaultPlan::default()),
             shutting_down: AtomicBool::new(false),
+            tracer,
+            admission,
+            request_seq: AtomicU64::new(0),
         });
         let workers = deques
             .into_iter()
@@ -340,6 +372,9 @@ impl ObligationServer {
     /// conditions or regions.
     pub fn serve(&self, request: &VerificationRequest) -> Result<RequestReport, ServeError> {
         let started = Instant::now();
+        let request_seq = self.inner.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let rtrace = self.inner.admission.tagged(request_seq, NO_OBLIGATION);
+        let trace_began = rtrace.now_ns();
         // The deadline budget covers the whole request, decomposition
         // included, measured on the monotonic clock from entry.
         let cancel = request.deadline.map(CancelToken::with_deadline);
@@ -348,11 +383,16 @@ impl ObligationServer {
         if total == 0 {
             return Err(ServeError::EmptyRequest);
         }
+        rtrace.event(TraceEvent::instant(
+            EventKind::RequestBegin,
+            trace_began,
+            total as u64,
+        ));
 
         // Already expired: degrade every obligation without a single
         // solver invocation — a complete report, not an error.
         if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-            return Ok(self.serve_expired(request, &groups, total, started));
+            return Ok(self.serve_expired(request, &groups, total, started, &rtrace));
         }
 
         let state = Arc::new(RequestState {
@@ -368,7 +408,8 @@ impl ObligationServer {
         let mut jobs = Vec::new();
         let mut dedup_hits = 0u64;
         for group in &groups {
-            let (group_jobs, group_dedups) = self.admit_group(group, &state, cancel.as_ref())?;
+            let (group_jobs, group_dedups) =
+                self.admit_group(group, &state, cancel.as_ref(), request_seq, &rtrace)?;
             dedup_hits += group_dedups;
             jobs.extend(group_jobs);
             for obligation in &group.obligations {
@@ -387,7 +428,7 @@ impl ObligationServer {
         }
         *lock(&state.remaining) = jobs.len();
 
-        self.enqueue_with_backpressure(jobs);
+        self.enqueue_with_backpressure(jobs, &rtrace);
 
         // Wait for the pool to drain this request.
         {
@@ -424,18 +465,44 @@ impl ObligationServer {
         }
 
         let verdicts = fold_families(request, &outcomes);
-        {
-            let mut counters = lock(&self.inner.counters);
-            counters.requests += 1;
-            counters.obligations += total as u64;
-            counters.dedup_hits += dedup_hits;
+        bump(
+            &self.inner.stats,
+            &ServeStats {
+                requests: 1,
+                obligations: total as u64,
+                dedup_hits,
+                ..ServeStats::default()
+            },
+        );
+        rtrace.add(CounterId::Requests, 1);
+        rtrace.add(CounterId::Obligations, total as u64);
+        if rtrace.is_enabled() {
+            rtrace.event(TraceEvent::span(
+                EventKind::RequestEnd,
+                trace_began,
+                rtrace.now_ns().saturating_sub(trace_began),
+                total as u64,
+            ));
         }
         Ok(RequestReport {
             verdicts,
             obligations: outcomes,
             seconds: started.elapsed().as_secs_f64(),
             stats: self.stats(),
+            timeline: self.request_timeline(request_seq),
         })
+    }
+
+    /// The per-request timeline attached to a report: reconstructed from
+    /// a fresh trace snapshot when tracing is enabled, `None` otherwise.
+    fn request_timeline(&self, request_seq: u64) -> Option<RequestTimeline> {
+        if !self.inner.tracer.is_enabled() {
+            return None;
+        }
+        Some(RequestTimeline::from_snapshot(
+            &self.inner.tracer.snapshot(),
+            request_seq,
+        ))
     }
 
     /// The degraded fast path for a request whose deadline expired before
@@ -449,6 +516,7 @@ impl ObligationServer {
         groups: &[ObligationGroup],
         total: usize,
         started: Instant,
+        rtrace: &TraceHandle,
     ) -> RequestReport {
         let mut outcomes = Vec::with_capacity(total);
         for group in groups {
@@ -466,17 +534,25 @@ impl ObligationServer {
             }
         }
         let verdicts = fold_families(request, &outcomes);
-        {
-            let mut counters = lock(&self.inner.counters);
-            counters.requests += 1;
-            counters.obligations += total as u64;
-            counters.deadline_skipped += total as u64;
-        }
+        bump(
+            &self.inner.stats,
+            &ServeStats {
+                requests: 1,
+                obligations: total as u64,
+                deadline_skipped: total as u64,
+                ..ServeStats::default()
+            },
+        );
+        rtrace.add(CounterId::Requests, 1);
+        rtrace.add(CounterId::Obligations, total as u64);
+        rtrace.add(CounterId::DeadlineSkipped, total as u64);
+        rtrace.add(CounterId::DegradedDeadlineExceeded, total as u64);
         RequestReport {
             verdicts,
             obligations: outcomes,
             seconds: started.elapsed().as_secs_f64(),
             stats: self.stats(),
+            timeline: None,
         }
     }
 
@@ -499,6 +575,8 @@ impl ObligationServer {
         group: &ObligationGroup,
         state: &Arc<RequestState>,
         cancel: Option<&CancelToken>,
+        request_seq: u64,
+        rtrace: &TraceHandle,
     ) -> Result<(Vec<Job>, u64), ServeError> {
         let template = self
             .inner
@@ -516,6 +594,13 @@ impl ObligationServer {
                 match verdicts.get(&key) {
                     Some(verdict) => {
                         dedup_hits += 1;
+                        if rtrace.is_enabled() {
+                            let mut event =
+                                TraceEvent::instant(EventKind::DedupHit, rtrace.now_ns(), 0);
+                            event.obligation = obligation.index as u64;
+                            rtrace.event(event);
+                        }
+                        rtrace.add(CounterId::DedupHits, 1);
                         outcomes[obligation.index] = Some(WorkerOutcome {
                             verdict,
                             solve_ns: 0,
@@ -563,6 +648,8 @@ impl ObligationServer {
                     dedup_key,
                     request: Arc::clone(state),
                     cancel: cancel.cloned(),
+                    request_seq,
+                    enqueued_at_ns: 0,
                 }
             })
             .collect();
@@ -571,41 +658,50 @@ impl ObligationServer {
 
     /// Pushes jobs into the pool, blocking whenever `queue_capacity`
     /// obligations are already in flight — the backpressure contract.
-    fn enqueue_with_backpressure(&self, jobs: Vec<Job>) {
-        for job in jobs {
-            let mut state = lock(&self.inner.state);
-            while state.in_flight >= self.inner.config.queue_capacity {
-                state = wait(&self.inner.space, state);
+    fn enqueue_with_backpressure(&self, jobs: Vec<Job>, rtrace: &TraceHandle) {
+        for mut job in jobs {
+            if rtrace.is_enabled() {
+                job.enqueued_at_ns = rtrace.now_ns();
+                let mut event = TraceEvent::instant(EventKind::Enqueue, job.enqueued_at_ns, 0);
+                event.obligation = job.index as u64;
+                rtrace.event(event);
             }
-            state.in_flight += 1;
-            state.max_in_flight = state.max_in_flight.max(state.in_flight);
-            // Push under the lock so sleeping workers cannot miss it.
-            self.inner.injector.push(job);
+            let depth;
+            {
+                let mut state = lock(&self.inner.state);
+                while state.in_flight >= self.inner.config.queue_capacity {
+                    state = wait(&self.inner.space, state);
+                }
+                state.in_flight += 1;
+                state.max_in_flight = state.max_in_flight.max(state.in_flight);
+                depth = state.in_flight;
+                // Push under the lock so sleeping workers cannot miss it.
+                self.inner.injector.push(job);
+            }
             self.inner.work.notify_one();
+            rtrace.gauge(GaugeId::QueueDepth, depth as u64);
         }
     }
 
-    /// A point-in-time statistics snapshot.
+    /// A point-in-time statistics snapshot: the merge-based accumulator
+    /// plus the live queue-depth and cache readings.
     pub fn stats(&self) -> ServeStats {
-        let counters = lock(&self.inner.counters);
-        let state = lock(&self.inner.state);
-        ServeStats {
-            requests: counters.requests,
-            obligations: counters.obligations,
-            solved: counters.solved,
-            dedup_hits: counters.dedup_hits,
-            canonical_resolves: counters.canonical_resolves,
-            retries: counters.retries,
-            retry_successes: counters.retry_successes,
-            worker_panics: counters.worker_panics,
-            quarantined: counters.quarantined,
-            deadline_skipped: counters.deadline_skipped,
-            queue_depth: state.in_flight,
-            max_queue_depth: state.max_in_flight,
-            total_solve_ns: counters.total_solve_ns,
-            templates: self.inner.templates.stats(),
-            snapshots: self.inner.snapshots.stats(),
+        let mut stats = *lock(&self.inner.stats);
+        {
+            let state = lock(&self.inner.state);
+            stats.queue_depth = state.in_flight;
+            stats.max_queue_depth = state.max_in_flight;
         }
+        stats.templates = self.inner.templates.stats();
+        stats.snapshots = self.inner.snapshots.stats();
+        stats
+    }
+
+    /// A full export of the server's tracer: counters, gauges,
+    /// histograms and every buffered event. Empty (with
+    /// `enabled: false`) for servers built with [`ObligationServer::new`].
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.inner.tracer.snapshot()
     }
 
     /// The configuration the server was started with.
@@ -667,6 +763,8 @@ const REFILL_BATCH: usize = 4;
 
 fn worker_loop(inner: &Arc<Inner>, local: &Worker<Job>, me: usize) {
     let backend = BranchAndBoundBackend;
+    // Each worker thread owns one trace ring buffer for its lifetime.
+    let handle = inner.tracer.register();
     // The instantiation scratch is reusable only within one template
     // (content-addressed, so "one template" means one fingerprint).
     let mut scratch: Option<EncodedProblem> = None;
@@ -676,8 +774,8 @@ fn worker_loop(inner: &Arc<Inner>, local: &Worker<Job>, me: usize) {
             scratch = None;
             scratch_fp = Some(job.template.fingerprint());
         }
-        let outcome = run_job_isolated(inner, &job, &mut scratch, &backend);
-        complete_job(inner, job, outcome);
+        let outcome = run_job_isolated(inner, &job, &mut scratch, &backend, &handle);
+        complete_job(inner, job, outcome, &handle);
     }
 }
 
@@ -691,17 +789,36 @@ fn run_job_isolated(
     job: &Job,
     scratch: &mut Option<EncodedProblem>,
     backend: &BranchAndBoundBackend,
+    handle: &TraceHandle,
 ) -> WorkerOutcome {
+    let trace = handle.tagged(job.request_seq, job.index as u64);
     for attempt in 0..2 {
-        match catch_unwind(AssertUnwindSafe(|| run_job(inner, job, scratch, backend))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            run_job(inner, job, scratch, backend, &trace)
+        })) {
             Ok(outcome) => return outcome,
             Err(_) => {
-                lock(&inner.counters).worker_panics += 1;
+                bump(
+                    &inner.stats,
+                    &ServeStats {
+                        worker_panics: 1,
+                        ..ServeStats::default()
+                    },
+                );
+                trace.add(CounterId::WorkerPanics, 1);
                 // The panic may have unwound mid-instantiation; the
                 // scratch is suspect, so the retry starts cold.
                 *scratch = None;
                 if attempt == 1 {
-                    lock(&inner.counters).quarantined += 1;
+                    bump(
+                        &inner.stats,
+                        &ServeStats {
+                            quarantined: 1,
+                            ..ServeStats::default()
+                        },
+                    );
+                    trace.add(CounterId::Quarantined, 1);
+                    trace.add(CounterId::DegradedWorkerPanic, 1);
                 }
             }
         }
@@ -806,15 +923,17 @@ fn run_job(
     job: &Job,
     scratch: &mut Option<EncodedProblem>,
     backend: &BranchAndBoundBackend,
+    trace: &TraceHandle,
 ) -> WorkerOutcome {
     let started = Instant::now();
+    if trace.is_enabled() {
+        let now = trace.now_ns();
+        let queue_wait = now.saturating_sub(job.enqueued_at_ns);
+        trace.event(TraceEvent::instant(EventKind::Dequeue, now, queue_wait));
+        trace.observe(HistogramId::QueueWaitNs, queue_wait);
+    }
     if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-        lock(&inner.counters).deadline_skipped += 1;
-        return WorkerOutcome {
-            verdict: Verdict::Unknown(FailureReason::DeadlineExceeded.code().to_string()),
-            solve_ns: 0,
-            stats: SolveStats::default(),
-        };
+        return deadline_skip(inner, trace, 0);
     }
     let fault = lock(&inner.fault_plan).fault_at(job.index);
     match fault {
@@ -824,12 +943,7 @@ fn run_job(
         Some(FaultKind::Delay { millis }) => {
             std::thread::sleep(std::time::Duration::from_millis(millis));
             if job.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                lock(&inner.counters).deadline_skipped += 1;
-                return WorkerOutcome {
-                    verdict: Verdict::Unknown(FailureReason::DeadlineExceeded.code().to_string()),
-                    solve_ns: started.elapsed().as_nanos(),
-                    stats: SolveStats::default(),
-                };
+                return deadline_skip(inner, trace, started.elapsed().as_nanos());
             }
         }
         _ => {}
@@ -855,7 +969,8 @@ fn run_job(
             seed = foreign_snapshot();
         }
         let was_seeded = seed.is_some();
-        let solved = job.problem.solve_with_template_cancellable(
+        let attempt_started = trace.now_ns();
+        let solved = job.problem.solve_with_template_traced(
             &job.template,
             &job.region,
             job.bounds.as_ref(),
@@ -863,7 +978,16 @@ fn run_job(
             &mut seed,
             backend,
             cancel,
+            trace,
         );
+        if trace.is_enabled() {
+            trace.event(TraceEvent::span(
+                EventKind::SolveAttempt,
+                attempt_started,
+                trace.now_ns().saturating_sub(attempt_started),
+                u64::from(was_seeded),
+            ));
+        }
         let (verdict, solution) = match solved {
             Ok(pair) => pair,
             Err(e) => {
@@ -889,9 +1013,17 @@ fn run_job(
         solution.status,
         MilpStatus::NodeLimit | MilpStatus::IterationLimit
     ) {
-        lock(&inner.counters).retries += 1;
+        bump(
+            &inner.stats,
+            &ServeStats {
+                retries: 1,
+                ..ServeStats::default()
+            },
+        );
+        trace.add(CounterId::Retries, 1);
         if !matches!(fault, Some(FaultKind::ExhaustIterations)) {
-            if let Ok((retry_verdict, retry_solution)) = job.problem.solve_with_template_escalated(
+            let retry_started = trace.now_ns();
+            let retried = job.problem.solve_with_template_escalated_traced(
                 &job.template,
                 &job.region,
                 job.bounds.as_ref(),
@@ -899,12 +1031,29 @@ fn run_job(
                 ESCALATION_SCALE,
                 backend,
                 cancel,
-            ) {
+                trace,
+            );
+            if trace.is_enabled() {
+                trace.event(TraceEvent::span(
+                    EventKind::EscalatedRetry,
+                    retry_started,
+                    trace.now_ns().saturating_sub(retry_started),
+                    ESCALATION_SCALE as u64,
+                ));
+            }
+            if let Ok((retry_verdict, retry_solution)) = retried {
                 if matches!(
                     retry_solution.status,
                     MilpStatus::Optimal | MilpStatus::Infeasible | MilpStatus::Unbounded
                 ) {
-                    lock(&inner.counters).retry_successes += 1;
+                    bump(
+                        &inner.stats,
+                        &ServeStats {
+                            retry_successes: 1,
+                            ..ServeStats::default()
+                        },
+                    );
+                    trace.add(CounterId::RetrySuccesses, 1);
                     verdict = retry_verdict;
                     solution = retry_solution;
                     retry_adopted = true;
@@ -915,20 +1064,36 @@ fn run_job(
 
     // The escalated retry is already cold and unseeded, hence canonical.
     if was_seeded && !retry_adopted && verdict.is_unsafe() {
-        if let Ok((canonical_verdict, canonical_solution)) =
-            job.problem.solve_with_template_cancellable(
-                &job.template,
-                &job.region,
-                job.bounds.as_ref(),
-                scratch,
-                &mut None,
-                backend,
-                cancel,
-            )
-        {
+        let canonical_started = trace.now_ns();
+        let resolved = job.problem.solve_with_template_traced(
+            &job.template,
+            &job.region,
+            job.bounds.as_ref(),
+            scratch,
+            &mut None,
+            backend,
+            cancel,
+            trace,
+        );
+        if trace.is_enabled() {
+            trace.event(TraceEvent::span(
+                EventKind::CanonicalResolve,
+                canonical_started,
+                trace.now_ns().saturating_sub(canonical_started),
+                0,
+            ));
+        }
+        if let Ok((canonical_verdict, canonical_solution)) = resolved {
             verdict = canonical_verdict;
             solution = canonical_solution;
-            lock(&inner.counters).canonical_resolves += 1;
+            bump(
+                &inner.stats,
+                &ServeStats {
+                    canonical_resolves: 1,
+                    ..ServeStats::default()
+                },
+            );
+            trace.add(CounterId::CanonicalResolves, 1);
         }
     }
 
@@ -944,6 +1109,7 @@ fn run_job(
     };
     if let Some(reason) = degraded {
         verdict = Verdict::Unknown(reason.code().to_string());
+        trace.add(CounterId::for_failure_code(reason.code()), 1);
     } else {
         lock(&inner.verdicts).insert(
             inner.config.verdict_capacity,
@@ -958,21 +1124,73 @@ fn run_job(
     }
 }
 
+/// The degraded outcome of an obligation whose request deadline expired
+/// before (or while) the worker picked it up.
+fn deadline_skip(inner: &Arc<Inner>, trace: &TraceHandle, solve_ns: u128) -> WorkerOutcome {
+    bump(
+        &inner.stats,
+        &ServeStats {
+            deadline_skipped: 1,
+            ..ServeStats::default()
+        },
+    );
+    trace.add(CounterId::DeadlineSkipped, 1);
+    trace.add(CounterId::DegradedDeadlineExceeded, 1);
+    WorkerOutcome {
+        verdict: Verdict::Unknown(FailureReason::DeadlineExceeded.code().to_string()),
+        solve_ns,
+        stats: SolveStats::default(),
+    }
+}
+
+/// The trace detail payload of a [`EventKind::Verdict`] event.
+fn verdict_class(verdict: &Verdict) -> dpv_trace::VerdictClass {
+    match verdict {
+        Verdict::Safe => dpv_trace::VerdictClass::Safe,
+        Verdict::Unsafe(_) => dpv_trace::VerdictClass::Unsafe,
+        Verdict::Unknown(_) => dpv_trace::VerdictClass::Unknown,
+    }
+}
+
 /// Completion bookkeeping: writes the outcome, releases one unit of
 /// queue capacity, and wakes the submitter when its request drained.
-fn complete_job(inner: &Arc<Inner>, job: Job, outcome: WorkerOutcome) {
-    {
-        let mut counters = lock(&inner.counters);
-        counters.solved += 1;
-        counters.total_solve_ns += outcome.solve_ns;
+fn complete_job(inner: &Arc<Inner>, job: Job, outcome: WorkerOutcome, handle: &TraceHandle) {
+    bump(
+        &inner.stats,
+        &ServeStats {
+            solved: 1,
+            total_solve_ns: outcome.solve_ns,
+            ..ServeStats::default()
+        },
+    );
+    if handle.is_enabled() {
+        let trace = handle.tagged(job.request_seq, job.index as u64);
+        trace.event(TraceEvent::instant(
+            EventKind::Verdict,
+            trace.now_ns(),
+            verdict_class(&outcome.verdict) as u64,
+        ));
+        trace.observe(
+            HistogramId::SolveNs,
+            u64::try_from(outcome.solve_ns).unwrap_or(u64::MAX),
+        );
+        if let Some(margin) = job.cancel.as_ref().and_then(CancelToken::remaining) {
+            trace.observe(
+                HistogramId::DeadlineMarginNs,
+                u64::try_from(margin.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
     }
     lock(&job.request.outcomes)[job.index] = Some(outcome);
     // Release the queue slot before marking the request drained, so a
     // submitter woken by `done` observes the freed capacity.
+    let depth;
     {
         let mut state = lock(&inner.state);
         state.in_flight -= 1;
+        depth = state.in_flight;
     }
+    handle.gauge(GaugeId::QueueDepth, depth as u64);
     inner.space.notify_one();
     {
         let mut remaining = lock(&job.request.remaining);

@@ -32,6 +32,10 @@
 //! * [`serve`] — resident obligation server: a long-lived verification
 //!   service with a persistent work-stealing pool, cross-request template
 //!   and basis caches, batched admission and verdict deduplication.
+//! * [`trace`] — zero-overhead-when-off tracing and metrics: hierarchical
+//!   spans in lock-free ring buffers, typed counters and log-bucketed
+//!   histograms, JSON and Prometheus exporters, threaded through the
+//!   solver and serving stack.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,7 @@ pub use dpv_scenegen as scenegen;
 pub use dpv_serve as serve;
 pub use dpv_shard as shard;
 pub use dpv_tensor as tensor;
+pub use dpv_trace as trace;
 
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {

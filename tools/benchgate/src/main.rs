@@ -118,6 +118,24 @@ fn rule_for(id: &str) -> Gate {
             centre: 1000,
             halfwidth: 0,
         }
+    } else if id.ends_with("traced-parity-permille") {
+        // Tracing is strictly observational: a traced server's verdicts,
+        // fold order and dedup flags must be bit-identical to an
+        // untraced server's — a correctness contract like batch parity,
+        // so the band has zero width.
+        Gate::Band {
+            centre: 1000,
+            halfwidth: 0,
+        }
+    } else if id.contains("trace/overhead") {
+        // Disabled-tracing overhead per request (permille of request
+        // wall time). Lower is better; the absolute slack dominates at
+        // the committed single-digit baseline and still keeps the gate
+        // far below the 20‰ issue budget the bench itself asserts.
+        Gate::LowerIsBetter {
+            rel_permille: 1000,
+            abs: 10,
+        }
     } else if id.contains("deadline-overrun") {
         // How much of a full solve an already-expired request still
         // costs (expired-serve time / full-solve time, in permille).
@@ -538,6 +556,40 @@ mod tests {
         assert!(!gate_at(999));
         assert!(!gate_at(1001));
         assert!(!gate_at(0));
+    }
+
+    #[test]
+    fn traced_parity_demands_exact_equality() {
+        let baseline = report(&[("trace/traced-parity-permille", 1000)]);
+        let gate_at = |fresh| {
+            gate(
+                &baseline,
+                &report(&[("trace/traced-parity-permille", fresh)]),
+            )
+            .unwrap()[0]
+                .passed
+        };
+        assert!(gate_at(1000));
+        // Tracing changing any verdict — in either direction — is a
+        // correctness failure, not noise.
+        assert!(!gate_at(999));
+        assert!(!gate_at(1001));
+        assert!(!gate_at(0));
+    }
+
+    #[test]
+    fn trace_overhead_gates_increases_only() {
+        let baseline = report(&[("trace/overhead-permille", 3)]);
+        let gate_at = |fresh| {
+            gate(&baseline, &report(&[("trace/overhead-permille", fresh)])).unwrap()[0].passed
+        };
+        // Improvements and jitter inside baseline + max(100%, 10) pass …
+        assert!(gate_at(0));
+        assert!(gate_at(3));
+        assert!(gate_at(13));
+        // … but disabled tracing growing a real cost fails.
+        assert!(!gate_at(14));
+        assert!(!gate_at(100));
     }
 
     #[test]
