@@ -96,6 +96,28 @@ impl Interval {
         Interval::new(f(self.lo), f(self.hi))
     }
 
+    /// Interval product: the tightest interval containing `a · b` for every
+    /// `a ∈ self`, `b ∈ other` — the min/max over the four endpoint
+    /// products. Needed when *both* factors are uncertain (e.g. an
+    /// interval-valued weight applied to an interval-valued activation in
+    /// the delta-verification absorption check); for a known scalar factor
+    /// [`Interval::scale`] is the cheaper special case.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let products = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        let mut lo = products[0];
+        let mut hi = products[0];
+        for &p in &products[1..] {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        Interval::new(lo, hi)
+    }
+
     /// Smallest interval containing both operands (join / convex hull).
     pub fn join(&self, other: &Interval) -> Interval {
         Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
@@ -159,6 +181,41 @@ mod tests {
         assert_eq!(a.relu(), Interval::new(0.0, 3.0));
         assert_eq!(Interval::new(-3.0, -1.0).relu(), Interval::new(0.0, 0.0));
         assert_eq!(a.leaky_relu(0.1), Interval::new(-0.2, 3.0));
+    }
+
+    #[test]
+    fn interval_product_covers_all_sign_combinations() {
+        let cases = [
+            (Interval::new(1.0, 2.0), Interval::new(3.0, 4.0)),
+            (Interval::new(-2.0, -1.0), Interval::new(3.0, 4.0)),
+            (Interval::new(-2.0, 3.0), Interval::new(-1.0, 4.0)),
+            (Interval::new(-2.0, 3.0), Interval::new(-4.0, -1.0)),
+            (Interval::new(0.0, 0.0), Interval::new(-5.0, 7.0)),
+        ];
+        for (a, b) in cases {
+            let prod = a.mul(&b);
+            // Sample the operands densely; every concrete product must land
+            // inside, and the endpoints must be achieved at corners.
+            for i in 0..=10 {
+                for j in 0..=10 {
+                    let x = a.lo + a.width() * (i as f64) / 10.0;
+                    let y = b.lo + b.width() * (j as f64) / 10.0;
+                    assert!(prod.contains(x * y, 1e-12), "{x}*{y} escapes {prod}");
+                }
+            }
+            let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+            let min = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(prod, Interval::new(min, max));
+        }
+    }
+
+    #[test]
+    fn interval_product_degenerates_to_scale() {
+        let a = Interval::new(-1.0, 2.0);
+        for factor in [-3.0, 0.0, 2.5] {
+            assert_eq!(a.mul(&Interval::point(factor)), a.scale(factor));
+        }
     }
 
     #[test]

@@ -104,7 +104,7 @@ fn bench_serve(c: &mut Criterion) {
     let narrow = request(3);
 
     // --- Acceptance script on one resident server: cold → warm → refit. ---
-    let server = ObligationServer::new(serve_config());
+    let server = ObligationServer::builder().config(serve_config()).build();
 
     let t0 = Instant::now();
     let cold = server.serve(&wide).unwrap();
@@ -147,7 +147,7 @@ fn bench_serve(c: &mut Criterion) {
     // warm repeat on the resident server. ---
     let mut cold_samples = vec![cold_first];
     for _ in 1..REPS {
-        let fresh = ObligationServer::new(serve_config());
+        let fresh = ObligationServer::builder().config(serve_config()).build();
         let t = Instant::now();
         let report = fresh.serve(&wide).unwrap();
         cold_samples.push(t.elapsed().as_secs_f64());
@@ -182,12 +182,12 @@ fn bench_serve(c: &mut Criterion) {
     group.sample_size(3);
     group.bench_function("request/cold-fresh-server", |b| {
         b.iter(|| {
-            let fresh = ObligationServer::new(serve_config());
+            let fresh = ObligationServer::builder().config(serve_config()).build();
             let report = fresh.serve(&wide).unwrap();
             report.obligations.len()
         })
     });
-    let resident = ObligationServer::new(serve_config());
+    let resident = ObligationServer::builder().config(serve_config()).build();
     resident.serve(&wide).unwrap();
     group.bench_function("request/warm-resident-server", |b| {
         b.iter(|| {

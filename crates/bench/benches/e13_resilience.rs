@@ -106,7 +106,7 @@ fn serve_config() -> ServeConfig {
 }
 
 fn serve_with_plan(req: &VerificationRequest, plan: &FaultPlan) -> RequestReport {
-    let server = ObligationServer::new(serve_config());
+    let server = ObligationServer::builder().config(serve_config()).build();
     server.set_fault_plan(plan.clone());
     server.serve(req).unwrap()
 }
@@ -132,7 +132,7 @@ fn bench_resilience(c: &mut Criterion) {
     // denominator. ---
     let t0 = Instant::now();
     let reference = {
-        let server = ObligationServer::new(serve_config());
+        let server = ObligationServer::builder().config(serve_config()).build();
         server.serve(&req).unwrap()
     };
     let full_solve_s = t0.elapsed().as_secs_f64();
@@ -171,7 +171,7 @@ fn bench_resilience(c: &mut Criterion) {
     // --- Expired request: what does a zero-deadline serve still cost? ---
     let mut expired_req = request();
     expired_req.deadline = Some(std::time::Duration::ZERO);
-    let expired_server = ObligationServer::new(serve_config());
+    let expired_server = ObligationServer::builder().config(serve_config()).build();
     let t1 = Instant::now();
     let expired = expired_server.serve(&expired_req).unwrap();
     let expired_s = t1.elapsed().as_secs_f64();
@@ -199,7 +199,7 @@ fn bench_resilience(c: &mut Criterion) {
     group.sample_size(3);
     group.bench_function("request/fault-free", |b| {
         b.iter(|| {
-            let server = ObligationServer::new(serve_config());
+            let server = ObligationServer::builder().config(serve_config()).build();
             server.serve(&req).unwrap().obligations.len()
         })
     });
@@ -208,7 +208,7 @@ fn bench_resilience(c: &mut Criterion) {
     });
     group.bench_function("request/expired-deadline", |b| {
         b.iter(|| {
-            let server = ObligationServer::new(serve_config());
+            let server = ObligationServer::builder().config(serve_config()).build();
             server.serve(&expired_req).unwrap().obligations.len()
         })
     });

@@ -134,17 +134,19 @@ fn bench_observability(c: &mut Criterion) {
     let req = request();
 
     // --- Untraced requests: the production configuration, timed. ---
-    let untraced = ObligationServer::new(ServeConfig::with_workers(WORKERS));
+    let untraced = ObligationServer::builder()
+        .config(ServeConfig::with_workers(WORKERS))
+        .build();
     let (untraced_cold, cold_s) = serve_timed(&untraced, &req);
     let (untraced_warm, warm_s) = serve_timed(&untraced, &req);
     assert_eq!(untraced_cold.obligations.len(), OBLIGATIONS);
     assert!(untraced_cold.timeline.is_none());
 
     // --- Traced requests on an identical fresh server. ---
-    let traced = ObligationServer::new_traced(
-        ServeConfig::with_workers(WORKERS),
-        Tracer::with_config(TraceConfig::default()),
-    );
+    let traced = ObligationServer::builder()
+        .config(ServeConfig::with_workers(WORKERS))
+        .tracer(Tracer::with_config(TraceConfig::default()))
+        .build();
     let (traced_cold, _) = serve_timed(&traced, &req);
     let ops_cold = traced.trace_snapshot().record_ops;
     let (traced_warm, _) = serve_timed(&traced, &req);
@@ -187,16 +189,18 @@ fn bench_observability(c: &mut Criterion) {
     group.sample_size(3);
     group.bench_function("request/untraced", |b| {
         b.iter(|| {
-            let server = ObligationServer::new(ServeConfig::with_workers(WORKERS));
+            let server = ObligationServer::builder()
+                .config(ServeConfig::with_workers(WORKERS))
+                .build();
             server.serve(&req).unwrap().obligations.len()
         })
     });
     group.bench_function("request/traced", |b| {
         b.iter(|| {
-            let server = ObligationServer::new_traced(
-                ServeConfig::with_workers(WORKERS),
-                Tracer::with_config(TraceConfig::default()),
-            );
+            let server = ObligationServer::builder()
+                .config(ServeConfig::with_workers(WORKERS))
+                .tracer(Tracer::with_config(TraceConfig::default()))
+                .build();
             server.serve(&req).unwrap().obligations.len()
         })
     });

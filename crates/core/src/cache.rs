@@ -209,7 +209,8 @@ impl SnapshotPoolStats {
 ///
 /// Workers check a basis out before solving an obligation
 /// ([`SnapshotPool::check_out`]), seed the backend with it
-/// ([`crate::VerificationProblem::solve_with_template_seeded`]), and check
+/// ([`crate::VerificationProblem::solve_with_template`] with a seed in its
+/// [`crate::SolveOptions`]), and check
 /// the refreshed basis back in afterwards — so the dual-simplex repair
 /// chain that PR 3 ran *within* one search tree now spans obligations,
 /// workers and requests.
@@ -306,7 +307,7 @@ impl SnapshotPool {
 mod tests {
     use super::*;
     use crate::{
-        Characterizer, CharacterizerConfig, InputProperty, RiskCondition, Verdict,
+        Characterizer, CharacterizerConfig, InputProperty, RiskCondition, SolveOptions, Verdict,
         VerificationProblem,
     };
     use dpv_absint::BoxDomain;
@@ -459,13 +460,21 @@ mod tests {
 
         let mut seed = None;
         let (first, _) = p
-            .solve_with_template_seeded(&template, &root, None, &mut None, &mut seed, &backend)
+            .solve_with_template(
+                &template,
+                &root,
+                &mut SolveOptions::new().seed(&mut seed).backend(&backend),
+            )
             .unwrap();
         let (seeded, _) = p
-            .solve_with_template_seeded(&template, &root, None, &mut None, &mut seed, &backend)
+            .solve_with_template(
+                &template,
+                &root,
+                &mut SolveOptions::new().seed(&mut seed).backend(&backend),
+            )
             .unwrap();
         let (unseeded, _) = p
-            .solve_with_template_seeded(&template, &root, None, &mut None, &mut None, &backend)
+            .solve_with_template(&template, &root, &mut SolveOptions::new().backend(&backend))
             .unwrap();
         assert_eq!(
             std::mem::discriminant(&seeded),

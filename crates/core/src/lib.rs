@@ -65,8 +65,8 @@ pub use shard_verify::{ShardObligation, ShardedVerificationConfig, ShardedVerifi
 pub use spec::{InputProperty, LinearInequality, OutputOp, RiskCondition};
 pub use statistical::{ConfusionTable, StatisticalAnalysis};
 pub use verify::{
-    AssumeGuarantee, CounterExample, DomainKind, ProblemTemplate, Verdict, VerificationOutcome,
-    VerificationProblem, VerificationStrategy,
+    AssumeGuarantee, CounterExample, DomainKind, ProblemTemplate, SolveOptions, Verdict,
+    VerificationOutcome, VerificationProblem, VerificationStrategy,
 };
 pub use workflow::{
     ScenarioFamilyResult, ScenarioReport, ViolationDetection, Workflow, WorkflowConfig,

@@ -203,6 +203,104 @@ impl ProblemTemplate {
     }
 }
 
+/// Per-solve options for [`VerificationProblem::solve_with_template`] — the
+/// single template solve entry point that replaced the
+/// `solve_with_template_{seeded, cancellable, traced, escalated,
+/// escalated_traced}` fan of variants.
+///
+/// Every lever is optional and independently composable (the delta
+/// re-verification path needs seed + cancellation + tracing simultaneously,
+/// which no fixed variant offered):
+///
+/// * [`bounds`](Self::bounds) — precomputed region bounds (one lane of a
+///   batched [`crate::EncodingTemplate::region_bounds_batch`] sweep) that
+///   skip the propagate half of instantiation.
+/// * [`scratch`](Self::scratch) — a caller-owned instantiation slot the
+///   skeleton is re-tightened into instead of re-encoded; omit it to pay a
+///   fresh instantiation per call.
+/// * [`seed`](Self::seed) — a caller-owned warm-start basis, primed before
+///   the solve and refreshed with the final basis afterwards (the seam the
+///   obligation server's snapshot pool plugs into). Ignored by escalated
+///   solves, which run cold by design.
+/// * [`cancel`](Self::cancel) — a cooperative [`CancelToken`] polled inside
+///   the solver loops; a tripped token can only withhold a verdict
+///   ([`Verdict::Unknown`]), never fabricate one.
+/// * [`tracer`](Self::tracer) — a [`TraceHandle`] recording the
+///   instantiation span and per-node telemetry; strictly observational.
+/// * [`escalation`](Self::escalation) — a budget scale for the escalated
+///   retry path: both search budgets are raised by the scale for this solve
+///   only, the solve runs **cold** (no seed), and the template's stock
+///   limits are restored afterwards.
+/// * [`backend`](Self::backend) — the solver backend; defaults to
+///   [`default_backend`].
+#[derive(Default)]
+pub struct SolveOptions<'a> {
+    bounds: Option<&'a RegionBounds>,
+    scratch: Option<&'a mut Option<EncodedProblem>>,
+    seed: Option<&'a mut Option<BasisSnapshot>>,
+    cancel: Option<&'a CancelToken>,
+    tracer: Option<&'a TraceHandle>,
+    escalation: Option<usize>,
+    backend: Option<&'a dyn SolverBackend>,
+}
+
+impl<'a> SolveOptions<'a> {
+    /// Options with every lever at its default: fresh instantiation, cold
+    /// solve, no cancellation, tracing off, stock budgets, default backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies precomputed region bounds instead of re-propagating them.
+    /// Accepts `&RegionBounds` or `Option<&RegionBounds>` (`None` keeps
+    /// the default).
+    pub fn bounds(mut self, bounds: impl Into<Option<&'a RegionBounds>>) -> Self {
+        self.bounds = bounds.into();
+        self
+    }
+
+    /// Re-tightens the skeleton into `scratch` (allocated on first use,
+    /// reused afterwards) instead of instantiating a fresh problem.
+    pub fn scratch(mut self, scratch: &'a mut Option<EncodedProblem>) -> Self {
+        self.scratch = Some(scratch);
+        self
+    }
+
+    /// Warm-starts from (and hands the final basis back to) `seed`.
+    pub fn seed(mut self, seed: &'a mut Option<BasisSnapshot>) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Polls `cancel` inside the solver loops. Accepts `&CancelToken` or
+    /// `Option<&CancelToken>` (`None` keeps the default).
+    pub fn cancel(mut self, cancel: impl Into<Option<&'a CancelToken>>) -> Self {
+        self.cancel = cancel.into();
+        self
+    }
+
+    /// Records the instantiation span and per-node telemetry on `tracer`.
+    pub fn tracer(mut self, tracer: &'a TraceHandle) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Escalates the solve: raises both search budgets by `scale` for this
+    /// solve only and runs cold (any [`seed`](Self::seed) is ignored —
+    /// numerical trouble inherited through a basis is the suspected cause
+    /// of the outcome being retried).
+    pub fn escalation(mut self, scale: usize) -> Self {
+        self.escalation = Some(scale);
+        self
+    }
+
+    /// Solves through `backend` instead of [`default_backend`].
+    pub fn backend(mut self, backend: &'a dyn SolverBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+}
+
 /// Raises both branch-and-bound search budgets of `milp` by `scale` for an
 /// escalated retry: the node limit multiplicatively, and the simplex pivot
 /// budget from its current value (or the size-derived estimate when none is
@@ -501,26 +599,102 @@ impl VerificationProblem {
         scratch: &mut Option<EncodedProblem>,
         backend: &dyn SolverBackend,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
-        self.solve_with_template_seeded(template, region, bounds, scratch, &mut None, backend)
+        self.solve_template_impl(
+            template,
+            region,
+            bounds,
+            scratch,
+            &mut None,
+            backend,
+            None,
+            &TraceHandle::disabled(),
+        )
     }
 
     /// Solves one obligation (`region` under `template`) with every reuse
-    /// lever exposed: the skeleton is re-tightened into `scratch` instead of
-    /// re-encoded, precomputed `bounds` (one lane of a batched
+    /// and control lever selected through [`SolveOptions`]: the skeleton is
+    /// re-tightened into the options' scratch slot instead of re-encoded,
+    /// precomputed bounds (one lane of a batched
     /// [`crate::EncodingTemplate::region_bounds_batch`] sweep) skip the
-    /// propagate half, and `seed` primes the backend's warm-start state
+    /// propagate half, a seed primes the backend's warm-start state
     /// ([`SolverBackend::solve_seeded`]) and receives the final basis back —
     /// the cross-request seam the obligation server's snapshot pool plugs
-    /// into. Falls back to one-shot encoding (seed untouched) when the
-    /// template does not support `region`.
+    /// into — a [`CancelToken`] is polled inside the solver loops, a
+    /// [`TraceHandle`] records the instantiation span and per-node
+    /// telemetry, and an escalation scale turns the call into the cold
+    /// budget-raised retry. Falls back to one-shot encoding (seed untouched)
+    /// when the template does not support `region`.
     ///
     /// Reuse never changes verdicts, only cost: a stale or foreign seed is
-    /// rejected inside the LP layer and the node solves cold.
+    /// rejected inside the LP layer and the node solves cold. Cancellation
+    /// surfaces as [`MilpStatus::Cancelled`] → [`Verdict::Unknown`] — it can
+    /// only withhold a verdict, never fabricate one. Tracing is
+    /// observational only. An escalated solve raises its budgets for this
+    /// call alone and restores the template's stock limits afterwards, so
+    /// sibling obligations reusing the scratch see unchanged budgets.
     ///
     /// # Errors
-    /// Propagates encoding errors; template-scoped inputs (`bounds` or
-    /// `scratch` from a different template) yield
-    /// [`CoreError::Inconsistent`].
+    /// Propagates encoding errors; template-scoped inputs (bounds or scratch
+    /// from a different template) yield [`CoreError::Inconsistent`].
+    pub fn solve_with_template(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        options: &mut SolveOptions<'_>,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
+        let default_be;
+        let backend: &dyn SolverBackend = match options.backend {
+            Some(backend) => backend,
+            None => {
+                default_be = default_backend();
+                &default_be
+            }
+        };
+        let disabled = TraceHandle::disabled();
+        let trace = options.tracer.unwrap_or(&disabled);
+        let cancel = options.cancel;
+        let mut local_scratch = None;
+        let scratch = match options.scratch.as_deref_mut() {
+            Some(scratch) => scratch,
+            None => &mut local_scratch,
+        };
+        match options.escalation {
+            Some(scale) => self.solve_template_escalated_impl(
+                template,
+                region,
+                options.bounds,
+                scratch,
+                scale,
+                backend,
+                cancel,
+                trace,
+            ),
+            None => {
+                let mut local_seed = None;
+                let seed = match options.seed.as_deref_mut() {
+                    Some(seed) => seed,
+                    None => &mut local_seed,
+                };
+                self.solve_template_impl(
+                    template,
+                    region,
+                    options.bounds,
+                    scratch,
+                    seed,
+                    backend,
+                    cancel,
+                    trace,
+                )
+            }
+        }
+    }
+
+    /// [`VerificationProblem::solve_with_template`] with the seed lever
+    /// only.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `solve_with_template` with `SolveOptions::new().seed(..)`"
+    )]
     pub fn solve_with_template_seeded(
         &self,
         template: &ProblemTemplate,
@@ -530,14 +704,24 @@ impl VerificationProblem {
         seed: &mut Option<BasisSnapshot>,
         backend: &dyn SolverBackend,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
-        self.solve_with_template_cancellable(template, region, bounds, scratch, seed, backend, None)
+        self.solve_template_impl(
+            template,
+            region,
+            bounds,
+            scratch,
+            seed,
+            backend,
+            None,
+            &TraceHandle::disabled(),
+        )
     }
 
-    /// [`VerificationProblem::solve_with_template_seeded`] polling a
-    /// [`CancelToken`] inside the solver loops. A tripped token (an expired
-    /// request deadline, say) returns [`MilpStatus::Cancelled`] →
-    /// [`Verdict::Unknown`] promptly — cancellation can only withhold a
-    /// verdict, never fabricate one.
+    /// [`VerificationProblem::solve_with_template`] with the seed and
+    /// cancellation levers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `solve_with_template` with `SolveOptions::new().seed(..).cancel(..)`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn solve_with_template_cancellable(
         &self,
@@ -549,7 +733,7 @@ impl VerificationProblem {
         backend: &dyn SolverBackend,
         cancel: Option<&CancelToken>,
     ) -> Result<(Verdict, MilpSolution), CoreError> {
-        self.solve_with_template_traced(
+        self.solve_template_impl(
             template,
             region,
             bounds,
@@ -561,15 +745,35 @@ impl VerificationProblem {
         )
     }
 
-    /// [`VerificationProblem::solve_with_template_cancellable`] recording
-    /// an [`dpv_trace::EventKind::Instantiate`] span for the template
-    /// re-tightening plus the backend's per-node telemetry through a
-    /// [`TraceHandle`]. Tracing is observational only: with a disabled
-    /// handle this is exactly
-    /// [`VerificationProblem::solve_with_template_cancellable`], and
-    /// enabling it changes no verdict and no cached byte.
+    /// [`VerificationProblem::solve_with_template`] with the seed,
+    /// cancellation and tracing levers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `solve_with_template` with `SolveOptions::new().seed(..).cancel(..).tracer(..)`"
+    )]
     #[allow(clippy::too_many_arguments)]
     pub fn solve_with_template_traced(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        seed: &mut Option<BasisSnapshot>,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_template_impl(
+            template, region, bounds, scratch, seed, backend, cancel, trace,
+        )
+    }
+
+    /// The template solve body: instantiate (or fall back to one-shot
+    /// encoding), solve seeded/cancellable/traced, interpret. Reached
+    /// exclusively through [`VerificationProblem::solve_with_template`] and
+    /// the deprecated fixed-shape shims.
+    #[allow(clippy::too_many_arguments)]
+    fn solve_template_impl(
         &self,
         template: &ProblemTemplate,
         region: &StartRegion,
@@ -609,6 +813,65 @@ impl VerificationProblem {
         Ok((verdict, solution))
     }
 
+    /// [`VerificationProblem::solve_with_template`] with the escalation
+    /// lever only.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `solve_with_template` with `SolveOptions::new().escalation(..)`"
+    )]
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_template_escalated(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        budget_scale: usize,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_template_escalated_impl(
+            template,
+            region,
+            bounds,
+            scratch,
+            budget_scale,
+            backend,
+            cancel,
+            &TraceHandle::disabled(),
+        )
+    }
+
+    /// [`VerificationProblem::solve_with_template`] with the escalation,
+    /// cancellation and tracing levers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `solve_with_template` with `SolveOptions::new().escalation(..).tracer(..)`"
+    )]
+    #[allow(clippy::too_many_arguments)]
+    pub fn solve_with_template_escalated_traced(
+        &self,
+        template: &ProblemTemplate,
+        region: &StartRegion,
+        bounds: Option<&RegionBounds>,
+        scratch: &mut Option<EncodedProblem>,
+        budget_scale: usize,
+        backend: &dyn SolverBackend,
+        cancel: Option<&CancelToken>,
+        trace: &TraceHandle,
+    ) -> Result<(Verdict, MilpSolution), CoreError> {
+        self.solve_template_escalated_impl(
+            template,
+            region,
+            bounds,
+            scratch,
+            budget_scale,
+            backend,
+            cancel,
+            trace,
+        )
+    }
+
     /// The escalated retry for `IterationLimit`/`NodeLimit` outcomes: solves
     /// the obligation again **cold** (no warm-basis seed — numerical trouble
     /// inherited through a basis is the suspected cause) with both search
@@ -622,38 +885,8 @@ impl VerificationProblem {
     /// Because the solve runs against the same template instantiation as the
     /// canonical (unseeded) path, a successful retry returns the bit-identical
     /// verdict that a fault-free solve of the obligation would have produced.
-    ///
-    /// # Errors
-    /// Same conditions as
-    /// [`VerificationProblem::solve_with_template_seeded`].
     #[allow(clippy::too_many_arguments)]
-    pub fn solve_with_template_escalated(
-        &self,
-        template: &ProblemTemplate,
-        region: &StartRegion,
-        bounds: Option<&RegionBounds>,
-        scratch: &mut Option<EncodedProblem>,
-        budget_scale: usize,
-        backend: &dyn SolverBackend,
-        cancel: Option<&CancelToken>,
-    ) -> Result<(Verdict, MilpSolution), CoreError> {
-        self.solve_with_template_escalated_traced(
-            template,
-            region,
-            bounds,
-            scratch,
-            budget_scale,
-            backend,
-            cancel,
-            &TraceHandle::disabled(),
-        )
-    }
-
-    /// [`VerificationProblem::solve_with_template_escalated`] recording the
-    /// backend's per-node telemetry through a [`TraceHandle`] (disabled →
-    /// literally the untraced method).
-    #[allow(clippy::too_many_arguments)]
-    pub fn solve_with_template_escalated_traced(
+    fn solve_template_escalated_impl(
         &self,
         template: &ProblemTemplate,
         region: &StartRegion,

@@ -7,8 +7,8 @@
 
 use dpv_absint::{AbstractDomain, BoxDomain, Interval};
 use dpv_core::{
-    Characterizer, InputProperty, RiskCondition, SnapshotPool, StartRegion, TemplateCache, Verdict,
-    VerificationProblem,
+    Characterizer, InputProperty, RiskCondition, SnapshotPool, SolveOptions, StartRegion,
+    TemplateCache, Verdict, VerificationProblem,
 };
 use dpv_lp::{BranchAndBoundBackend, ColdBranchAndBoundBackend};
 use dpv_nn::{Activation, Network, NetworkBuilder};
@@ -92,8 +92,13 @@ proptest! {
         let mut scratch = None;
         let mut seed_basis = pool.check_out(fp);
         let (first, _) = problem
-            .solve_with_template_seeded(
-                &template, &sub, None, &mut scratch, &mut seed_basis, &warm_backend,
+            .solve_with_template(
+                &template,
+                &sub,
+                &mut SolveOptions::new()
+                    .scratch(&mut scratch)
+                    .seed(&mut seed_basis)
+                    .backend(&warm_backend),
             )
             .unwrap();
         if let Some(basis) = seed_basis.take() {
@@ -105,16 +110,23 @@ proptest! {
         let template2 = cache.get_or_build(&problem, &root).unwrap();
         let mut seed_basis = pool.check_out(fp);
         let (cached, _) = problem
-            .solve_with_template_seeded(
-                &template2, &sub, None, &mut scratch, &mut seed_basis, &warm_backend,
+            .solve_with_template(
+                &template2,
+                &sub,
+                &mut SolveOptions::new()
+                    .scratch(&mut scratch)
+                    .seed(&mut seed_basis)
+                    .backend(&warm_backend),
             )
             .unwrap();
 
         // Cold reference: fresh template, no scratch, no seed, cold engine.
         let reference_template = problem.encoding_template(&root).unwrap();
         let (cold, _) = problem
-            .solve_with_template_seeded(
-                &reference_template, &sub, None, &mut None, &mut None, &cold_backend,
+            .solve_with_template(
+                &reference_template,
+                &sub,
+                &mut SolveOptions::new().backend(&cold_backend),
             )
             .unwrap();
 
@@ -170,8 +182,10 @@ proptest! {
         let sub = StartRegion::Box(random_sub_box(&mut rng, cut_width));
         let mut seed_basis = None;
         let _ = problem_a
-            .solve_with_template_seeded(
-                &template_a, &sub, None, &mut None, &mut seed_basis, &backend,
+            .solve_with_template(
+                &template_a,
+                &sub,
+                &mut SolveOptions::new().seed(&mut seed_basis).backend(&backend),
             )
             .unwrap();
         let Some(basis) = seed_basis else {
@@ -189,14 +203,14 @@ proptest! {
         let mut foreign = pool.check_out(fp_a);
         prop_assert!(foreign.is_some());
         let (seeded, _) = problem_b
-            .solve_with_template_seeded(
-                &template_b, &sub, None, &mut None, &mut foreign, &backend,
+            .solve_with_template(
+                &template_b,
+                &sub,
+                &mut SolveOptions::new().seed(&mut foreign).backend(&backend),
             )
             .unwrap();
         let (unseeded, _) = problem_b
-            .solve_with_template_seeded(
-                &template_b, &sub, None, &mut None, &mut None, &backend,
-            )
+            .solve_with_template(&template_b, &sub, &mut SolveOptions::new().backend(&backend))
             .unwrap();
         prop_assert_eq!(
             std::mem::discriminant(&seeded),

@@ -1,0 +1,295 @@
+//! Content digests over layer parameters and whole checkpoints.
+//!
+//! A [`LayerDigest`] hashes everything that determines a layer's
+//! input/output function — layer kind, dimensions, and the raw IEEE-754
+//! bit patterns of every parameter — and a [`ModelFingerprint`] folds the
+//! per-layer digests (plus the input dimension) into one checkpoint
+//! identity. Equality of digests is the "untouched" test of
+//! delta-verification: two layers with equal digests compute the same
+//! function bit-for-bit, so any verdict derived from one holds for the
+//! other.
+//!
+//! The hash is the workspace's two-lane FNV-1a construction (the same
+//! idiom as `dpv_core::Fingerprint`, which hashes *template* tuples rather
+//! than checkpoints): two independent 64-bit lanes over discriminant tags,
+//! dimension counts and `f64::to_bits` of every parameter, with the lane
+//! index mixed into every byte so the lanes are not related by a simple
+//! offset. `-0.0` and `0.0` hash differently and NaN payloads are stable —
+//! a digest match means byte-identical parameters, never "numerically
+//! close".
+
+use std::fmt;
+
+use dpv_nn::{Layer, Network};
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET_HI: u64 = 0xcbf2_9ce4_8422_2325;
+// Second lane starts from a different offset (FNV offset xor a golden-ratio
+// constant) so the lanes disagree on every input word.
+const FNV_OFFSET_LO: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Two-lane FNV-1a accumulator over 64-bit words.
+struct Hasher {
+    hi: u64,
+    lo: u64,
+}
+
+impl Hasher {
+    fn new() -> Self {
+        Self {
+            hi: FNV_OFFSET_HI,
+            lo: FNV_OFFSET_LO,
+        }
+    }
+
+    fn word(&mut self, w: u64) {
+        for (lane, state) in [(0u64, &mut self.hi), (1u64, &mut self.lo)] {
+            let mut s = *state;
+            for byte in w.to_le_bytes() {
+                s ^= u64::from(byte) ^ (lane << 7);
+                s = s.wrapping_mul(FNV_PRIME);
+            }
+            *state = s;
+        }
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.word(0x6467_7400 | u64::from(t));
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+
+    fn floats(&mut self, vs: &[f64]) {
+        self.word(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// 128-bit content hash of one layer's function: kind, dimensions, and
+/// every parameter by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerDigest {
+    hi: u64,
+    lo: u64,
+}
+
+impl LayerDigest {
+    /// Digest of one layer.
+    pub fn of(layer: &Layer) -> Self {
+        let mut h = Hasher::new();
+        hash_layer(&mut h, layer);
+        Self { hi: h.hi, lo: h.lo }
+    }
+
+    /// Renders the digest as 32 lowercase hex digits.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for LayerDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// 128-bit content hash of a whole checkpoint: the input dimension plus
+/// every layer's [`LayerDigest`], in order.
+///
+/// Two networks share a fingerprint exactly when they are byte-identical
+/// as functions — same architecture, same parameters. This is the
+/// provenance stamp a reused verdict carries
+/// ([`crate::Disposition::Reused`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelFingerprint {
+    hi: u64,
+    lo: u64,
+}
+
+impl ModelFingerprint {
+    /// Fingerprint of a checkpoint.
+    pub fn of(network: &Network) -> Self {
+        let mut h = Hasher::new();
+        h.tag(0x01);
+        h.word(network.input_dim() as u64);
+        h.word(network.len() as u64);
+        for layer in network.layers() {
+            let d = LayerDigest::of(layer);
+            h.word(d.hi);
+            h.word(d.lo);
+        }
+        Self { hi: h.hi, lo: h.lo }
+    }
+
+    /// Renders the fingerprint as 32 lowercase hex digits.
+    pub fn to_hex(&self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Display for ModelFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Per-layer digests of a checkpoint, aligned with
+/// [`dpv_nn::Network::layers`].
+pub fn layer_digests(network: &Network) -> Vec<LayerDigest> {
+    network.layers().iter().map(LayerDigest::of).collect()
+}
+
+fn hash_layer(h: &mut Hasher, layer: &Layer) {
+    match layer {
+        Layer::Dense(d) => {
+            h.tag(0x20);
+            h.word(d.input_dim() as u64);
+            h.word(d.output_dim() as u64);
+            h.floats(d.weights().as_slice());
+            h.floats(d.bias().as_slice());
+        }
+        Layer::Activation(a) => {
+            use dpv_nn::Activation::*;
+            match a {
+                Identity => h.tag(0x21),
+                ReLU => h.tag(0x22),
+                LeakyReLU(slope) => {
+                    h.tag(0x23);
+                    h.f64(*slope);
+                }
+                Sigmoid => h.tag(0x24),
+                Tanh => h.tag(0x25),
+            }
+        }
+        Layer::BatchNorm(bn) => {
+            h.tag(0x26);
+            h.word(bn.dim() as u64);
+            h.floats(bn.gamma().as_slice());
+            h.floats(bn.beta().as_slice());
+            h.floats(bn.running_mean().as_slice());
+            h.floats(bn.running_var().as_slice());
+            h.f64(bn.eps());
+        }
+        Layer::Conv2d(c) => {
+            h.tag(0x27);
+            let shape = c.input_shape();
+            h.word(shape.channels as u64);
+            h.word(shape.height as u64);
+            h.word(shape.width as u64);
+            h.word(c.kernel() as u64);
+            h.word(c.stride() as u64);
+            h.floats(c.weights().as_slice());
+            h.floats(c.bias().as_slice());
+        }
+        Layer::MaxPool2d(p) => {
+            h.tag(0x28);
+            let shape = p.input_shape();
+            h.word(shape.channels as u64);
+            h.word(shape.height as u64);
+            h.word(shape.width as u64);
+            h.word(p.pool() as u64);
+        }
+        Layer::Flatten(f) => {
+            h.tag(0x29);
+            let shape = f.shape();
+            h.word(shape.channels as u64);
+            h.word(shape.height as u64);
+            h.word(shape.width as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpv_nn::{Activation, NetworkBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn checkpoint(seed: u64) -> Network {
+        let mut rng = StdRng::seed_from_u64(seed);
+        NetworkBuilder::new(3)
+            .dense(5, &mut rng)
+            .activation(Activation::ReLU)
+            .batch_norm()
+            .dense(2, &mut rng)
+            .build()
+    }
+
+    #[test]
+    fn identical_checkpoints_share_fingerprint_and_digests() {
+        let a = checkpoint(7);
+        let b = checkpoint(7);
+        assert_eq!(ModelFingerprint::of(&a), ModelFingerprint::of(&b));
+        assert_eq!(layer_digests(&a), layer_digests(&b));
+    }
+
+    #[test]
+    fn a_single_bit_flip_changes_exactly_one_layer_digest() {
+        let a = checkpoint(9);
+        let mut b = a.clone();
+        if let Layer::Dense(d) = &mut b.layers_mut()[3] {
+            d.weights_mut()[(0, 0)] += 1e-12;
+        } else {
+            panic!("layer 3 is dense by construction");
+        }
+        assert_ne!(ModelFingerprint::of(&a), ModelFingerprint::of(&b));
+        let da = layer_digests(&a);
+        let db = layer_digests(&b);
+        for (i, (x, y)) in da.iter().zip(&db).enumerate() {
+            if i == 3 {
+                assert_ne!(x, y, "perturbed layer must change digest");
+            } else {
+                assert_eq!(x, y, "untouched layer {i} must keep its digest");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_zero_and_activation_kind_are_distinguished() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = NetworkBuilder::new(2).dense(2, &mut rng).build();
+        let mut neg = base.clone();
+        if let Layer::Dense(d) = &mut neg.layers_mut()[0] {
+            d.bias_mut()[0] = -0.0;
+        }
+        let mut pos = base.clone();
+        if let Layer::Dense(d) = &mut pos.layers_mut()[0] {
+            d.bias_mut()[0] = 0.0;
+        }
+        assert_ne!(ModelFingerprint::of(&neg), ModelFingerprint::of(&pos));
+        assert_ne!(
+            LayerDigest::of(&Layer::Activation(Activation::ReLU)),
+            LayerDigest::of(&Layer::Activation(Activation::Tanh)),
+        );
+        assert_ne!(
+            LayerDigest::of(&Layer::Activation(Activation::LeakyReLU(0.1))),
+            LayerDigest::of(&Layer::Activation(Activation::LeakyReLU(0.2))),
+        );
+    }
+
+    #[test]
+    fn bench_family_fingerprints_are_pairwise_distinct() {
+        let fps: Vec<ModelFingerprint> = (0..8)
+            .map(|seed| ModelFingerprint::of(&checkpoint(seed)))
+            .collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "collision between seeds {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn hex_rendering_is_stable() {
+        let fp = ModelFingerprint::of(&checkpoint(2));
+        assert_eq!(fp.to_hex().len(), 32);
+        assert_eq!(fp.to_hex(), format!("{fp}"));
+        let d = LayerDigest::of(&Layer::Activation(Activation::ReLU));
+        assert_eq!(d.to_hex(), format!("{d}"));
+    }
+}

@@ -43,6 +43,13 @@ pub struct SolveStats {
     pub warm_solves: usize,
     /// LP relaxations solved cold (two full simplex phases).
     pub cold_solves: usize,
+    /// Warm starts that were *offered* a basis but declined it — the dual
+    /// re-solve bailed (stale certificate, cancellation mid-pivot, …) and
+    /// fell back to a cold solve. Every decline is also counted in
+    /// [`SolveStats::cold_solves`]; the split makes warm-hit accounting
+    /// exact: `warm_solves + warm_declined` is the number of solves that
+    /// actually had a snapshot in hand.
+    pub warm_declined: usize,
     /// Total simplex pivots across every LP solve of the run.
     pub simplex_iterations: usize,
 }
@@ -65,6 +72,7 @@ impl std::ops::AddAssign for SolveStats {
         self.nodes_pruned += rhs.nodes_pruned;
         self.warm_solves += rhs.warm_solves;
         self.cold_solves += rhs.cold_solves;
+        self.warm_declined += rhs.warm_declined;
         self.simplex_iterations += rhs.simplex_iterations;
     }
 }
@@ -142,6 +150,7 @@ pub(crate) fn solve_node_lp(
     }
     let mut warm_used = false;
     let solution = if warm_enabled {
+        let snapshot_offered = warm.is_some();
         match warm
             .as_mut()
             .and_then(|snap| scratch.solve_from_basis_cancellable(snap, cancel))
@@ -152,6 +161,9 @@ pub(crate) fn solve_node_lp(
                 solution
             }
             None => {
+                if snapshot_offered {
+                    stats.warm_declined += 1;
+                }
                 let (solution, snapshot) = scratch.solve_with_snapshot_cancellable(cancel);
                 stats.cold_solves += 1;
                 *warm = snapshot;
@@ -717,6 +729,7 @@ mod tests {
             nodes_pruned: 1,
             warm_solves: 2,
             cold_solves: 1,
+            warm_declined: 1,
             simplex_iterations: 9,
         };
         total += SolveStats {
@@ -724,12 +737,14 @@ mod tests {
             nodes_pruned: 2,
             warm_solves: 4,
             cold_solves: 1,
+            warm_declined: 0,
             simplex_iterations: 11,
         };
         assert_eq!(total.nodes_explored, 8);
         assert_eq!(total.nodes_pruned, 3);
         assert_eq!(total.warm_solves, 6);
         assert_eq!(total.cold_solves, 2);
+        assert_eq!(total.warm_declined, 1);
         assert_eq!(total.simplex_iterations, 20);
         assert!((total.warm_hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(SolveStats::default().warm_hit_rate(), 0.0);
@@ -823,6 +838,14 @@ mod tests {
         let reference = other.solve();
         assert_eq!(seeded.status, reference.status);
         assert_eq!(seeded.status, MilpStatus::Infeasible);
+        // The rejection is not silent: the offered-but-declined basis shows
+        // up in `warm_declined`, and a fully owned solve declines nothing.
+        assert!(
+            seeded.stats.warm_declined >= 1,
+            "foreign basis rejection must be recorded: {:?}",
+            seeded.stats
+        );
+        assert_eq!(reference.stats.warm_declined, 0);
     }
 
     #[test]

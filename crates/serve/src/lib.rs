@@ -123,32 +123,51 @@
 //! `(request, plan)`, and obligations a plan does not touch are
 //! bit-identical to the fault-free run.
 //!
+//! ## Delta verification
+//!
+//! [`ObligationServer::serve_delta`] serves a request as a **delta** over
+//! a prior run of the same specification on a different perception
+//! checkpoint: the two checkpoints are diffed per layer
+//! ([`dpv_delta::CheckpointDiff`]), obligations whose tail is untouched
+//! reuse the prior verdict verbatim and tail perturbations provably inside
+//! the bound slack reuse prior `Safe` verdicts by absorption
+//! ([`dpv_delta::DeltaPlanner`]); only the remainder is re-solved — warm
+//! on the resident caches. The [`ProofDeltaReport`] carries a
+//! [`dpv_delta::Disposition`] per obligation (reused / absorbed /
+//! re-proved / newly-degraded) and is **bit-for-bit equal** to a
+//! from-scratch serve of the same request (the `delta` parity proptest
+//! pins this; the soundness argument lives on the `dpv_delta` crate
+//! root).
+//!
 //! ## Observability
 //!
-//! A server built with [`ObligationServer::new_traced`] over an enabled
+//! A server built with [`ServerBuilder::tracer`] over an enabled
 //! [`dpv_trace::Tracer`] records per-obligation timelines
 //! (enqueue → dequeue → solve attempts → verdict), typed counters and
 //! latency histograms into lock-free per-thread ring buffers;
 //! [`ObligationServer::trace_snapshot`] exports everything and each
-//! [`RequestReport`] carries a [`RequestTimeline`]. The default
-//! [`ObligationServer::new`] serves with tracing disabled, where every
-//! recording call is a single branch on an absent `Option`. Tracing is
-//! strictly observational — enabling it changes no verdict, fold order
-//! or cached byte (the `trace_parity` proptest pins this).
+//! [`RequestReport`] carries a [`RequestTimeline`]. A default build
+//! (`ObligationServer::builder().build()`) serves with tracing disabled,
+//! where every recording call is a single branch on an absent `Option`.
+//! Tracing is strictly observational — enabling it changes no verdict,
+//! fold order or cached byte (the `trace_parity` proptest pins this).
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+mod delta;
 mod fault;
 mod request;
 mod server;
 mod stats;
 mod timeline;
 
+pub use delta::{DeltaCounts, ProofDeltaReport};
 pub use fault::{FailureReason, FaultKind, FaultPlan};
 pub use request::{RegionSpec, VerificationRequest};
 pub use server::{
     FamilyVerdict, ObligationOutcome, ObligationServer, RequestReport, ServeConfig, ServeError,
+    ServerBuilder,
 };
 pub use stats::ServeStats;
 pub use timeline::{AttemptSpan, ObligationTimeline, RequestTimeline};

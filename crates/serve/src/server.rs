@@ -13,7 +13,7 @@ use crossbeam::deque::{Injector, Stealer, Worker};
 use dpv_absint::BoxDomain;
 use dpv_core::{
     CoreError, EncodedProblem, Fingerprint, ProblemTemplate, RegionBounds, SnapshotPool,
-    StartRegion, TemplateCache, Verdict, VerificationProblem,
+    SolveOptions, StartRegion, TemplateCache, Verdict, VerificationProblem,
 };
 use dpv_lp::{
     BranchAndBoundBackend, CancelToken, ConstraintOp, LinearProgram, MilpSolution, MilpStatus,
@@ -31,7 +31,7 @@ use crate::timeline::RequestTimeline;
 
 /// Budget multiplier applied to the single escalated retry of a
 /// node-limit / iteration-limit solve (cold, unseeded, limits restored
-/// afterwards — see [`dpv_core::VerificationProblem::solve_with_template_escalated`]).
+/// afterwards — see [`dpv_core::SolveOptions::escalation`]).
 const ESCALATION_SCALE: usize = 4;
 
 /// Sizing of a resident [`ObligationServer`].
@@ -151,9 +151,9 @@ pub struct RequestReport {
     /// Server statistics snapshot taken after the request completed.
     pub stats: ServeStats,
     /// The trace-derived per-obligation timeline. Present only when the
-    /// server was built with [`ObligationServer::new_traced`] over an
-    /// enabled tracer; like `seconds` and `stats`, cost telemetry — not
-    /// part of the deterministic report surface.
+    /// server was built with [`ServerBuilder::tracer`] over an enabled
+    /// tracer; like `seconds` and `stats`, cost telemetry — not part of
+    /// the deterministic report surface.
     pub timeline: Option<RequestTimeline>,
 }
 
@@ -281,8 +281,9 @@ struct Inner {
     fault_plan: Mutex<FaultPlan>,
     shutting_down: AtomicBool,
     /// The trace sink shared by admission, workers and both caches.
-    /// Disabled by default ([`ObligationServer::new`]); recording through
-    /// a disabled tracer is a branch on an absent `Option`.
+    /// Disabled unless the server was built with
+    /// [`ServerBuilder::tracer`]; recording through a disabled tracer is
+    /// a branch on an absent `Option`.
     tracer: Tracer,
     /// The admission thread's recording handle (workers register their
     /// own per-thread handles in [`worker_loop`]).
@@ -310,20 +311,99 @@ impl fmt::Debug for ObligationServer {
     }
 }
 
-impl ObligationServer {
-    /// Starts a server with `config.workers` persistent worker threads
-    /// and tracing disabled (the zero-overhead default).
-    pub fn new(config: ServeConfig) -> Self {
-        Self::new_traced(config, Tracer::disabled())
+/// Builder for an [`ObligationServer`] — the single construction path
+/// (the `new`/`new_traced` constructor fork it replaced survives one PR
+/// as deprecated shims).
+///
+/// Every axis defaults sensibly: stock [`ServeConfig`], tracing disabled
+/// (the zero-overhead production default), empty fault plan.
+///
+/// ```
+/// use dpv_serve::{ObligationServer, ServeConfig};
+///
+/// let server = ObligationServer::builder()
+///     .config(ServeConfig::with_workers(2))
+///     .build();
+/// assert_eq!(server.config().workers, 2);
+/// ```
+#[derive(Default)]
+pub struct ServerBuilder {
+    config: ServeConfig,
+    tracer: Option<Tracer>,
+    fault_plan: FaultPlan,
+}
+
+impl ServerBuilder {
+    /// A builder with every axis at its default.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Starts a server recording into `tracer`: admission and worker
-    /// events land in per-thread ring buffers, the template cache and
-    /// snapshot pool record their hit/miss counters, and every report
-    /// carries a [`RequestTimeline`]. Tracing is strictly observational:
-    /// verdicts, fold order and cached bytes are bit-identical to an
-    /// untraced server (pinned by the `trace_parity` proptest).
+    /// Sizes the server (workers, queue bound, cache capacities).
+    pub fn config(mut self, config: ServeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Records into `tracer`: admission and worker events land in
+    /// per-thread ring buffers, the template cache and snapshot pool
+    /// record their hit/miss counters, and every report carries a
+    /// [`RequestTimeline`]. Tracing is strictly observational: verdicts,
+    /// fold order and cached bytes are bit-identical to an untraced
+    /// server (pinned by the `trace_parity` proptest).
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Installs a deterministic fault-injection plan from the start
+    /// (equivalent to building and then calling
+    /// [`ObligationServer::set_fault_plan`]). A test/bench seam; the
+    /// default plan is empty.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Starts the server: spawns `config.workers` persistent worker
+    /// threads against the shared caches.
+    pub fn build(self) -> ObligationServer {
+        ObligationServer::start(
+            self.config,
+            self.tracer.unwrap_or_else(Tracer::disabled),
+            self.fault_plan,
+        )
+    }
+}
+
+impl ObligationServer {
+    /// A [`ServerBuilder`] with every axis at its default.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::new()
+    }
+
+    /// Starts a server with `config.workers` persistent worker threads
+    /// and tracing disabled (the zero-overhead default).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ObligationServer::builder().config(..).build()`"
+    )]
+    pub fn new(config: ServeConfig) -> Self {
+        Self::start(config, Tracer::disabled(), FaultPlan::default())
+    }
+
+    /// Starts a server recording into `tracer`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ObligationServer::builder().config(..).tracer(..).build()`"
+    )]
     pub fn new_traced(config: ServeConfig, tracer: Tracer) -> Self {
+        Self::start(config, tracer, FaultPlan::default())
+    }
+
+    /// The single construction path behind [`ServerBuilder::build`] and
+    /// the deprecated constructor shims.
+    fn start(config: ServeConfig, tracer: Tracer, fault_plan: FaultPlan) -> Self {
         let config = ServeConfig {
             workers: config.workers.max(1),
             queue_capacity: config.queue_capacity.max(1),
@@ -343,7 +423,7 @@ impl ObligationServer {
             work: Condvar::new(),
             space: Condvar::new(),
             stats: Mutex::new(ServeStats::default()),
-            fault_plan: Mutex::new(FaultPlan::default()),
+            fault_plan: Mutex::new(fault_plan),
             shutting_down: AtomicBool::new(false),
             tracer,
             admission,
@@ -371,6 +451,26 @@ impl ObligationServer {
     /// [`ServeError::EmptyRequest`] when the request holds no risk
     /// conditions or regions.
     pub fn serve(&self, request: &VerificationRequest) -> Result<RequestReport, ServeError> {
+        self.serve_with_prefill(request, &[])
+    }
+
+    /// [`ObligationServer::serve`] with a set of pre-decided verdicts: each
+    /// `(index, verdict)` pair is written into the request state before
+    /// admission, so the obligation is neither dedup-checked nor solved.
+    /// This is the execution half of delta-verification
+    /// ([`ObligationServer::serve_delta`]): planner-approved reuse and
+    /// absorption verdicts are prefilled, everything else flows through
+    /// the ordinary admission path (dedup cache, batched bounds, pool).
+    ///
+    /// Prefilled outcomes report `deduped: false` — they were answered by
+    /// the delta plan, not the verdict cache. Out-of-range indices and
+    /// duplicates are ignored (first write wins). An expired deadline
+    /// still degrades the *whole* request, prefill included.
+    pub(crate) fn serve_with_prefill(
+        &self,
+        request: &VerificationRequest,
+        prefill: &[(usize, Verdict)],
+    ) -> Result<RequestReport, ServeError> {
         let started = Instant::now();
         let request_seq = self.inner.request_seq.fetch_add(1, Ordering::Relaxed) + 1;
         let rtrace = self.inner.admission.tagged(request_seq, NO_OBLIGATION);
@@ -401,6 +501,23 @@ impl ObligationServer {
             done: Condvar::new(),
         });
 
+        // Planner-decided verdicts land first; admission skips any slot
+        // that is already filled.
+        let mut prefilled = vec![false; total];
+        if !prefill.is_empty() {
+            let mut outcomes = lock(&state.outcomes);
+            for (index, verdict) in prefill {
+                if *index < total && outcomes[*index].is_none() {
+                    outcomes[*index] = Some(WorkerOutcome {
+                        verdict: verdict.clone(),
+                        solve_ns: 0,
+                        stats: SolveStats::default(),
+                    });
+                    prefilled[*index] = true;
+                }
+            }
+        }
+
         // Admission: per template group, dedup first, then one batched
         // bound sweep over the surviving sibling boxes, then enqueue.
         let mut coordinates = Vec::with_capacity(total);
@@ -418,10 +535,11 @@ impl ObligationServer {
         }
         {
             // Dedup answers were written straight into `outcomes`; mark
-            // which indices they were.
+            // which indices they were (prefilled slots are also filled,
+            // but their verdicts came from the delta plan, not the cache).
             let outcomes = lock(&state.outcomes);
             for (index, slot) in outcomes.iter().enumerate() {
-                if slot.is_some() {
+                if slot.is_some() && !prefilled[index] {
                     deduped[index] = true;
                 }
             }
@@ -590,6 +708,11 @@ impl ObligationServer {
             let verdicts = lock(&self.inner.verdicts);
             let mut outcomes = lock(&state.outcomes);
             for obligation in &group.obligations {
+                // Prefilled (delta-plan) slots are already answered; they
+                // bypass the dedup cache and never become jobs.
+                if outcomes[obligation.index].is_some() {
+                    continue;
+                }
                 let key = (template_fp, Fingerprint::of_region(&obligation.region));
                 match verdicts.get(&key) {
                     Some(verdict) => {
@@ -699,7 +822,7 @@ impl ObligationServer {
 
     /// A full export of the server's tracer: counters, gauges,
     /// histograms and every buffered event. Empty (with
-    /// `enabled: false`) for servers built with [`ObligationServer::new`].
+    /// `enabled: false`) for servers built without a tracer.
     pub fn trace_snapshot(&self) -> TraceSnapshot {
         self.inner.tracer.snapshot()
     }
@@ -970,15 +1093,16 @@ fn run_job(
         }
         let was_seeded = seed.is_some();
         let attempt_started = trace.now_ns();
-        let solved = job.problem.solve_with_template_traced(
+        let solved = job.problem.solve_with_template(
             &job.template,
             &job.region,
-            job.bounds.as_ref(),
-            scratch,
-            &mut seed,
-            backend,
-            cancel,
-            trace,
+            &mut SolveOptions::new()
+                .bounds(job.bounds.as_ref())
+                .scratch(scratch)
+                .seed(&mut seed)
+                .cancel(cancel)
+                .backend(backend)
+                .tracer(trace),
         );
         if trace.is_enabled() {
             trace.event(TraceEvent::span(
@@ -1023,15 +1147,16 @@ fn run_job(
         trace.add(CounterId::Retries, 1);
         if !matches!(fault, Some(FaultKind::ExhaustIterations)) {
             let retry_started = trace.now_ns();
-            let retried = job.problem.solve_with_template_escalated_traced(
+            let retried = job.problem.solve_with_template(
                 &job.template,
                 &job.region,
-                job.bounds.as_ref(),
-                scratch,
-                ESCALATION_SCALE,
-                backend,
-                cancel,
-                trace,
+                &mut SolveOptions::new()
+                    .bounds(job.bounds.as_ref())
+                    .scratch(scratch)
+                    .escalation(ESCALATION_SCALE)
+                    .cancel(cancel)
+                    .backend(backend)
+                    .tracer(trace),
             );
             if trace.is_enabled() {
                 trace.event(TraceEvent::span(
@@ -1065,15 +1190,15 @@ fn run_job(
     // The escalated retry is already cold and unseeded, hence canonical.
     if was_seeded && !retry_adopted && verdict.is_unsafe() {
         let canonical_started = trace.now_ns();
-        let resolved = job.problem.solve_with_template_traced(
+        let resolved = job.problem.solve_with_template(
             &job.template,
             &job.region,
-            job.bounds.as_ref(),
-            scratch,
-            &mut None,
-            backend,
-            cancel,
-            trace,
+            &mut SolveOptions::new()
+                .bounds(job.bounds.as_ref())
+                .scratch(scratch)
+                .cancel(cancel)
+                .backend(backend)
+                .tracer(trace),
         );
         if trace.is_enabled() {
             trace.event(TraceEvent::span(

@@ -71,7 +71,9 @@ fn base_request() -> VerificationRequest {
 fn reference_verdicts() -> &'static [Verdict] {
     static REFERENCE: OnceLock<Vec<Verdict>> = OnceLock::new();
     REFERENCE.get_or_init(|| {
-        let server = ObligationServer::new(ServeConfig::with_workers(2));
+        let server = ObligationServer::builder()
+            .config(ServeConfig::with_workers(2))
+            .build();
         let report = server.serve(&base_request()).unwrap();
         assert_eq!(report.obligations.len(), OBLIGATIONS);
         report
@@ -84,7 +86,9 @@ fn reference_verdicts() -> &'static [Verdict] {
 
 /// Serves the base request on a fresh server carrying `plan`.
 fn serve_with_plan(plan: &FaultPlan) -> RequestReport {
-    let server = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
     server.set_fault_plan(plan.clone());
     server.serve(&base_request()).unwrap()
 }
@@ -155,7 +159,9 @@ proptest! {
 
 #[test]
 fn expired_deadline_degrades_the_whole_request_without_solving() {
-    let server = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
     let mut request = base_request();
     request.deadline = Some(Duration::ZERO);
     let report = server.serve(&request).unwrap();
@@ -184,7 +190,9 @@ fn expired_deadline_degrades_the_whole_request_without_solving() {
 
 #[test]
 fn mid_flight_expiry_completes_the_report_without_losing_verdicts() {
-    let server = ObligationServer::new(ServeConfig::with_workers(1));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(1))
+        .build();
     let mut plan = FaultPlan::new();
     plan.inject(0, FaultKind::Delay { millis: 40 });
     server.set_fault_plan(plan);
@@ -213,7 +221,9 @@ fn mid_flight_expiry_completes_the_report_without_losing_verdicts() {
 
 #[test]
 fn panicking_obligation_is_quarantined_and_siblings_complete() {
-    let server = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
     let mut plan = FaultPlan::new();
     plan.inject(3, FaultKind::Panic);
     server.set_fault_plan(plan);
@@ -255,7 +265,9 @@ fn panicking_obligation_is_quarantined_and_siblings_complete() {
 
 #[test]
 fn transient_exhaustion_is_rescued_by_the_escalated_retry() {
-    let server = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
     let mut plan = FaultPlan::new();
     plan.inject(5, FaultKind::TransientExhaust);
     server.set_fault_plan(plan);
@@ -275,7 +287,9 @@ fn transient_exhaustion_is_rescued_by_the_escalated_retry() {
 
 #[test]
 fn persistent_exhaustion_degrades_and_is_never_cached() {
-    let server = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
     let mut plan = FaultPlan::new();
     plan.inject(2, FaultKind::ExhaustIterations);
     server.set_fault_plan(plan);
@@ -314,7 +328,9 @@ fn persistent_exhaustion_degrades_and_is_never_cached() {
 
 #[test]
 fn poisoned_snapshots_are_rejected_by_the_structural_guard() {
-    let server = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
     let mut plan = FaultPlan::new();
     for index in 0..OBLIGATIONS {
         plan.inject(index, FaultKind::PoisonSnapshot);

@@ -4,7 +4,8 @@
 
 use dpv_absint::BoxDomain;
 use dpv_core::{
-    Characterizer, InputProperty, RiskCondition, StartRegion, Verdict, VerificationProblem,
+    Characterizer, InputProperty, RiskCondition, SolveOptions, StartRegion, Verdict,
+    VerificationProblem,
 };
 use dpv_lp::BranchAndBoundBackend;
 use dpv_nn::{Activation, Network, NetworkBuilder};
@@ -77,7 +78,9 @@ fn deterministic_view(report: &RequestReport) -> Vec<(usize, usize, usize, usize
 
 #[test]
 fn decomposition_order_is_family_major_and_indices_are_dense() {
-    let server = ObligationServer::new(ServeConfig::default());
+    let server = ObligationServer::builder()
+        .config(ServeConfig::default())
+        .build();
     let report = server.serve(&box_request(1, 2)).unwrap();
     // 2 families × 1 shard × 2^2 sub-boxes.
     assert_eq!(report.obligations.len(), 8);
@@ -96,7 +99,9 @@ fn decomposition_order_is_family_major_and_indices_are_dense() {
 #[test]
 fn served_verdicts_match_the_direct_core_path() {
     let request = box_request(2, 1);
-    let server = ObligationServer::new(ServeConfig::default());
+    let server = ObligationServer::builder()
+        .config(ServeConfig::default())
+        .build();
     let report = server.serve(&request).unwrap();
 
     // Reference: solve each obligation directly through dpv-core with a
@@ -115,7 +120,7 @@ fn served_verdicts_match_the_direct_core_path() {
         let (left, right) = dpv_core::split_box(&BoxDomain::uniform(CUT_WIDTH, -1.0, 1.0));
         let sub = StartRegion::Box(if outcome.sub_box == 0 { left } else { right });
         let (reference, _) = problem
-            .solve_with_template_seeded(&template, &sub, None, &mut None, &mut None, &backend)
+            .solve_with_template(&template, &sub, &mut SolveOptions::new().backend(&backend))
             .unwrap();
         assert_eq!(
             outcome.verdict, reference,
@@ -128,7 +133,9 @@ fn served_verdicts_match_the_direct_core_path() {
 #[test]
 fn identical_request_is_fully_deduplicated_with_identical_verdicts() {
     let request = box_request(3, 2);
-    let server = ObligationServer::new(ServeConfig::default());
+    let server = ObligationServer::builder()
+        .config(ServeConfig::default())
+        .build();
     let cold = server.serve(&request).unwrap();
     let warm = server.serve(&request).unwrap();
 
@@ -170,7 +177,9 @@ fn sharded_requests_agree_with_verify_sharded() {
         subdivision: 0,
         deadline: None,
     };
-    let server = ObligationServer::new(ServeConfig::default());
+    let server = ObligationServer::builder()
+        .config(ServeConfig::default())
+        .build();
     let report = server.serve(&request).unwrap();
     assert_eq!(report.obligations.len(), 2 * envelope.shard_count());
 
@@ -211,7 +220,7 @@ fn backpressure_bounds_the_obligations_in_flight() {
         queue_capacity: 1,
         ..ServeConfig::default()
     };
-    let server = ObligationServer::new(config);
+    let server = ObligationServer::builder().config(config).build();
     let report = server.serve(&box_request(5, 3)).unwrap();
     assert_eq!(report.obligations.len(), 16);
     let stats = server.stats();
@@ -225,18 +234,22 @@ fn reports_are_deterministic_across_workers_and_cache_state() {
 
     // A deliberately cache-hostile server: no basis pooling, no dedup,
     // one worker.
-    let bare = ObligationServer::new(ServeConfig {
-        workers: 1,
-        snapshot_per_key: 0,
-        verdict_capacity: 0,
-        ..ServeConfig::default()
-    });
+    let bare = ObligationServer::builder()
+        .config(ServeConfig {
+            workers: 1,
+            snapshot_per_key: 0,
+            verdict_capacity: 0,
+            ..ServeConfig::default()
+        })
+        .build();
     // A cache-rich server with a racing pool.
-    let rich = ObligationServer::new(ServeConfig {
-        workers: 3,
-        snapshot_per_key: 4,
-        ..ServeConfig::default()
-    });
+    let rich = ObligationServer::builder()
+        .config(ServeConfig {
+            workers: 3,
+            snapshot_per_key: 4,
+            ..ServeConfig::default()
+        })
+        .build();
 
     let reference = bare.serve(&request).unwrap();
     for round in 0..3 {
@@ -258,6 +271,8 @@ fn reports_are_deterministic_across_workers_and_cache_state() {
 fn empty_risk_family_is_rejected() {
     let mut request = box_request(7, 0);
     request.risks.clear();
-    let server = ObligationServer::new(ServeConfig::default());
+    let server = ObligationServer::builder()
+        .config(ServeConfig::default())
+        .build();
     assert!(server.serve(&request).is_err());
 }

@@ -67,7 +67,9 @@ fn base_request() -> VerificationRequest {
 fn reference_verdicts() -> &'static [Verdict] {
     static REFERENCE: OnceLock<Vec<Verdict>> = OnceLock::new();
     REFERENCE.get_or_init(|| {
-        let server = ObligationServer::new(ServeConfig::with_workers(2));
+        let server = ObligationServer::builder()
+            .config(ServeConfig::with_workers(2))
+            .build();
         let report = server.serve(&base_request()).unwrap();
         assert_eq!(report.obligations.len(), OBLIGATIONS);
         report
@@ -83,7 +85,10 @@ fn reference_verdicts() -> &'static [Verdict] {
 /// race ahead and, say, turn a would-be solve into a dedup hit).
 fn serve_traced(plan: FaultPlan) -> (RequestReport, ServeStats, TraceSnapshot) {
     let tracer = Tracer::with_config(TraceConfig::default());
-    let server = ObligationServer::new_traced(ServeConfig::with_workers(1), tracer);
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(1))
+        .tracer(tracer)
+        .build();
     server.set_fault_plan(plan);
     let report = server.serve(&base_request()).unwrap();
     let stats = server.stats();
@@ -197,7 +202,10 @@ fn poisoned_snapshot_degrades_silently_to_cold() {
 #[test]
 fn expired_deadline_counts_every_obligation_as_skipped() {
     let tracer = Tracer::with_config(TraceConfig::default());
-    let server = ObligationServer::new_traced(ServeConfig::with_workers(1), tracer);
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(1))
+        .tracer(tracer)
+        .build();
     let mut request = base_request();
     request.deadline = Some(std::time::Duration::ZERO);
     let report = server.serve(&request).unwrap();

@@ -124,11 +124,11 @@ proptest! {
         let mut plan = FaultPlan::new();
         plan.inject(a, kind_of(ka));
 
-        let untraced = ObligationServer::new(ServeConfig::with_workers(workers));
-        let traced = ObligationServer::new_traced(
-            ServeConfig::with_workers(workers),
-            Tracer::with_config(TraceConfig::default()),
-        );
+        let untraced = ObligationServer::builder().config(ServeConfig::with_workers(workers)).build();
+        let traced = ObligationServer::builder()
+            .config(ServeConfig::with_workers(workers))
+            .tracer(Tracer::with_config(TraceConfig::default()))
+            .build();
 
         let cold_untraced = serve_on(&untraced, &plan);
         let cold_traced = serve_on(&traced, &plan);
@@ -148,7 +148,10 @@ proptest! {
 #[test]
 fn trace_snapshot_round_trips_through_json() {
     let tracer = Tracer::with_config(TraceConfig::default());
-    let server = ObligationServer::new_traced(ServeConfig::with_workers(2), tracer);
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .tracer(tracer)
+        .build();
     server.serve(&base_request()).unwrap();
 
     let snapshot = server.trace_snapshot();
@@ -165,7 +168,10 @@ fn trace_snapshot_round_trips_through_json() {
 #[test]
 fn timelines_cover_the_request() {
     let tracer = Tracer::with_config(TraceConfig::default());
-    let server = ObligationServer::new_traced(ServeConfig::with_workers(2), tracer);
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .tracer(tracer)
+        .build();
 
     let first = server.serve(&base_request()).unwrap();
     let timeline = first.timeline.expect("traced server attaches a timeline");
@@ -203,8 +209,13 @@ fn overflowing_ring_buffers_degrade_gracefully() {
         events_per_buffer: 4,
         ..TraceConfig::default()
     });
-    let server = ObligationServer::new_traced(ServeConfig::with_workers(2), tracer);
-    let untraced = ObligationServer::new(ServeConfig::with_workers(2));
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .tracer(tracer)
+        .build();
+    let untraced = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .build();
 
     let traced_report = server.serve(&base_request()).unwrap();
     let untraced_report = untraced.serve(&base_request()).unwrap();

@@ -130,6 +130,80 @@ impl ShardedEnvelope {
         })
     }
 
+    /// Clusters activations with [`crate::kmeans_seeded`], starting the
+    /// Lloyd loop from `centroids` instead of a k-means++ draw, and builds
+    /// one envelope per resulting cluster. This is the construction behind
+    /// [`ShardedEnvelope::refit`]: seeding at a previous envelope's
+    /// converged centroids keeps shard identity stable across checkpoints.
+    ///
+    /// # Errors
+    /// Returns [`MonitorError::EmptyActivations`] when `activations` is
+    /// empty.
+    ///
+    /// # Panics
+    /// Panics when `centroids` is empty or dimensionally inconsistent with
+    /// the activations (see [`crate::kmeans_seeded`]).
+    pub fn from_activations_seeded(
+        layer: usize,
+        activations: &[Vector],
+        margin: f64,
+        centroids: &[Vector],
+        kmeans: &KMeansConfig,
+    ) -> Result<Self, MonitorError> {
+        if activations.is_empty() {
+            return Err(MonitorError::EmptyActivations);
+        }
+        let clustering = crate::kmeans_seeded(activations, centroids, kmeans);
+        let mut members: Vec<Vec<Vector>> = vec![Vec::new(); clustering.k()];
+        for (sample, &cluster) in activations.iter().zip(&clustering.assignments) {
+            members[cluster].push(sample.clone());
+        }
+        let shards = members
+            .iter()
+            .map(|m| ActivationEnvelope::from_activations(layer, m, margin))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            layer,
+            margin,
+            samples: activations.len(),
+            centroids: clustering.centroids,
+            shards,
+        })
+    }
+
+    /// Rebuilds the envelope for a **retrained** network: runs `inputs`
+    /// through `network` up to this envelope's cut layer and re-clusters
+    /// the fresh activations seeded at this envelope's converged centroids
+    /// (same margin, same layer). Shard `i` of the result tracks the
+    /// activation mode shard `i` described before the retrain, so
+    /// per-shard proof obligations line up across checkpoints — the
+    /// re-clustering half of continuous delta-verification.
+    ///
+    /// # Errors
+    /// Returns [`MonitorError::EmptyActivations`] when `inputs` is empty.
+    ///
+    /// # Panics
+    /// Panics when the envelope's layer is out of range for `network` or
+    /// the network's cut-layer width differs from the envelope dimension.
+    pub fn refit(
+        &self,
+        network: &Network,
+        inputs: &[Vector],
+        kmeans: &KMeansConfig,
+    ) -> Result<Self, MonitorError> {
+        let activations: Vec<Vector> = inputs
+            .iter()
+            .map(|x| network.activation_at(self.layer, x))
+            .collect();
+        Self::from_activations_seeded(
+            self.layer,
+            &activations,
+            self.margin,
+            &self.centroids,
+            kmeans,
+        )
+    }
+
     /// Runs every input through `network` up to `layer` and shards the
     /// resulting activations.
     ///
@@ -360,6 +434,51 @@ mod tests {
             sharded.nearest_shard(&low),
             sharded.containing_shard(&low, 1e-6).unwrap()
         );
+    }
+
+    #[test]
+    fn refit_tracks_a_retrained_network_with_stable_shard_identity() {
+        use dpv_nn::{Activation, NetworkBuilder};
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = NetworkBuilder::new(3)
+            .dense(4, &mut rng)
+            .activation(Activation::ReLU)
+            .dense(2, &mut rng)
+            .build();
+        let cut = 1;
+        // Bimodal inputs so two shards have distinct modes to track.
+        let inputs: Vec<Vector> = (0..60)
+            .map(|i| {
+                let base = if i % 2 == 0 { 0.0 } else { 3.0 };
+                Vector::from_vec((0..3).map(|_| base + rng.gen_range(-0.2..0.2)).collect())
+            })
+            .collect();
+        let config = ShardConfig::fixed(2);
+        let envelope = ShardedEnvelope::from_inputs(&net, cut, &inputs, 0.05, &config).unwrap();
+
+        // "Retrain": nudge the first dense layer's weights slightly.
+        let mut retrained = net.clone();
+        if let dpv_nn::Layer::Dense(d) = &mut retrained.layers_mut()[0] {
+            for r in 0..d.weights().rows() {
+                for c in 0..d.weights().cols() {
+                    d.weights_mut()[(r, c)] += 0.01 * ((r + c) as f64);
+                }
+            }
+        }
+        let refit = envelope.refit(&retrained, &inputs, &config.kmeans).unwrap();
+        assert_eq!(refit.shard_count(), envelope.shard_count());
+        assert_eq!(refit.layer(), envelope.layer());
+        assert_eq!(refit.margin(), envelope.margin());
+        // Shard identity is stable: refit centroid i stays closest to the
+        // old centroid i, not to any other old centroid.
+        for (i, new_c) in refit.centroids().iter().enumerate() {
+            let (nearest, _) = super::nearest_centroid(envelope.centroids(), new_c);
+            assert_eq!(nearest, i, "shard {i} re-rolled its identity");
+        }
+        // And the refit union covers the retrained network's activations.
+        for x in &inputs {
+            assert!(refit.contains(&retrained.activation_at(cut, x), 1e-9));
+        }
     }
 
     #[test]

@@ -146,9 +146,51 @@ fn seed_centroids(samples: &[Vector], k: usize, rng: &mut StdRng) -> Vec<Vector>
 pub fn kmeans(samples: &[Vector], k: usize, config: &KMeansConfig) -> Clustering {
     assert!(!samples.is_empty(), "k-means over zero samples");
     let k = k.clamp(1, samples.len());
-    let dim = samples[0].len();
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut centroids = seed_centroids(samples, k, &mut rng);
+    let centroids = seed_centroids(samples, k, &mut rng);
+    lloyd(samples, centroids, config)
+}
+
+/// Runs k-means over `samples` starting from the given centroids instead of
+/// a fresh k-means++ draw. This is the **warm re-clustering** entry point
+/// for continuous delta-verification: after a retrain shifts the cut-layer
+/// activations, re-clustering seeded at the *previous* envelope's converged
+/// centroids keeps shard identity stable (shard `i` tracks the mode that
+/// centroid `i` already described) instead of re-rolling the partition from
+/// scratch — so per-shard obligations line up across checkpoints.
+///
+/// The Lloyd loop (assignment, empty-cluster reseeding, convergence
+/// tolerance, final empty-cluster dropping) is exactly the one behind
+/// [`kmeans`]; only the initialisation differs, and no randomness is
+/// consumed.
+///
+/// # Panics
+/// Panics when `samples` or `centroids` is empty, or when a centroid's
+/// dimension differs from the samples'.
+pub fn kmeans_seeded(
+    samples: &[Vector],
+    centroids: &[Vector],
+    config: &KMeansConfig,
+) -> Clustering {
+    assert!(!samples.is_empty(), "k-means over zero samples");
+    assert!(
+        !centroids.is_empty(),
+        "seeded k-means needs at least one centroid"
+    );
+    let dim = samples[0].len();
+    for c in centroids {
+        assert_eq!(c.len(), dim, "seed centroid dimension mismatch");
+    }
+    lloyd(samples, centroids.to_vec(), config)
+}
+
+/// The shared Lloyd iteration behind [`kmeans`] and [`kmeans_seeded`]:
+/// assignment, empty-cluster reseeding at the worst-fitted sample, mean
+/// update with a squared-shift convergence stop, then a final assignment
+/// and empty-cluster drop.
+fn lloyd(samples: &[Vector], mut centroids: Vec<Vector>, config: &KMeansConfig) -> Clustering {
+    let k = centroids.len();
+    let dim = samples[0].len();
     let mut assignments = vec![0usize; samples.len()];
     let mut dist2 = vec![0.0f64; samples.len()];
 
@@ -341,6 +383,53 @@ mod tests {
             assert!(inertia <= last + 1e-9, "inertia rose at k = {k}");
             last = inertia;
         }
+    }
+
+    #[test]
+    fn seeded_restart_at_converged_centroids_is_a_fixed_point() {
+        let samples = two_blobs(60);
+        let config = KMeansConfig::default();
+        let converged = kmeans(&samples, 2, &config);
+        let restarted = kmeans_seeded(&samples, &converged.centroids, &config);
+        assert_eq!(restarted, converged, "converged centroids must be stable");
+    }
+
+    #[test]
+    fn seeded_clustering_keeps_cluster_identity_under_drift() {
+        // Seed at the converged centroids of the original blobs, then
+        // cluster a shifted copy: cluster i must keep tracking blob i.
+        let samples = two_blobs(60);
+        let config = KMeansConfig::default();
+        let original = kmeans(&samples, 2, &config);
+        let drifted: Vec<Vector> = samples
+            .iter()
+            .map(|s| Vector::from_slice(&[s[0] + 0.3, s[1] - 0.2]))
+            .collect();
+        let refit = kmeans_seeded(&drifted, &original.centroids, &config);
+        assert_eq!(refit.k(), 2);
+        assert_eq!(refit.assignments, original.assignments, "identity drifted");
+        for (new_c, old_c) in refit.centroids.iter().zip(&original.centroids) {
+            assert!(
+                squared_distance(new_c, old_c) < 0.3f64.powi(2) + 0.2f64.powi(2) + 1e-9,
+                "centroid moved farther than the injected drift"
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_clustering_drops_empty_clusters() {
+        // Eight identical points cannot support three clusters: the
+        // duplicates collapse and surplus clusters are dropped.
+        let samples = vec![Vector::from_slice(&[1.0, 2.0]); 8];
+        let seeds = vec![
+            Vector::from_slice(&[1.0, 2.0]),
+            Vector::from_slice(&[5.0, 5.0]),
+            Vector::from_slice(&[-4.0, 0.0]),
+        ];
+        let clustering = kmeans_seeded(&samples, &seeds, &KMeansConfig::default());
+        assert_eq!(clustering.k(), 1);
+        assert_eq!(clustering.inertia, 0.0);
+        assert!(clustering.assignments.iter().all(|&a| a == 0));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!
 //! * [`kmeans`] / [`select_k`] — a dependency-free, deterministic k-means
 //!   (k-means++ seeding, empty-cluster reseeding, inertia-based cluster
-//!   count sweep) over cut-layer activation vectors.
+//!   count sweep) over cut-layer activation vectors; [`kmeans_seeded`]
+//!   restarts the same Lloyd loop from caller-provided centroids, which is
+//!   how a retrained checkpoint's envelope is refit without re-rolling
+//!   shard identity ([`ShardedEnvelope::refit`]).
 //! * [`ShardedEnvelope`] — one [`dpv_monitor::ActivationEnvelope`] per
 //!   cluster, with the invariant that the shard **union contains every
 //!   sample** the monolithic envelope was built from while each shard is a
@@ -59,5 +62,5 @@ mod kmeans;
 mod monitor;
 
 pub use envelope::{ClusterSelection, ShardConfig, ShardedEnvelope};
-pub use kmeans::{kmeans, kmeans_auto, select_k, Clustering, KMeansConfig};
+pub use kmeans::{kmeans, kmeans_auto, kmeans_seeded, select_k, Clustering, KMeansConfig};
 pub use monitor::ShardedMonitor;

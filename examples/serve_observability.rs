@@ -80,10 +80,13 @@ fn aggregate_solver_stats(report: &RequestReport) -> SolveStats {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An enabled tracer: per-thread ring buffers plus typed metrics.
-    // `ObligationServer::new` (without a tracer) serves identically with
+    // A builder without a tracer serves identically with
     // every recording call disabled.
     let tracer = Tracer::with_config(TraceConfig::default());
-    let server = ObligationServer::new_traced(ServeConfig::with_workers(2), tracer);
+    let server = ObligationServer::builder()
+        .config(ServeConfig::with_workers(2))
+        .tracer(tracer)
+        .build();
 
     println!("== request 1: cold caches ==");
     let cold = server.serve(&request())?;

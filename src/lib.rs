@@ -32,6 +32,11 @@
 //! * [`serve`] — resident obligation server: a long-lived verification
 //!   service with a persistent work-stealing pool, cross-request template
 //!   and basis caches, batched admission and verdict deduplication.
+//! * [`delta`] — continuous delta-verification across retrains: per-layer
+//!   checkpoint fingerprinting and diffing, weight-hull bound-absorption
+//!   checks, and re-verification planning (executed by
+//!   `serve::ObligationServer::serve_delta`, which emits a
+//!   machine-checkable `ProofDeltaReport`).
 //! * [`trace`] — zero-overhead-when-off tracing and metrics: hierarchical
 //!   spans in lock-free ring buffers, typed counters and log-bucketed
 //!   histograms, JSON and Prometheus exporters, threaded through the
@@ -56,6 +61,7 @@
 
 pub use dpv_absint as absint;
 pub use dpv_core as core;
+pub use dpv_delta as delta;
 pub use dpv_lp as lp;
 pub use dpv_monitor as monitor;
 pub use dpv_nn as nn;
@@ -73,11 +79,14 @@ pub mod prelude {
         StatisticalAnalysis, Verdict, VerificationOutcome, VerificationProblem,
         VerificationStrategy, Workflow, WorkflowConfig,
     };
+    pub use dpv_delta::{CheckpointDiff, DeltaPlanner, ModelFingerprint};
     pub use dpv_lp::{LinearProgram, MilpProblem, MilpStatus};
     pub use dpv_monitor::{ActivationEnvelope, MonitorVerdict, RuntimeMonitor};
     pub use dpv_nn::{Activation, Dataset, Layer, Network, NetworkBuilder, TrainConfig};
     pub use dpv_scenegen::{OddSampler, OddViolation, PropertyKind, SceneConfig, SceneParams};
-    pub use dpv_serve::{ObligationServer, RegionSpec, ServeConfig, VerificationRequest};
+    pub use dpv_serve::{
+        ObligationServer, ProofDeltaReport, RegionSpec, ServeConfig, VerificationRequest,
+    };
     pub use dpv_shard::{ShardConfig, ShardedEnvelope, ShardedMonitor};
     pub use dpv_tensor::{Matrix, Vector};
 }

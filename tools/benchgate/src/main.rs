@@ -146,10 +146,18 @@ fn rule_for(id: &str) -> Gate {
             rel_permille: 1000,
             abs: 50,
         }
-    } else if id.contains("hit-rate") || id.contains("dedup-rate") {
-        // Cache and dedup rates are deterministic permille ratios of
-        // seeded workloads (like the detection rates), so they get a small
-        // absolute slack rather than a relative one.
+    } else if id.ends_with("delta/parity-permille") {
+        // Delta-verification verdicts must equal a from-scratch run's
+        // bit-for-bit — reuse and absorption are proofs, not heuristics —
+        // so like the other parity contracts the band has zero width.
+        Gate::Band {
+            centre: 1000,
+            halfwidth: 0,
+        }
+    } else if id.contains("hit-rate") || id.contains("dedup-rate") || id.contains("reuse-rate") {
+        // Cache, dedup and delta-reuse rates are deterministic permille
+        // ratios of seeded workloads (like the detection rates), so they
+        // get a small absolute slack rather than a relative one.
         Gate::HigherIsBetter {
             rel_permille: 0,
             abs: 25,
@@ -637,6 +645,48 @@ mod tests {
                 "{id}"
             );
         }
+    }
+
+    #[test]
+    fn delta_parity_demands_exact_equality() {
+        let baseline = report(&[("delta/parity-permille", 1000)]);
+        let gate_at = |fresh| {
+            gate(&baseline, &report(&[("delta/parity-permille", fresh)])).unwrap()[0].passed
+        };
+        assert!(gate_at(1000));
+        // A delta verdict diverging from the from-scratch verdict — in
+        // either direction — is a soundness failure, not noise.
+        assert!(!gate_at(999));
+        assert!(!gate_at(1001));
+        assert!(!gate_at(0));
+    }
+
+    #[test]
+    fn reuse_rate_gets_the_deterministic_absolute_slack() {
+        let baseline = report(&[("delta/reuse-rate-permille", 750)]);
+        let gate_at = |fresh| {
+            gate(&baseline, &report(&[("delta/reuse-rate-permille", fresh)])).unwrap()[0].passed
+        };
+        // Within the 25‰ absolute slack, and improvements always pass …
+        assert!(gate_at(750));
+        assert!(gate_at(725));
+        assert!(gate_at(1000));
+        // … but a real reuse drop fails (a 10% relative rule would let
+        // 680 through; the deterministic class must not).
+        assert!(!gate_at(724));
+        assert!(!gate_at(500));
+    }
+
+    #[test]
+    fn committed_e15_baseline_passes_against_itself() {
+        let baseline = report(&[
+            ("delta/reuse-rate-permille", 750),
+            ("delta/parity-permille", 1000),
+            ("delta/speedup-permille", 3045),
+        ]);
+        let findings = gate(&baseline, &baseline).unwrap();
+        assert_eq!(findings.len(), 3);
+        assert!(findings.iter().all(|f| f.passed));
     }
 
     #[test]
